@@ -1,0 +1,33 @@
+//! Criterion bench regenerating Figure 2's data series (performance of every
+//! technique normalized to the out-of-order baseline) on a representative
+//! multi-slice workload with a reduced budget, so `cargo bench` finishes in
+//! minutes. The full-suite numbers come from the `fig2_performance` binary in
+//! `pre-sim`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pre_runahead::Technique;
+use pre_sim::runner::{run_one, RunSpec};
+use pre_workloads::Workload;
+use std::hint::black_box;
+
+fn fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_performance");
+    group.sample_size(10);
+    for technique in Technique::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("lbm-like", technique.label()),
+            &technique,
+            |b, &technique| {
+                b.iter(|| {
+                    let spec = RunSpec::new(Workload::LbmLike, technique).with_budget(5_000);
+                    let result = run_one(&spec).expect("run");
+                    black_box(result.ipc())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Simulator-throughput bench: how many micro-ops per second the
+//! cycle-level model simulates for the baseline and for PRE (the most
+//! stateful configuration). Useful for tracking performance regressions of
+//! the simulator itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pre_runahead::Technique;
+use pre_sim::runner::{run_one, RunSpec};
+use pre_workloads::Workload;
+use std::hint::black_box;
+
+fn throughput(c: &mut Criterion) {
+    let uops: u64 = 8_000;
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(uops));
+    for (workload, technique) in [
+        (Workload::ComputeBound, Technique::OutOfOrder),
+        (Workload::LbmLike, Technique::OutOfOrder),
+        (Workload::LbmLike, Technique::Pre),
+        (Workload::McfLike, Technique::PreEmq),
+    ] {
+        let id = format!("{}/{}", workload.name(), technique.label());
+        group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, ()| {
+            b.iter(|| {
+                let spec = RunSpec::new(workload, technique).with_budget(uops);
+                let result = run_one(&spec).expect("run");
+                black_box(result.stats.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Table 1: building and validating the paper's baseline
+//! configuration and constructing a core from it. (Table 1 is a configuration
+//! table, so the "benchmark" is the cost of instantiating that machine.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pre_core::OooCore;
+use pre_model::config::SimConfig;
+use pre_runahead::Technique;
+use pre_sim::experiments::table1;
+use pre_workloads::{Workload, WorkloadParams};
+use std::hint::black_box;
+
+fn table1_bench(c: &mut Criterion) {
+    c.bench_function("table1/validate_haswell_like", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::haswell_like();
+            cfg.validate().expect("valid");
+            black_box(cfg.dram_closed_page_latency())
+        })
+    });
+    c.bench_function("table1/render", |b| b.iter(|| black_box(table1().render())));
+    let program = Workload::LibquantumLike.build(&WorkloadParams::default());
+    c.bench_function("table1/build_core", |b| {
+        b.iter(|| {
+            let core = OooCore::new(&SimConfig::haswell_like(), &program, Technique::PreEmq)
+                .expect("core builds");
+            black_box(core.cycle())
+        })
+    });
+}
+
+criterion_group!(benches, table1_bench);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Shared helpers for the Criterion benchmarks that regenerate the paper's
+//! tables and figures. The actual benchmarks live under `benches/`.

@@ -1,0 +1,219 @@
+//! The unified issue queue.
+
+use pre_model::isa::{OpClass, StaticInst};
+use pre_model::reg::{PhysReg, RegClass};
+
+/// One issue-queue entry: a micro-op waiting for its source operands.
+#[derive(Debug, Clone)]
+pub struct IqEntry {
+    /// Micro-op identifier (shared with the ROB for normal micro-ops).
+    pub id: u64,
+    /// Program counter (needed for SST learning of runahead micro-ops).
+    pub pc: u32,
+    /// The static instruction.
+    pub inst: StaticInst,
+    /// Physical source registers, in operand order.
+    pub srcs: Vec<(RegClass, PhysReg)>,
+    /// Physical destination register, if any.
+    pub dest: Option<(RegClass, PhysReg)>,
+    /// Functional-unit class.
+    pub class: OpClass,
+    /// `true` for micro-ops injected by runahead execution (they have no ROB
+    /// entry and are discarded at runahead exit).
+    pub is_runahead: bool,
+    /// Cycle at which the micro-op entered the queue.
+    pub dispatched_at: u64,
+    /// For stores: the address has been computed eagerly (address generation
+    /// does not wait for the store data).
+    pub store_addr_ready: bool,
+}
+
+/// The unified issue queue: a bounded, age-ordered collection of waiting
+/// micro-ops.
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    entries: Vec<IqEntry>,
+    capacity: usize,
+    writes: u64,
+    peak_occupancy: usize,
+}
+
+impl IssueQueue {
+    /// Creates an issue queue with `capacity` entries (92 in Table 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "issue queue capacity must be non-zero");
+        IssueQueue {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            writes: 0,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// `true` when no further micro-op can be dispatched.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the queue holds no micro-ops.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Free entries.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Fraction of entries currently free (sampled by Stat C at runahead
+    /// entry).
+    pub fn free_fraction(&self) -> f64 {
+        self.free_slots() as f64 / self.capacity as f64
+    }
+
+    /// Inserts a micro-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full; dispatch must check
+    /// [`IssueQueue::is_full`] first.
+    pub fn insert(&mut self, entry: IqEntry) {
+        assert!(!self.is_full(), "dispatch into a full issue queue");
+        self.writes += 1;
+        self.entries.push(entry);
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+    }
+
+    /// Iterates over waiting micro-ops in age order (oldest first — entries
+    /// are inserted in dispatch order and removal preserves order).
+    pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration in age order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut IqEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Removes the entry for micro-op `id` (it issued or was squashed).
+    /// Returns the removed entry.
+    pub fn remove(&mut self, id: u64) -> Option<IqEntry> {
+        let idx = self.entries.iter().position(|e| e.id == id)?;
+        Some(self.entries.remove(idx))
+    }
+
+    /// Removes every entry matching the predicate and returns how many were
+    /// removed (used for squashes and runahead exit).
+    pub fn remove_where(&mut self, mut pred: impl FnMut(&IqEntry) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !pred(e));
+        before - self.entries.len()
+    }
+
+    /// Discards all entries and returns how many there were.
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    /// Number of insertions (issue-queue write-port accesses).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Highest simultaneous occupancy observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pre_model::isa::StaticInst;
+
+    fn entry(id: u64, runahead: bool) -> IqEntry {
+        IqEntry {
+            id,
+            pc: id as u32,
+            inst: StaticInst::nop(),
+            srcs: Vec::new(),
+            dest: None,
+            class: OpClass::Nop,
+            is_runahead: runahead,
+            dispatched_at: 0,
+            store_addr_ready: false,
+        }
+    }
+
+    #[test]
+    fn insert_and_remove_by_id() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(entry(1, false));
+        iq.insert(entry(2, false));
+        assert_eq!(iq.len(), 2);
+        assert!(iq.remove(1).is_some());
+        assert!(iq.remove(1).is_none());
+        assert_eq!(iq.len(), 1);
+    }
+
+    #[test]
+    fn age_order_is_preserved_across_removals() {
+        let mut iq = IssueQueue::new(8);
+        for id in 1..=5 {
+            iq.insert(entry(id, false));
+        }
+        iq.remove(3);
+        let ids: Vec<_> = iq.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn remove_where_filters_runahead_entries() {
+        let mut iq = IssueQueue::new(8);
+        iq.insert(entry(1, false));
+        iq.insert(entry(2, true));
+        iq.insert(entry(3, true));
+        let removed = iq.remove_where(|e| e.is_runahead);
+        assert_eq!(removed, 2);
+        assert_eq!(iq.len(), 1);
+        assert_eq!(iq.iter().next().unwrap().id, 1);
+    }
+
+    #[test]
+    fn occupancy_accounting() {
+        let mut iq = IssueQueue::new(4);
+        assert_eq!(iq.free_slots(), 4);
+        iq.insert(entry(1, false));
+        iq.insert(entry(2, false));
+        assert_eq!(iq.free_slots(), 2);
+        assert!((iq.free_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(iq.peak_occupancy(), 2);
+        iq.clear();
+        assert!(iq.is_empty());
+        assert_eq!(iq.peak_occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "full issue queue")]
+    fn insert_into_full_queue_panics() {
+        let mut iq = IssueQueue::new(1);
+        iq.insert(entry(1, false));
+        iq.insert(entry(2, false));
+    }
+}

@@ -1,0 +1,277 @@
+//! Load and store queues with store-to-load forwarding.
+//!
+//! The model is conservative and never violates memory ordering: a load may
+//! access memory only when every older store has a known address and no older
+//! store to the same word is still waiting for its data. Store addresses are
+//! generated eagerly (as soon as the base register is ready), so streaming
+//! loops with a store per iteration do not artificially serialize.
+
+use std::collections::VecDeque;
+
+/// One store-queue entry.
+#[derive(Debug, Clone, Copy)]
+pub struct SqEntry {
+    /// Micro-op identifier (program order).
+    pub id: u64,
+    /// Effective address, once address generation has run.
+    pub addr: Option<u64>,
+    /// Store data value, once the data operand is ready.
+    pub value: Option<u64>,
+}
+
+/// The outcome of checking a load against older stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadCheck {
+    /// No conflict: the load may access the memory hierarchy.
+    Proceed,
+    /// An older store to the same word can supply the data.
+    Forward(u64),
+    /// An older store has an unknown address or un-ready data; the load must
+    /// wait.
+    Stall,
+}
+
+/// Combined load queue / store queue.
+#[derive(Debug, Clone)]
+pub struct LoadStoreQueue {
+    loads: VecDeque<u64>,
+    stores: VecDeque<SqEntry>,
+    lq_capacity: usize,
+    sq_capacity: usize,
+    searches: u64,
+    forwards: u64,
+}
+
+impl LoadStoreQueue {
+    /// Creates load/store queues with the given capacities (64/64 in Table 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn new(lq_capacity: usize, sq_capacity: usize) -> Self {
+        assert!(lq_capacity > 0 && sq_capacity > 0, "LSQ capacities must be non-zero");
+        LoadStoreQueue {
+            loads: VecDeque::with_capacity(lq_capacity),
+            stores: VecDeque::with_capacity(sq_capacity),
+            lq_capacity,
+            sq_capacity,
+            searches: 0,
+            forwards: 0,
+        }
+    }
+
+    /// `true` when no load entry is available.
+    pub fn lq_full(&self) -> bool {
+        self.loads.len() >= self.lq_capacity
+    }
+
+    /// `true` when no store entry is available.
+    pub fn sq_full(&self) -> bool {
+        self.stores.len() >= self.sq_capacity
+    }
+
+    /// Current load-queue occupancy.
+    pub fn lq_len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Current store-queue occupancy.
+    pub fn sq_len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Allocates a load-queue entry at dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the load queue is full.
+    pub fn allocate_load(&mut self, id: u64) {
+        assert!(!self.lq_full(), "dispatch into a full load queue");
+        self.loads.push_back(id);
+    }
+
+    /// Allocates a store-queue entry at dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store queue is full.
+    pub fn allocate_store(&mut self, id: u64) {
+        assert!(!self.sq_full(), "dispatch into a full store queue");
+        self.stores.push_back(SqEntry {
+            id,
+            addr: None,
+            value: None,
+        });
+    }
+
+    /// Records the eagerly generated address of store `id`.
+    pub fn set_store_addr(&mut self, id: u64, addr: u64) {
+        if let Some(e) = self.stores.iter_mut().find(|e| e.id == id) {
+            e.addr = Some(addr);
+        }
+    }
+
+    /// Records the data value of store `id`.
+    pub fn set_store_value(&mut self, id: u64, value: u64) {
+        if let Some(e) = self.stores.iter_mut().find(|e| e.id == id) {
+            e.value = Some(value);
+        }
+    }
+
+    /// Checks whether the load `load_id` at word address `addr` may proceed,
+    /// must stall, or can forward from an older store.
+    pub fn check_load(&mut self, load_id: u64, addr: u64) -> LoadCheck {
+        self.searches += 1;
+        let word = addr & !7;
+        let mut decision = LoadCheck::Proceed;
+        for store in self.stores.iter() {
+            if store.id >= load_id {
+                break;
+            }
+            match store.addr {
+                None => return LoadCheck::Stall,
+                Some(a) if a & !7 == word => {
+                    decision = match store.value {
+                        Some(v) => LoadCheck::Forward(v),
+                        None => LoadCheck::Stall,
+                    };
+                }
+                Some(_) => {}
+            }
+        }
+        if let LoadCheck::Forward(_) = decision {
+            self.forwards += 1;
+        }
+        decision
+    }
+
+    /// Releases the load-queue entry of `id` (commit or squash).
+    pub fn release_load(&mut self, id: u64) {
+        if let Some(pos) = self.loads.iter().position(|&l| l == id) {
+            self.loads.remove(pos);
+        }
+    }
+
+    /// Releases the store-queue entry of `id` (commit or squash).
+    pub fn release_store(&mut self, id: u64) {
+        if let Some(pos) = self.stores.iter().position(|e| e.id == id) {
+            self.stores.remove(pos);
+        }
+    }
+
+    /// Removes every entry with an id strictly greater than `id` (branch
+    /// squash).
+    pub fn squash_younger_than(&mut self, id: u64) {
+        self.loads.retain(|&l| l <= id);
+        self.stores.retain(|e| e.id <= id);
+    }
+
+    /// Discards all entries (pipeline flush).
+    pub fn clear(&mut self) {
+        self.loads.clear();
+        self.stores.clear();
+    }
+
+    /// Number of associative LSQ searches performed (energy accounting).
+    pub fn searches(&self) -> u64 {
+        self.searches
+    }
+
+    /// Number of loads satisfied by store-to-load forwarding.
+    pub fn forwards(&self) -> u64 {
+        self.forwards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_with_no_older_stores_proceeds() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.allocate_load(10);
+        assert_eq!(lsq.check_load(10, 0x100), LoadCheck::Proceed);
+    }
+
+    #[test]
+    fn load_stalls_on_unknown_older_store_address() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.allocate_store(5);
+        lsq.allocate_load(10);
+        assert_eq!(lsq.check_load(10, 0x100), LoadCheck::Stall);
+        lsq.set_store_addr(5, 0x200);
+        assert_eq!(lsq.check_load(10, 0x100), LoadCheck::Proceed);
+    }
+
+    #[test]
+    fn load_forwards_from_matching_older_store() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.allocate_store(5);
+        lsq.set_store_addr(5, 0x104);
+        lsq.allocate_load(10);
+        // Same 8-byte word, data not yet ready: stall.
+        assert_eq!(lsq.check_load(10, 0x100), LoadCheck::Stall);
+        lsq.set_store_value(5, 77);
+        assert_eq!(lsq.check_load(10, 0x100), LoadCheck::Forward(77));
+        assert_eq!(lsq.forwards(), 1);
+    }
+
+    #[test]
+    fn younger_stores_do_not_affect_older_loads() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.allocate_load(10);
+        lsq.allocate_store(20);
+        assert_eq!(lsq.check_load(10, 0x100), LoadCheck::Proceed);
+    }
+
+    #[test]
+    fn youngest_matching_store_wins() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.allocate_store(5);
+        lsq.set_store_addr(5, 0x100);
+        lsq.set_store_value(5, 1);
+        lsq.allocate_store(6);
+        lsq.set_store_addr(6, 0x100);
+        lsq.set_store_value(6, 2);
+        lsq.allocate_load(10);
+        assert_eq!(lsq.check_load(10, 0x100), LoadCheck::Forward(2));
+    }
+
+    #[test]
+    fn capacity_accounting_and_release() {
+        let mut lsq = LoadStoreQueue::new(2, 2);
+        lsq.allocate_load(1);
+        lsq.allocate_load(2);
+        assert!(lsq.lq_full());
+        lsq.release_load(1);
+        assert!(!lsq.lq_full());
+        lsq.allocate_store(3);
+        lsq.allocate_store(4);
+        assert!(lsq.sq_full());
+        lsq.release_store(3);
+        assert_eq!(lsq.sq_len(), 1);
+    }
+
+    #[test]
+    fn squash_removes_younger_entries_only() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.allocate_load(1);
+        lsq.allocate_load(5);
+        lsq.allocate_store(3);
+        lsq.allocate_store(7);
+        lsq.squash_younger_than(4);
+        assert_eq!(lsq.lq_len(), 1);
+        assert_eq!(lsq.sq_len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_both_queues() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.allocate_load(1);
+        lsq.allocate_store(2);
+        lsq.clear();
+        assert_eq!(lsq.lq_len(), 0);
+        assert_eq!(lsq.sq_len(), 0);
+    }
+}

@@ -1,0 +1,612 @@
+//! The out-of-order pipeline with integrated runahead execution.
+//!
+//! [`OooCore`] ties together the front end (`pre-frontend`), the rename and
+//! back-end structures of this crate, the memory hierarchy (`pre-mem`) and
+//! the runahead structures (`pre-runahead`). One instance simulates one
+//! program under one [`Technique`].
+//!
+//! The per-cycle loop walks the pipeline backwards (commit → issue →
+//! dispatch → decode → fetch) so that a micro-op spends at least one cycle in
+//! each stage. Stage implementations live in [`mod@self`] (commit,
+//! completion, run control), `stages` (fetch/decode/dispatch/issue and branch
+//! recovery) and `runahead` (full-window-stall detection, runahead entry,
+//! exit and the PRE decode filter).
+
+mod runahead;
+mod stages;
+
+use crate::freelist::FreeList;
+use crate::iq::IssueQueue;
+use crate::lsq::LoadStoreQueue;
+use crate::rat::{RatCheckpoint, RegisterAliasTable};
+use crate::regfile::PhysRegFile;
+use crate::rob::ReorderBuffer;
+use crate::uop::DynUop;
+use pre_frontend::{BranchPredictorUnit, DelayPipe, UopQueue};
+use pre_mem::MemoryHierarchy;
+use pre_model::config::SimConfig;
+use pre_model::error::{ConfigError, ProgramError};
+use pre_model::mem::FuncMem;
+use pre_model::program::{fold_store_checksum, ArchSnapshot, Program};
+use pre_model::reg::{ArchReg, PhysReg, RegClass, NUM_ARCH_REGS};
+use pre_model::stats::SimStats;
+use pre_runahead::{
+    ChainReplayEngine, EntryPolicy, ExtendedMicroOpQueue, PreciseRegisterDeallocationQueue,
+    RunaheadBuffer, StallingSliceTable, Technique,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// Execution mode of the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Normal out-of-order execution.
+    Normal,
+    /// Flush-style runahead (traditional runahead or the runahead buffer):
+    /// the window is discarded at entry and the pipeline is flushed at exit.
+    RunaheadFlush(FlushKind),
+    /// Precise runahead: the ROB is preserved, runahead micro-ops execute on
+    /// free resources.
+    RunaheadPre,
+}
+
+/// Which flush-style runahead flavour is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlushKind {
+    /// Traditional runahead: the front end keeps fetching and the whole
+    /// future instruction stream is pre-executed.
+    Traditional,
+    /// Runahead buffer: the front end is gated and the extracted dependence
+    /// chain replays in a loop.
+    Buffer,
+}
+
+/// A scheduled completion event for an issued micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct InFlight {
+    pub completion: u64,
+    pub id: u64,
+    pub is_runahead: bool,
+    pub interval_seq: u64,
+    pub dest: Option<(RegClass, PhysReg)>,
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.completion, self.id).cmp(&(other.completion, other.id))
+    }
+}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-interval runahead bookkeeping (checkpoints and exit information).
+#[derive(Debug, Clone)]
+pub(crate) struct RunaheadInterval {
+    pub stalling_pc: u32,
+    pub expected_return: u64,
+    pub entered_at: u64,
+    pub rat_checkpoint: Option<RatCheckpoint>,
+    pub int_free_snapshot: Option<Vec<PhysReg>>,
+    pub fp_free_snapshot: Option<Vec<PhysReg>>,
+    pub arch_checkpoint: Option<[u64; NUM_ARCH_REGS]>,
+    pub history: u64,
+    pub ras: Vec<u32>,
+    pub resume_fetch_pc: u32,
+}
+
+/// Error building an [`OooCore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The simulator configuration is inconsistent.
+    Config(ConfigError),
+    /// The program is malformed.
+    Program(ProgramError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Config(e) => write!(f, "invalid configuration: {e}"),
+            BuildError::Program(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+impl From<ConfigError> for BuildError {
+    fn from(e: ConfigError) -> Self {
+        BuildError::Config(e)
+    }
+}
+
+impl From<ProgramError> for BuildError {
+    fn from(e: ProgramError) -> Self {
+        BuildError::Program(e)
+    }
+}
+
+/// The out-of-order core simulator.
+///
+/// See the crate-level documentation for an example.
+#[derive(Debug)]
+pub struct OooCore {
+    pub(crate) cfg: SimConfig,
+    pub(crate) technique: Technique,
+    pub(crate) program: Program,
+
+    // Functional / architectural state.
+    pub(crate) mem_hier: MemoryHierarchy,
+    pub(crate) func_mem: FuncMem,
+    pub(crate) arf: [u64; NUM_ARCH_REGS],
+
+    // Front end.
+    pub(crate) predictor: BranchPredictorUnit,
+    pub(crate) delay_pipe: DelayPipe<DynUop>,
+    pub(crate) uop_queue: UopQueue<DynUop>,
+    pub(crate) fetch_pc: u32,
+    pub(crate) fetch_stall_until: u64,
+    pub(crate) fetch_done: bool,
+    pub(crate) last_fetch_line: Option<u64>,
+    pub(crate) next_dispatch_pc: u32,
+
+    // Rename.
+    pub(crate) rat: RegisterAliasTable,
+    pub(crate) int_free: FreeList,
+    pub(crate) fp_free: FreeList,
+    pub(crate) int_prf: PhysRegFile,
+    pub(crate) fp_prf: PhysRegFile,
+
+    // Back end.
+    pub(crate) rob: ReorderBuffer,
+    pub(crate) iq: IssueQueue,
+    pub(crate) lsq: LoadStoreQueue,
+    pub(crate) in_flight: BinaryHeap<Reverse<InFlight>>,
+    pub(crate) next_id: u64,
+    pub(crate) dispatch_blocked: bool,
+    pub(crate) pending_recovery: Option<(u64, u32)>,
+
+    // Runahead machinery.
+    pub(crate) mode: Mode,
+    pub(crate) use_emq: bool,
+    pub(crate) entry_policy: EntryPolicy,
+    pub(crate) sst: StallingSliceTable,
+    pub(crate) prdq: PreciseRegisterDeallocationQueue,
+    pub(crate) emq: ExtendedMicroOpQueue<DynUop>,
+    pub(crate) runahead_buffer: RunaheadBuffer,
+    pub(crate) chain_engine: Option<ChainReplayEngine>,
+    pub(crate) runahead_store_buffer: HashMap<u64, u64>,
+    pub(crate) runahead_allocated: HashSet<(RegClass, PhysReg)>,
+    pub(crate) interval: Option<RunaheadInterval>,
+    pub(crate) interval_seq: u64,
+    pub(crate) last_stall_head_id: Option<u64>,
+    pub(crate) runahead_done_for: Option<u64>,
+
+    // Time, statistics and run control.
+    pub(crate) cycle: u64,
+    pub(crate) stats: SimStats,
+    pub(crate) halted: bool,
+    pub(crate) deadlocked: bool,
+    pub(crate) last_progress_cycle: u64,
+    /// Developer aid: print prefetch/demand-miss addresses when the
+    /// `PRE_TRACE_PREFETCH` environment variable is set.
+    pub(crate) trace_prefetches: bool,
+}
+
+impl OooCore {
+    /// Builds a core simulating `program` under `technique`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when the configuration or the program fails
+    /// validation.
+    pub fn new(cfg: &SimConfig, program: &Program, technique: Technique) -> Result<Self, BuildError> {
+        cfg.validate()?;
+        program.validate()?;
+        let core_cfg = &cfg.core;
+        let mut arf = [0u64; NUM_ARCH_REGS];
+        for &(reg, value) in &program.initial_regs {
+            arf[reg.flat_index()] = value;
+        }
+        let mut int_prf = PhysRegFile::new(core_cfg.int_phys_regs, pre_model::reg::NUM_INT_ARCH_REGS);
+        let mut fp_prf = PhysRegFile::new(core_cfg.fp_phys_regs, pre_model::reg::NUM_FP_ARCH_REGS);
+        // Seed the identity-mapped physical registers with the initial
+        // architectural values.
+        for flat in 0..NUM_ARCH_REGS {
+            let arch = ArchReg::from_flat_index(flat);
+            let phys = RegisterAliasTable::identity_mapping(flat);
+            match arch.class() {
+                RegClass::Int => int_prf.init_arch_value(phys, arf[flat]),
+                RegClass::Fp => fp_prf.init_arch_value(phys, arf[flat]),
+            }
+        }
+        let entry_policy = technique.entry_policy(&cfg.runahead);
+        Ok(OooCore {
+            mem_hier: MemoryHierarchy::new(cfg),
+            func_mem: program.build_memory(),
+            arf,
+            predictor: BranchPredictorUnit::new(&cfg.frontend),
+            delay_pipe: DelayPipe::new(
+                core_cfg.frontend_depth as u64,
+                core_cfg.fetch_width * (core_cfg.frontend_depth + 1),
+            ),
+            uop_queue: UopQueue::new(core_cfg.fetch_width * 4),
+            fetch_pc: program.entry,
+            fetch_stall_until: 0,
+            fetch_done: false,
+            last_fetch_line: None,
+            next_dispatch_pc: program.entry,
+            rat: RegisterAliasTable::new(),
+            int_free: FreeList::new(core_cfg.int_phys_regs, pre_model::reg::NUM_INT_ARCH_REGS),
+            fp_free: FreeList::new(core_cfg.fp_phys_regs, pre_model::reg::NUM_FP_ARCH_REGS),
+            int_prf,
+            fp_prf,
+            rob: ReorderBuffer::new(core_cfg.rob_entries),
+            iq: IssueQueue::new(core_cfg.iq_entries),
+            lsq: LoadStoreQueue::new(core_cfg.lq_entries, core_cfg.sq_entries),
+            in_flight: BinaryHeap::new(),
+            next_id: 1,
+            dispatch_blocked: false,
+            pending_recovery: None,
+            mode: Mode::Normal,
+            use_emq: technique.uses_emq(),
+            entry_policy,
+            sst: StallingSliceTable::new(cfg.runahead.sst_entries),
+            prdq: PreciseRegisterDeallocationQueue::new(cfg.runahead.prdq_entries),
+            emq: ExtendedMicroOpQueue::new(cfg.runahead.emq_entries),
+            runahead_buffer: RunaheadBuffer::new(),
+            chain_engine: None,
+            runahead_store_buffer: HashMap::new(),
+            runahead_allocated: HashSet::new(),
+            interval: None,
+            interval_seq: 0,
+            last_stall_head_id: None,
+            runahead_done_for: None,
+            cycle: 0,
+            stats: SimStats::new(),
+            halted: false,
+            deadlocked: false,
+            last_progress_cycle: 0,
+            trace_prefetches: std::env::var_os("PRE_TRACE_PREFETCH").is_some(),
+            cfg: cfg.clone(),
+            technique,
+            program: program.clone(),
+        })
+    }
+
+    /// The technique this core is configured with.
+    pub fn technique(&self) -> Technique {
+        self.technique
+    }
+
+    /// Current simulated cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// `true` while the core is in (any flavour of) runahead mode.
+    pub fn in_runahead(&self) -> bool {
+        self.mode != Mode::Normal
+    }
+
+    /// `true` once the program has fully retired and the pipeline drained.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// `true` if the run was aborted because no instruction committed for an
+    /// implausibly long time (indicates a modelling bug; asserted against in
+    /// tests).
+    pub fn deadlocked(&self) -> bool {
+        self.deadlocked
+    }
+
+    /// The committed (architectural) value of `reg`.
+    pub fn arch_reg(&self, reg: ArchReg) -> u64 {
+        self.arf[reg.flat_index()]
+    }
+
+    /// Read-only view of the committed functional memory.
+    pub fn memory(&self) -> &FuncMem {
+        &self.func_mem
+    }
+
+    /// Current ROB occupancy (useful for experiments and tests).
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Accumulated statistics. Call [`OooCore::finalize_stats`] (or
+    /// [`OooCore::run`], which does it for you) first so that cache, DRAM and
+    /// structure counters are folded in.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Snapshot of the committed architectural state, comparable against
+    /// [`pre_model::program::Interpreter::snapshot`] after the same number of
+    /// retired instructions.
+    pub fn arch_snapshot(&self) -> ArchSnapshot {
+        ArchSnapshot {
+            regs: self.arf,
+            retired: self.stats.committed_uops,
+            store_checksum: self.stats.store_checksum,
+            stores: self.stats.committed_stores,
+            next_pc: self
+                .rob
+                .head()
+                .map(|h| h.uop.pc)
+                .unwrap_or(self.next_dispatch_pc),
+        }
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        let now = self.cycle;
+        self.process_completions(now);
+        self.check_runahead_exit(now);
+        self.commit_stage(now);
+        self.issue_stage(now);
+        if let Some((branch_id, target)) = self.pending_recovery.take() {
+            self.recover_from_branch(branch_id, target, now);
+        }
+        self.dispatch_stage(now);
+        self.decode_stage(now);
+        self.fetch_stage(now);
+        self.runahead_cycle_hook(now);
+    }
+
+    /// Runs until `max_uops` micro-ops have committed, `max_cycles` cycles
+    /// have elapsed, or the program retires completely; then folds structure
+    /// counters into the statistics.
+    pub fn run(&mut self, max_uops: u64, max_cycles: u64) -> &SimStats {
+        while !self.halted
+            && !self.deadlocked
+            && self.stats.committed_uops < max_uops
+            && self.cycle < max_cycles
+        {
+            self.tick();
+            if self.cycle - self.last_progress_cycle > 200_000 {
+                self.deadlocked = true;
+            }
+        }
+        self.finalize_stats();
+        &self.stats
+    }
+
+    /// Folds memory-hierarchy and structure counters into the statistics.
+    pub fn finalize_stats(&mut self) {
+        self.stats.cycles = self.cycle;
+        self.mem_hier.export_stats(&mut self.stats);
+        self.stats.rat_reads = self.rat.reads();
+        self.stats.rat_writes = self.rat.writes();
+        self.stats.prf_reads = self.int_prf.reads() + self.fp_prf.reads();
+        self.stats.prf_writes = self.int_prf.writes() + self.fp_prf.writes();
+        self.stats.iq_writes = self.iq.writes();
+        self.stats.rob_writes = self.rob.writes();
+        self.stats.rob_reads = self.rob.reads();
+        self.stats.lsq_searches = self.lsq.searches();
+        self.stats.sst_lookups = self.sst.lookups();
+        self.stats.sst_hits = self.sst.hits();
+        self.stats.sst_inserts = self.sst.inserts();
+        self.stats.sst_evictions = self.sst.evictions();
+        self.stats.prdq_allocations = self.prdq.allocations();
+        self.stats.prdq_reclaims = self.prdq.reclaims();
+        self.stats.emq_writes = self.emq.writes();
+        self.stats.emq_reads = self.emq.reads();
+        self.stats.runahead_buffer_walks = self.runahead_buffer.walks();
+    }
+
+    // ---------------------------------------------------------------------
+    // Completion (writeback) handling.
+    // ---------------------------------------------------------------------
+
+    pub(crate) fn process_completions(&mut self, now: u64) {
+        while let Some(&Reverse(head)) = self.in_flight.peek() {
+            if head.completion > now {
+                break;
+            }
+            self.in_flight.pop();
+            if head.is_runahead {
+                // Runahead micro-ops are only meaningful while their interval
+                // is still the active PRE interval.
+                if self.mode == Mode::RunaheadPre && head.interval_seq == self.interval_seq {
+                    if let Some((class, reg)) = head.dest {
+                        self.prf_mut(class).set_ready(reg, true);
+                    }
+                    self.prdq.mark_executed(head.id);
+                    self.stats.iq_wakeups += 1;
+                }
+                continue;
+            }
+            // Normal micro-op: it may have been squashed (branch recovery or
+            // flush-style runahead) in the meantime.
+            if !self.rob.contains(head.id) {
+                continue;
+            }
+            if let Some((class, reg)) = head.dest {
+                self.prf_mut(class).set_ready(reg, true);
+            }
+            if let Some(entry) = self.rob.get_mut(head.id) {
+                entry.executed = true;
+            }
+            self.stats.executed_uops += 1;
+            self.stats.iq_wakeups += 1;
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Commit stage.
+    // ---------------------------------------------------------------------
+
+    pub(crate) fn commit_stage(&mut self, now: u64) {
+        match self.mode {
+            Mode::RunaheadFlush(_) => {
+                self.pseudo_retire(now);
+                return;
+            }
+            Mode::RunaheadPre => {
+                // Section 3.1: no instructions commit in runahead mode; the
+                // ROB is preserved so commit resumes immediately at exit.
+                return;
+            }
+            Mode::Normal => {}
+        }
+
+        let mut committed = 0;
+        while committed < self.cfg.core.commit_width {
+            let ready = match self.rob.head() {
+                None => {
+                    if self.fetch_done
+                        && self.uop_queue.is_empty()
+                        && self.delay_pipe.is_empty()
+                        && self.emq.is_empty()
+                    {
+                        self.halted = true;
+                    }
+                    return;
+                }
+                Some(head) => head.executed,
+            };
+            if !ready {
+                self.detect_full_window_stall(now);
+                return;
+            }
+            let entry = self.rob.pop_head().expect("head exists");
+            let inst = entry.uop.inst;
+            if let (Some(dest), Some(result)) = (inst.dest, entry.result) {
+                self.arf[dest.flat_index()] = result;
+            }
+            if inst.opcode.is_store() {
+                let addr = entry.mem_addr.expect("committed store has an address");
+                let value = entry.store_value.expect("committed store has a value");
+                self.func_mem.store_u64(addr, value);
+                self.mem_hier.store(addr, now);
+                self.stats.committed_stores += 1;
+                self.stats.store_checksum = fold_store_checksum(
+                    self.stats.store_checksum,
+                    addr,
+                    value,
+                    self.stats.committed_stores,
+                );
+                self.lsq.release_store(entry.id);
+            }
+            if inst.opcode.is_load() {
+                self.stats.committed_loads += 1;
+                self.lsq.release_load(entry.id);
+            }
+            if inst.opcode.is_cond_branch() {
+                self.stats.committed_branches += 1;
+                if entry.mispredicted {
+                    self.stats.mispredicted_branches += 1;
+                }
+            }
+            if let Some((arch, old, _)) = entry.old_dest {
+                self.free_list_mut(arch.class()).free(old);
+            }
+            self.stats.committed_uops += 1;
+            self.last_progress_cycle = now;
+            committed += 1;
+        }
+    }
+
+    /// Pseudo-retirement during flush-style runahead: instructions drain from
+    /// the ROB head without updating architectural state.
+    fn pseudo_retire(&mut self, now: u64) {
+        let mut retired = 0;
+        while retired < self.cfg.core.commit_width {
+            match self.rob.head() {
+                Some(head) if head.executed => {}
+                _ => return,
+            }
+            let entry = self.rob.pop_head().expect("head exists");
+            if entry.uop.inst.opcode.is_store() {
+                self.lsq.release_store(entry.id);
+            }
+            if entry.uop.inst.opcode.is_load() {
+                self.lsq.release_load(entry.id);
+            }
+            if let Some((arch, old, _)) = entry.old_dest {
+                self.free_list_mut(arch.class()).free(old);
+            }
+            self.stats.runahead_uops_executed += 1;
+            self.last_progress_cycle = now;
+            retired += 1;
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Small helpers shared by the stage implementations.
+    // ---------------------------------------------------------------------
+
+    pub(crate) fn prf(&self, class: RegClass) -> &PhysRegFile {
+        match class {
+            RegClass::Int => &self.int_prf,
+            RegClass::Fp => &self.fp_prf,
+        }
+    }
+
+    pub(crate) fn prf_mut(&mut self, class: RegClass) -> &mut PhysRegFile {
+        match class {
+            RegClass::Int => &mut self.int_prf,
+            RegClass::Fp => &mut self.fp_prf,
+        }
+    }
+
+    pub(crate) fn free_list(&self, class: RegClass) -> &FreeList {
+        match class {
+            RegClass::Int => &self.int_free,
+            RegClass::Fp => &self.fp_free,
+        }
+    }
+
+    pub(crate) fn free_list_mut(&mut self, class: RegClass) -> &mut FreeList {
+        match class {
+            RegClass::Int => &mut self.int_free,
+            RegClass::Fp => &mut self.fp_free,
+        }
+    }
+
+    /// Rebuilds the rename state (RAT, free lists, physical register values)
+    /// from an architectural checkpoint — used after flush-style runahead
+    /// exits and modelled as free in time, as the paper assumes.
+    pub(crate) fn reset_rename_state(&mut self, arch_values: &[u64; NUM_ARCH_REGS]) {
+        self.rat.reset_identity();
+        self.int_free = FreeList::new(
+            self.cfg.core.int_phys_regs,
+            pre_model::reg::NUM_INT_ARCH_REGS,
+        );
+        self.fp_free = FreeList::new(
+            self.cfg.core.fp_phys_regs,
+            pre_model::reg::NUM_FP_ARCH_REGS,
+        );
+        for flat in 0..NUM_ARCH_REGS {
+            let arch = ArchReg::from_flat_index(flat);
+            let phys = RegisterAliasTable::identity_mapping(flat);
+            self.prf_mut(arch.class()).init_arch_value(phys, arch_values[flat]);
+        }
+        self.int_prf.clear_all_inv();
+        self.fp_prf.clear_all_inv();
+    }
+
+    /// The current speculative value of an architectural register, read
+    /// through the RAT (falls back to the committed value when the youngest
+    /// producer has not executed yet). Used to seed the runahead-buffer chain
+    /// replay.
+    pub(crate) fn speculative_arch_value(&self, reg: ArchReg) -> u64 {
+        let phys = self.rat.peek(reg);
+        let prf = self.prf(reg.class());
+        if prf.is_ready(phys) {
+            prf.peek(phys)
+        } else {
+            self.arf[reg.flat_index()]
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! Runahead-mode control: full-window-stall detection, entry, exit, the PRE
+//! decode filter and the runahead-buffer chain replay.
+
+use super::{FlushKind, Mode, OooCore, RunaheadInterval};
+use crate::iq::IqEntry;
+use pre_model::reg::{ArchReg, NUM_ARCH_REGS};
+use pre_runahead::{ChainReplayEngine, EntryDecision, Technique, WindowUop};
+
+impl OooCore {
+    // ---------------------------------------------------------------------
+    // Full-window-stall detection (normal mode).
+    // ---------------------------------------------------------------------
+
+    /// Called from the commit stage when the ROB head is not ready to commit.
+    ///
+    /// The paper defines a full-window stall as the ROB filling up behind a
+    /// load that missed in the LLC. We use the slightly more general
+    /// condition "dispatch is blocked on a back-end resource while the ROB
+    /// head is an outstanding off-chip load", which reduces to the paper's
+    /// definition when the ROB is the binding resource (see DESIGN.md).
+    pub(crate) fn detect_full_window_stall(&mut self, now: u64) {
+        let window_blocked = self.rob.is_full() || self.dispatch_blocked;
+        if !window_blocked {
+            return;
+        }
+        let (head_id, head_pc, head_completion, blocking) = match self.rob.head() {
+            Some(head) => (
+                head.id,
+                head.uop.pc,
+                head.completion_cycle,
+                head.is_blocking_long_latency_load(now),
+            ),
+            None => return,
+        };
+        if !blocking {
+            return;
+        }
+        self.stats.full_window_stall_cycles += 1;
+        if self.last_stall_head_id != Some(head_id) {
+            self.last_stall_head_id = Some(head_id);
+            self.stats.full_window_stalls += 1;
+        }
+        if !self.technique.is_runahead() {
+            return;
+        }
+        let expected_remaining = head_completion.saturating_sub(now);
+        let already = self.runahead_done_for == Some(head_id);
+        match self.entry_policy.decide(expected_remaining, already) {
+            EntryDecision::Enter => self.enter_runahead(now, head_id, head_pc, head_completion),
+            EntryDecision::SkipShortInterval => {
+                self.stats.runahead_entries_skipped_short += 1;
+            }
+            EntryDecision::SkipOverlap => {
+                self.stats.runahead_entries_skipped_overlap += 1;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Entry.
+    // ---------------------------------------------------------------------
+
+    fn enter_runahead(&mut self, now: u64, head_id: u64, head_pc: u32, completion: u64) {
+        self.interval_seq += 1;
+        self.stats.runahead_entries += 1;
+        self.runahead_done_for = Some(head_id);
+
+        // Stat C: free back-end resources at runahead entry.
+        self.stats.iq_free_at_entry.record(self.iq.free_fraction());
+        self.stats
+            .int_regs_free_at_entry
+            .record(self.int_free.free_fraction());
+        self.stats
+            .fp_regs_free_at_entry
+            .record(self.fp_free.free_fraction());
+
+        let mut interval = RunaheadInterval {
+            stalling_pc: head_pc,
+            expected_return: completion.max(now + 1),
+            entered_at: now,
+            rat_checkpoint: None,
+            int_free_snapshot: None,
+            fp_free_snapshot: None,
+            arch_checkpoint: None,
+            history: self.predictor.history(),
+            ras: self.predictor.ras_snapshot(),
+            resume_fetch_pc: self.next_dispatch_pc,
+        };
+
+        match self.technique {
+            Technique::Runahead => {
+                interval.arch_checkpoint = Some(self.arf);
+                self.begin_flush_runahead(head_id, FlushKind::Traditional);
+            }
+            Technique::RunaheadBuffer => {
+                interval.arch_checkpoint = Some(self.arf);
+                let kind = self.begin_buffer_runahead(now, head_id, head_pc);
+                self.begin_flush_runahead(head_id, kind);
+            }
+            Technique::Pre | Technique::PreEmq => {
+                interval.rat_checkpoint = Some(self.rat.checkpoint());
+                interval.int_free_snapshot = Some(self.int_free.snapshot());
+                interval.fp_free_snapshot = Some(self.fp_free.snapshot());
+                self.begin_pre_runahead(head_pc);
+            }
+            Technique::OutOfOrder => unreachable!("baseline never enters runahead"),
+        }
+        self.interval = Some(interval);
+    }
+
+    /// Traditional-runahead entry: mark the stalling load — and every other
+    /// load in the window still waiting on an off-chip access — invalid, so
+    /// the window drains through pseudo-retirement instead of waiting for
+    /// data that will be discarded anyway (Mutlu et al.'s INV semantics).
+    fn begin_flush_runahead(&mut self, head_id: u64, kind: FlushKind) {
+        let now = self.cycle;
+        let long_latency_threshold = self.cfg.l3.latency;
+        let mut to_invalidate: Vec<(u64, Option<(pre_model::reg::RegClass, pre_model::reg::PhysReg)>)> =
+            Vec::new();
+        for entry in self.rob.iter() {
+            let pending_off_chip = entry.issued
+                && !entry.executed
+                && entry.uop.inst.opcode.is_load()
+                && entry.completion_cycle.saturating_sub(now) > long_latency_threshold;
+            if entry.id == head_id || pending_off_chip {
+                to_invalidate.push((entry.id, entry.dest));
+            }
+        }
+        for (id, dest) in to_invalidate {
+            if let Some(entry) = self.rob.get_mut(id) {
+                entry.executed = true;
+                entry.result = Some(0);
+            }
+            if let Some((class, reg)) = dest {
+                let prf = self.prf_mut(class);
+                prf.write(reg, 0);
+                prf.set_inv(reg, true);
+                prf.set_ready(reg, true);
+            }
+        }
+        self.mode = Mode::RunaheadFlush(kind);
+    }
+
+    /// Runahead-buffer entry: extract the stalling slice from the window and
+    /// start the chain replay. Falls back to traditional runahead when no
+    /// chain can be found (no second instance of the load in the window).
+    fn begin_buffer_runahead(&mut self, now: u64, head_id: u64, head_pc: u32) -> FlushKind {
+        let window: Vec<WindowUop> = self
+            .rob
+            .iter()
+            .map(|e| WindowUop {
+                pc: e.uop.pc,
+                inst: e.uop.inst,
+            })
+            .collect();
+        let found = self.runahead_buffer.fill_from_window(
+            &window,
+            head_pc,
+            self.cfg.runahead.runahead_buffer_chain_max,
+        );
+        if !found {
+            return FlushKind::Traditional;
+        }
+        // Seed the replay with the youngest speculative register values, as
+        // the hardware's rename table would supply.
+        let mut regs = [0u64; NUM_ARCH_REGS];
+        for flat in 0..NUM_ARCH_REGS {
+            regs[flat] = self.speculative_arch_value(ArchReg::from_flat_index(flat));
+        }
+        let inv_regs: Vec<ArchReg> = self
+            .rob
+            .get(head_id)
+            .and_then(|e| e.uop.inst.dest)
+            .into_iter()
+            .collect();
+        self.chain_engine = Some(ChainReplayEngine::new(
+            self.runahead_buffer.chain().to_vec(),
+            &regs,
+            &inv_regs,
+            now,
+        ));
+        // The window is discarded, as in traditional runahead; the back-end
+        // resources are then used exclusively by the chain replay.
+        let squashed = self.rob.drain_all().len() + self.iq.clear();
+        self.stats.squashed_uops += squashed as u64;
+        self.lsq.clear();
+        FlushKind::Buffer
+    }
+
+    /// PRE entry: checkpoint the RAT, seed the SST with the stalling load and
+    /// its producers, and switch the decode path to the SST filter. The ROB,
+    /// issue queue and LSQ are left untouched.
+    fn begin_pre_runahead(&mut self, head_pc: u32) {
+        self.sst.insert(head_pc);
+        if let Some(inst) = self.program.inst_at(head_pc) {
+            for src in inst.sources() {
+                if let Some(pc) = self.rat.producer_pc(src) {
+                    self.sst.insert(pc);
+                }
+            }
+        }
+        self.mode = Mode::RunaheadPre;
+    }
+
+    // ---------------------------------------------------------------------
+    // Per-cycle runahead work.
+    // ---------------------------------------------------------------------
+
+    pub(crate) fn runahead_cycle_hook(&mut self, now: u64) {
+        match self.mode {
+            Mode::Normal => {}
+            Mode::RunaheadFlush(FlushKind::Buffer) => {
+                self.stats.runahead_cycles += 1;
+                self.last_progress_cycle = now;
+                if let Some(engine) = &mut self.chain_engine {
+                    let latencies = self.cfg.core.latencies;
+                    let func_mem = &self.func_mem;
+                    engine.step(
+                        now,
+                        self.cfg.core.dispatch_width,
+                        &mut self.mem_hier,
+                        |class| latencies.for_class(class),
+                        |addr| func_mem.load_u64(addr),
+                    );
+                }
+            }
+            Mode::RunaheadFlush(FlushKind::Traditional) => {
+                self.stats.runahead_cycles += 1;
+                self.last_progress_cycle = now;
+            }
+            Mode::RunaheadPre => {
+                self.stats.runahead_cycles += 1;
+                self.last_progress_cycle = now;
+                // Runahead register reclamation: drain executed PRDQ entries
+                // in order and return their old registers to the free lists.
+                let freed = self.prdq.drain_completed();
+                for (class, reg) in freed {
+                    self.free_list_mut(class).free(reg);
+                    self.runahead_allocated.remove(&(class, reg));
+                }
+            }
+        }
+    }
+
+    /// The PRE decode filter (Section 3.3): consume decoded micro-ops, buffer
+    /// them in the EMQ when enabled, and speculatively execute the ones that
+    /// hit in the SST using free back-end resources.
+    pub(crate) fn pre_filter_stage(&mut self, now: u64) {
+        for _ in 0..self.cfg.core.fetch_width {
+            let uop = match self.uop_queue.front() {
+                Some(u) => *u,
+                None => break,
+            };
+            if self.use_emq && self.emq.is_full() {
+                break;
+            }
+            let hit = self.sst.lookup(uop.pc);
+            if hit && !self.pre_runahead_resources_available(&uop) {
+                // Retry next cycle; the micro-op stays at the queue head so
+                // program order within the slice is preserved.
+                break;
+            }
+            let uop = self.uop_queue.pop().expect("front checked above");
+            if self.use_emq {
+                self.emq
+                    .capture(uop)
+                    .expect("EMQ fullness checked above");
+            }
+            if hit {
+                self.runahead_execute_uop(uop, now);
+            }
+        }
+    }
+
+    fn pre_runahead_resources_available(&self, uop: &crate::uop::DynUop) -> bool {
+        if self.iq.is_full() || self.prdq.is_full() {
+            return false;
+        }
+        if let Some(class) = uop.inst.opcode.dest_class() {
+            if self.free_list(class).num_free() == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Renames and injects one SST-hitting micro-op into the issue queue as a
+    /// runahead micro-op, allocating its PRDQ entry and learning its
+    /// producers' PCs.
+    fn runahead_execute_uop(&mut self, uop: crate::uop::DynUop, now: u64) {
+        let inst = uop.inst;
+        // Iterative slice learning: the producers of this instruction's
+        // sources are part of the slice too.
+        for src in inst.sources() {
+            if let Some(pc) = self.rat.producer_pc(src) {
+                self.sst.insert(pc);
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut srcs = Vec::with_capacity(2);
+        for src in inst.sources() {
+            let phys = self.rat.lookup(src);
+            srcs.push((src.class(), phys));
+        }
+        let mut dest = None;
+        if let Some(d) = inst.dest {
+            let class = d.class();
+            let new = self
+                .free_list_mut(class)
+                .allocate()
+                .expect("checked by pre_runahead_resources_available");
+            let (old, _) = self.rat.rename(d, new, uop.pc);
+            self.prf_mut(class).reset_for_allocation(new);
+            let reclaimable = self.runahead_allocated.contains(&(class, old));
+            self.prdq.allocate(id, Some((class, old)), reclaimable);
+            self.runahead_allocated.insert((class, new));
+            dest = Some((class, new));
+        } else {
+            self.prdq.allocate(id, None, false);
+        }
+        self.iq.insert(IqEntry {
+            id,
+            pc: uop.pc,
+            inst,
+            srcs,
+            dest,
+            class: inst.opcode.class(),
+            is_runahead: true,
+            dispatched_at: now,
+            store_addr_ready: false,
+        });
+        self.stats.renamed_uops += 1;
+    }
+
+    // ---------------------------------------------------------------------
+    // Exit.
+    // ---------------------------------------------------------------------
+
+    pub(crate) fn check_runahead_exit(&mut self, now: u64) {
+        let expected = match &self.interval {
+            Some(interval) => interval.expected_return,
+            None => return,
+        };
+        if self.mode == Mode::Normal || now < expected {
+            return;
+        }
+        match self.mode {
+            Mode::RunaheadFlush(_) => self.exit_flush(now),
+            Mode::RunaheadPre => self.exit_pre(now, false),
+            Mode::Normal => {}
+        }
+    }
+
+    /// Exit from traditional runahead or the runahead buffer: the pipeline is
+    /// flushed, the architectural checkpoint restored and fetch redirected to
+    /// the stalling load (Section 2.2), paying the flush/refill penalty that
+    /// PRE avoids (Section 2.4).
+    fn exit_flush(&mut self, now: u64) {
+        let interval = self.interval.take().expect("exit requires an active interval");
+        self.stats.runahead_exits += 1;
+        self.stats
+            .runahead_interval_hist
+            .record(now - interval.entered_at);
+        // Stat A: the analytic flush/refill penalty — refill the front end
+        // (depth cycles) and re-dispatch a full window at dispatch width.
+        self.stats.flush_refill_cycles += self.cfg.core.frontend_depth as u64
+            + (self.cfg.core.rob_entries / self.cfg.core.dispatch_width) as u64;
+
+        if let Some(engine) = self.chain_engine.take() {
+            self.stats.runahead_uops_executed += engine.uops_executed();
+            self.stats.runahead_loads_executed += engine.loads_executed();
+            self.stats.runahead_prefetches_issued += engine.prefetches_issued();
+            self.stats.runahead_inv_loads += engine.inv_loads();
+            self.stats.runahead_buffer_replays += engine.uops_executed();
+        }
+
+        let squashed = self.rob.drain_all().len() + self.iq.clear();
+        self.stats.squashed_uops += squashed as u64;
+        self.lsq.clear();
+        self.in_flight.clear();
+        self.delay_pipe.flush();
+        self.uop_queue.clear();
+        self.runahead_store_buffer.clear();
+
+        let arch = interval
+            .arch_checkpoint
+            .expect("flush-style runahead checkpoints the ARF");
+        self.reset_rename_state(&arch);
+        self.predictor.restore_history(interval.history);
+        self.predictor.ras_restore(interval.ras);
+
+        self.fetch_pc = interval.stalling_pc;
+        self.next_dispatch_pc = interval.stalling_pc;
+        self.fetch_stall_until = now + 1;
+        self.last_fetch_line = None;
+        self.fetch_done = false;
+        self.last_stall_head_id = None;
+        self.mode = Mode::Normal;
+        self.last_progress_cycle = now;
+    }
+
+    /// Exit from precise runahead: restore the RAT checkpoint and free lists,
+    /// discard runahead micro-ops and resume normal execution with the ROB
+    /// intact — commit restarts immediately (Section 3.5).
+    ///
+    /// `aborted` is set when the exit is forced by a normal-mode branch
+    /// misprediction rather than by the stalling load returning.
+    pub(crate) fn exit_pre(&mut self, now: u64, aborted: bool) {
+        let interval = self.interval.take().expect("exit requires an active interval");
+        self.stats.runahead_exits += 1;
+        self.stats
+            .runahead_interval_hist
+            .record(now - interval.entered_at);
+
+        let removed = self.iq.remove_where(|e| e.is_runahead);
+        self.stats.squashed_uops += removed as u64;
+        self.prdq.clear();
+        self.runahead_allocated.clear();
+        self.runahead_store_buffer.clear();
+
+        self.rat
+            .restore(interval.rat_checkpoint.as_ref().expect("PRE checkpoints the RAT"));
+        self.int_free
+            .restore(interval.int_free_snapshot.expect("PRE snapshots the free lists"));
+        self.fp_free
+            .restore(interval.fp_free_snapshot.expect("PRE snapshots the free lists"));
+        self.int_prf.clear_all_inv();
+        self.fp_prf.clear_all_inv();
+        self.predictor.restore_history(interval.history);
+        self.predictor.ras_restore(interval.ras);
+
+        if !self.use_emq || aborted {
+            // Without the EMQ the micro-ops fetched during runahead are
+            // re-fetched in normal mode.
+            self.stats.squashed_uops += (self.uop_queue.len() + self.delay_pipe.len()) as u64;
+            self.uop_queue.clear();
+            self.delay_pipe.flush();
+            self.emq.clear();
+            self.fetch_pc = interval.resume_fetch_pc;
+            self.next_dispatch_pc = interval.resume_fetch_pc;
+            self.fetch_stall_until = now + 1;
+            self.last_fetch_line = None;
+        }
+        self.fetch_done = false;
+        self.last_stall_head_id = None;
+        self.mode = Mode::Normal;
+        self.last_progress_cycle = now;
+    }
+}

@@ -1,0 +1,289 @@
+//! The reorder buffer (ROB).
+
+use crate::uop::DynUop;
+use pre_mem::HitLevel;
+use pre_model::reg::{ArchReg, PhysReg, RegClass};
+use std::collections::VecDeque;
+
+/// One ROB entry.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Unique, monotonically increasing micro-op identifier (program order).
+    pub id: u64,
+    /// The dynamic micro-op.
+    pub uop: DynUop,
+    /// Destination mapping allocated at rename, if the micro-op writes a
+    /// register.
+    pub dest: Option<(RegClass, PhysReg)>,
+    /// Previous mapping of the destination architectural register (freed at
+    /// commit, restored on a squash).
+    pub old_dest: Option<(ArchReg, PhysReg, Option<u32>)>,
+    /// The micro-op has been issued to a functional unit.
+    pub issued: bool,
+    /// The micro-op has finished execution.
+    pub executed: bool,
+    /// Cycle at which execution completes (valid once issued).
+    pub completion_cycle: u64,
+    /// For loads: the hierarchy level that supplied the data.
+    pub mem_level: Option<HitLevel>,
+    /// For loads/stores: the effective address.
+    pub mem_addr: Option<u64>,
+    /// For stores: the value to write at commit.
+    pub store_value: Option<u64>,
+    /// The value written to the destination register (for updating the
+    /// architectural register file at commit).
+    pub result: Option<u64>,
+    /// For conditional branches: whether the branch was mispredicted.
+    pub mispredicted: bool,
+    /// For control instructions: the resolved next PC.
+    pub actual_next_pc: u32,
+}
+
+impl RobEntry {
+    /// Creates a freshly dispatched (not yet issued) entry.
+    pub fn new(id: u64, uop: DynUop) -> Self {
+        RobEntry {
+            id,
+            uop,
+            dest: None,
+            old_dest: None,
+            issued: false,
+            executed: false,
+            completion_cycle: 0,
+            mem_level: None,
+            mem_addr: None,
+            store_value: None,
+            result: None,
+            mispredicted: false,
+            actual_next_pc: uop.predicted_next_pc,
+        }
+    }
+
+    /// `true` when this entry is a load still waiting on an off-chip access.
+    pub fn is_blocking_long_latency_load(&self, now: u64) -> bool {
+        self.uop.inst.opcode.is_load()
+            && self.issued
+            && !self.executed
+            && self.mem_level == Some(HitLevel::Memory)
+            && self.completion_cycle > now
+    }
+}
+
+/// The reorder buffer: a bounded FIFO of [`RobEntry`] in program order.
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+    writes: u64,
+    reads: u64,
+}
+
+impl ReorderBuffer {
+    /// Creates a ROB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ROB capacity must be non-zero");
+        ReorderBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            writes: 0,
+            reads: 0,
+        }
+    }
+
+    /// `true` when no entry can be dispatched.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// `true` when the ROB holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pushes a dispatched entry at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full; the dispatch stage must check
+    /// [`ReorderBuffer::is_full`] first.
+    pub fn push(&mut self, entry: RobEntry) {
+        assert!(!self.is_full(), "dispatch into a full ROB");
+        self.writes += 1;
+        self.entries.push_back(entry);
+    }
+
+    /// The oldest entry, if any.
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Mutable access to the oldest entry.
+    pub fn head_mut(&mut self) -> Option<&mut RobEntry> {
+        self.entries.front_mut()
+    }
+
+    /// Removes and returns the oldest entry (commit / pseudo-retire).
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        let e = self.entries.pop_front();
+        if e.is_some() {
+            self.reads += 1;
+        }
+        e
+    }
+
+    /// Finds an entry by micro-op id.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut RobEntry> {
+        self.entries.iter_mut().find(|e| e.id == id)
+    }
+
+    /// Finds an entry by micro-op id (immutable).
+    pub fn get(&self, id: u64) -> Option<&RobEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// `true` when the ROB still holds the micro-op `id` (used to drop stale
+    /// in-flight completions after a squash).
+    pub fn contains(&self, id: u64) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// Iterates over entries from oldest to youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Removes every entry strictly younger than `id` and returns them
+    /// youngest-first (the order needed to roll back the RAT).
+    pub fn squash_younger_than(&mut self, id: u64) -> Vec<RobEntry> {
+        let mut squashed = Vec::new();
+        while let Some(back) = self.entries.back() {
+            if back.id > id {
+                squashed.push(self.entries.pop_back().expect("back exists"));
+            } else {
+                break;
+            }
+        }
+        squashed
+    }
+
+    /// Removes all entries (flush) and returns them youngest-first.
+    pub fn drain_all(&mut self) -> Vec<RobEntry> {
+        let mut all: Vec<RobEntry> = self.entries.drain(..).collect();
+        all.reverse();
+        all
+    }
+
+    /// Number of entries pushed (ROB write-port accesses).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of entries popped (ROB read-port accesses at commit).
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pre_model::isa::StaticInst;
+
+    fn entry(id: u64) -> RobEntry {
+        RobEntry::new(id, DynUop::sequential(id as u32, StaticInst::nop(), 0))
+    }
+
+    #[test]
+    fn fifo_commit_order() {
+        let mut rob = ReorderBuffer::new(4);
+        rob.push(entry(1));
+        rob.push(entry(2));
+        assert_eq!(rob.len(), 2);
+        assert_eq!(rob.pop_head().unwrap().id, 1);
+        assert_eq!(rob.pop_head().unwrap().id, 2);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn full_detection() {
+        let mut rob = ReorderBuffer::new(2);
+        rob.push(entry(1));
+        assert!(!rob.is_full());
+        rob.push(entry(2));
+        assert!(rob.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "full ROB")]
+    fn push_into_full_rob_panics() {
+        let mut rob = ReorderBuffer::new(1);
+        rob.push(entry(1));
+        rob.push(entry(2));
+    }
+
+    #[test]
+    fn squash_younger_returns_youngest_first() {
+        let mut rob = ReorderBuffer::new(8);
+        for id in 1..=5 {
+            rob.push(entry(id));
+        }
+        let squashed = rob.squash_younger_than(3);
+        let ids: Vec<_> = squashed.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![5, 4]);
+        assert_eq!(rob.len(), 3);
+        assert!(rob.contains(3));
+        assert!(!rob.contains(4));
+    }
+
+    #[test]
+    fn drain_all_is_youngest_first_and_empties() {
+        let mut rob = ReorderBuffer::new(8);
+        for id in 1..=3 {
+            rob.push(entry(id));
+        }
+        let drained = rob.drain_all();
+        let ids: Vec<_> = drained.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![3, 2, 1]);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn get_and_contains_by_id() {
+        let mut rob = ReorderBuffer::new(4);
+        rob.push(entry(7));
+        assert!(rob.contains(7));
+        assert!(rob.get(7).is_some());
+        rob.get_mut(7).unwrap().executed = true;
+        assert!(rob.get(7).unwrap().executed);
+        assert!(!rob.contains(8));
+    }
+
+    #[test]
+    fn long_latency_detection_requires_memory_level() {
+        let mut e = entry(1);
+        e.uop.inst = StaticInst::load(pre_model::reg::ArchReg::int(1), pre_model::reg::ArchReg::int(2), 0);
+        e.issued = true;
+        e.completion_cycle = 500;
+        e.mem_level = Some(HitLevel::L2);
+        assert!(!e.is_blocking_long_latency_load(100));
+        e.mem_level = Some(HitLevel::Memory);
+        assert!(e.is_blocking_long_latency_load(100));
+        assert!(!e.is_blocking_long_latency_load(600));
+        e.executed = true;
+        assert!(!e.is_blocking_long_latency_load(100));
+    }
+}

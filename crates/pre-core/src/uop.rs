@@ -1,0 +1,46 @@
+//! Dynamic micro-ops: a static instruction plus the front-end's speculation
+//! state for one dynamic instance.
+
+use pre_model::isa::StaticInst;
+
+/// A decoded dynamic micro-op travelling down the front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynUop {
+    /// Program counter of the instruction.
+    pub pc: u32,
+    /// The static instruction.
+    pub inst: StaticInst,
+    /// Predicted direction for conditional branches (`true` for taken).
+    pub predicted_taken: bool,
+    /// The PC the front-end followed after this micro-op.
+    pub predicted_next_pc: u32,
+    /// Cycle at which the micro-op was fetched.
+    pub fetched_at: u64,
+}
+
+impl DynUop {
+    /// Creates a non-control micro-op whose predicted successor is `pc + 1`.
+    pub fn sequential(pc: u32, inst: StaticInst, fetched_at: u64) -> Self {
+        DynUop {
+            pc,
+            inst,
+            predicted_taken: false,
+            predicted_next_pc: pc + 1,
+            fetched_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pre_model::isa::StaticInst;
+
+    #[test]
+    fn sequential_uop_predicts_fallthrough() {
+        let uop = DynUop::sequential(7, StaticInst::nop(), 3);
+        assert_eq!(uop.predicted_next_pc, 8);
+        assert!(!uop.predicted_taken);
+        assert_eq!(uop.fetched_at, 3);
+    }
+}

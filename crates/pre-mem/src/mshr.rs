@@ -1,0 +1,185 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! Each cache level owns an MSHR file that tracks outstanding fills.
+//! Secondary misses to the same line merge with the primary miss and
+//! complete at the same cycle; when the file is full, new misses are delayed
+//! until the earliest outstanding fill completes. The MSHR capacity is what
+//! bounds the memory-level parallelism a core (or runahead mode) can expose.
+
+/// An MSHR file: a bounded set of outstanding line fills.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    /// `(line address, completion cycle)` for each outstanding fill.
+    entries: Vec<(u64, u64)>,
+    /// Peak simultaneous occupancy observed (for reporting).
+    peak_occupancy: usize,
+    /// Number of requests that found the file full and were delayed.
+    full_delays: u64,
+    /// Number of secondary misses merged into an existing entry.
+    merges: u64,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be non-zero");
+        MshrFile {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            peak_occupancy: 0,
+            full_delays: 0,
+            merges: 0,
+        }
+    }
+
+    /// Removes entries whose fills completed at or before `now`.
+    pub fn expire(&mut self, now: u64) {
+        self.entries.retain(|&(_, done)| done > now);
+    }
+
+    /// Returns the completion cycle of an outstanding fill for `line_addr`,
+    /// if one exists, and counts a merge.
+    pub fn merge(&mut self, line_addr: u64, now: u64) -> Option<u64> {
+        self.expire(now);
+        let hit = self
+            .entries
+            .iter()
+            .find(|&&(line, _)| line == line_addr)
+            .map(|&(_, done)| done);
+        if hit.is_some() {
+            self.merges += 1;
+        }
+        hit
+    }
+
+    /// `true` if no free entry is available at `now`.
+    pub fn is_full(&mut self, now: u64) -> bool {
+        self.expire(now);
+        self.entries.len() >= self.capacity
+    }
+
+    /// The earliest cycle at which an entry frees up (only meaningful when
+    /// the file is full). Returns `now` when the file has free entries.
+    pub fn next_free_cycle(&mut self, now: u64) -> u64 {
+        self.expire(now);
+        if self.entries.len() < self.capacity {
+            now
+        } else {
+            self.full_delays += 1;
+            self.entries
+                .iter()
+                .map(|&(_, done)| done)
+                .min()
+                .unwrap_or(now)
+        }
+    }
+
+    /// Allocates an entry for `line_addr` completing at `completes`.
+    ///
+    /// Callers must ensure the file is not full at the allocation cycle
+    /// (use [`MshrFile::next_free_cycle`] to push the request later).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is full (internal-consistency bug in the caller).
+    pub fn allocate(&mut self, line_addr: u64, now: u64, completes: u64) {
+        self.expire(now);
+        assert!(
+            self.entries.len() < self.capacity,
+            "MSHR allocate on a full file"
+        );
+        self.entries.push((line_addr, completes));
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+    }
+
+    /// Current number of outstanding fills (after expiring completed ones).
+    pub fn occupancy(&mut self, now: u64) -> usize {
+        self.expire(now);
+        self.entries.len()
+    }
+
+    /// Highest simultaneous occupancy seen so far.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Number of requests delayed because the file was full.
+    pub fn full_delays(&self) -> u64 {
+        self.full_delays
+    }
+
+    /// Number of secondary misses merged.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_returns_outstanding_completion() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x100, 0, 200);
+        assert_eq!(m.merge(0x100, 10), Some(200));
+        assert_eq!(m.merge(0x140, 10), None);
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn entries_expire_after_completion() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x100, 0, 50);
+        assert_eq!(m.occupancy(10), 1);
+        assert_eq!(m.occupancy(50), 0);
+        assert_eq!(m.merge(0x100, 60), None);
+    }
+
+    #[test]
+    fn full_file_reports_next_free_cycle() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x100, 0, 100);
+        m.allocate(0x200, 0, 80);
+        assert!(m.is_full(10));
+        assert_eq!(m.next_free_cycle(10), 80);
+        assert!(!m.is_full(90));
+        assert_eq!(m.next_free_cycle(90), 90);
+        assert_eq!(m.full_delays(), 1);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_maximum() {
+        let mut m = MshrFile::new(8);
+        for i in 0..5u64 {
+            m.allocate(i * 64, 0, 100 + i);
+        }
+        assert_eq!(m.peak_occupancy(), 5);
+        assert_eq!(m.occupancy(200), 0);
+        assert_eq!(m.peak_occupancy(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn allocate_on_full_file_panics() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0x100, 0, 100);
+        m.allocate(0x200, 0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Error types for configuration and program validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a simulator configuration is inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A structure was configured with zero capacity.
+    ZeroCapacity {
+        /// Name of the offending structure (e.g. `"rob_entries"`).
+        field: &'static str,
+    },
+    /// A value that must be a power of two is not.
+    NotPowerOfTwo {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// The physical register file is too small to cover the architectural
+    /// registers plus at least one rename.
+    TooFewPhysRegs {
+        /// Register class with the shortfall.
+        class: &'static str,
+        /// Configured number of physical registers.
+        configured: usize,
+        /// Minimum required.
+        required: usize,
+    },
+    /// A pipeline width exceeds a supported bound.
+    WidthOutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: usize,
+        /// Maximum supported value.
+        max: usize,
+    },
+    /// Cache geometry is inconsistent (size not divisible by line × assoc).
+    BadCacheGeometry {
+        /// Which cache is misconfigured.
+        cache: &'static str,
+        /// Explanation of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCapacity { field } => {
+                write!(f, "configuration field `{field}` must be non-zero")
+            }
+            ConfigError::NotPowerOfTwo { field, value } => {
+                write!(f, "configuration field `{field}` must be a power of two, got {value}")
+            }
+            ConfigError::TooFewPhysRegs {
+                class,
+                configured,
+                required,
+            } => write!(
+                f,
+                "{class} physical register file has {configured} entries, need at least {required}"
+            ),
+            ConfigError::WidthOutOfRange { field, value, max } => {
+                write!(f, "configuration field `{field}` is {value}, maximum supported is {max}")
+            }
+            ConfigError::BadCacheGeometry { cache, detail } => {
+                write!(f, "inconsistent {cache} geometry: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Error returned when a synthetic program fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// A control instruction targets a PC outside the program.
+    BranchTargetOutOfRange {
+        /// PC of the offending instruction.
+        pc: u32,
+        /// The out-of-range target.
+        target: u32,
+        /// Program length.
+        len: usize,
+    },
+    /// The entry point is outside the program.
+    EntryOutOfRange {
+        /// The out-of-range entry PC.
+        entry: u32,
+        /// Program length.
+        len: usize,
+    },
+    /// An instruction's operands are inconsistent with its opcode (e.g. a
+    /// load without a destination register).
+    MalformedOperands {
+        /// PC of the offending instruction.
+        pc: u32,
+        /// Explanation of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => write!(f, "program has no instructions"),
+            ProgramError::BranchTargetOutOfRange { pc, target, len } => write!(
+                f,
+                "instruction at pc {pc} targets {target}, but the program has {len} instructions"
+            ),
+            ProgramError::EntryOutOfRange { entry, len } => {
+                write!(f, "entry point {entry} is outside the program of length {len}")
+            }
+            ProgramError::MalformedOperands { pc, detail } => {
+                write!(f, "malformed instruction at pc {pc}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ConfigError::ZeroCapacity { field: "rob_entries" };
+        assert!(e.to_string().contains("rob_entries"));
+        let e = ProgramError::Empty;
+        assert!(e.to_string().contains("no instructions"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+        assert_err::<ProgramError>();
+    }
+}

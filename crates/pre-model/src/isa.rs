@@ -1,0 +1,637 @@
+//! The synthetic micro-op ISA executed by the simulator.
+//!
+//! The ISA is a small load/store RISC: integer and floating-point ALU
+//! operations, loads and stores with base+displacement addressing,
+//! conditional branches and unconditional jumps. It is deliberately simple —
+//! the paper's mechanisms (runahead execution, stalling-slice tracking,
+//! register reclamation) depend only on *data-flow between registers and
+//! memory*, not on a rich instruction set — but it is fully executable: every
+//! micro-op has defined functional semantics so the out-of-order core and the
+//! runahead engines compute real addresses and real values.
+
+use crate::reg::{ArchReg, RegClass};
+use std::fmt;
+
+/// Integer/floating-point ALU operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (by `src2 & 63` or `imm & 63`).
+    Shl,
+    /// Logical shift right.
+    Shr,
+}
+
+impl AluOp {
+    /// Applies the ALU operation to two 64-bit operands.
+    pub fn apply(&self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+        }
+    }
+}
+
+/// Conditions for conditional branches (comparing `src1` against `src2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Taken if `src1 == src2`.
+    Eq,
+    /// Taken if `src1 != src2`.
+    Ne,
+    /// Taken if `src1 < src2` (unsigned).
+    Lt,
+    /// Taken if `src1 >= src2` (unsigned).
+    Ge,
+}
+
+impl BranchCond {
+    /// Evaluates the branch condition on two operand values.
+    pub fn taken(&self, a: u64, b: u64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => a < b,
+            BranchCond::Ge => a >= b,
+        }
+    }
+}
+
+/// Micro-op opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// No operation.
+    Nop,
+    /// Integer ALU operation: `dest = src1 op (src2 | imm)`.
+    IntAlu(AluOp),
+    /// Integer multiply: `dest = src1 * (src2 | imm)`.
+    IntMul,
+    /// Floating-point ALU operation (operates on raw 64-bit payloads).
+    FpAlu(AluOp),
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide (long latency).
+    FpDiv,
+    /// Load immediate: `dest = imm`.
+    LoadImm,
+    /// Integer load: `dest = mem[src1 + imm]`.
+    Load,
+    /// Floating-point load: `dest = mem[src1 + imm]`.
+    FpLoad,
+    /// Integer store: `mem[src1 + imm] = src2`.
+    Store,
+    /// Floating-point store: `mem[src1 + imm] = src2`.
+    FpStore,
+    /// Conditional branch to `target` when the condition holds on `(src1, src2)`.
+    Branch(BranchCond),
+    /// Unconditional jump to `target`.
+    Jump,
+}
+
+/// Functional-unit classes used for scheduling and latency selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// No-op (consumes a pipeline slot only).
+    Nop,
+    /// Single-cycle integer ALU.
+    IntAlu,
+    /// Integer multiplier.
+    IntMul,
+    /// Floating-point adder.
+    FpAlu,
+    /// Floating-point multiplier.
+    FpMul,
+    /// Floating-point divider.
+    FpDiv,
+    /// Load port (address generation + cache access).
+    Load,
+    /// Store port.
+    Store,
+    /// Branch unit.
+    Branch,
+}
+
+impl OpClass {
+    /// All functional-unit classes.
+    pub const ALL: [OpClass; 9] = [
+        OpClass::Nop,
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::FpAlu,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+    ];
+}
+
+impl Opcode {
+    /// The functional-unit class this opcode executes on.
+    pub fn class(&self) -> OpClass {
+        match self {
+            Opcode::Nop => OpClass::Nop,
+            Opcode::IntAlu(_) | Opcode::LoadImm => OpClass::IntAlu,
+            Opcode::IntMul => OpClass::IntMul,
+            Opcode::FpAlu(_) => OpClass::FpAlu,
+            Opcode::FpMul => OpClass::FpMul,
+            Opcode::FpDiv => OpClass::FpDiv,
+            Opcode::Load | Opcode::FpLoad => OpClass::Load,
+            Opcode::Store | Opcode::FpStore => OpClass::Store,
+            Opcode::Branch(_) | Opcode::Jump => OpClass::Branch,
+        }
+    }
+
+    /// `true` for loads (integer or floating point).
+    pub fn is_load(&self) -> bool {
+        matches!(self, Opcode::Load | Opcode::FpLoad)
+    }
+
+    /// `true` for stores (integer or floating point).
+    pub fn is_store(&self) -> bool {
+        matches!(self, Opcode::Store | Opcode::FpStore)
+    }
+
+    /// `true` for any memory operation.
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// `true` for conditional branches and unconditional jumps.
+    pub fn is_control(&self) -> bool {
+        matches!(self, Opcode::Branch(_) | Opcode::Jump)
+    }
+
+    /// `true` only for conditional branches.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Opcode::Branch(_))
+    }
+
+    /// The register class of the destination this opcode writes, if any.
+    pub fn dest_class(&self) -> Option<RegClass> {
+        match self {
+            Opcode::IntAlu(_) | Opcode::IntMul | Opcode::LoadImm | Opcode::Load => {
+                Some(RegClass::Int)
+            }
+            Opcode::FpAlu(_) | Opcode::FpMul | Opcode::FpDiv | Opcode::FpLoad => Some(RegClass::Fp),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Opcode::Nop => write!(f, "nop"),
+            Opcode::IntAlu(op) => write!(f, "ialu.{op:?}"),
+            Opcode::IntMul => write!(f, "imul"),
+            Opcode::FpAlu(op) => write!(f, "falu.{op:?}"),
+            Opcode::FpMul => write!(f, "fmul"),
+            Opcode::FpDiv => write!(f, "fdiv"),
+            Opcode::LoadImm => write!(f, "li"),
+            Opcode::Load => write!(f, "ld"),
+            Opcode::FpLoad => write!(f, "fld"),
+            Opcode::Store => write!(f, "st"),
+            Opcode::FpStore => write!(f, "fst"),
+            Opcode::Branch(c) => write!(f, "b.{c:?}"),
+            Opcode::Jump => write!(f, "j"),
+        }
+    }
+}
+
+/// A static instruction: one entry of a [`crate::program::Program`].
+///
+/// The program counter of an instruction is its index in the program; branch
+/// targets are absolute indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticInst {
+    /// Operation performed by this instruction.
+    pub opcode: Opcode,
+    /// Destination architectural register, if the opcode writes one.
+    pub dest: Option<ArchReg>,
+    /// First source register (base address for memory operations).
+    pub src1: Option<ArchReg>,
+    /// Second source register (stored value for stores, comparison operand
+    /// for branches, second ALU operand when present).
+    pub src2: Option<ArchReg>,
+    /// Immediate operand (displacement for memory operations, literal for
+    /// `LoadImm`, second ALU operand when `src2` is absent).
+    pub imm: i64,
+    /// Absolute branch/jump target (ignored for non-control instructions).
+    pub target: u32,
+}
+
+impl StaticInst {
+    /// A no-op.
+    pub fn nop() -> Self {
+        StaticInst {
+            opcode: Opcode::Nop,
+            dest: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+            target: 0,
+        }
+    }
+
+    /// Integer ALU op with a register second operand: `dest = src1 op src2`.
+    pub fn int_alu(op: AluOp, dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        StaticInst {
+            opcode: Opcode::IntAlu(op),
+            dest: Some(dest),
+            src1: Some(src1),
+            src2: Some(src2),
+            imm: 0,
+            target: 0,
+        }
+    }
+
+    /// Integer ALU op with an immediate second operand: `dest = src1 op imm`.
+    pub fn int_alu_imm(op: AluOp, dest: ArchReg, src1: ArchReg, imm: i64) -> Self {
+        StaticInst {
+            opcode: Opcode::IntAlu(op),
+            dest: Some(dest),
+            src1: Some(src1),
+            src2: None,
+            imm,
+            target: 0,
+        }
+    }
+
+    /// Integer multiply: `dest = src1 * src2`.
+    pub fn int_mul(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        StaticInst {
+            opcode: Opcode::IntMul,
+            dest: Some(dest),
+            src1: Some(src1),
+            src2: Some(src2),
+            imm: 0,
+            target: 0,
+        }
+    }
+
+    /// Integer multiply by an immediate: `dest = src1 * imm`.
+    pub fn int_mul_imm(dest: ArchReg, src1: ArchReg, imm: i64) -> Self {
+        StaticInst {
+            opcode: Opcode::IntMul,
+            dest: Some(dest),
+            src1: Some(src1),
+            src2: None,
+            imm,
+            target: 0,
+        }
+    }
+
+    /// Floating-point ALU op: `dest = src1 op src2`.
+    pub fn fp_alu(op: AluOp, dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        StaticInst {
+            opcode: Opcode::FpAlu(op),
+            dest: Some(dest),
+            src1: Some(src1),
+            src2: Some(src2),
+            imm: 0,
+            target: 0,
+        }
+    }
+
+    /// Floating-point multiply: `dest = src1 * src2`.
+    pub fn fp_mul(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        StaticInst {
+            opcode: Opcode::FpMul,
+            dest: Some(dest),
+            src1: Some(src1),
+            src2: Some(src2),
+            imm: 0,
+            target: 0,
+        }
+    }
+
+    /// Floating-point divide: `dest = src1 / src2`.
+    pub fn fp_div(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        StaticInst {
+            opcode: Opcode::FpDiv,
+            dest: Some(dest),
+            src1: Some(src1),
+            src2: Some(src2),
+            imm: 0,
+            target: 0,
+        }
+    }
+
+    /// Load immediate: `dest = imm`.
+    pub fn load_imm(dest: ArchReg, imm: i64) -> Self {
+        StaticInst {
+            opcode: Opcode::LoadImm,
+            dest: Some(dest),
+            src1: None,
+            src2: None,
+            imm,
+            target: 0,
+        }
+    }
+
+    /// Integer load: `dest = mem[base + offset]`.
+    pub fn load(dest: ArchReg, base: ArchReg, offset: i64) -> Self {
+        StaticInst {
+            opcode: Opcode::Load,
+            dest: Some(dest),
+            src1: Some(base),
+            src2: None,
+            imm: offset,
+            target: 0,
+        }
+    }
+
+    /// Floating-point load: `dest = mem[base + offset]`.
+    pub fn fp_load(dest: ArchReg, base: ArchReg, offset: i64) -> Self {
+        StaticInst {
+            opcode: Opcode::FpLoad,
+            dest: Some(dest),
+            src1: Some(base),
+            src2: None,
+            imm: offset,
+            target: 0,
+        }
+    }
+
+    /// Integer store: `mem[base + offset] = value`.
+    pub fn store(value: ArchReg, base: ArchReg, offset: i64) -> Self {
+        StaticInst {
+            opcode: Opcode::Store,
+            dest: None,
+            src1: Some(base),
+            src2: Some(value),
+            imm: offset,
+            target: 0,
+        }
+    }
+
+    /// Floating-point store: `mem[base + offset] = value`.
+    pub fn fp_store(value: ArchReg, base: ArchReg, offset: i64) -> Self {
+        StaticInst {
+            opcode: Opcode::FpStore,
+            dest: None,
+            src1: Some(base),
+            src2: Some(value),
+            imm: offset,
+            target: 0,
+        }
+    }
+
+    /// Conditional branch: `if cond(src1, src2) goto target`.
+    pub fn branch(cond: BranchCond, src1: ArchReg, src2: ArchReg, target: u32) -> Self {
+        StaticInst {
+            opcode: Opcode::Branch(cond),
+            dest: None,
+            src1: Some(src1),
+            src2: Some(src2),
+            imm: 0,
+            target,
+        }
+    }
+
+    /// Unconditional jump to `target`.
+    pub fn jump(target: u32) -> Self {
+        StaticInst {
+            opcode: Opcode::Jump,
+            dest: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+            target,
+        }
+    }
+
+    /// Effective memory address for loads/stores, given the resolved base
+    /// register value.
+    pub fn effective_address(&self, base: u64) -> u64 {
+        base.wrapping_add(self.imm as u64)
+    }
+
+    /// Computes the functional result of this instruction.
+    ///
+    /// `src1`/`src2` are the resolved source operand values (0 when the
+    /// operand is absent); `loaded` is the value read from memory for loads.
+    /// Returns the executed outcome: the destination value (if the opcode
+    /// writes a register), the effective memory address (for memory
+    /// operations), the value to store (for stores), the branch direction and
+    /// the next program counter.
+    pub fn execute(&self, pc: u32, src1: u64, src2: u64, loaded: Option<u64>) -> ExecOutcome {
+        let fallthrough = pc.wrapping_add(1);
+        match self.opcode {
+            Opcode::Nop => ExecOutcome::plain(None, fallthrough),
+            Opcode::IntAlu(op) | Opcode::FpAlu(op) => {
+                let b = if self.src2.is_some() { src2 } else { self.imm as u64 };
+                ExecOutcome::plain(Some(op.apply(src1, b)), fallthrough)
+            }
+            Opcode::IntMul | Opcode::FpMul => {
+                let b = if self.src2.is_some() { src2 } else { self.imm as u64 };
+                ExecOutcome::plain(Some(src1.wrapping_mul(b)), fallthrough)
+            }
+            Opcode::FpDiv => {
+                let b = if self.src2.is_some() { src2 } else { self.imm as u64 };
+                let v = if b == 0 { u64::MAX } else { src1.wrapping_div(b) };
+                ExecOutcome::plain(Some(v), fallthrough)
+            }
+            Opcode::LoadImm => ExecOutcome::plain(Some(self.imm as u64), fallthrough),
+            Opcode::Load | Opcode::FpLoad => ExecOutcome {
+                result: loaded,
+                mem_addr: Some(self.effective_address(src1)),
+                store_value: None,
+                taken: None,
+                next_pc: fallthrough,
+            },
+            Opcode::Store | Opcode::FpStore => ExecOutcome {
+                result: None,
+                mem_addr: Some(self.effective_address(src1)),
+                store_value: Some(src2),
+                taken: None,
+                next_pc: fallthrough,
+            },
+            Opcode::Branch(cond) => {
+                let taken = cond.taken(src1, src2);
+                ExecOutcome {
+                    result: None,
+                    mem_addr: None,
+                    store_value: None,
+                    taken: Some(taken),
+                    next_pc: if taken { self.target } else { fallthrough },
+                }
+            }
+            Opcode::Jump => ExecOutcome {
+                result: None,
+                mem_addr: None,
+                store_value: None,
+                taken: Some(true),
+                next_pc: self.target,
+            },
+        }
+    }
+
+    /// Source registers of this instruction, in operand order.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.src1.into_iter().chain(self.src2)
+    }
+}
+
+impl fmt::Display for StaticInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.opcode)?;
+        if let Some(d) = self.dest {
+            write!(f, " {d}")?;
+        }
+        if let Some(s) = self.src1 {
+            write!(f, " {s}")?;
+        }
+        if let Some(s) = self.src2 {
+            write!(f, " {s}")?;
+        }
+        if self.imm != 0 {
+            write!(f, " #{}", self.imm)?;
+        }
+        if self.opcode.is_control() {
+            write!(f, " -> {}", self.target)?;
+        }
+        Ok(())
+    }
+}
+
+/// The functional outcome of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Value written to the destination register, if any.
+    pub result: Option<u64>,
+    /// Effective memory address, for loads and stores.
+    pub mem_addr: Option<u64>,
+    /// Value written to memory, for stores.
+    pub store_value: Option<u64>,
+    /// Branch direction, for control instructions.
+    pub taken: Option<bool>,
+    /// Program counter of the next instruction on the executed path.
+    pub next_pc: u32,
+}
+
+impl ExecOutcome {
+    fn plain(result: Option<u64>, next_pc: u32) -> Self {
+        ExecOutcome {
+            result,
+            mem_addr: None,
+            store_value: None,
+            taken: None,
+            next_pc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_ops_apply() {
+        assert_eq!(AluOp::Add.apply(3, 4), 7);
+        assert_eq!(AluOp::Sub.apply(3, 4), 3u64.wrapping_sub(4));
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.apply(1, 4), 16);
+        assert_eq!(AluOp::Shr.apply(16, 4), 1);
+        // Shift amounts are masked to 6 bits.
+        assert_eq!(AluOp::Shl.apply(1, 64), 1);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchCond::Eq.taken(5, 5));
+        assert!(!BranchCond::Eq.taken(5, 6));
+        assert!(BranchCond::Ne.taken(5, 6));
+        assert!(BranchCond::Lt.taken(5, 6));
+        assert!(BranchCond::Ge.taken(6, 6));
+    }
+
+    #[test]
+    fn load_execute_computes_address_and_result() {
+        let ld = StaticInst::load(ArchReg::int(1), ArchReg::int(2), 16);
+        let out = ld.execute(10, 0x1000, 0, Some(42));
+        assert_eq!(out.mem_addr, Some(0x1010));
+        assert_eq!(out.result, Some(42));
+        assert_eq!(out.next_pc, 11);
+    }
+
+    #[test]
+    fn store_execute_reports_value_and_address() {
+        let st = StaticInst::store(ArchReg::int(3), ArchReg::int(2), 8);
+        let out = st.execute(0, 0x2000, 99, None);
+        assert_eq!(out.mem_addr, Some(0x2008));
+        assert_eq!(out.store_value, Some(99));
+        assert_eq!(out.result, None);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken_paths() {
+        let b = StaticInst::branch(BranchCond::Lt, ArchReg::int(1), ArchReg::int(2), 3);
+        let taken = b.execute(7, 1, 2, None);
+        assert_eq!(taken.taken, Some(true));
+        assert_eq!(taken.next_pc, 3);
+        let not = b.execute(7, 2, 2, None);
+        assert_eq!(not.taken, Some(false));
+        assert_eq!(not.next_pc, 8);
+    }
+
+    #[test]
+    fn jump_always_redirects() {
+        let j = StaticInst::jump(0);
+        let out = j.execute(5, 0, 0, None);
+        assert_eq!(out.taken, Some(true));
+        assert_eq!(out.next_pc, 0);
+    }
+
+    #[test]
+    fn imm_operand_used_when_src2_absent() {
+        let add = StaticInst::int_alu_imm(AluOp::Add, ArchReg::int(1), ArchReg::int(1), 64);
+        let out = add.execute(0, 100, 0, None);
+        assert_eq!(out.result, Some(164));
+    }
+
+    #[test]
+    fn opcode_classification() {
+        assert!(Opcode::Load.is_load());
+        assert!(Opcode::FpStore.is_store());
+        assert!(Opcode::Store.is_mem());
+        assert!(Opcode::Jump.is_control());
+        assert!(!Opcode::Jump.is_cond_branch());
+        assert!(Opcode::Branch(BranchCond::Eq).is_cond_branch());
+        assert_eq!(Opcode::Load.dest_class(), Some(RegClass::Int));
+        assert_eq!(Opcode::FpLoad.dest_class(), Some(RegClass::Fp));
+        assert_eq!(Opcode::Store.dest_class(), None);
+        assert_eq!(Opcode::FpDiv.class(), OpClass::FpDiv);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let ld = StaticInst::load(ArchReg::int(1), ArchReg::int(2), 16);
+        assert!(!ld.to_string().is_empty());
+        assert!(!StaticInst::jump(4).to_string().is_empty());
+    }
+
+    #[test]
+    fn fp_div_by_zero_saturates() {
+        let d = StaticInst::fp_div(ArchReg::fp(0), ArchReg::fp(1), ArchReg::fp(2));
+        let out = d.execute(0, 10, 0, None);
+        assert_eq!(out.result, Some(u64::MAX));
+    }
+}

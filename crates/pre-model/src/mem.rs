@@ -1,0 +1,183 @@
+//! Functional (value-level) memory image.
+//!
+//! The simulator is execution-driven: loads and stores operate on real
+//! values so that dependence chains — in particular the *stalling slices*
+//! that runahead execution pre-executes — compute real addresses. [`FuncMem`]
+//! is the sparse 64-bit word-addressable memory backing that execution.
+//!
+//! Reads of locations that were never written return a deterministic
+//! pseudo-random value derived from the address, so wrong-path and runahead
+//! execution stay deterministic without pre-initializing all of memory.
+
+use std::collections::HashMap;
+
+/// Bytes per functional-memory page.
+const PAGE_BYTES: u64 = 4096;
+/// 64-bit words per page.
+const PAGE_WORDS: usize = (PAGE_BYTES / 8) as usize;
+
+/// Deterministic "uninitialized memory" value: a cheap integer hash of the
+/// address (SplitMix64 finalizer).
+fn hash_addr(addr: u64) -> u64 {
+    let mut z = addr.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Sparse functional memory, 8-byte word granularity.
+///
+/// Addresses are byte addresses; accesses are aligned down to 8 bytes.
+///
+/// # Example
+///
+/// ```
+/// use pre_model::mem::FuncMem;
+///
+/// let mut mem = FuncMem::new();
+/// mem.store_u64(0x1000, 42);
+/// assert_eq!(mem.load_u64(0x1000), 42);
+/// // Unwritten locations read a deterministic address-derived value.
+/// assert_eq!(mem.load_u64(0x2000), mem.load_u64(0x2000));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FuncMem {
+    pages: HashMap<u64, Box<[u64]>>,
+    stored_words: u64,
+}
+
+impl FuncMem {
+    /// Creates an empty functional memory.
+    pub fn new() -> Self {
+        FuncMem::default()
+    }
+
+    fn split(addr: u64) -> (u64, usize) {
+        let word = addr / 8;
+        let page = word / PAGE_WORDS as u64;
+        let offset = (word % PAGE_WORDS as u64) as usize;
+        (page, offset)
+    }
+
+    /// Reads the 64-bit word containing `addr`.
+    ///
+    /// Never allocates: reads of unwritten memory return a deterministic
+    /// value derived from the (word-aligned) address.
+    pub fn load_u64(&self, addr: u64) -> u64 {
+        let (page, offset) = Self::split(addr);
+        match self.pages.get(&page) {
+            Some(words) => {
+                let v = words[offset];
+                if v == UNWRITTEN_MARKER {
+                    hash_addr(addr & !7)
+                } else {
+                    v
+                }
+            }
+            None => hash_addr(addr & !7),
+        }
+    }
+
+    /// Writes the 64-bit word containing `addr`.
+    pub fn store_u64(&mut self, addr: u64, value: u64) {
+        let (page, offset) = Self::split(addr);
+        let words = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| vec![UNWRITTEN_MARKER; PAGE_WORDS].into_boxed_slice());
+        if words[offset] == UNWRITTEN_MARKER {
+            self.stored_words += 1;
+        }
+        // A stored value equal to the marker is remapped to a neighbouring
+        // bit pattern; the marker is reserved to distinguish unwritten words.
+        words[offset] = if value == UNWRITTEN_MARKER {
+            UNWRITTEN_MARKER ^ 1
+        } else {
+            value
+        };
+    }
+
+    /// Number of distinct 64-bit words ever written.
+    pub fn written_words(&self) -> u64 {
+        self.stored_words
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Bulk-initializes memory from `(address, value)` pairs.
+    pub fn init_from<I: IntoIterator<Item = (u64, u64)>>(&mut self, pairs: I) {
+        for (addr, value) in pairs {
+            self.store_u64(addr, value);
+        }
+    }
+}
+
+/// Sentinel for "this word was never written". The probability of a program
+/// legitimately storing this exact value is negligible and such stores are
+/// remapped (see [`FuncMem::store_u64`]).
+const UNWRITTEN_MARKER: u64 = 0xDEAD_BEEF_DEAD_BEEF;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let mut mem = FuncMem::new();
+        mem.store_u64(0x1000, 7);
+        mem.store_u64(0x1008, 8);
+        assert_eq!(mem.load_u64(0x1000), 7);
+        assert_eq!(mem.load_u64(0x1008), 8);
+    }
+
+    #[test]
+    fn loads_align_to_words() {
+        let mut mem = FuncMem::new();
+        mem.store_u64(0x1000, 7);
+        assert_eq!(mem.load_u64(0x1003), 7);
+    }
+
+    #[test]
+    fn unwritten_reads_are_deterministic_and_do_not_allocate() {
+        let mem = FuncMem::new();
+        let a = mem.load_u64(0xABCD_0000);
+        let b = mem.load_u64(0xABCD_0000);
+        assert_eq!(a, b);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn different_unwritten_addresses_read_different_values() {
+        let mem = FuncMem::new();
+        assert_ne!(mem.load_u64(0x1000), mem.load_u64(0x1008));
+    }
+
+    #[test]
+    fn written_word_count_tracks_unique_words() {
+        let mut mem = FuncMem::new();
+        mem.store_u64(0x1000, 1);
+        mem.store_u64(0x1000, 2);
+        mem.store_u64(0x2000, 3);
+        assert_eq!(mem.written_words(), 2);
+    }
+
+    #[test]
+    fn storing_the_marker_value_still_reads_back_written() {
+        let mut mem = FuncMem::new();
+        mem.store_u64(0x42, UNWRITTEN_MARKER);
+        // The exact value is remapped but the location must not read as the
+        // address hash of an unwritten word.
+        assert_ne!(mem.load_u64(0x42), hash_addr(0x40));
+    }
+
+    #[test]
+    fn init_from_pairs() {
+        let mut mem = FuncMem::new();
+        mem.init_from([(0x10, 1), (0x18, 2), (0x20, 3)]);
+        assert_eq!(mem.load_u64(0x18), 2);
+        assert_eq!(mem.written_words(), 3);
+    }
+}

@@ -1,0 +1,421 @@
+//! Static programs and the in-order reference interpreter.
+//!
+//! A [`Program`] is an array of [`StaticInst`]s (the PC of an instruction is
+//! its index) plus an initial memory image and initial register values.
+//! Workload generators in `pre-workloads` build programs; the out-of-order
+//! core executes them cycle by cycle; the [`Interpreter`] here executes them
+//! functionally in order and serves as the golden model in tests — the
+//! architectural state produced by the out-of-order core (with or without
+//! runahead) after *N* committed instructions must match the interpreter
+//! after *N* steps.
+
+use crate::error::ProgramError;
+use crate::isa::StaticInst;
+use crate::mem::FuncMem;
+use crate::reg::{ArchReg, NUM_ARCH_REGS};
+
+/// A static program for the synthetic ISA.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Human-readable workload name (e.g. `"mcf-like"`).
+    pub name: String,
+    /// The instructions; the PC of `insts[i]` is `i`.
+    pub insts: Vec<StaticInst>,
+    /// Entry PC.
+    pub entry: u32,
+    /// Initial memory image as `(byte address, value)` pairs.
+    pub initial_mem: Vec<(u64, u64)>,
+    /// Initial architectural register values.
+    pub initial_regs: Vec<(ArchReg, u64)>,
+}
+
+impl Program {
+    /// Creates an empty program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            ..Program::default()
+        }
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `pc`, or `None` when `pc` is outside the program.
+    pub fn inst_at(&self, pc: u32) -> Option<&StaticInst> {
+        self.insts.get(pc as usize)
+    }
+
+    /// Validates structural well-formedness of the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] when the program is empty, the entry point
+    /// or any branch target is out of range, or an instruction's operands are
+    /// inconsistent with its opcode.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        if self.insts.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        if self.entry as usize >= self.insts.len() {
+            return Err(ProgramError::EntryOutOfRange {
+                entry: self.entry,
+                len: self.insts.len(),
+            });
+        }
+        for (pc, inst) in self.insts.iter().enumerate() {
+            let pc = pc as u32;
+            if inst.opcode.is_control() && inst.target as usize >= self.insts.len() {
+                return Err(ProgramError::BranchTargetOutOfRange {
+                    pc,
+                    target: inst.target,
+                    len: self.insts.len(),
+                });
+            }
+            match inst.opcode.dest_class() {
+                Some(class) => match inst.dest {
+                    Some(d) if d.class() == class => {}
+                    Some(d) => {
+                        return Err(ProgramError::MalformedOperands {
+                            pc,
+                            detail: format!(
+                                "destination {d} has class {}, opcode {} writes {class}",
+                                d.class(),
+                                inst.opcode
+                            ),
+                        })
+                    }
+                    None => {
+                        return Err(ProgramError::MalformedOperands {
+                            pc,
+                            detail: format!("opcode {} requires a destination", inst.opcode),
+                        })
+                    }
+                },
+                None => {
+                    if inst.dest.is_some() {
+                        return Err(ProgramError::MalformedOperands {
+                            pc,
+                            detail: format!("opcode {} does not write a destination", inst.opcode),
+                        });
+                    }
+                }
+            }
+            if inst.opcode.is_mem() && inst.src1.is_none() {
+                return Err(ProgramError::MalformedOperands {
+                    pc,
+                    detail: "memory operation without a base register".to_string(),
+                });
+            }
+            if inst.opcode.is_store() && inst.src2.is_none() {
+                return Err(ProgramError::MalformedOperands {
+                    pc,
+                    detail: "store without a value register".to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fraction of static instructions that are loads.
+    pub fn static_load_fraction(&self) -> f64 {
+        if self.insts.is_empty() {
+            return 0.0;
+        }
+        let loads = self.insts.iter().filter(|i| i.opcode.is_load()).count();
+        loads as f64 / self.insts.len() as f64
+    }
+
+    /// Builds a fresh functional memory initialized with the program's image.
+    pub fn build_memory(&self) -> FuncMem {
+        let mut mem = FuncMem::new();
+        mem.init_from(self.initial_mem.iter().copied());
+        mem
+    }
+
+    /// Builds the initial architectural register file.
+    pub fn build_registers(&self) -> [u64; NUM_ARCH_REGS] {
+        let mut regs = [0u64; NUM_ARCH_REGS];
+        for &(reg, value) in &self.initial_regs {
+            regs[reg.flat_index()] = value;
+        }
+        regs
+    }
+}
+
+/// Architectural state snapshot produced by the reference interpreter and by
+/// the out-of-order core at commit, used to cross-check correctness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchSnapshot {
+    /// Architectural register values, indexed by flat register index.
+    pub regs: [u64; NUM_ARCH_REGS],
+    /// Number of instructions architecturally completed.
+    pub retired: u64,
+    /// Order-sensitive checksum of all committed stores
+    /// (`hash(addr, value, sequence)` folded together).
+    pub store_checksum: u64,
+    /// Number of committed store operations.
+    pub stores: u64,
+    /// Next PC to execute.
+    pub next_pc: u32,
+}
+
+/// Folds one committed store into a running checksum.
+///
+/// Both the reference interpreter and the out-of-order core use this so that
+/// their memory-update streams can be compared without comparing whole
+/// memory images.
+pub fn fold_store_checksum(checksum: u64, addr: u64, value: u64, seq: u64) -> u64 {
+    let mut z = checksum ^ addr.rotate_left(17) ^ value.rotate_left(33) ^ seq;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 27)
+}
+
+/// In-order functional interpreter: the golden model.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    program: Program,
+    regs: [u64; NUM_ARCH_REGS],
+    mem: FuncMem,
+    pc: u32,
+    retired: u64,
+    store_checksum: u64,
+    stores: u64,
+    loads: u64,
+    branches: u64,
+    taken_branches: u64,
+    halted: bool,
+}
+
+impl Interpreter {
+    /// Creates an interpreter positioned at the program entry point.
+    pub fn new(program: &Program) -> Self {
+        Interpreter {
+            regs: program.build_registers(),
+            mem: program.build_memory(),
+            pc: program.entry,
+            program: program.clone(),
+            retired: 0,
+            store_checksum: 0,
+            stores: 0,
+            loads: 0,
+            branches: 0,
+            taken_branches: 0,
+            halted: false,
+        }
+    }
+
+    /// `true` once the program counter has left the program (fell off the
+    /// end); no further steps execute.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Number of instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Number of dynamic loads executed.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Number of dynamic conditional branches executed and how many were taken.
+    pub fn branch_profile(&self) -> (u64, u64) {
+        (self.branches, self.taken_branches)
+    }
+
+    /// Reads an architectural register.
+    pub fn reg(&self, reg: ArchReg) -> u64 {
+        self.regs[reg.flat_index()]
+    }
+
+    /// Read-only view of the functional memory.
+    pub fn memory(&self) -> &FuncMem {
+        &self.mem
+    }
+
+    /// Executes one instruction. Returns `false` when the interpreter is
+    /// halted (PC outside the program) and nothing was executed.
+    pub fn step(&mut self) -> bool {
+        if self.halted {
+            return false;
+        }
+        let inst = match self.program.inst_at(self.pc) {
+            Some(i) => *i,
+            None => {
+                self.halted = true;
+                return false;
+            }
+        };
+        let src1 = inst.src1.map(|r| self.regs[r.flat_index()]).unwrap_or(0);
+        let src2 = inst.src2.map(|r| self.regs[r.flat_index()]).unwrap_or(0);
+        let loaded = if inst.opcode.is_load() {
+            self.loads += 1;
+            Some(self.mem.load_u64(inst.effective_address(src1)))
+        } else {
+            None
+        };
+        let out = inst.execute(self.pc, src1, src2, loaded);
+        if let (Some(dest), Some(result)) = (inst.dest, out.result) {
+            self.regs[dest.flat_index()] = result;
+        }
+        if let (Some(addr), Some(value)) = (out.mem_addr, out.store_value) {
+            self.stores += 1;
+            self.store_checksum = fold_store_checksum(self.store_checksum, addr, value, self.stores);
+            self.mem.store_u64(addr, value);
+        }
+        if inst.opcode.is_cond_branch() {
+            self.branches += 1;
+            if out.taken == Some(true) {
+                self.taken_branches += 1;
+            }
+        }
+        self.pc = out.next_pc;
+        self.retired += 1;
+        if self.pc as usize >= self.program.len() {
+            self.halted = true;
+        }
+        true
+    }
+
+    /// Executes up to `n` instructions; returns how many actually executed.
+    pub fn run(&mut self, n: u64) -> u64 {
+        let mut executed = 0;
+        while executed < n && self.step() {
+            executed += 1;
+        }
+        executed
+    }
+
+    /// Snapshot of the architectural state for comparison against the
+    /// out-of-order core.
+    pub fn snapshot(&self) -> ArchSnapshot {
+        ArchSnapshot {
+            regs: self.regs,
+            retired: self.retired,
+            store_checksum: self.store_checksum,
+            stores: self.stores,
+            next_pc: self.pc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, BranchCond};
+
+    /// A loop that sums a strided array: the canonical tiny workload.
+    fn sum_loop() -> Program {
+        let mut p = Program::new("sum-loop");
+        let base = ArchReg::int(1);
+        let idx = ArchReg::int(2);
+        let acc = ArchReg::int(3);
+        let limit = ArchReg::int(4);
+        let tmp = ArchReg::int(5);
+        let addr = ArchReg::int(6);
+        p.insts = vec![
+            StaticInst::load_imm(base, 0x10_000),              // 0
+            StaticInst::load_imm(idx, 0),                      // 1
+            StaticInst::load_imm(acc, 0),                      // 2
+            StaticInst::load_imm(limit, 64),                   // 3
+            // loop:
+            StaticInst::int_alu(AluOp::Add, addr, base, idx),  // 4
+            StaticInst::load(tmp, addr, 0),                    // 5
+            StaticInst::int_alu(AluOp::Add, acc, acc, tmp),    // 6
+            StaticInst::int_alu_imm(AluOp::Add, idx, idx, 8),  // 7
+            StaticInst::branch(BranchCond::Lt, idx, limit, 4), // 8
+            StaticInst::store(acc, base, 4096),                // 9
+        ];
+        p.initial_mem = (0..8).map(|i| (0x10_000 + i * 8, i + 1)).collect();
+        p
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_program() {
+        sum_loop().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_empty_program() {
+        assert_eq!(Program::new("x").validate(), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn validate_rejects_bad_branch_target() {
+        let mut p = sum_loop();
+        p.insts[8].target = 1000;
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::BranchTargetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_dest_class() {
+        let mut p = sum_loop();
+        p.insts[5].dest = Some(ArchReg::fp(0));
+        assert!(matches!(p.validate(), Err(ProgramError::MalformedOperands { .. })));
+    }
+
+    #[test]
+    fn interpreter_sums_the_array() {
+        let p = sum_loop();
+        let mut interp = Interpreter::new(&p);
+        while interp.step() {}
+        assert!(interp.halted());
+        // 1 + 2 + ... + 8 = 36
+        assert_eq!(interp.reg(ArchReg::int(3)), 36);
+        assert_eq!(interp.memory().load_u64(0x10_000 + 4096), 36);
+        assert_eq!(interp.loads(), 8);
+        let (branches, taken) = interp.branch_profile();
+        assert_eq!(branches, 8);
+        assert_eq!(taken, 7);
+    }
+
+    #[test]
+    fn interpreter_run_respects_budget() {
+        let p = sum_loop();
+        let mut interp = Interpreter::new(&p);
+        assert_eq!(interp.run(5), 5);
+        assert_eq!(interp.retired(), 5);
+        assert!(!interp.halted());
+    }
+
+    #[test]
+    fn snapshots_of_identical_runs_match() {
+        let p = sum_loop();
+        let mut a = Interpreter::new(&p);
+        let mut b = Interpreter::new(&p);
+        a.run(20);
+        b.run(20);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn store_checksum_is_order_sensitive() {
+        let c1 = fold_store_checksum(fold_store_checksum(0, 0x10, 1, 1), 0x20, 2, 2);
+        let c2 = fold_store_checksum(fold_store_checksum(0, 0x20, 2, 1), 0x10, 1, 2);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn static_load_fraction_counts_loads() {
+        let p = sum_loop();
+        assert!((p.static_load_fraction() - 0.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,497 @@
+//! Simulation statistics.
+//!
+//! A single [`SimStats`] instance accumulates everything a run produces:
+//! cycle and instruction counts, pipeline-event counts (used by the energy
+//! model in `pre-energy`), cache and DRAM activity, and runahead-specific
+//! counters (invocations, interval lengths, prefetch coverage, resource
+//! occupancy at runahead entry) that back the paper's figures and text
+//! statistics.
+
+use std::fmt;
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Used for runahead-interval lengths (Stat B: "27 % of runahead intervals
+/// take less than 20 cycles").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    /// A final unbounded bucket is added automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not strictly ascending.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Default histogram for runahead-interval lengths (cycles).
+    pub fn runahead_intervals() -> Self {
+        Histogram::new(&[10, 20, 50, 100, 200, 500, 1000])
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value < b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Fraction of samples strictly below `threshold`.
+    ///
+    /// `threshold` must be one of the configured bucket bounds for an exact
+    /// answer; otherwise the closest not-exceeding bound is used.
+    pub fn fraction_below(&self, threshold: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut below = 0;
+        for (i, &b) in self.bounds.iter().enumerate() {
+            if b <= threshold {
+                below += self.counts[i];
+            }
+        }
+        below as f64 / self.total as f64
+    }
+
+    /// Iterates over `(upper_bound, count)` pairs; the final pair uses
+    /// `u64::MAX` as its bound.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.counts.iter().copied())
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::runahead_intervals()
+    }
+}
+
+/// Running average of occupancy-style samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningAverage {
+    sum: f64,
+    samples: u64,
+}
+
+impl RunningAverage {
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.sum += value;
+        self.samples += 1;
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum / self.samples as f64
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// All statistics produced by one simulation run.
+///
+/// Fields are public counters incremented directly by the pipeline and the
+/// runahead engines; derived metrics are provided as methods.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    // ---- time -------------------------------------------------------------
+    /// Total simulated core cycles.
+    pub cycles: u64,
+
+    // ---- committed work ----------------------------------------------------
+    /// Micro-ops committed (architecturally retired).
+    pub committed_uops: u64,
+    /// Committed loads.
+    pub committed_loads: u64,
+    /// Committed stores.
+    pub committed_stores: u64,
+    /// Committed conditional branches.
+    pub committed_branches: u64,
+    /// Committed conditional branches that were mispredicted.
+    pub mispredicted_branches: u64,
+
+    // ---- pipeline activity (energy events) ---------------------------------
+    /// Micro-ops fetched (including wrong path and runahead mode).
+    pub fetched_uops: u64,
+    /// Micro-ops decoded.
+    pub decoded_uops: u64,
+    /// Micro-ops renamed.
+    pub renamed_uops: u64,
+    /// Micro-ops dispatched into the back-end.
+    pub dispatched_uops: u64,
+    /// Micro-ops issued to functional units.
+    pub issued_uops: u64,
+    /// Micro-ops that completed execution.
+    pub executed_uops: u64,
+    /// Micro-ops squashed (wrong path or runahead discard).
+    pub squashed_uops: u64,
+    /// Register-alias-table reads.
+    pub rat_reads: u64,
+    /// Register-alias-table writes.
+    pub rat_writes: u64,
+    /// Physical-register-file reads.
+    pub prf_reads: u64,
+    /// Physical-register-file writes.
+    pub prf_writes: u64,
+    /// Issue-queue writes (dispatch).
+    pub iq_writes: u64,
+    /// Issue-queue wakeup broadcasts.
+    pub iq_wakeups: u64,
+    /// Reorder-buffer writes.
+    pub rob_writes: u64,
+    /// Reorder-buffer reads (commit).
+    pub rob_reads: u64,
+    /// Load/store-queue associative searches.
+    pub lsq_searches: u64,
+    /// Integer ALU operations executed.
+    pub int_alu_ops: u64,
+    /// Integer multiply operations executed.
+    pub int_mul_ops: u64,
+    /// Floating-point operations executed.
+    pub fp_ops: u64,
+    /// Branch unit operations executed.
+    pub branch_ops: u64,
+
+    // ---- stalls -------------------------------------------------------------
+    /// Cycles during which the ROB was full with a long-latency load at its
+    /// head (full-window stall cycles), in normal mode.
+    pub full_window_stall_cycles: u64,
+    /// Distinct full-window stalls observed.
+    pub full_window_stalls: u64,
+    /// Cycles the front-end delivered no micro-ops (fetch stalls).
+    pub frontend_stall_cycles: u64,
+
+    // ---- caches -------------------------------------------------------------
+    /// L1 instruction-cache accesses / misses.
+    pub l1i_accesses: u64,
+    /// L1 instruction-cache misses.
+    pub l1i_misses: u64,
+    /// L1 data-cache accesses.
+    pub l1d_accesses: u64,
+    /// L1 data-cache misses.
+    pub l1d_misses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// L3 accesses.
+    pub l3_accesses: u64,
+    /// L3 misses (DRAM accesses).
+    pub l3_misses: u64,
+    /// DRAM read requests.
+    pub dram_reads: u64,
+    /// DRAM write requests.
+    pub dram_writes: u64,
+    /// DRAM accesses that hit an open row buffer.
+    pub dram_row_hits: u64,
+    /// DRAM accesses that required activating a row.
+    pub dram_row_misses: u64,
+
+    // ---- runahead -----------------------------------------------------------
+    /// Runahead invocations (entries into runahead mode).
+    pub runahead_entries: u64,
+    /// Runahead exits (should equal entries at the end of a run).
+    pub runahead_exits: u64,
+    /// Cycles spent in runahead mode.
+    pub runahead_cycles: u64,
+    /// Micro-ops speculatively executed in runahead mode.
+    pub runahead_uops_executed: u64,
+    /// Loads speculatively executed in runahead mode.
+    pub runahead_loads_executed: u64,
+    /// Runahead loads whose source operands were invalid (INV) and therefore
+    /// could not prefetch.
+    pub runahead_inv_loads: u64,
+    /// Prefetch requests issued from runahead mode.
+    pub runahead_prefetches_issued: u64,
+    /// Runahead prefetches later referenced by a committed load (useful).
+    pub runahead_prefetches_useful: u64,
+    /// Entries skipped because the expected interval was too short.
+    pub runahead_entries_skipped_short: u64,
+    /// Entries skipped because a runahead period for the same load already
+    /// ran (overlap avoidance).
+    pub runahead_entries_skipped_overlap: u64,
+    /// Cycles spent flushing + refilling the pipeline on runahead exit
+    /// (traditional runahead and runahead buffer only).
+    pub flush_refill_cycles: u64,
+    /// Cycles in runahead mode during which the EMQ was full and runahead
+    /// execution had to stall (PRE+EMQ only).
+    pub emq_full_stall_cycles: u64,
+    /// Histogram of runahead-interval lengths in cycles.
+    pub runahead_interval_hist: Histogram,
+    /// Fraction of issue-queue entries free at runahead entry.
+    pub iq_free_at_entry: RunningAverage,
+    /// Fraction of integer physical registers free at runahead entry.
+    pub int_regs_free_at_entry: RunningAverage,
+    /// Fraction of floating-point physical registers free at runahead entry.
+    pub fp_regs_free_at_entry: RunningAverage,
+
+    // ---- PRE structures ------------------------------------------------------
+    /// SST lookups.
+    pub sst_lookups: u64,
+    /// SST hits.
+    pub sst_hits: u64,
+    /// SST insertions.
+    pub sst_inserts: u64,
+    /// SST evictions due to capacity.
+    pub sst_evictions: u64,
+    /// PRDQ entry allocations.
+    pub prdq_allocations: u64,
+    /// Physical registers reclaimed through the PRDQ in runahead mode.
+    pub prdq_reclaims: u64,
+    /// EMQ writes (micro-ops buffered in runahead mode).
+    pub emq_writes: u64,
+    /// EMQ reads (micro-ops dispatched from the EMQ after exit).
+    pub emq_reads: u64,
+    /// Runahead-buffer backward dataflow walks (CAM searches in the ROB/SQ).
+    pub runahead_buffer_walks: u64,
+    /// Micro-ops replayed from the runahead buffer.
+    pub runahead_buffer_replays: u64,
+
+    // ---- store checksum (architectural correctness) --------------------------
+    /// Order-sensitive checksum of committed stores (compare against the
+    /// reference interpreter).
+    pub store_checksum: u64,
+}
+
+impl SimStats {
+    /// Creates an empty statistics block.
+    pub fn new() -> Self {
+        SimStats::default()
+    }
+
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_uops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Last-level-cache misses per kilo committed instructions.
+    pub fn l3_mpki(&self) -> f64 {
+        if self.committed_uops == 0 {
+            0.0
+        } else {
+            self.l3_misses as f64 * 1000.0 / self.committed_uops as f64
+        }
+    }
+
+    /// L1D misses per kilo committed instructions.
+    pub fn l1d_mpki(&self) -> f64 {
+        if self.committed_uops == 0 {
+            0.0
+        } else {
+            self.l1d_misses as f64 * 1000.0 / self.committed_uops as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.committed_uops == 0 {
+            0.0
+        } else {
+            self.mispredicted_branches as f64 * 1000.0 / self.committed_uops as f64
+        }
+    }
+
+    /// Fraction of cycles spent in full-window stalls.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.full_window_stall_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles spent in runahead mode.
+    pub fn runahead_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.runahead_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// SST hit rate over lookups.
+    pub fn sst_hit_rate(&self) -> f64 {
+        if self.sst_lookups == 0 {
+            0.0
+        } else {
+            self.sst_hits as f64 / self.sst_lookups as f64
+        }
+    }
+
+    /// Useful-prefetch fraction of issued runahead prefetches.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.runahead_prefetches_issued == 0 {
+            0.0
+        } else {
+            self.runahead_prefetches_useful as f64 / self.runahead_prefetches_issued as f64
+        }
+    }
+
+    /// Average runahead-interval length in cycles.
+    pub fn mean_runahead_interval(&self) -> f64 {
+        self.runahead_interval_hist.mean()
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles               : {}", self.cycles)?;
+        writeln!(f, "committed uops       : {}", self.committed_uops)?;
+        writeln!(f, "ipc                  : {:.3}", self.ipc())?;
+        writeln!(f, "l1d mpki             : {:.2}", self.l1d_mpki())?;
+        writeln!(f, "l3 mpki              : {:.2}", self.l3_mpki())?;
+        writeln!(f, "branch mpki          : {:.2}", self.branch_mpki())?;
+        writeln!(f, "full-window stalls   : {}", self.full_window_stalls)?;
+        writeln!(f, "stall cycle fraction : {:.3}", self.stall_fraction())?;
+        writeln!(f, "runahead entries     : {}", self.runahead_entries)?;
+        writeln!(f, "runahead cycles      : {}", self.runahead_cycles)?;
+        writeln!(f, "runahead prefetches  : {}", self.runahead_prefetches_issued)?;
+        writeln!(f, "prefetch accuracy    : {:.3}", self.prefetch_accuracy())?;
+        write!(f, "sst hit rate         : {:.3}", self.sst_hit_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_buckets() {
+        let mut h = Histogram::new(&[10, 20, 50]);
+        for v in [5, 15, 15, 30, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 33.0).abs() < 1e-9);
+        assert!((h.fraction_below(20) - 3.0 / 5.0).abs() < 1e-9);
+        assert!((h.fraction_below(10) - 1.0 / 5.0).abs() < 1e-9);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0], (10, 1));
+        assert_eq!(buckets[3], (u64::MAX, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[10, 5]);
+    }
+
+    #[test]
+    fn histogram_empty_fractions_are_zero() {
+        let h = Histogram::runahead_intervals();
+        assert_eq!(h.fraction_below(20), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn running_average() {
+        let mut avg = RunningAverage::default();
+        assert_eq!(avg.mean(), 0.0);
+        avg.record(0.25);
+        avg.record(0.75);
+        assert!((avg.mean() - 0.5).abs() < 1e-12);
+        assert_eq!(avg.samples(), 2);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = SimStats::new();
+        s.cycles = 1000;
+        s.committed_uops = 2000;
+        s.l3_misses = 20;
+        s.l1d_misses = 100;
+        s.mispredicted_branches = 4;
+        s.full_window_stall_cycles = 250;
+        s.runahead_cycles = 100;
+        s.sst_lookups = 10;
+        s.sst_hits = 9;
+        s.runahead_prefetches_issued = 50;
+        s.runahead_prefetches_useful = 40;
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.l3_mpki() - 10.0).abs() < 1e-12);
+        assert!((s.l1d_mpki() - 50.0).abs() < 1e-12);
+        assert!((s.branch_mpki() - 2.0).abs() < 1e-12);
+        assert!((s.stall_fraction() - 0.25).abs() < 1e-12);
+        assert!((s.runahead_fraction() - 0.1).abs() < 1e-12);
+        assert!((s.sst_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((s.prefetch_accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let s = SimStats::new();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.l3_mpki(), 0.0);
+        assert_eq!(s.prefetch_accuracy(), 0.0);
+        assert_eq!(s.sst_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_metrics() {
+        let s = SimStats::new();
+        let text = s.to_string();
+        assert!(text.contains("ipc"));
+        assert!(text.contains("runahead entries"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the model crate: functional memory, ALU
+//! semantics, the reference interpreter and the statistics helpers.
+
+use pre_model::isa::{AluOp, BranchCond, StaticInst};
+use pre_model::mem::FuncMem;
+use pre_model::program::{Interpreter, Program};
+use pre_model::reg::ArchReg;
+use pre_model::stats::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    /// Functional memory behaves like a map from word-aligned addresses to
+    /// the last value stored there.
+    #[test]
+    fn funcmem_matches_a_reference_map(ops in proptest::collection::vec(
+        (0u64..4096u64, any::<u64>(), any::<bool>()), 1..200)) {
+        let mut mem = FuncMem::new();
+        let mut reference = std::collections::HashMap::new();
+        for (addr, value, is_store) in ops {
+            let word = (addr * 8) & !7;
+            if is_store {
+                mem.store_u64(word, value);
+                reference.insert(word, value);
+            } else if let Some(&expected) = reference.get(&word) {
+                // The sentinel value is remapped on store; skip comparing it.
+                if expected != 0xDEAD_BEEF_DEAD_BEEF {
+                    prop_assert_eq!(mem.load_u64(word), expected);
+                }
+            } else {
+                // Unwritten reads are deterministic.
+                prop_assert_eq!(mem.load_u64(word), mem.load_u64(word));
+            }
+        }
+        prop_assert!(mem.written_words() as usize <= reference.len());
+    }
+
+    /// ALU operations agree with their obvious reference semantics.
+    #[test]
+    fn alu_ops_match_reference(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(AluOp::Add.apply(a, b), a.wrapping_add(b));
+        prop_assert_eq!(AluOp::Sub.apply(a, b), a.wrapping_sub(b));
+        prop_assert_eq!(AluOp::And.apply(a, b), a & b);
+        prop_assert_eq!(AluOp::Or.apply(a, b), a | b);
+        prop_assert_eq!(AluOp::Xor.apply(a, b), a ^ b);
+        prop_assert_eq!(AluOp::Shl.apply(a, b), a.wrapping_shl((b & 63) as u32));
+        prop_assert_eq!(AluOp::Shr.apply(a, b), a.wrapping_shr((b & 63) as u32));
+    }
+
+    /// Branch conditions partition the input space consistently.
+    #[test]
+    fn branch_conditions_are_consistent(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(BranchCond::Eq.taken(a, b), !BranchCond::Ne.taken(a, b));
+        prop_assert_eq!(BranchCond::Lt.taken(a, b), !BranchCond::Ge.taken(a, b));
+        if a == b {
+            prop_assert!(BranchCond::Ge.taken(a, b));
+        }
+    }
+
+    /// The interpreter is deterministic and its retired-instruction count is
+    /// monotone in the step budget.
+    #[test]
+    fn interpreter_is_deterministic_and_monotone(
+        values in proptest::collection::vec(0i64..1000, 2..20),
+        budget in 1u64..200,
+    ) {
+        let mut p = Program::new("prop");
+        let acc = ArchReg::int(1);
+        let tmp = ArchReg::int(2);
+        p.insts.push(StaticInst::load_imm(acc, 0));
+        for (i, v) in values.iter().enumerate() {
+            p.insts.push(StaticInst::load_imm(tmp, *v));
+            let op = if i % 2 == 0 { AluOp::Add } else { AluOp::Xor };
+            p.insts.push(StaticInst::int_alu(op, acc, acc, tmp));
+        }
+        p.validate().unwrap();
+
+        let mut a = Interpreter::new(&p);
+        let mut b = Interpreter::new(&p);
+        a.run(budget);
+        b.run(budget);
+        prop_assert_eq!(a.snapshot(), b.snapshot());
+
+        let mut c = Interpreter::new(&p);
+        c.run(budget + 5);
+        prop_assert!(c.retired() >= a.retired());
+    }
+
+    /// Histogram counts always sum to the number of recorded samples and
+    /// `fraction_below` is monotone in the threshold.
+    #[test]
+    fn histogram_invariants(samples in proptest::collection::vec(0u64..2000, 0..300)) {
+        let mut h = Histogram::new(&[10, 20, 50, 100, 500]);
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count() as usize, samples.len());
+        let total: u64 = h.buckets().map(|(_, c)| c).sum();
+        prop_assert_eq!(total as usize, samples.len());
+        prop_assert!(h.fraction_below(10) <= h.fraction_below(20));
+        prop_assert!(h.fraction_below(20) <= h.fraction_below(500));
+        if !samples.is_empty() {
+            prop_assert!(h.max() >= samples.iter().copied().max().unwrap());
+        }
+    }
+
+    /// Program validation accepts every branch target inside the program and
+    /// rejects every branch target outside it.
+    #[test]
+    fn branch_target_validation(target in 0u32..40, len in 1usize..20) {
+        let mut p = Program::new("targets");
+        for _ in 0..len {
+            p.insts.push(StaticInst::nop());
+        }
+        p.insts.push(StaticInst::jump(target));
+        let ok = p.validate().is_ok();
+        prop_assert_eq!(ok, (target as usize) < len + 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Runahead entry policies.
+//!
+//! Traditional runahead and the runahead buffer pay a full pipeline flush and
+//! refill on every runahead exit, so they only enter runahead mode when the
+//! interval is expected to be long enough to amortize that cost (the
+//! "efficient runahead" optimizations of Mutlu et al.), and they avoid
+//! re-entering runahead for a load that already ran ahead. PRE keeps the ROB
+//! intact and exits for free, so it enters runahead unconditionally — the
+//! paper measures PRE invoking runahead 1.62× (and PRE+EMQ 1.95×) more often
+//! than traditional runahead, which is where much of its extra memory-level
+//! parallelism comes from.
+
+/// The outcome of consulting an [`EntryPolicy`] on a full-window stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryDecision {
+    /// Enter runahead mode.
+    Enter,
+    /// Skip: the stalling load is expected back too soon to amortize the
+    /// flush/refill overhead.
+    SkipShortInterval,
+    /// Skip: runahead was already performed for this stall (overlap
+    /// avoidance).
+    SkipOverlap,
+}
+
+impl EntryDecision {
+    /// `true` when the decision is to enter runahead mode.
+    pub fn should_enter(&self) -> bool {
+        matches!(self, EntryDecision::Enter)
+    }
+}
+
+/// Entry policy shared by the runahead flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryPolicy {
+    /// Minimum expected remaining latency (cycles) of the stalling load for
+    /// entry to be worthwhile. Zero disables the check (PRE).
+    pub min_expected_cycles: u64,
+    /// Whether to refuse re-entering runahead for the same stalling-load
+    /// instance (overlap avoidance). PRE disables this as well.
+    pub avoid_overlap: bool,
+}
+
+impl EntryPolicy {
+    /// The Mutlu-style policy used by traditional runahead and the runahead
+    /// buffer.
+    pub fn efficient(min_expected_cycles: u64) -> Self {
+        EntryPolicy {
+            min_expected_cycles,
+            avoid_overlap: true,
+        }
+    }
+
+    /// PRE's policy: always enter (entry and exit are cheap because the ROB
+    /// is preserved).
+    pub fn always() -> Self {
+        EntryPolicy {
+            min_expected_cycles: 0,
+            avoid_overlap: false,
+        }
+    }
+
+    /// Decides whether to enter runahead mode.
+    ///
+    /// * `expected_remaining_cycles` — cycles until the stalling load's data
+    ///   is expected to arrive.
+    /// * `already_ran_for_this_stall` — a runahead interval was already
+    ///   executed for this stalling-load instance.
+    pub fn decide(
+        &self,
+        expected_remaining_cycles: u64,
+        already_ran_for_this_stall: bool,
+    ) -> EntryDecision {
+        if self.avoid_overlap && already_ran_for_this_stall {
+            EntryDecision::SkipOverlap
+        } else if expected_remaining_cycles < self.min_expected_cycles {
+            EntryDecision::SkipShortInterval
+        } else {
+            EntryDecision::Enter
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficient_policy_skips_short_intervals() {
+        let p = EntryPolicy::efficient(20);
+        assert_eq!(p.decide(10, false), EntryDecision::SkipShortInterval);
+        assert_eq!(p.decide(20, false), EntryDecision::Enter);
+        assert_eq!(p.decide(200, false), EntryDecision::Enter);
+    }
+
+    #[test]
+    fn efficient_policy_skips_overlapping_intervals() {
+        let p = EntryPolicy::efficient(20);
+        assert_eq!(p.decide(200, true), EntryDecision::SkipOverlap);
+    }
+
+    #[test]
+    fn always_policy_never_skips() {
+        let p = EntryPolicy::always();
+        assert!(p.decide(1, false).should_enter());
+        assert!(p.decide(0, true).should_enter());
+    }
+
+    #[test]
+    fn should_enter_only_for_enter() {
+        assert!(EntryDecision::Enter.should_enter());
+        assert!(!EntryDecision::SkipShortInterval.should_enter());
+        assert!(!EntryDecision::SkipOverlap.should_enter());
+    }
+}

@@ -1,0 +1,283 @@
+//! The Precise Register Deallocation Queue (PRDQ).
+//!
+//! Section 3.4 of the paper: in normal mode a physical register is freed when
+//! the last consumer of the previous mapping commits; runahead instructions
+//! never commit, so PRE needs another way to recycle the registers it
+//! allocates. The PRDQ is a FIFO allocated in program order by runahead
+//! renaming. Each entry records the *previous* physical register mapped to
+//! the instruction's destination architectural register and an `executed`
+//! bit. An entry is deallocated — and its old register freed — only when the
+//! instruction has executed **and** the entry has reached the queue head;
+//! in-order deallocation guarantees no in-flight runahead instruction can
+//! still read the freed register.
+//!
+//! One refinement over the paper's two-page description: a physical register
+//! is returned to the free list through the PRDQ only if it was itself
+//! allocated during the current runahead interval (`reclaimable`). Registers
+//! that belong to the pre-runahead architectural state or to instructions
+//! still waiting in the ROB must survive runahead mode — they are restored by
+//! the RAT checkpoint at exit — so the PRDQ marks them non-reclaimable and
+//! skips the free. This keeps the mechanism precise (hence the name) while
+//! preserving the normal-mode state that PRE explicitly does not discard.
+
+use pre_model::reg::{PhysReg, RegClass};
+
+/// One PRDQ entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrdqEntry {
+    /// Identifier of the runahead instruction that allocated this entry.
+    pub uop_id: u64,
+    /// The physical register previously mapped to the instruction's
+    /// destination architectural register (none for the first write in the
+    /// interval to a register class that had no prior mapping — never happens
+    /// in practice, but kept as an `Option` for robustness).
+    pub old_reg: Option<(RegClass, PhysReg)>,
+    /// Whether `old_reg` was allocated during the current runahead interval
+    /// and can therefore be returned to the free list when this entry
+    /// deallocates.
+    pub reclaimable: bool,
+    /// Set when the allocating instruction finishes execution.
+    pub executed: bool,
+}
+
+/// The PRDQ: a bounded FIFO of [`PrdqEntry`].
+#[derive(Debug, Clone)]
+pub struct PreciseRegisterDeallocationQueue {
+    entries: Vec<PrdqEntry>,
+    capacity: usize,
+    allocations: u64,
+    reclaims: u64,
+}
+
+impl PreciseRegisterDeallocationQueue {
+    /// Creates a PRDQ with `capacity` entries (192 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "PRDQ capacity must be non-zero");
+        PreciseRegisterDeallocationQueue {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            allocations: 0,
+            reclaims: 0,
+        }
+    }
+
+    /// `true` when no further runahead instruction can allocate an entry.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total entries allocated across the run.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Total physical registers reclaimed through the queue.
+    pub fn reclaims(&self) -> u64 {
+        self.reclaims
+    }
+
+    /// Allocates an entry at the tail, in program order.
+    ///
+    /// Returns `false` (and allocates nothing) when the queue is full; the
+    /// caller should stall runahead renaming for this cycle.
+    pub fn allocate(
+        &mut self,
+        uop_id: u64,
+        old_reg: Option<(RegClass, PhysReg)>,
+        reclaimable: bool,
+    ) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.entries.push(PrdqEntry {
+            uop_id,
+            old_reg,
+            reclaimable,
+            executed: false,
+        });
+        self.allocations += 1;
+        true
+    }
+
+    /// Marks the entry allocated by `uop_id` as executed (instructions may
+    /// execute out of order). Returns `true` if an entry was found.
+    pub fn mark_executed(&mut self, uop_id: u64) -> bool {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.uop_id == uop_id) {
+            e.executed = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Deallocates executed entries from the head, in order, and returns the
+    /// physical registers to free. Stops at the first entry that has not yet
+    /// executed.
+    pub fn drain_completed(&mut self) -> Vec<(RegClass, PhysReg)> {
+        let mut freed = Vec::new();
+        while let Some(head) = self.entries.first() {
+            if !head.executed {
+                break;
+            }
+            let head = self.entries.remove(0);
+            if head.reclaimable {
+                if let Some(reg) = head.old_reg {
+                    freed.push(reg);
+                    self.reclaims += 1;
+                }
+            }
+        }
+        freed
+    }
+
+    /// Discards every entry (runahead exit). The registers referenced by the
+    /// remaining entries are *not* freed here: at exit the pipeline restores
+    /// the checkpointed RAT and rebuilds its free lists, which subsumes any
+    /// pending deallocation.
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    /// Iterates over the live entries from head (oldest) to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &PrdqEntry> {
+        self.entries.iter()
+    }
+
+    /// Storage cost in bytes: the paper provisions 192 entries at 4 bytes
+    /// (instruction id + register tag + execute bit) for 768 bytes total.
+    pub fn storage_bytes(&self) -> usize {
+        self.capacity * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reg(i: u16) -> Option<(RegClass, PhysReg)> {
+        Some((RegClass::Int, PhysReg(i)))
+    }
+
+    #[test]
+    fn in_order_deallocation_waits_for_head() {
+        let mut q = PreciseRegisterDeallocationQueue::new(4);
+        assert!(q.allocate(1, reg(10), true));
+        assert!(q.allocate(2, reg(11), true));
+        assert!(q.allocate(3, reg(12), true));
+        // Only uop 2 executed: nothing can drain because uop 1 is the head.
+        q.mark_executed(2);
+        assert!(q.drain_completed().is_empty());
+        // Once the head executes, both 1 and 2 drain in order.
+        q.mark_executed(1);
+        let freed = q.drain_completed();
+        assert_eq!(
+            freed,
+            vec![(RegClass::Int, PhysReg(10)), (RegClass::Int, PhysReg(11))]
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.reclaims(), 2);
+    }
+
+    #[test]
+    fn non_reclaimable_registers_are_never_freed() {
+        let mut q = PreciseRegisterDeallocationQueue::new(4);
+        q.allocate(1, reg(5), false);
+        q.mark_executed(1);
+        assert!(q.drain_completed().is_empty());
+        assert_eq!(q.reclaims(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn allocation_fails_when_full() {
+        let mut q = PreciseRegisterDeallocationQueue::new(2);
+        assert!(q.allocate(1, reg(1), true));
+        assert!(q.allocate(2, reg(2), true));
+        assert!(!q.allocate(3, reg(3), true));
+        assert_eq!(q.allocations(), 2);
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn clear_discards_without_reclaiming() {
+        let mut q = PreciseRegisterDeallocationQueue::new(4);
+        q.allocate(1, reg(1), true);
+        q.allocate(2, reg(2), true);
+        q.mark_executed(1);
+        assert_eq!(q.clear(), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.reclaims(), 0);
+    }
+
+    #[test]
+    fn mark_executed_unknown_uop_is_false() {
+        let mut q = PreciseRegisterDeallocationQueue::new(2);
+        assert!(!q.mark_executed(42));
+    }
+
+    #[test]
+    fn storage_matches_paper() {
+        let q = PreciseRegisterDeallocationQueue::new(192);
+        assert_eq!(q.storage_bytes(), 768);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = PreciseRegisterDeallocationQueue::new(0);
+    }
+
+    proptest! {
+        /// Regardless of the execution order, (a) occupancy never exceeds
+        /// capacity, (b) every reclaimable old register is freed exactly once,
+        /// and (c) registers are freed in allocation order.
+        #[test]
+        fn prop_exactly_once_in_order(exec_order in Just(()).prop_perturb(|_, mut rng| {
+            let mut order: Vec<u64> = (0..20).collect();
+            // Fisher-Yates with the proptest RNG.
+            for i in (1..order.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            order
+        })) {
+            let mut q = PreciseRegisterDeallocationQueue::new(32);
+            for id in 0..20u64 {
+                prop_assert!(q.allocate(id, Some((RegClass::Int, PhysReg(id as u16))), true));
+            }
+            let mut freed = Vec::new();
+            for id in exec_order {
+                q.mark_executed(id);
+                freed.extend(q.drain_completed());
+                prop_assert!(q.len() <= q.capacity());
+            }
+            freed.extend(q.drain_completed());
+            prop_assert_eq!(freed.len(), 20, "every register freed exactly once");
+            for (i, (_, p)) in freed.iter().enumerate() {
+                prop_assert_eq!(p.0 as usize, i, "freed in allocation order");
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates Figure 2: performance of RA, RA-buffer, PRE and PRE+EMQ
+//! normalized to the out-of-order baseline, for every memory-intensive
+//! workload plus the geometric mean.
+//!
+//! Usage: `fig2_performance [max_uops_per_run]` (default 300 000).
+
+use pre_sim::experiments::{budget_from_args, fig2_summary, fig2_table, run_evaluation_matrix, DEFAULT_EVAL_UOPS};
+
+fn main() {
+    let budget = budget_from_args(DEFAULT_EVAL_UOPS);
+    eprintln!("running the Figure 2 evaluation matrix ({budget} committed uops per run)...");
+    let matrix = run_evaluation_matrix(budget, |r| {
+        eprintln!(
+            "  {:<16} {:<10} ipc {:.3}  runahead entries {}",
+            r.workload.name(),
+            r.technique.label(),
+            r.ipc(),
+            r.stats.runahead_entries
+        );
+    })
+    .expect("evaluation matrix");
+    let table = fig2_table(&matrix);
+    println!("{}", table.render());
+    println!("paper-vs-measured (average improvement over OoO):");
+    println!("{}", fig2_summary(&matrix));
+    if let Err(e) = table.write_csv("fig2_performance.csv") {
+        eprintln!("could not write fig2_performance.csv: {e}");
+    } else {
+        eprintln!("wrote fig2_performance.csv");
+    }
+    if matrix.any_deadlocked() {
+        eprintln!("WARNING: at least one run hit the deadlock watchdog");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 3: energy savings (core + DRAM) of RA, RA-buffer, PRE
+//! and PRE+EMQ relative to the out-of-order baseline.
+//!
+//! Usage: `fig3_energy [max_uops_per_run]` (default 300 000).
+
+use pre_sim::experiments::{budget_from_args, fig3_summary, fig3_table, run_evaluation_matrix, DEFAULT_EVAL_UOPS};
+
+fn main() {
+    let budget = budget_from_args(DEFAULT_EVAL_UOPS);
+    eprintln!("running the Figure 3 evaluation matrix ({budget} committed uops per run)...");
+    let matrix = run_evaluation_matrix(budget, |r| {
+        eprintln!(
+            "  {:<16} {:<10} energy {:.3} mJ",
+            r.workload.name(),
+            r.technique.label(),
+            r.energy_mj()
+        );
+    })
+    .expect("evaluation matrix");
+    let table = fig3_table(&matrix);
+    println!("{}", table.render());
+    println!("paper-vs-measured (average energy savings over OoO):");
+    println!("{}", fig3_summary(&matrix));
+    if let Err(e) = table.write_csv("fig3_energy.csv") {
+        eprintln!("could not write fig3_energy.csv: {e}");
+    } else {
+        eprintln!("wrote fig3_energy.csv");
+    }
+}

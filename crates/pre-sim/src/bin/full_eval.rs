@@ -1,0 +1,43 @@
+//! Runs the complete evaluation matrix once and prints every result that
+//! depends on it: Figure 2 (performance), Figure 3 (energy) and Stat D
+//! (runahead invocation ratios). This is the cheapest way to regenerate the
+//! paper's headline numbers because the matrix is simulated only once.
+//!
+//! Usage: `full_eval [max_uops_per_run]` (default 300 000).
+
+use pre_sim::experiments::{
+    budget_from_args, fig2_summary, fig2_table, fig3_summary, fig3_table, run_evaluation_matrix,
+    stat_invocations, DEFAULT_EVAL_UOPS,
+};
+
+fn main() {
+    let budget = budget_from_args(DEFAULT_EVAL_UOPS);
+    eprintln!("running the full evaluation matrix ({budget} committed uops per run)...");
+    let start = std::time::Instant::now();
+    let matrix = run_evaluation_matrix(budget, |r| {
+        eprintln!(
+            "  [{:>6.1}s] {:<16} {:<10} ipc {:.3}",
+            start.elapsed().as_secs_f64(),
+            r.workload.name(),
+            r.technique.label(),
+            r.ipc()
+        );
+    })
+    .expect("evaluation matrix");
+
+    let fig2 = fig2_table(&matrix);
+    println!("{}", fig2.render());
+    println!("paper-vs-measured (Figure 2):\n{}", fig2_summary(&matrix));
+    let fig3 = fig3_table(&matrix);
+    println!("{}", fig3.render());
+    println!("paper-vs-measured (Figure 3):\n{}", fig3_summary(&matrix));
+    println!("{}", stat_invocations(&matrix).render());
+
+    let _ = fig2.write_csv("fig2_performance.csv");
+    let _ = fig3.write_csv("fig3_energy.csv");
+    eprintln!("total wall-clock time: {:.1}s", start.elapsed().as_secs_f64());
+    if matrix.any_deadlocked() {
+        eprintln!("WARNING: at least one run hit the deadlock watchdog");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quick sanity check: run a few representative workloads under every
+//! technique with a small budget and print IPC, runahead activity and
+//! energy. Intended for development and for a fast "does the reproduction
+//! behave sensibly" smoke test; the real figures come from the
+//! `fig2_performance` / `fig3_energy` binaries.
+
+use pre_runahead::Technique;
+use pre_sim::experiments::budget_from_args;
+use pre_sim::runner::{run_one, RunSpec};
+use pre_workloads::Workload;
+
+fn main() {
+    let budget = budget_from_args(60_000);
+    let workloads = [
+        Workload::LibquantumLike,
+        Workload::LbmLike,
+        Workload::MilcLike,
+        Workload::McfLike,
+        Workload::ComputeBound,
+    ];
+    println!(
+        "{:<16} {:<10} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>8}",
+        "workload", "technique", "ipc", "speedup", "entries", "ra-cycles", "prefetches", "useful", "mJ"
+    );
+    for workload in workloads {
+        let mut base_ipc = 0.0;
+        for technique in Technique::ALL {
+            let spec = RunSpec::new(workload, technique).with_budget(budget);
+            match run_one(&spec) {
+                Ok(result) => {
+                    if technique == Technique::OutOfOrder {
+                        base_ipc = result.ipc();
+                    }
+                    let speedup = if base_ipc > 0.0 {
+                        result.ipc() / base_ipc
+                    } else {
+                        0.0
+                    };
+                    println!(
+                        "{:<16} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8.2}{}",
+                        workload.name(),
+                        technique.label(),
+                        result.ipc(),
+                        speedup,
+                        result.stats.runahead_entries,
+                        result.stats.runahead_cycles,
+                        result.stats.runahead_prefetches_issued,
+                        result.stats.runahead_prefetches_useful,
+                        result.energy_mj(),
+                        if result.deadlocked { "  DEADLOCK" } else { "" },
+                    );
+                }
+                Err(e) => println!("{workload} / {technique}: build error: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Stat E (Section 3.6): storage overhead of the PRE structures — 1 KB SST +
+//! 768 B PRDQ + 256 B RAT extension = 2 KB, plus 3 KB for the optional EMQ,
+//! compared with ≈1.7 KB for the prior-work runahead buffer.
+
+use pre_energy::HardwareOverhead;
+use pre_model::config::RunaheadConfig;
+
+fn main() {
+    let hw = HardwareOverhead::for_config(&RunaheadConfig::default());
+    println!("== Stat E — hardware overhead (Section 3.6) ==");
+    println!("{hw}");
+    println!();
+    println!(
+        "paper: SST 1 KB, PRDQ 768 B, RAT extension 256 B (2 KB total), EMQ +3 KB, runahead buffer ~1.7 KB"
+    );
+}

@@ -1,0 +1,13 @@
+//! Stat D (Section 5.1): PRE and PRE+EMQ invoke runahead execution more often
+//! than traditional runahead (1.62× and 1.95× in the paper) because entry and
+//! exit are cheap enough to profit from short intervals.
+//!
+//! Usage: `stat_invocations [max_uops_per_run]`.
+
+use pre_sim::experiments::{budget_from_args, run_evaluation_matrix, stat_invocations, DEFAULT_EVAL_UOPS};
+
+fn main() {
+    let budget = budget_from_args(DEFAULT_EVAL_UOPS / 2);
+    let matrix = run_evaluation_matrix(budget, |_| {}).expect("evaluation matrix");
+    println!("{}", stat_invocations(&matrix).render());
+}

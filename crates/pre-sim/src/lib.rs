@@ -1,0 +1,28 @@
+//! Experiment runner for the PRE reproduction.
+//!
+//! This crate turns the simulator (`pre-core`), the workload suite
+//! (`pre-workloads`) and the energy model (`pre-energy`) into the experiments
+//! of the paper's evaluation section. Each figure, table and headline text
+//! statistic has a binary under `src/bin/` that regenerates it; the shared
+//! machinery lives here:
+//!
+//! * [`runner`] — run one (workload, technique) pair and collect statistics
+//!   plus energy.
+//! * [`matrix`] — run the full evaluation matrix and compute the normalized
+//!   metrics the figures plot (speedup over the out-of-order baseline,
+//!   energy savings, invocation ratios, …).
+//! * [`experiments`] — the per-figure/per-stat experiment definitions,
+//!   including the reduced default budgets that keep runs tractable on a
+//!   laptop.
+//! * [`report`] — plain-text table and CSV rendering.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod matrix;
+pub mod report;
+pub mod runner;
+
+pub use matrix::EvaluationMatrix;
+pub use runner::{run_one, RunResult, RunSpec};

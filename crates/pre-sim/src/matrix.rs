@@ -1,0 +1,219 @@
+//! The workload × technique evaluation matrix behind Figures 2 and 3.
+
+use crate::runner::{run_one, RunResult, RunSpec};
+use pre_core::pipeline::BuildError;
+use pre_model::config::SimConfig;
+use pre_runahead::Technique;
+use pre_workloads::{Workload, WorkloadParams};
+
+/// Results of running a set of workloads under a set of techniques.
+#[derive(Debug, Clone, Default)]
+pub struct EvaluationMatrix {
+    results: Vec<RunResult>,
+}
+
+impl EvaluationMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        EvaluationMatrix::default()
+    }
+
+    /// Runs `workloads` × `techniques` with the given configuration and
+    /// per-run micro-op budget, invoking `progress` after every completed
+    /// run (for incremental console output).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BuildError`] encountered.
+    pub fn run(
+        workloads: &[Workload],
+        techniques: &[Technique],
+        config: &SimConfig,
+        params: &WorkloadParams,
+        max_uops: u64,
+        mut progress: impl FnMut(&RunResult),
+    ) -> Result<Self, BuildError> {
+        let mut matrix = EvaluationMatrix::new();
+        for &workload in workloads {
+            for &technique in techniques {
+                let spec = RunSpec::new(workload, technique)
+                    .with_budget(max_uops)
+                    .with_config(config.clone())
+                    .with_params(*params);
+                let result = run_one(&spec)?;
+                progress(&result);
+                matrix.results.push(result);
+            }
+        }
+        Ok(matrix)
+    }
+
+    /// Adds a result (used by custom sweeps).
+    pub fn push(&mut self, result: RunResult) {
+        self.results.push(result);
+    }
+
+    /// All results.
+    pub fn results(&self) -> &[RunResult] {
+        &self.results
+    }
+
+    /// The result for one (workload, technique) cell, if present.
+    pub fn get(&self, workload: Workload, technique: Technique) -> Option<&RunResult> {
+        self.results
+            .iter()
+            .find(|r| r.workload == workload && r.technique == technique)
+    }
+
+    /// The workloads present in the matrix, in first-seen order.
+    pub fn workloads(&self) -> Vec<Workload> {
+        let mut seen = Vec::new();
+        for r in &self.results {
+            if !seen.contains(&r.workload) {
+                seen.push(r.workload);
+            }
+        }
+        seen
+    }
+
+    /// Speedup of `technique` over the out-of-order baseline on `workload`
+    /// (IPC ratio), if both runs are present.
+    pub fn speedup(&self, workload: Workload, technique: Technique) -> Option<f64> {
+        let base = self.get(workload, Technique::OutOfOrder)?.ipc();
+        let this = self.get(workload, technique)?.ipc();
+        if base > 0.0 {
+            Some(this / base)
+        } else {
+            None
+        }
+    }
+
+    /// Energy savings of `technique` relative to the baseline on `workload`
+    /// (positive = less energy).
+    pub fn energy_savings(&self, workload: Workload, technique: Technique) -> Option<f64> {
+        let base = self.get(workload, Technique::OutOfOrder)?;
+        let this = self.get(workload, technique)?;
+        Some(this.energy.savings_vs(&base.energy))
+    }
+
+    /// Geometric-mean speedup of `technique` across every workload in the
+    /// matrix.
+    pub fn gmean_speedup(&self, technique: Technique) -> f64 {
+        let speedups: Vec<f64> = self
+            .workloads()
+            .into_iter()
+            .filter_map(|w| self.speedup(w, technique))
+            .collect();
+        geometric_mean(&speedups)
+    }
+
+    /// Arithmetic-mean energy savings of `technique` across every workload.
+    pub fn mean_energy_savings(&self, technique: Technique) -> f64 {
+        let savings: Vec<f64> = self
+            .workloads()
+            .into_iter()
+            .filter_map(|w| self.energy_savings(w, technique))
+            .collect();
+        if savings.is_empty() {
+            0.0
+        } else {
+            savings.iter().sum::<f64>() / savings.len() as f64
+        }
+    }
+
+    /// Ratio of runahead invocations of `technique` to those of the
+    /// traditional-runahead configuration, averaged across workloads
+    /// (Stat D: the paper reports 1.62× for PRE and 1.95× for PRE+EMQ).
+    pub fn invocation_ratio_vs_runahead(&self, technique: Technique) -> f64 {
+        let ratios: Vec<f64> = self
+            .workloads()
+            .into_iter()
+            .filter_map(|w| {
+                let ra = self.get(w, Technique::Runahead)?.stats.runahead_entries;
+                let this = self.get(w, technique)?.stats.runahead_entries;
+                if ra > 0 {
+                    Some(this as f64 / ra as f64)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if ratios.is_empty() {
+            0.0
+        } else {
+            ratios.iter().sum::<f64>() / ratios.len() as f64
+        }
+    }
+
+    /// `true` if any run tripped the deadlock watchdog.
+    pub fn any_deadlocked(&self) -> bool {
+        self.results.iter().any(|r| r.deadlocked)
+    }
+}
+
+/// Geometric mean of a slice (1.0 for an empty slice).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pre_model::stats::SimStats;
+
+    fn fake_result(workload: Workload, technique: Technique, ipc: f64, entries: u64) -> RunResult {
+        let mut stats = SimStats::new();
+        stats.cycles = 1_000_000;
+        stats.committed_uops = (ipc * 1_000_000.0) as u64;
+        stats.runahead_entries = entries;
+        let energy = pre_energy::EnergyModel::default()
+            .evaluate(&stats, &pre_model::config::SimConfig::haswell_like());
+        RunResult {
+            workload,
+            technique,
+            stats,
+            energy,
+            deadlocked: false,
+        }
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 1.0);
+    }
+
+    #[test]
+    fn speedup_and_means_from_synthetic_results() {
+        let mut m = EvaluationMatrix::new();
+        m.push(fake_result(Workload::LbmLike, Technique::OutOfOrder, 0.5, 0));
+        m.push(fake_result(Workload::LbmLike, Technique::Pre, 0.75, 200));
+        m.push(fake_result(Workload::LbmLike, Technique::Runahead, 0.6, 100));
+        m.push(fake_result(Workload::McfLike, Technique::OutOfOrder, 0.4, 0));
+        m.push(fake_result(Workload::McfLike, Technique::Pre, 0.5, 150));
+        m.push(fake_result(Workload::McfLike, Technique::Runahead, 0.44, 100));
+        assert!((m.speedup(Workload::LbmLike, Technique::Pre).unwrap() - 1.5).abs() < 1e-9);
+        let gmean = m.gmean_speedup(Technique::Pre);
+        assert!((gmean - (1.5f64 * 1.25).sqrt()).abs() < 1e-9);
+        assert!((m.invocation_ratio_vs_runahead(Technique::Pre) - 1.75).abs() < 1e-9);
+        assert_eq!(m.workloads().len(), 2);
+        assert!(!m.any_deadlocked());
+    }
+
+    #[test]
+    fn energy_savings_reflect_faster_runs() {
+        let mut m = EvaluationMatrix::new();
+        let slow = fake_result(Workload::LbmLike, Technique::OutOfOrder, 0.5, 0);
+        let mut fast = fake_result(Workload::LbmLike, Technique::Pre, 0.5, 0);
+        fast.stats.cycles = 700_000;
+        fast.energy = pre_energy::EnergyModel::default()
+            .evaluate(&fast.stats, &pre_model::config::SimConfig::haswell_like());
+        m.push(slow);
+        m.push(fast);
+        assert!(m.energy_savings(Workload::LbmLike, Technique::Pre).unwrap() > 0.0);
+    }
+}

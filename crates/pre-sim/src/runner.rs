@@ -1,0 +1,134 @@
+//! Running a single (workload, technique) simulation.
+
+use pre_core::pipeline::BuildError;
+use pre_core::OooCore;
+use pre_energy::{EnergyBreakdown, EnergyModel};
+use pre_model::config::SimConfig;
+use pre_model::stats::SimStats;
+use pre_runahead::Technique;
+use pre_workloads::{Workload, WorkloadParams};
+
+/// Specification of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The workload to simulate.
+    pub workload: Workload,
+    /// The machine configuration (baseline or one of the runahead flavours).
+    pub technique: Technique,
+    /// The simulator configuration.
+    pub config: SimConfig,
+    /// Workload build parameters.
+    pub params: WorkloadParams,
+    /// Stop after this many committed micro-ops.
+    pub max_uops: u64,
+    /// Hard cycle limit (safety net).
+    pub max_cycles: u64,
+}
+
+impl RunSpec {
+    /// A run of `workload` under `technique` with the paper's Table 1
+    /// configuration and the default evaluation budget.
+    pub fn new(workload: Workload, technique: Technique) -> Self {
+        RunSpec {
+            workload,
+            technique,
+            config: SimConfig::haswell_like(),
+            params: WorkloadParams::default(),
+            max_uops: 300_000,
+            max_cycles: 60_000_000,
+        }
+    }
+
+    /// Overrides the committed-micro-op budget (the cycle limit scales with
+    /// it).
+    pub fn with_budget(mut self, max_uops: u64) -> Self {
+        self.max_uops = max_uops;
+        self.max_cycles = max_uops.saturating_mul(200).max(1_000_000);
+        self
+    }
+
+    /// Overrides the simulator configuration.
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the workload parameters.
+    pub fn with_params(mut self, params: WorkloadParams) -> Self {
+        self.params = params;
+        self
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The workload that was simulated.
+    pub workload: Workload,
+    /// The technique that was simulated.
+    pub technique: Technique,
+    /// Raw simulation statistics.
+    pub stats: SimStats,
+    /// Energy breakdown computed by the default [`EnergyModel`].
+    pub energy: EnergyBreakdown,
+    /// Whether the run hit the deadlock watchdog (indicates a modelling bug).
+    pub deadlocked: bool,
+}
+
+impl RunResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+
+    /// Total energy in millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        self.energy.total_mj()
+    }
+}
+
+/// Runs one simulation.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] if the configuration or the generated program is
+/// invalid.
+pub fn run_one(spec: &RunSpec) -> Result<RunResult, BuildError> {
+    let program = spec.workload.build(&spec.params);
+    let mut core = OooCore::new(&spec.config, &program, spec.technique)?;
+    core.run(spec.max_uops, spec.max_cycles);
+    let stats = core.stats().clone();
+    let energy = EnergyModel::default().evaluate(&stats, &spec.config);
+    Ok(RunResult {
+        workload: spec.workload,
+        technique: spec.technique,
+        stats,
+        energy,
+        deadlocked: core.deadlocked(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builders_apply_overrides() {
+        let spec = RunSpec::new(Workload::LbmLike, Technique::Pre)
+            .with_budget(1_000)
+            .with_params(WorkloadParams::short(10));
+        assert_eq!(spec.max_uops, 1_000);
+        assert_eq!(spec.params.iterations, 10);
+        assert!(spec.max_cycles >= 1_000_000);
+    }
+
+    #[test]
+    fn compute_bound_run_produces_stats_and_energy() {
+        let spec = RunSpec::new(Workload::ComputeBound, Technique::OutOfOrder).with_budget(5_000);
+        let result = run_one(&spec).expect("valid run");
+        assert!(!result.deadlocked);
+        assert!(result.stats.committed_uops >= 5_000);
+        assert!(result.ipc() > 0.5);
+        assert!(result.energy_mj() > 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Indexed-gather kernels (milc / soplex / sphinx3-like behaviour).
+//!
+//! Each iteration streams an index word from a large index array and uses it
+//! to address a much larger data array. The data-load stalling slice
+//! therefore contains the index load and the address arithmetic, so the SST
+//! has to learn a multi-instruction, multi-load slice — and the index value
+//! is usually available (its line was fetched a few iterations earlier),
+//! which lets runahead prefetch the data loads far ahead.
+
+use super::{layout, regs};
+use crate::builder::KernelBuilder;
+use pre_model::isa::{AluOp, BranchCond};
+use pre_model::program::Program;
+
+/// Parameters of a gather kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct GatherSpec {
+    /// Workload name.
+    pub name: &'static str,
+    /// Number of independent gathers per iteration.
+    pub gathers: usize,
+    /// Data-array working set in bytes (power of two).
+    pub data_working_set: u64,
+    /// Index-array working set in bytes (power of two).
+    pub index_working_set: u64,
+    /// Floating-point compute per iteration.
+    pub fp_compute: usize,
+    /// Integer compute per iteration.
+    pub int_compute: usize,
+    /// Whether each iteration stores a result element.
+    pub store: bool,
+}
+
+/// Builds a gather kernel.
+pub fn gather(spec: &GatherSpec, iterations: u64) -> Program {
+    assert!(spec.gathers >= 1 && spec.gathers <= 4, "1..=4 gathers supported");
+    assert!(spec.data_working_set.is_power_of_two());
+    assert!(spec.index_working_set.is_power_of_two());
+    let mut b = KernelBuilder::new(spec.name);
+    let t = regs::counter();
+    let n = regs::limit();
+    let i = regs::index();
+    let mask = regs::mask();
+    let acc = regs::acc();
+    let out = regs::out_base();
+    // The data-array wrap mask lives in a dedicated register so the gather
+    // slice is `load index; and; add; load data`.
+    let data_mask = regs::tmp(1);
+
+    b.li(t, 0);
+    b.li(n, iterations as i64);
+    b.li(i, 0);
+    b.li(mask, (spec.index_working_set - 1) as i64);
+    b.li(data_mask, (spec.data_working_set - 1) as i64 & !7);
+    b.li(acc, 0);
+    b.li(out, layout::SCRATCH_BASE as i64);
+    for k in 0..spec.gathers {
+        // Index stream base for gather k.
+        b.li(
+            regs::stream_base(k),
+            (layout::GATHER_INDEX_BASE + k as u64 * layout::REGION_SPACING) as i64,
+        );
+        // Data region base for gather k.
+        b.li(
+            regs::stream_base(k + spec.gathers),
+            (layout::GATHER_DATA_BASE + k as u64 * layout::REGION_SPACING) as i64,
+        );
+    }
+
+    let loop_top = b.pc();
+    for k in 0..spec.gathers {
+        let idx_base = regs::stream_base(k);
+        let data_base = regs::stream_base(k + spec.gathers);
+        let addr = regs::stream_addr(k);
+        let idx_val = regs::stream_addr(k + 4);
+        // Stream the index array (the index values come from the
+        // deterministic uninitialized-memory hash, i.e. pseudo-random).
+        b.alu(AluOp::Add, addr, idx_base, i);
+        b.load(idx_val, addr, 0);
+        // Form the data address: data_base + (index & data_mask).
+        b.alu(AluOp::And, idx_val, idx_val, data_mask);
+        b.alu(AluOp::Add, idx_val, idx_val, data_base);
+        b.fp_load(regs::fval(k), idx_val, 0);
+    }
+    for c in 0..spec.fp_compute {
+        let src = regs::fval(c % spec.gathers);
+        if c % 3 == 2 {
+            b.fp_mul(regs::facc(c % 4), regs::facc(c % 4), src);
+        } else {
+            b.fp_alu(AluOp::Add, regs::facc(c % 4), regs::facc(c % 4), src);
+        }
+    }
+    for c in 0..spec.int_compute {
+        let op = if c % 2 == 0 { AluOp::Add } else { AluOp::Xor };
+        b.alui(op, acc, acc, 0x61C8 + c as i64);
+    }
+    if spec.store {
+        // Result stream written alongside the index stream (same induction).
+        b.alu(AluOp::Add, regs::tmp(0), out, i);
+        b.fp_store(regs::facc(0), regs::tmp(0), 0);
+    }
+    b.alui(AluOp::Add, i, i, 8);
+    b.alu(AluOp::And, i, i, mask);
+    b.alui(AluOp::Add, t, t, 1);
+    b.branch(BranchCond::Lt, t, n, loop_top);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pre_model::program::Interpreter;
+
+    fn spec() -> GatherSpec {
+        GatherSpec {
+            name: "gather-test",
+            gathers: 2,
+            data_working_set: 1 << 24,
+            index_working_set: 1 << 22,
+            fp_compute: 4,
+            int_compute: 1,
+            store: true,
+        }
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let p = gather(&spec(), 100);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn runs_and_halts() {
+        let p = gather(&spec(), 64);
+        let mut interp = Interpreter::new(&p);
+        interp.run(1_000_000);
+        assert!(interp.halted());
+        // 2 gathers x 2 loads per iteration.
+        assert_eq!(interp.loads(), 64 * 4);
+    }
+
+    #[test]
+    fn data_addresses_stay_in_region() {
+        let p = gather(&spec(), 32);
+        let mut interp = Interpreter::new(&p);
+        interp.run(1_000_000);
+        // After the run, the data-address registers must lie inside the data
+        // regions (base .. base + working set).
+        for k in 0..2u64 {
+            let reg = regs::stream_addr(k as usize + 4);
+            let v = interp.reg(reg);
+            let base = layout::GATHER_DATA_BASE + k * layout::REGION_SPACING;
+            assert!(v >= base && v < base + (1 << 24), "gather {k} address {v:#x} out of range");
+        }
+    }
+
+    #[test]
+    fn gather_count_controls_load_count() {
+        let single = GatherSpec { gathers: 1, ..spec() };
+        let p = gather(&single, 16);
+        let mut interp = Interpreter::new(&p);
+        interp.run(100_000);
+        assert_eq!(interp.loads(), 16 * 2);
+    }
+}

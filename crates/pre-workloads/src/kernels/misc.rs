@@ -1,0 +1,64 @@
+//! Compute-bound control kernel.
+//!
+//! Not part of the paper's memory-intensive suite; used by tests and
+//! ablations as a control: runahead execution should neither help nor hurt a
+//! kernel that never stalls on memory.
+
+use super::regs;
+use crate::builder::KernelBuilder;
+use pre_model::isa::{AluOp, BranchCond};
+use pre_model::program::Program;
+
+/// Builds a compute-bound kernel: a loop of dependent and independent integer
+/// and floating-point arithmetic over a tiny, cache-resident working set.
+pub fn compute_bound(iterations: u64) -> Program {
+    let mut b = KernelBuilder::new("compute-bound");
+    let t = regs::counter();
+    let n = regs::limit();
+    let acc = regs::acc();
+
+    b.li(t, 0);
+    b.li(n, iterations as i64);
+    b.li(acc, 1);
+    for k in 0..4 {
+        b.li(regs::stream_addr(k), 3 + k as i64);
+    }
+    let loop_top = b.pc();
+    for k in 0..4 {
+        b.alu(AluOp::Add, regs::stream_addr(k), regs::stream_addr(k), acc);
+        b.fp_alu(AluOp::Add, regs::facc(k), regs::facc(k), regs::facc((k + 1) % 4));
+    }
+    b.mul(acc, acc, regs::stream_addr(0));
+    b.alui(AluOp::Xor, acc, acc, 0x55);
+    b.fp_mul(regs::facc(0), regs::facc(0), regs::facc(1));
+    b.alui(AluOp::Add, t, t, 1);
+    b.branch(BranchCond::Lt, t, n, loop_top);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pre_model::program::Interpreter;
+
+    #[test]
+    fn builds_runs_and_halts() {
+        let p = compute_bound(100);
+        assert!(p.validate().is_ok());
+        let mut interp = Interpreter::new(&p);
+        interp.run(1_000_000);
+        assert!(interp.halted());
+        assert_eq!(interp.loads(), 0, "compute-bound kernel must not load");
+    }
+
+    #[test]
+    fn iteration_count_scales_work() {
+        let p10 = compute_bound(10);
+        let p100 = compute_bound(100);
+        let mut a = Interpreter::new(&p10);
+        let mut b = Interpreter::new(&p100);
+        a.run(1_000_000);
+        b.run(1_000_000);
+        assert!(b.retired() > a.retired() * 5);
+    }
+}

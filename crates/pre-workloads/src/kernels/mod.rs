@@ -1,0 +1,144 @@
+//! Parameterized kernel generators.
+//!
+//! Three families of memory behaviour cover the SPEC-like suite:
+//!
+//! * [`streaming`] — strided loops over one or more large arrays
+//!   (lbm/bwaves/leslie3d/GemsFDTD/zeusmp/cactusADM/libquantum-like). The
+//!   stalling slices are short induction chains (`i += stride; addr = base +
+//!   i; load`) that do **not** depend on missed data, so runahead prefetches
+//!   them very effectively.
+//! * [`pointer_chase`] — one or more independent linked-list traversals
+//!   (mcf/omnetpp/gcc-like). Each chain's next address depends on the
+//!   previous node's data, so runahead gains come from overlapping the
+//!   independent chains and from any strided side traffic, not from running
+//!   a single chain further ahead.
+//! * [`gather`] — two-level indirection (milc/soplex/sphinx3-like): a
+//!   streamed index load feeds a data load into a large array. The data-load
+//!   slice includes the index load, exercising multi-instruction slice
+//!   learning in the SST.
+
+pub mod gather;
+pub mod misc;
+pub mod pointer;
+pub mod streaming;
+
+pub use gather::{gather, GatherSpec};
+pub use misc::compute_bound;
+pub use pointer::{pointer_chase, PointerChaseSpec};
+pub use streaming::{streaming, StreamingSpec};
+
+use pre_model::reg::ArchReg;
+
+/// Register-allocation conventions shared by the generators.
+pub(crate) mod regs {
+    use super::ArchReg;
+
+    /// Loop trip counter.
+    pub fn counter() -> ArchReg {
+        ArchReg::int(1)
+    }
+    /// Total iteration bound.
+    pub fn limit() -> ArchReg {
+        ArchReg::int(2)
+    }
+    /// Primary stream index.
+    pub fn index() -> ArchReg {
+        ArchReg::int(3)
+    }
+    /// Wrap mask for the primary index.
+    pub fn mask() -> ArchReg {
+        ArchReg::int(4)
+    }
+    /// Integer accumulator.
+    pub fn acc() -> ArchReg {
+        ArchReg::int(5)
+    }
+    /// Scratch/output base address.
+    pub fn out_base() -> ArchReg {
+        ArchReg::int(6)
+    }
+    /// Register holding the constant 1 (for data-dependent branches).
+    pub fn const_one() -> ArchReg {
+        ArchReg::int(7)
+    }
+    /// Base address register for stream `k` (k < 8).
+    pub fn stream_base(k: usize) -> ArchReg {
+        ArchReg::int(8 + k as u8)
+    }
+    /// Address temporary for stream `k` (k < 8).
+    pub fn stream_addr(k: usize) -> ArchReg {
+        ArchReg::int(16 + k as u8)
+    }
+    /// Pointer register for chase `k` (k < 6).
+    pub fn chase_ptr(k: usize) -> ArchReg {
+        ArchReg::int(24 + k as u8)
+    }
+    /// General integer temporary `k` (k < 2).
+    pub fn tmp(k: usize) -> ArchReg {
+        ArchReg::int(30 + k as u8)
+    }
+    /// Floating-point value register for stream `k`.
+    pub fn fval(k: usize) -> ArchReg {
+        ArchReg::fp(1 + k as u8)
+    }
+    /// Floating-point accumulator `k` (k < 4).
+    pub fn facc(k: usize) -> ArchReg {
+        ArchReg::fp(20 + k as u8)
+    }
+}
+
+/// Virtual-address map used by all kernels so regions never overlap.
+pub(crate) mod layout {
+    /// Base of the first streamed array; each subsequent region is
+    /// `REGION_SPACING` higher.
+    pub const STREAM_BASE: u64 = 0x1000_0000;
+    /// Base of the first linked-list region.
+    pub const LIST_BASE: u64 = 0x8000_0000;
+    /// Base of the gather data region.
+    pub const GATHER_DATA_BASE: u64 = 0xC000_0000;
+    /// Base of the streamed index array for gather kernels.
+    pub const GATHER_INDEX_BASE: u64 = 0xE000_0000;
+    /// Small scratch/output region (hot in the cache).
+    pub const SCRATCH_BASE: u64 = 0x0100_0000;
+    /// Spacing between regions (larger than any working set used).
+    pub const REGION_SPACING: u64 = 0x0400_0000;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_conventions_do_not_collide() {
+        let mut all = vec![
+            regs::counter(),
+            regs::limit(),
+            regs::index(),
+            regs::mask(),
+            regs::acc(),
+            regs::out_base(),
+            regs::const_one(),
+        ];
+        for k in 0..8 {
+            all.push(regs::stream_base(k));
+            all.push(regs::stream_addr(k));
+        }
+        for k in 0..6 {
+            all.push(regs::chase_ptr(k));
+        }
+        for k in 0..2 {
+            all.push(regs::tmp(k));
+        }
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "register conventions overlap");
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        assert!(layout::STREAM_BASE + 8 * layout::REGION_SPACING < layout::LIST_BASE);
+        assert!(layout::LIST_BASE + 8 * layout::REGION_SPACING < layout::GATHER_DATA_BASE);
+        assert!(layout::GATHER_DATA_BASE + layout::REGION_SPACING < layout::GATHER_INDEX_BASE);
+    }
+}

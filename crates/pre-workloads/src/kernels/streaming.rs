@@ -1,0 +1,193 @@
+//! Strided streaming kernels (lbm / bwaves / leslie3d / GemsFDTD / zeusmp /
+//! cactusADM / libquantum-like behaviour).
+
+use super::{layout, regs};
+use crate::builder::KernelBuilder;
+use pre_model::isa::{AluOp, BranchCond};
+use pre_model::program::Program;
+
+/// Parameters of a streaming kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingSpec {
+    /// Workload name.
+    pub name: &'static str,
+    /// Number of input arrays streamed in parallel (each is an independent
+    /// stalling slice).
+    pub arrays: usize,
+    /// Bytes the index advances per iteration (64 ⇒ every iteration touches a
+    /// new cache line per array; 8 ⇒ one miss every eight iterations).
+    pub stride: u64,
+    /// Working-set size per array in bytes (power of two, ≫ LLC so steady
+    /// state always misses).
+    pub working_set: u64,
+    /// Floating-point operations per iteration (models the compute density).
+    pub fp_compute: usize,
+    /// Integer operations per iteration.
+    pub int_compute: usize,
+    /// Whether each iteration writes one element of an output stream.
+    pub store: bool,
+    /// Use floating-point loads (`true` for the FP benchmarks, `false` for
+    /// libquantum-like integer streaming). The integer variant models
+    /// libquantum's conditional bit toggle: the loaded value is tested and
+    /// the accumulator update is branch-guarded, which also keeps the
+    /// window's destination-register density realistic.
+    pub fp_loads: bool,
+}
+
+/// Builds a streaming kernel.
+///
+/// The loop body is, per array *k*:
+/// `addr_k = base_k + i; x_k = load addr_k`, followed by the configured
+/// amount of compute, an optional store of the result, and the induction
+/// update `i = (i + stride) & mask; t = t + 1; if t < N goto loop`.
+pub fn streaming(spec: &StreamingSpec, iterations: u64) -> Program {
+    assert!(spec.arrays >= 1 && spec.arrays <= 6, "1..=6 streamed arrays supported");
+    assert!(spec.working_set.is_power_of_two(), "working set must be a power of two");
+    let mut b = KernelBuilder::new(spec.name);
+    let t = regs::counter();
+    let n = regs::limit();
+    let i = regs::index();
+    let mask = regs::mask();
+    let acc = regs::acc();
+    let out = regs::out_base();
+
+    b.li(t, 0);
+    b.li(n, iterations as i64);
+    b.li(i, 0);
+    b.li(mask, (spec.working_set - 1) as i64);
+    b.li(acc, 0);
+    b.li(regs::const_one(), 1);
+    b.li(out, (layout::STREAM_BASE + 7 * layout::REGION_SPACING) as i64);
+    for k in 0..spec.arrays {
+        b.li(
+            regs::stream_base(k),
+            (layout::STREAM_BASE + k as u64 * layout::REGION_SPACING) as i64,
+        );
+    }
+    b.emit(pre_model::isa::StaticInst::fp_alu(
+        AluOp::Xor,
+        regs::facc(0),
+        regs::facc(0),
+        regs::facc(0),
+    ));
+
+    let loop_top = b.pc();
+    // Address generation + loads: one independent slice per array.
+    for k in 0..spec.arrays {
+        b.alu(AluOp::Add, regs::stream_addr(k), regs::stream_base(k), i);
+        if spec.fp_loads {
+            b.fp_load(regs::fval(k), regs::stream_addr(k), 0);
+        } else {
+            // libquantum-style conditional toggle: test a bit of the loaded
+            // value and update the accumulator only when it is set.
+            b.load(regs::tmp(0), regs::stream_addr(k), 0);
+            b.alui(AluOp::And, regs::tmp(1), regs::tmp(0), 1);
+            let skip = b.pc() + 2;
+            b.branch(BranchCond::Ne, regs::tmp(1), regs::const_one(), skip);
+            b.alu(AluOp::Xor, acc, acc, regs::tmp(0));
+        }
+    }
+    // Compute.
+    for c in 0..spec.fp_compute {
+        let src = regs::fval(c % spec.arrays.max(1));
+        if c % 3 == 2 {
+            b.fp_mul(regs::facc(c % 4), regs::facc(c % 4), src);
+        } else {
+            b.fp_alu(AluOp::Add, regs::facc(c % 4), regs::facc(c % 4), src);
+        }
+    }
+    for c in 0..spec.int_compute {
+        let op = if c % 2 == 0 { AluOp::Add } else { AluOp::Xor };
+        b.alui(op, acc, acc, 0x9E37 + c as i64);
+    }
+    // Output stream.
+    if spec.store {
+        if spec.fp_loads {
+            b.alu(AluOp::Add, regs::tmp(1), out, i);
+            b.fp_store(regs::facc(0), regs::tmp(1), 0);
+        } else {
+            // The integer variant writes the output stream relative to the
+            // first input stream's address (fixed region offset), avoiding an
+            // extra address-generation micro-op.
+            let offset = (7 - 0) * layout::REGION_SPACING as i64;
+            b.store(acc, regs::stream_addr(0), offset);
+        }
+    }
+    // Induction.
+    b.alui(AluOp::Add, i, i, spec.stride as i64);
+    b.alu(AluOp::And, i, i, mask);
+    b.alui(AluOp::Add, t, t, 1);
+    b.branch(BranchCond::Lt, t, n, loop_top);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pre_model::program::Interpreter;
+
+    fn spec() -> StreamingSpec {
+        StreamingSpec {
+            name: "stream-test",
+            arrays: 3,
+            stride: 64,
+            working_set: 1 << 23,
+            fp_compute: 4,
+            int_compute: 1,
+            store: true,
+            fp_loads: true,
+        }
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let p = streaming(&spec(), 1000);
+        assert!(p.validate().is_ok());
+        assert!(p.len() > 10);
+    }
+
+    #[test]
+    fn runs_functionally_and_halts() {
+        let p = streaming(&spec(), 50);
+        let mut interp = Interpreter::new(&p);
+        let executed = interp.run(1_000_000);
+        assert!(interp.halted(), "kernel with 50 iterations must halt");
+        assert!(executed > 50 * 10);
+        assert_eq!(interp.loads(), 150);
+    }
+
+    #[test]
+    fn index_wraps_within_working_set() {
+        let mut s = spec();
+        s.working_set = 1 << 12; // 4 KB
+        let p = streaming(&s, 200);
+        let mut interp = Interpreter::new(&p);
+        interp.run(1_000_000);
+        // Index register must stay below the working set.
+        assert!(interp.reg(regs::index()) < (1 << 12));
+    }
+
+    #[test]
+    fn integer_variant_has_no_fp_loads() {
+        let s = StreamingSpec {
+            fp_loads: false,
+            arrays: 1,
+            ..spec()
+        };
+        let p = streaming(&s, 10);
+        assert!(p
+            .insts
+            .iter()
+            .all(|i| i.opcode != pre_model::isa::Opcode::FpLoad));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_working_set() {
+        let s = StreamingSpec {
+            working_set: 3000,
+            ..spec()
+        };
+        let _ = streaming(&s, 10);
+    }
+}

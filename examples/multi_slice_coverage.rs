@@ -1,0 +1,55 @@
+//! The paper's key coverage argument (Sections 2.4 and 5.1): the runahead
+//! buffer replays a *single* dependence chain per runahead interval, while
+//! PRE's Stalling Slice Table tracks *every* chain. On workloads whose misses
+//! come from one slice the two are comparable; as soon as several independent
+//! slices stall the window, PRE pulls ahead.
+//!
+//! This example compares RA-buffer and PRE on the single-slice
+//! `libquantum-like` stream and on the many-slice `lbm-like` and `milc-like`
+//! kernels, and reports how many distinct slice PCs the SST learned.
+//!
+//! Run with: `cargo run --release --example multi_slice_coverage`
+
+use precise_runahead::core::OooCore;
+use precise_runahead::model::config::SimConfig;
+use precise_runahead::runahead::Technique;
+use precise_runahead::workloads::{Workload, WorkloadParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget = 50_000;
+    let config = SimConfig::haswell_like();
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>16}",
+        "workload", "OoO ipc", "RA-buffer", "PRE", "slice PCs (SST)"
+    );
+    for workload in [
+        Workload::LibquantumLike,
+        Workload::LbmLike,
+        Workload::MilcLike,
+    ] {
+        let program = workload.build(&WorkloadParams::default());
+        let mut ipc = std::collections::HashMap::new();
+        let mut sst_pcs = 0;
+        for technique in [Technique::OutOfOrder, Technique::RunaheadBuffer, Technique::Pre] {
+            let mut core = OooCore::new(&config, &program, technique)?;
+            core.run(budget, 40_000_000);
+            ipc.insert(technique, core.stats().ipc());
+            if technique == Technique::Pre {
+                sst_pcs = core.stats().sst_inserts;
+            }
+        }
+        let base = ipc[&Technique::OutOfOrder];
+        println!(
+            "{:<18} {:>10.3} {:>11.2}x {:>11.2}x {:>16}",
+            workload.name(),
+            base,
+            ipc[&Technique::RunaheadBuffer] / base,
+            ipc[&Technique::Pre] / base,
+            sst_pcs,
+        );
+    }
+    println!();
+    println!("The SST learns every slice (multiple PCs); the runahead buffer is limited");
+    println!("to one chain per interval, which costs it coverage on multi-slice workloads.");
+    Ok(())
+}

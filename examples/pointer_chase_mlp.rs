@@ -1,0 +1,90 @@
+//! Why runahead execution cannot accelerate a *single* dependent pointer
+//! chase — and why independent chains and array scans still benefit.
+//!
+//! The example builds two hand-written kernels with the `KernelBuilder`:
+//!
+//! * `single-chase`: one linked-list traversal. Every next address depends on
+//!   the previous missing load, so runahead execution has nothing independent
+//!   to prefetch and all techniques perform the same.
+//! * `chase-plus-scan`: the same traversal interleaved with an independent
+//!   strided array scan. The scan's stalling slices are independent of the
+//!   missing data, so Precise Runahead Execution prefetches them and the
+//!   traversal's latency is partially hidden.
+//!
+//! Run with: `cargo run --release --example pointer_chase_mlp`
+
+use precise_runahead::core::OooCore;
+use precise_runahead::model::config::SimConfig;
+use precise_runahead::model::isa::{AluOp, BranchCond};
+use precise_runahead::model::program::Program;
+use precise_runahead::model::reg::ArchReg;
+use precise_runahead::runahead::Technique;
+use precise_runahead::workloads::KernelBuilder;
+
+/// Builds a pointer-chase kernel over `nodes` cache lines, optionally with an
+/// independent strided scan per iteration.
+fn chase_kernel(nodes: u64, with_scan: bool) -> Program {
+    let mut b = KernelBuilder::new(if with_scan { "chase-plus-scan" } else { "single-chase" });
+    let ptr = ArchReg::int(1);
+    let t = ArchReg::int(2);
+    let n = ArchReg::int(3);
+    let i = ArchReg::int(4);
+    let mask = ArchReg::int(5);
+    let scan_base = ArchReg::int(6);
+    let addr = ArchReg::int(7);
+    let val = ArchReg::int(8);
+
+    let list_base = 0x4000_0000u64;
+    // A simple strided "linked list": node k points to node k + 37 (mod nodes),
+    // 64 bytes apart, initialized explicitly so the chase reads real pointers.
+    for k in 0..nodes {
+        let cur = list_base + k * 64;
+        let next = list_base + ((k + 37) % nodes) * 64;
+        b.init_mem(cur, next);
+    }
+    b.li(ptr, list_base as i64);
+    b.li(t, 0);
+    b.li(n, 1_000_000_000);
+    b.li(i, 0);
+    b.li(mask, (32 * 1024 * 1024 - 1) as i64);
+    b.li(scan_base, 0x1000_0000);
+    let loop_top = b.pc();
+    b.load(ptr, ptr, 0);
+    if with_scan {
+        b.alu(AluOp::Add, addr, scan_base, i);
+        b.load(val, addr, 0);
+        b.store(val, addr, 8);
+        b.alui(AluOp::Add, i, i, 32);
+        b.alu(AluOp::And, i, i, mask);
+    }
+    b.alui(AluOp::Add, t, t, 1);
+    b.branch(BranchCond::Lt, t, n, loop_top);
+    b.finish()
+}
+
+fn run(program: &Program, technique: Technique) -> (f64, u64) {
+    let mut core = OooCore::new(&SimConfig::haswell_like(), program, technique).expect("valid core");
+    core.run(40_000, 40_000_000);
+    (core.stats().ipc(), core.stats().runahead_prefetches_issued)
+}
+
+fn main() {
+    for with_scan in [false, true] {
+        let program = chase_kernel(16 * 1024, with_scan);
+        println!("== {} ==", program.name);
+        let (base_ipc, _) = run(&program, Technique::OutOfOrder);
+        for technique in [Technique::OutOfOrder, Technique::Runahead, Technique::Pre] {
+            let (ipc, prefetches) = run(&program, technique);
+            println!(
+                "  {:<10} ipc {:.3}  speedup {:.2}x  prefetches {}",
+                technique.label(),
+                ipc,
+                ipc / base_ipc,
+                prefetches
+            );
+        }
+        println!();
+    }
+    println!("A single dependent chase gains nothing from running ahead; adding an");
+    println!("independent scan gives the runahead interval real work to prefetch.");
+}

@@ -1,0 +1,40 @@
+//! Quickstart: simulate one memory-intensive workload under the out-of-order
+//! baseline and under Precise Runahead Execution, and print the speedup.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use precise_runahead::core::OooCore;
+use precise_runahead::model::config::SimConfig;
+use precise_runahead::runahead::Technique;
+use precise_runahead::workloads::{Workload, WorkloadParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget_uops = 60_000;
+    let config = SimConfig::haswell_like();
+    let workload = Workload::MilcLike;
+    let program = workload.build(&WorkloadParams::default());
+
+    println!("workload : {} — {}", workload.name(), workload.description());
+    println!("config   : {}-entry ROB, {}-entry IQ, {} int + {} fp physical registers",
+        config.core.rob_entries, config.core.iq_entries,
+        config.core.int_phys_regs, config.core.fp_phys_regs);
+    println!();
+
+    let mut baseline_ipc = 0.0;
+    for technique in [Technique::OutOfOrder, Technique::Pre] {
+        let mut core = OooCore::new(&config, &program, technique)?;
+        core.run(budget_uops, 50_000_000);
+        let stats = core.stats();
+        if technique == Technique::OutOfOrder {
+            baseline_ipc = stats.ipc();
+        }
+        println!("{:<10} ipc {:.3}  cycles {:>9}  LLC MPKI {:>6.1}  runahead entries {:>6}  prefetches {:>6}",
+            technique.label(), stats.ipc(), stats.cycles, stats.l3_mpki(),
+            stats.runahead_entries, stats.runahead_prefetches_issued);
+        if technique == Technique::Pre {
+            println!();
+            println!("PRE speedup over the out-of-order baseline: {:.2}x", stats.ipc() / baseline_ipc);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Precise Runahead Execution (PRE) — a from-scratch reproduction in Rust.
+//!
+//! This facade crate re-exports the whole workspace so that examples and
+//! downstream users need a single dependency:
+//!
+//! * [`model`] — ISA, configuration (Table 1 defaults) and statistics.
+//! * [`mem`] — caches, MSHRs and DDR3-like DRAM.
+//! * [`frontend`] — branch prediction and front-end queues.
+//! * [`core`] — the execution-driven out-of-order pipeline with integrated
+//!   runahead modes.
+//! * [`runahead`] — the paper's contribution: SST, PRDQ, EMQ, runahead
+//!   buffer, entry policies and the [`runahead::Technique`] selector.
+//! * [`workloads`] — the SPEC-CPU2006-like synthetic kernel suite.
+//! * [`energy`] — the McPAT/CACTI-style energy and area model.
+//! * [`sim`] — the experiment runner that regenerates the paper's figures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use precise_runahead::core::OooCore;
+//! use precise_runahead::model::config::SimConfig;
+//! use precise_runahead::runahead::Technique;
+//! use precise_runahead::workloads::{Workload, WorkloadParams};
+//!
+//! let program = Workload::LbmLike.build(&WorkloadParams::default());
+//! let mut core = OooCore::new(&SimConfig::haswell_like(), &program, Technique::Pre)?;
+//! core.run(20_000, 10_000_000);
+//! assert!(core.stats().ipc() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pre_core as core;
+pub use pre_energy as energy;
+pub use pre_frontend as frontend;
+pub use pre_mem as mem;
+pub use pre_model as model;
+pub use pre_runahead as runahead;
+pub use pre_sim as sim;
+pub use pre_workloads as workloads;

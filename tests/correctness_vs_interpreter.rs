@@ -1,0 +1,96 @@
+//! End-to-end architectural correctness: for every workload and every
+//! technique, running the out-of-order core to completion must produce
+//! exactly the architectural state (registers and the ordered stream of
+//! committed stores) of the in-order reference interpreter. This is the
+//! central safety property of runahead execution — however aggressively a
+//! technique speculates, prefetches and discards, it must never change what
+//! the program computes.
+
+use precise_runahead::core::OooCore;
+use precise_runahead::model::config::SimConfig;
+use precise_runahead::model::program::Interpreter;
+use precise_runahead::runahead::Technique;
+use precise_runahead::workloads::{Workload, WorkloadParams};
+
+/// Runs `workload` under `technique` to completion and compares against the
+/// interpreter.
+fn check(workload: Workload, technique: Technique, iterations: u64) {
+    let params = WorkloadParams::short(iterations);
+    let program = workload.build(&params);
+
+    let mut interp = Interpreter::new(&program);
+    while interp.step() {}
+    let reference = interp.snapshot();
+
+    let cfg = SimConfig::haswell_like();
+    let mut core = OooCore::new(&cfg, &program, technique).expect("core builds");
+    core.run(u64::MAX, 20_000_000);
+    assert!(
+        core.halted(),
+        "{workload} under {technique} did not retire the whole program"
+    );
+    assert!(!core.deadlocked(), "{workload} under {technique} deadlocked");
+
+    let result = core.arch_snapshot();
+    assert_eq!(
+        result.retired, reference.retired,
+        "{workload} under {technique}: retired-instruction count differs"
+    );
+    assert_eq!(
+        result.regs, reference.regs,
+        "{workload} under {technique}: architectural register state differs"
+    );
+    assert_eq!(
+        result.stores, reference.stores,
+        "{workload} under {technique}: committed store count differs"
+    );
+    assert_eq!(
+        result.store_checksum, reference.store_checksum,
+        "{workload} under {technique}: committed store stream differs"
+    );
+}
+
+#[test]
+fn baseline_matches_interpreter_on_every_workload() {
+    for workload in Workload::ALL {
+        check(workload, Technique::OutOfOrder, 120);
+    }
+}
+
+#[test]
+fn traditional_runahead_matches_interpreter_on_every_workload() {
+    for workload in Workload::ALL {
+        check(workload, Technique::Runahead, 120);
+    }
+}
+
+#[test]
+fn runahead_buffer_matches_interpreter_on_every_workload() {
+    for workload in Workload::ALL {
+        check(workload, Technique::RunaheadBuffer, 120);
+    }
+}
+
+#[test]
+fn pre_matches_interpreter_on_every_workload() {
+    for workload in Workload::ALL {
+        check(workload, Technique::Pre, 120);
+    }
+}
+
+#[test]
+fn pre_emq_matches_interpreter_on_every_workload() {
+    for workload in Workload::ALL {
+        check(workload, Technique::PreEmq, 120);
+    }
+}
+
+#[test]
+fn longer_runs_stay_correct_for_the_paper_contribution() {
+    // A longer run of the multi-slice workloads under PRE and PRE+EMQ, the
+    // configurations with the most intrusive speculation machinery.
+    for workload in [Workload::LbmLike, Workload::MilcLike, Workload::McfLike] {
+        check(workload, Technique::Pre, 400);
+        check(workload, Technique::PreEmq, 400);
+    }
+}

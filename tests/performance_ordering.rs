@@ -1,0 +1,86 @@
+//! Qualitative performance relations from the paper's evaluation, checked
+//! with reduced budgets so they hold in debug builds. Exact magnitudes are
+//! asserted loosely (this is a simulator, not the authors' testbed); the
+//! *ordering* is what the paper's Figure 2 establishes.
+
+use precise_runahead::core::OooCore;
+use precise_runahead::model::config::SimConfig;
+use precise_runahead::runahead::Technique;
+use precise_runahead::workloads::{Workload, WorkloadParams};
+
+fn ipc(workload: Workload, technique: Technique, uops: u64) -> f64 {
+    let program = workload.build(&WorkloadParams::default());
+    let cfg = SimConfig::haswell_like();
+    let mut core = OooCore::new(&cfg, &program, technique).expect("core builds");
+    core.run(uops, 60_000_000);
+    assert!(!core.deadlocked());
+    core.stats().ipc()
+}
+
+#[test]
+fn pre_beats_the_baseline_on_streaming_fp_workloads() {
+    let base = ipc(Workload::LbmLike, Technique::OutOfOrder, 25_000);
+    let pre = ipc(Workload::LbmLike, Technique::Pre, 25_000);
+    assert!(
+        pre > base * 1.15,
+        "PRE ({pre:.3}) should clearly beat OoO ({base:.3}) on lbm-like"
+    );
+}
+
+#[test]
+fn pre_beats_the_baseline_on_gather_workloads() {
+    let base = ipc(Workload::MilcLike, Technique::OutOfOrder, 25_000);
+    let pre = ipc(Workload::MilcLike, Technique::Pre, 25_000);
+    assert!(
+        pre > base * 1.3,
+        "PRE ({pre:.3}) should clearly beat OoO ({base:.3}) on milc-like"
+    );
+}
+
+#[test]
+fn traditional_runahead_also_helps_memory_bound_workloads() {
+    let base = ipc(Workload::MilcLike, Technique::OutOfOrder, 25_000);
+    let ra = ipc(Workload::MilcLike, Technique::Runahead, 25_000);
+    assert!(
+        ra > base * 1.1,
+        "RA ({ra:.3}) should beat OoO ({base:.3}) on milc-like"
+    );
+}
+
+#[test]
+fn pre_is_at_least_as_good_as_traditional_runahead_on_multi_slice_workloads() {
+    let ra = ipc(Workload::MilcLike, Technique::Runahead, 25_000);
+    let pre = ipc(Workload::MilcLike, Technique::Pre, 25_000);
+    assert!(
+        pre >= ra * 0.95,
+        "PRE ({pre:.3}) should not lose to RA ({ra:.3}) on a multi-slice workload"
+    );
+}
+
+#[test]
+fn runahead_never_changes_compute_bound_performance() {
+    let base = ipc(Workload::ComputeBound, Technique::OutOfOrder, 25_000);
+    for technique in Technique::RUNAHEAD {
+        let t = ipc(Workload::ComputeBound, technique, 25_000);
+        let ratio = t / base;
+        assert!(
+            (0.99..=1.01).contains(&ratio),
+            "{technique} changed compute-bound IPC by {ratio:.3}"
+        );
+    }
+}
+
+#[test]
+fn dependent_pointer_chases_gain_little_from_any_technique() {
+    // A fundamental property of runahead execution, not a bug: when the next
+    // address depends on the missing data there is nothing to run ahead to.
+    let base = ipc(Workload::GccLike, Technique::OutOfOrder, 15_000);
+    for technique in [Technique::Runahead, Technique::Pre] {
+        let t = ipc(Workload::GccLike, technique, 15_000);
+        assert!(
+            t < base * 1.3,
+            "{technique} gained implausibly much on a chase-dominated workload"
+        );
+        assert!(t > base * 0.7, "{technique} should not cripple a chase workload");
+    }
+}

@@ -1,7 +1,8 @@
 //! Ablation bench (Section 3.3): PRE+EMQ performance as the EMQ capacity
 //! varies around the paper's 768 entries (4 × ROB).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pre_bench::harness::{BenchmarkId, Criterion};
+use pre_bench::{criterion_group, criterion_main};
 use pre_model::config::SimConfigBuilder;
 use pre_runahead::Technique;
 use pre_sim::runner::{run_one, RunSpec};
@@ -12,19 +13,23 @@ fn emq_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_emq_size");
     group.sample_size(10);
     for entries in [192usize, 768, 1536] {
-        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &entries| {
-            let config = SimConfigBuilder::haswell_like()
-                .emq_entries(entries)
-                .build()
-                .expect("valid configuration");
-            b.iter(|| {
-                let spec = RunSpec::new(Workload::MilcLike, Technique::PreEmq)
-                    .with_budget(5_000)
-                    .with_config(config.clone());
-                let result = run_one(&spec).expect("run");
-                black_box((result.ipc(), result.stats.emq_full_stall_cycles))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                let config = SimConfigBuilder::haswell_like()
+                    .emq_entries(entries)
+                    .build()
+                    .expect("valid configuration");
+                b.iter(|| {
+                    let spec = RunSpec::new(Workload::MilcLike, Technique::PreEmq)
+                        .with_budget(5_000)
+                        .with_config(config.clone());
+                    let result = run_one(&spec).expect("run");
+                    black_box((result.ipc(), result.stats.emq_full_stall_cycles))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,7 +1,8 @@
 //! Ablation bench (Stat F, Section 3.6): PRE performance as the SST capacity
 //! shrinks from the paper's 256 entries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pre_bench::harness::{BenchmarkId, Criterion};
+use pre_bench::{criterion_group, criterion_main};
 use pre_model::config::SimConfigBuilder;
 use pre_runahead::Technique;
 use pre_sim::runner::{run_one, RunSpec};
@@ -12,19 +13,23 @@ fn sst_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_sst_size");
     group.sample_size(10);
     for entries in [16usize, 64, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &entries| {
-            let config = SimConfigBuilder::haswell_like()
-                .sst_entries(entries)
-                .build()
-                .expect("valid configuration");
-            b.iter(|| {
-                let spec = RunSpec::new(Workload::LbmLike, Technique::Pre)
-                    .with_budget(5_000)
-                    .with_config(config.clone());
-                let result = run_one(&spec).expect("run");
-                black_box((result.ipc(), result.stats.sst_evictions))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                let config = SimConfigBuilder::haswell_like()
+                    .sst_entries(entries)
+                    .build()
+                    .expect("valid configuration");
+                b.iter(|| {
+                    let spec = RunSpec::new(Workload::LbmLike, Technique::Pre)
+                        .with_budget(5_000)
+                        .with_config(config.clone());
+                    let result = run_one(&spec).expect("run");
+                    black_box((result.ipc(), result.stats.sst_evictions))
+                })
+            },
+        );
     }
     group.finish();
 }

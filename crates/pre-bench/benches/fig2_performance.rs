@@ -4,7 +4,8 @@
 //! minutes. The full-suite numbers come from the `fig2_performance` binary in
 //! `pre-sim`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pre_bench::harness::{BenchmarkId, Criterion};
+use pre_bench::{criterion_group, criterion_main};
 use pre_runahead::Technique;
 use pre_sim::runner::{run_one, RunSpec};
 use pre_workloads::Workload;

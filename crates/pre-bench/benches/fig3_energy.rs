@@ -1,7 +1,8 @@
 //! Criterion bench regenerating Figure 3's data series (energy relative to
 //! the baseline) on a representative workload with a reduced budget.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pre_bench::harness::{BenchmarkId, Criterion};
+use pre_bench::{criterion_group, criterion_main};
 use pre_runahead::Technique;
 use pre_sim::runner::{run_one, RunSpec};
 use pre_workloads::Workload;
@@ -10,8 +11,12 @@ use std::hint::black_box;
 fn fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_energy");
     group.sample_size(10);
-    for technique in [Technique::OutOfOrder, Technique::Runahead, Technique::Pre, Technique::PreEmq]
-    {
+    for technique in [
+        Technique::OutOfOrder,
+        Technique::Runahead,
+        Technique::Pre,
+        Technique::PreEmq,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("milc-like", technique.label()),
             &technique,

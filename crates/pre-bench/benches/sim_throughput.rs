@@ -3,7 +3,8 @@
 //! stateful configuration). Useful for tracking performance regressions of
 //! the simulator itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pre_bench::harness::{BenchmarkId, Criterion, Throughput};
+use pre_bench::{criterion_group, criterion_main};
 use pre_runahead::Technique;
 use pre_sim::runner::{run_one, RunSpec};
 use pre_workloads::Workload;

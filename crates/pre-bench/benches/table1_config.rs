@@ -2,7 +2,8 @@
 //! configuration and constructing a core from it. (Table 1 is a configuration
 //! table, so the "benchmark" is the cost of instantiating that machine.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pre_bench::harness::Criterion;
+use pre_bench::{criterion_group, criterion_main};
 use pre_core::OooCore;
 use pre_model::config::SimConfig;
 use pre_runahead::Technique;

@@ -1,0 +1,269 @@
+//! A minimal, criterion-shaped benchmark harness.
+//!
+//! The workspace builds without crates.io access, so the benches under
+//! `benches/` run on this std-only harness instead of criterion. The API
+//! mirrors the subset of criterion the benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], [`Bencher::iter`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — so switching to the
+//! real crate later is an import change, not a rewrite.
+//!
+//! Measurement is deliberately simple: each benchmark runs one untimed
+//! warm-up iteration, then `sample_size` timed iterations, and reports the
+//! minimum, median and mean wall-clock time (plus throughput when the group
+//! declares one). Set `PRE_BENCH_SAMPLES` to override every group's sample
+//! count, e.g. `PRE_BENCH_SAMPLES=3 cargo bench` for a quick smoke run.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== {name}");
+        BenchmarkGroup {
+            sample_size: env_sample_size().unwrap_or(DEFAULT_SAMPLE_SIZE),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let samples = run_samples(env_sample_size().unwrap_or(DEFAULT_SAMPLE_SIZE), f);
+        report(name, &samples, None);
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+fn env_sample_size() -> Option<usize> {
+    std::env::var("PRE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+}
+
+/// What one iteration of a benchmark processes, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (here: committed micro-ops) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if env_sample_size().is_none() {
+            self.sample_size = n.max(1);
+        }
+        self
+    }
+
+    /// Declares per-iteration throughput so the report includes a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f`, handing it `input` (mirrors criterion's signature).
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let samples = run_samples(self.sample_size, |b| f(b, input));
+        report(&id.to_string(), &samples, self.throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with no explicit input.
+    pub fn bench_function(
+        &mut self,
+        id: BenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = run_samples(self.sample_size, &mut f);
+        report(&id.to_string(), &samples, self.throughput);
+        self
+    }
+
+    /// Ends the group (criterion writes reports here; we print as we go).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id that is only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name.is_empty(), &self.parameter) {
+            (false, Some(p)) => write!(f, "{}/{p}", self.name),
+            (false, None) => write!(f, "{}", self.name),
+            (true, Some(p)) => write!(f, "{p}"),
+            (true, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `sample_size` calls of `f` after one untimed warm-up call.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_samples(sample_size: usize, mut f: impl FnMut(&mut Bencher)) -> Vec<Duration> {
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::with_capacity(sample_size),
+    };
+    f(&mut bencher);
+    bencher.samples
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples — did the closure call iter()?)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>12}/s", human_rate(n, median)),
+        Throughput::Bytes(n) => format!("  {:>10}B/s", human_rate(n, median)),
+    });
+    println!(
+        "{name:<40} min {:>11}  med {:>11}  mean {:>11}{}",
+        human_time(min),
+        human_time(median),
+        human_time(mean),
+        rate.unwrap_or_default(),
+    );
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn human_rate(elements: u64, per: Duration) -> String {
+    let secs = per.as_secs_f64();
+    if secs <= 0.0 {
+        return "inf".into();
+    }
+    let rate = elements as f64 / secs;
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles benchmark functions into
+/// one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: generates `main` running the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let samples = run_samples(4, |b| b.iter(|| 1 + 1));
+        assert_eq!(samples.len(), 4);
+    }
+
+    #[test]
+    fn benchmark_id_renders_like_criterion() {
+        assert_eq!(BenchmarkId::new("lbm", 42).to_string(), "lbm/42");
+        assert_eq!(BenchmarkId::from_parameter("x/y").to_string(), "x/y");
+    }
+
+    #[test]
+    fn human_units_pick_sane_scales() {
+        assert_eq!(human_time(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(human_time(Duration::from_micros(12)), "12.000 µs");
+        assert_eq!(human_time(Duration::from_millis(12)), "12.000 ms");
+        assert!(human_rate(8_000, Duration::from_millis(1)).starts_with("8.00 M"));
+    }
+}

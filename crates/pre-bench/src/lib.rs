@@ -1,2 +1,9 @@
-//! Shared helpers for the Criterion benchmarks that regenerate the paper's
-//! tables and figures. The actual benchmarks live under `benches/`.
+//! Shared helpers for the benchmarks that regenerate the paper's tables and
+//! figures. The actual benchmarks live under `benches/`; they run on the
+//! criterion-shaped std-only [`harness`] because the build environment has no
+//! crates.io access.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harness;

@@ -27,7 +27,10 @@ impl FreeList {
         );
         FreeList {
             capacity,
-            free: (reserved..capacity).rev().map(|i| PhysReg(i as u16)).collect(),
+            free: (reserved..capacity)
+                .rev()
+                .map(|i| PhysReg(i as u16))
+                .collect(),
         }
     }
 

@@ -206,7 +206,11 @@ impl OooCore {
     ///
     /// Returns [`BuildError`] when the configuration or the program fails
     /// validation.
-    pub fn new(cfg: &SimConfig, program: &Program, technique: Technique) -> Result<Self, BuildError> {
+    pub fn new(
+        cfg: &SimConfig,
+        program: &Program,
+        technique: Technique,
+    ) -> Result<Self, BuildError> {
         cfg.validate()?;
         program.validate()?;
         let core_cfg = &cfg.core;
@@ -214,16 +218,17 @@ impl OooCore {
         for &(reg, value) in &program.initial_regs {
             arf[reg.flat_index()] = value;
         }
-        let mut int_prf = PhysRegFile::new(core_cfg.int_phys_regs, pre_model::reg::NUM_INT_ARCH_REGS);
+        let mut int_prf =
+            PhysRegFile::new(core_cfg.int_phys_regs, pre_model::reg::NUM_INT_ARCH_REGS);
         let mut fp_prf = PhysRegFile::new(core_cfg.fp_phys_regs, pre_model::reg::NUM_FP_ARCH_REGS);
         // Seed the identity-mapped physical registers with the initial
         // architectural values.
-        for flat in 0..NUM_ARCH_REGS {
+        for (flat, &value) in arf.iter().enumerate() {
             let arch = ArchReg::from_flat_index(flat);
             let phys = RegisterAliasTable::identity_mapping(flat);
             match arch.class() {
-                RegClass::Int => int_prf.init_arch_value(phys, arf[flat]),
-                RegClass::Fp => fp_prf.init_arch_value(phys, arf[flat]),
+                RegClass::Int => int_prf.init_arch_value(phys, value),
+                RegClass::Fp => fp_prf.init_arch_value(phys, value),
             }
         }
         let entry_policy = technique.entry_policy(&cfg.runahead);
@@ -583,14 +588,11 @@ impl OooCore {
             self.cfg.core.int_phys_regs,
             pre_model::reg::NUM_INT_ARCH_REGS,
         );
-        self.fp_free = FreeList::new(
-            self.cfg.core.fp_phys_regs,
-            pre_model::reg::NUM_FP_ARCH_REGS,
-        );
-        for flat in 0..NUM_ARCH_REGS {
+        self.fp_free = FreeList::new(self.cfg.core.fp_phys_regs, pre_model::reg::NUM_FP_ARCH_REGS);
+        for (flat, &value) in arch_values.iter().enumerate() {
             let arch = ArchReg::from_flat_index(flat);
             let phys = RegisterAliasTable::identity_mapping(flat);
-            self.prf_mut(arch.class()).init_arch_value(phys, arch_values[flat]);
+            self.prf_mut(arch.class()).init_arch_value(phys, value);
         }
         self.int_prf.clear_all_inv();
         self.fp_prf.clear_all_inv();

@@ -115,8 +115,10 @@ impl OooCore {
     fn begin_flush_runahead(&mut self, head_id: u64, kind: FlushKind) {
         let now = self.cycle;
         let long_latency_threshold = self.cfg.l3.latency;
-        let mut to_invalidate: Vec<(u64, Option<(pre_model::reg::RegClass, pre_model::reg::PhysReg)>)> =
-            Vec::new();
+        let mut to_invalidate: Vec<(
+            u64,
+            Option<(pre_model::reg::RegClass, pre_model::reg::PhysReg)>,
+        )> = Vec::new();
         for entry in self.rob.iter() {
             let pending_off_chip = entry.issued
                 && !entry.executed
@@ -164,8 +166,8 @@ impl OooCore {
         // Seed the replay with the youngest speculative register values, as
         // the hardware's rename table would supply.
         let mut regs = [0u64; NUM_ARCH_REGS];
-        for flat in 0..NUM_ARCH_REGS {
-            regs[flat] = self.speculative_arch_value(ArchReg::from_flat_index(flat));
+        for (flat, reg) in regs.iter_mut().enumerate() {
+            *reg = self.speculative_arch_value(ArchReg::from_flat_index(flat));
         }
         let inv_regs: Vec<ArchReg> = self
             .rob
@@ -262,9 +264,7 @@ impl OooCore {
             }
             let uop = self.uop_queue.pop().expect("front checked above");
             if self.use_emq {
-                self.emq
-                    .capture(uop)
-                    .expect("EMQ fullness checked above");
+                self.emq.capture(uop).expect("EMQ fullness checked above");
             }
             if hit {
                 self.runahead_execute_uop(uop, now);
@@ -357,7 +357,10 @@ impl OooCore {
     /// the stalling load (Section 2.2), paying the flush/refill penalty that
     /// PRE avoids (Section 2.4).
     fn exit_flush(&mut self, now: u64) {
-        let interval = self.interval.take().expect("exit requires an active interval");
+        let interval = self
+            .interval
+            .take()
+            .expect("exit requires an active interval");
         self.stats.runahead_exits += 1;
         self.stats
             .runahead_interval_hist
@@ -407,7 +410,10 @@ impl OooCore {
     /// `aborted` is set when the exit is forced by a normal-mode branch
     /// misprediction rather than by the stalling load returning.
     pub(crate) fn exit_pre(&mut self, now: u64, aborted: bool) {
-        let interval = self.interval.take().expect("exit requires an active interval");
+        let interval = self
+            .interval
+            .take()
+            .expect("exit requires an active interval");
         self.stats.runahead_exits += 1;
         self.stats
             .runahead_interval_hist
@@ -419,12 +425,22 @@ impl OooCore {
         self.runahead_allocated.clear();
         self.runahead_store_buffer.clear();
 
-        self.rat
-            .restore(interval.rat_checkpoint.as_ref().expect("PRE checkpoints the RAT"));
-        self.int_free
-            .restore(interval.int_free_snapshot.expect("PRE snapshots the free lists"));
-        self.fp_free
-            .restore(interval.fp_free_snapshot.expect("PRE snapshots the free lists"));
+        self.rat.restore(
+            interval
+                .rat_checkpoint
+                .as_ref()
+                .expect("PRE checkpoints the RAT"),
+        );
+        self.int_free.restore(
+            interval
+                .int_free_snapshot
+                .expect("PRE snapshots the free lists"),
+        );
+        self.fp_free.restore(
+            interval
+                .fp_free_snapshot
+                .expect("PRE snapshots the free lists"),
+        );
         self.int_prf.clear_all_inv();
         self.fp_prf.clear_all_inv();
         self.predictor.restore_history(interval.history);

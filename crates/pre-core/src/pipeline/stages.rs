@@ -321,7 +321,9 @@ impl OooCore {
                 continue;
             }
             let value = match data {
-                Some((class, reg)) if self.prf(class).is_ready(reg) => Some(self.prf(class).peek(reg)),
+                Some((class, reg)) if self.prf(class).is_ready(reg) => {
+                    Some(self.prf(class).peek(reg))
+                }
                 _ => None,
             };
             updates.push((e.id, addr, value));
@@ -390,7 +392,7 @@ impl OooCore {
             // issue when an L1D miss-status register is available. This
             // bounds outstanding misses (demand and runahead prefetches
             // alike) to the MSHR count, as in real hardware.
-            if !(src_inv && runahead_exec)
+            if (!src_inv || !runahead_exec)
                 && !self.mem_hier.in_l1d(addr)
                 && !self.mem_hier.data_mshr_available(now)
             {
@@ -678,7 +680,10 @@ mod tests {
         while interp.step() {}
         assert_eq!(core.arch_reg(acc), interp.reg(acc));
         assert_eq!(core.arch_snapshot().regs, interp.snapshot().regs);
-        assert!(core.stats().mispredicted_branches > 0, "pattern should mispredict");
+        assert!(
+            core.stats().mispredicted_branches > 0,
+            "pattern should mispredict"
+        );
         assert!(core.stats().squashed_uops > 0);
     }
 
@@ -692,7 +697,8 @@ mod tests {
         p.insts.push(StaticInst::load_imm(i, 0));
         p.insts.push(StaticInst::load_imm(n, 2_000));
         for r in 1..=8u8 {
-            p.insts.push(StaticInst::load_imm(ArchReg::int(r), r as i64));
+            p.insts
+                .push(StaticInst::load_imm(ArchReg::int(r), r as i64));
         }
         p.insts.push(StaticInst::int_alu_imm(AluOp::Add, i, i, 1));
         p.insts.push(StaticInst::branch(BranchCond::Lt, i, n, 2));
@@ -745,7 +751,10 @@ mod tests {
         let mut core = OooCore::new(&cfg, &p, Technique::OutOfOrder).unwrap();
         core.run(10_000, 500_000);
         assert!(!core.deadlocked());
-        assert!(core.stats().l3_misses > 32, "pointer chase should miss the LLC");
+        assert!(
+            core.stats().l3_misses > 32,
+            "pointer chase should miss the LLC"
+        );
         // Dependent misses serialize: the run must take far longer than the
         // instruction count.
         assert!(core.stats().cycles > 64 * 100);

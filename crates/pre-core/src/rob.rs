@@ -275,7 +275,11 @@ mod tests {
     #[test]
     fn long_latency_detection_requires_memory_level() {
         let mut e = entry(1);
-        e.uop.inst = StaticInst::load(pre_model::reg::ArchReg::int(1), pre_model::reg::ArchReg::int(2), 0);
+        e.uop.inst = StaticInst::load(
+            pre_model::reg::ArchReg::int(1),
+            pre_model::reg::ArchReg::int(2),
+            0,
+        );
         e.issued = true;
         e.completion_cycle = 500;
         e.mem_level = Some(HitLevel::L2);

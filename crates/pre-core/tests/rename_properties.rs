@@ -1,7 +1,12 @@
-//! Property-based tests of the rename machinery: for arbitrary sequences of
-//! renames, commits, rollbacks and checkpoint/restore operations, physical
-//! registers are never leaked, never double-freed, and the RAT always maps
-//! every architectural register to a register that is not on the free list.
+//! Randomized-property tests of the rename machinery: for arbitrary
+//! sequences of renames, commits, rollbacks and checkpoint/restore
+//! operations, physical registers are never leaked, never double-freed, and
+//! the RAT always maps every architectural register to a register that is
+//! not on the free list.
+//!
+//! Driven by the workspace's deterministic [`pre_model::rng::SmallRng`]
+//! instead of proptest (no crates.io access); every case derives from a fixed
+//! seed, so failures reproduce exactly.
 
 use pre_core::freelist::FreeList;
 use pre_core::rat::RegisterAliasTable;
@@ -9,7 +14,7 @@ use pre_core::rob::{ReorderBuffer, RobEntry};
 use pre_core::uop::DynUop;
 use pre_model::isa::StaticInst;
 use pre_model::reg::{ArchReg, NUM_INT_ARCH_REGS};
-use proptest::prelude::*;
+use pre_model::rng::SmallRng;
 
 /// One step of the random rename workload.
 #[derive(Debug, Clone, Copy)]
@@ -22,30 +27,36 @@ enum Op {
     SquashYoungest,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..NUM_INT_ARCH_REGS as u8).prop_map(Op::Rename),
-        Just(Op::CommitOldest),
-        Just(Op::SquashYoungest),
-    ]
+fn random_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_below(3) {
+        0 => Op::Rename(rng.gen_range_usize(0..NUM_INT_ARCH_REGS) as u8),
+        1 => Op::CommitOldest,
+        _ => Op::SquashYoungest,
+    }
 }
 
-proptest! {
-    /// Conservation of physical registers across arbitrary rename/commit/
-    /// squash interleavings: free + live-mapped + pending-free = capacity,
-    /// and the RAT never maps two architectural registers to one physical
-    /// register.
-    #[test]
-    fn rename_commit_squash_conserves_registers(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+/// Conservation of physical registers across arbitrary rename/commit/squash
+/// interleavings: free + live-mapped + pending-free = capacity, and the RAT
+/// never maps two architectural registers to one physical register.
+#[test]
+fn rename_commit_squash_conserves_registers() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_0001);
+    for _case in 0..48 {
+        let len = rng.gen_range_usize(1..300);
         let capacity = 64usize;
         let mut rat = RegisterAliasTable::new();
         let mut free = FreeList::new(capacity, NUM_INT_ARCH_REGS);
         // Outstanding renames, oldest first: (arch, new_phys, old_phys, old_pc).
-        let mut outstanding: Vec<(ArchReg, pre_model::reg::PhysReg, pre_model::reg::PhysReg, Option<u32>)> = Vec::new();
+        let mut outstanding: Vec<(
+            ArchReg,
+            pre_model::reg::PhysReg,
+            pre_model::reg::PhysReg,
+            Option<u32>,
+        )> = Vec::new();
         let mut pc = 0u32;
 
-        for op in ops {
-            match op {
+        for _ in 0..len {
+            match random_op(&mut rng) {
                 Op::Rename(r) => {
                     if let Some(new) = free.allocate() {
                         let arch = ArchReg::int(r % NUM_INT_ARCH_REGS as u8);
@@ -69,28 +80,46 @@ proptest! {
             }
             // Invariant 1: no physical register is both free and mapped.
             for (_, phys) in rat.iter().take(NUM_INT_ARCH_REGS) {
-                prop_assert!(!free.is_free(phys), "mapped register {phys} is on the free list");
+                assert!(
+                    !free.is_free(phys),
+                    "mapped register {phys} is on the free list"
+                );
             }
             // Invariant 2: the RAT mapping is injective over the int class.
             let mut seen = std::collections::HashSet::new();
             for (arch, phys) in rat.iter() {
                 if arch.class() == pre_model::reg::RegClass::Int {
-                    prop_assert!(seen.insert(phys.index()), "two architectural registers map to {phys}");
+                    assert!(
+                        seen.insert(phys.index()),
+                        "two architectural registers map to {phys}"
+                    );
                 }
             }
             // Invariant 3: register conservation.
-            prop_assert_eq!(
+            assert_eq!(
                 free.num_free() + NUM_INT_ARCH_REGS + outstanding.len(),
                 capacity,
                 "registers leaked or duplicated"
             );
         }
     }
+}
 
-    /// Checkpoint/restore puts the RAT back exactly, regardless of what
-    /// happened in between.
-    #[test]
-    fn rat_checkpoint_restore_is_exact(renames in proptest::collection::vec((0u8..32, 32u16..64), 1..100)) {
+/// Checkpoint/restore puts the RAT back exactly, regardless of what happened
+/// in between.
+#[test]
+fn rat_checkpoint_restore_is_exact() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_0002);
+    for _case in 0..48 {
+        let len = rng.gen_range_usize(1..100);
+        let renames: Vec<(u8, u16)> = (0..len)
+            .map(|_| {
+                (
+                    rng.gen_range_usize(0..32) as u8,
+                    rng.gen_range_usize(32..64) as u16,
+                )
+            })
+            .collect();
         let mut rat = RegisterAliasTable::new();
         for (i, &(arch, phys)) in renames.iter().enumerate() {
             if i == renames.len() / 2 {
@@ -103,31 +132,43 @@ proptest! {
                 }
                 scratch.restore(&checkpoint);
                 let after: Vec<_> = scratch.iter().collect();
-                prop_assert_eq!(before, after);
+                assert_eq!(before, after);
             }
-            rat.rename(ArchReg::int(arch % 32), pre_model::reg::PhysReg(phys), i as u32);
+            rat.rename(
+                ArchReg::int(arch % 32),
+                pre_model::reg::PhysReg(phys),
+                i as u32,
+            );
         }
     }
+}
 
-    /// The ROB keeps program order: squashing younger than an id never
-    /// removes older entries, and what remains is still sorted by id.
-    #[test]
-    fn rob_squash_preserves_order(count in 1usize..60, cut in 0u64..80) {
+/// The ROB keeps program order: squashing younger than an id never removes
+/// older entries, and what remains is still sorted by id.
+#[test]
+fn rob_squash_preserves_order() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_0003);
+    for _case in 0..64 {
+        let count = rng.gen_range_usize(1..60);
+        let cut = rng.gen_range_u64(0..80);
         let mut rob = ReorderBuffer::new(64);
         for id in 1..=count as u64 {
-            rob.push(RobEntry::new(id, DynUop::sequential(id as u32, StaticInst::nop(), 0)));
+            rob.push(RobEntry::new(
+                id,
+                DynUop::sequential(id as u32, StaticInst::nop(), 0),
+            ));
         }
         let squashed = rob.squash_younger_than(cut);
         for e in &squashed {
-            prop_assert!(e.id > cut);
+            assert!(e.id > cut);
         }
         let remaining: Vec<u64> = rob.iter().map(|e| e.id).collect();
         for w in remaining.windows(2) {
-            prop_assert!(w[0] < w[1], "ROB order violated");
+            assert!(w[0] < w[1], "ROB order violated");
         }
         for &id in &remaining {
-            prop_assert!(id <= cut.max(0) || id <= count as u64);
+            assert!(id <= cut, "id {id} survived squash_younger_than({cut})");
         }
-        prop_assert_eq!(remaining.len() + squashed.len(), count);
+        assert_eq!(remaining.len() + squashed.len(), count);
     }
 }

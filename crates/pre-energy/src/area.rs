@@ -50,7 +50,11 @@ impl fmt::Display for HardwareOverhead {
         writeln!(f, "RAT extension       : {:>6} B", self.rat_extension_bytes)?;
         writeln!(f, "PRE total           : {:>6} B", self.pre_total_bytes())?;
         writeln!(f, "EMQ (optional)      : {:>6} B", self.emq_bytes)?;
-        writeln!(f, "PRE+EMQ total       : {:>6} B", self.pre_emq_total_bytes())?;
+        writeln!(
+            f,
+            "PRE+EMQ total       : {:>6} B",
+            self.pre_emq_total_bytes()
+        )?;
         write!(
             f,
             "runahead buffer     : {:>6} B (prior work, for comparison)",
@@ -78,9 +82,11 @@ mod tests {
 
     #[test]
     fn scales_with_configuration() {
-        let mut cfg = RunaheadConfig::default();
-        cfg.sst_entries = 512;
-        cfg.emq_entries = 1536;
+        let cfg = RunaheadConfig {
+            sst_entries: 512,
+            emq_entries: 1536,
+            ..Default::default()
+        };
         let hw = HardwareOverhead::for_config(&cfg);
         assert_eq!(hw.sst_bytes, 2048);
         assert_eq!(hw.emq_bytes, 6144);

@@ -147,9 +147,7 @@ impl Cache {
         let set = self.set_index(addr);
         let tag = self.tag(addr);
         let lru_clock = self.lru_clock;
-        let line = self.sets[set]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag);
+        let line = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag);
         match line {
             Some(line) => {
                 line.lru = lru_clock;
@@ -319,7 +317,9 @@ mod tests {
         c.fill(0x080, 0, HitLevel::L2, false, false);
         // Touch 0x000 so 0x080 becomes LRU.
         c.access(0x000, true, false);
-        let ev = c.fill(0x100, 0, HitLevel::L2, false, false).expect("eviction");
+        let ev = c
+            .fill(0x100, 0, HitLevel::L2, false, false)
+            .expect("eviction");
         assert_eq!(ev.line_addr, 0x080);
         assert!(c.probe(0x000).is_some());
         assert!(c.probe(0x080).is_none());
@@ -331,7 +331,9 @@ mod tests {
         c.fill(0x000, 0, HitLevel::L2, false, false);
         c.access(0x000, true, true); // store marks dirty
         c.fill(0x080, 0, HitLevel::L2, false, false);
-        let ev = c.fill(0x100, 0, HitLevel::L2, false, false).expect("eviction");
+        let ev = c
+            .fill(0x100, 0, HitLevel::L2, false, false)
+            .expect("eviction");
         assert!(ev.dirty);
         assert_eq!(ev.line_addr, 0x000);
         assert_eq!(c.stats().writebacks, 1);

@@ -122,7 +122,7 @@ impl Dram {
         // Data burst on the shared channel: DDR transfers two beats per bus
         // cycle, so a burst of `burst_length` beats takes burst_length / 2
         // bus cycles.
-        let burst_core = self.to_core((self.cfg.burst_length + 1) / 2);
+        let burst_core = self.to_core(self.cfg.burst_length.div_ceil(2));
         let burst_start = access_done.max(self.bus_busy_until);
         // Controller overhead (queue arbitration, scheduling, I/O) delays the
         // data return but does not occupy the bank or the data bus.
@@ -143,7 +143,7 @@ impl Dram {
     /// for calibrating expectations in tests.
     pub fn unloaded_latency(&self) -> u64 {
         self.to_core(self.cfg.t_rcd + self.cfg.t_cl)
-            + self.to_core((self.cfg.burst_length + 1) / 2)
+            + self.to_core(self.cfg.burst_length.div_ceil(2))
             + self.to_core(self.cfg.t_controller)
     }
 }
@@ -173,7 +173,10 @@ mod tests {
         // Same row, issued long after the first completes: row hit.
         let second_start = first + 1000;
         let second = d.access(0x10_040, second_start, false) - second_start;
-        assert!(second < first, "row hit {second} should beat cold access {first}");
+        assert!(
+            second < first,
+            "row hit {second} should beat cold access {first}"
+        );
         assert_eq!(d.stats().row_hits, 1);
         assert_eq!(d.stats().row_misses, 1);
     }

@@ -138,7 +138,13 @@ impl MemoryHierarchy {
     /// Issues an instruction fetch for the line containing `addr`.
     pub fn ifetch(&mut self, addr: u64, now: u64) -> MemAccess {
         self.ifetches += 1;
-        self.walk(addr, now, EntryPoint::Instruction, AccessKind::Demand, false)
+        self.walk(
+            addr,
+            now,
+            EntryPoint::Instruction,
+            AccessKind::Demand,
+            false,
+        )
     }
 
     fn walk(
@@ -162,7 +168,11 @@ impl MemoryHierarchy {
         let l1_done = now + l1_latency;
         if let Some(p) = l1.access(addr, demand, is_store) {
             let completion = l1_done.max(p.ready_at);
-            let level = if p.ready_at > now { p.fill_level } else { HitLevel::L1 };
+            let level = if p.ready_at > now {
+                p.fill_level
+            } else {
+                HitLevel::L1
+            };
             return MemAccess {
                 completion_cycle: completion,
                 level,
@@ -176,52 +186,63 @@ impl MemoryHierarchy {
         // ---- level 2 -------------------------------------------------------
         let l2_latency = self.l2.latency();
         let l2_done = l2_start + l2_latency;
-        let (completion, level, first_use, initiated) = if let Some(p) =
-            self.l2.access(addr, demand, false)
-        {
-            let completion = l2_done.max(p.ready_at);
-            let level = if p.ready_at > l2_start { p.fill_level } else { HitLevel::L2 };
-            (completion, level, p.first_use_of_prefetch, false)
-        } else {
-            let l3_start = self.l2_mshr.next_free_cycle(l2_start).max(l2_start) + l2_latency;
-
-            // ---- level 3 ---------------------------------------------------
-            let l3_latency = self.l3.latency();
-            let l3_done = l3_start + l3_latency;
-            let (completion, level, first_use, initiated) =
-                if let Some(p) = self.l3.access(addr, demand, false) {
-                    let completion = l3_done.max(p.ready_at);
-                    let level = if p.ready_at > l3_start { p.fill_level } else { HitLevel::L3 };
-                    (completion, level, p.first_use_of_prefetch, false)
+        let (completion, level, first_use, initiated) =
+            if let Some(p) = self.l2.access(addr, demand, false) {
+                let completion = l2_done.max(p.ready_at);
+                let level = if p.ready_at > l2_start {
+                    p.fill_level
                 } else {
-                    // ---- DRAM --------------------------------------------------
-                    let dram_start =
-                        self.l3_mshr.next_free_cycle(l3_start).max(l3_start) + l3_latency;
-                    let line = self.l3.align(addr);
-                    let completion = self.dram.access(line, dram_start, false);
-                    if !self.l3_mshr.is_full(l3_start) {
-                        self.l3_mshr.allocate(line, l3_start, completion);
-                    }
-                    if let Some(ev) = self.l3.fill(addr, completion, HitLevel::Memory, prefetched, false)
-                    {
-                        if ev.dirty {
-                            self.dram.access(ev.line_addr, completion, true);
-                        }
-                    }
-                    (completion, HitLevel::Memory, false, true)
+                    HitLevel::L2
                 };
+                (completion, level, p.first_use_of_prefetch, false)
+            } else {
+                let l3_start = self.l2_mshr.next_free_cycle(l2_start).max(l2_start) + l2_latency;
 
-            // Fill L2 on the way back; dirty L2 victims are written back to L3.
-            if !self.l2_mshr.is_full(l2_start) {
-                self.l2_mshr.allocate(self.l2.align(addr), l2_start, completion);
-            }
-            if let Some(ev) = self.l2.fill(addr, completion, level, prefetched, false) {
-                if ev.dirty {
-                    self.l3.fill(ev.line_addr, completion, HitLevel::L2, false, true);
+                // ---- level 3 ---------------------------------------------------
+                let l3_latency = self.l3.latency();
+                let l3_done = l3_start + l3_latency;
+                let (completion, level, first_use, initiated) =
+                    if let Some(p) = self.l3.access(addr, demand, false) {
+                        let completion = l3_done.max(p.ready_at);
+                        let level = if p.ready_at > l3_start {
+                            p.fill_level
+                        } else {
+                            HitLevel::L3
+                        };
+                        (completion, level, p.first_use_of_prefetch, false)
+                    } else {
+                        // ---- DRAM --------------------------------------------------
+                        let dram_start =
+                            self.l3_mshr.next_free_cycle(l3_start).max(l3_start) + l3_latency;
+                        let line = self.l3.align(addr);
+                        let completion = self.dram.access(line, dram_start, false);
+                        if !self.l3_mshr.is_full(l3_start) {
+                            self.l3_mshr.allocate(line, l3_start, completion);
+                        }
+                        if let Some(ev) =
+                            self.l3
+                                .fill(addr, completion, HitLevel::Memory, prefetched, false)
+                        {
+                            if ev.dirty {
+                                self.dram.access(ev.line_addr, completion, true);
+                            }
+                        }
+                        (completion, HitLevel::Memory, false, true)
+                    };
+
+                // Fill L2 on the way back; dirty L2 victims are written back to L3.
+                if !self.l2_mshr.is_full(l2_start) {
+                    self.l2_mshr
+                        .allocate(self.l2.align(addr), l2_start, completion);
                 }
-            }
-            (completion, level, first_use, initiated)
-        };
+                if let Some(ev) = self.l2.fill(addr, completion, level, prefetched, false) {
+                    if ev.dirty {
+                        self.l3
+                            .fill(ev.line_addr, completion, HitLevel::L2, false, true);
+                    }
+                }
+                (completion, level, first_use, initiated)
+            };
 
         // Fill L1 on the way back (prefetches may be configured not to).
         let fill_l1 = !prefetched || self.prefetch_fill_l1;
@@ -235,7 +256,8 @@ impl MemoryHierarchy {
             }
             if let Some(ev) = l1.fill(addr, completion, level, prefetched, is_store) {
                 if ev.dirty {
-                    self.l2.fill(ev.line_addr, completion, HitLevel::L1, false, true);
+                    self.l2
+                        .fill(ev.line_addr, completion, HitLevel::L1, false, true);
                 }
             }
         }
@@ -384,7 +406,10 @@ mod tests {
         // the prefetch fill completes, not a full memory latency later.
         let halfway = pf.completion_cycle / 2;
         let demand = m.load(0x20_000, halfway, AccessKind::Demand);
-        assert_eq!(demand.completion_cycle, pf.completion_cycle.max(halfway + 4));
+        assert_eq!(
+            demand.completion_cycle,
+            pf.completion_cycle.max(halfway + 4)
+        );
     }
 
     #[test]
@@ -409,7 +434,7 @@ mod tests {
         let mut m = hierarchy();
         let first = m.ifetch(0x1000, 0);
         assert_eq!(first.level, HitLevel::Memory);
-        let second = m.ifetch(0x1000, first.completion_cycle + 1, );
+        let second = m.ifetch(0x1000, first.completion_cycle + 1);
         assert_eq!(second.level, HitLevel::L1);
         assert_eq!(m.ifetches(), 2);
     }

@@ -455,13 +455,19 @@ impl SimConfig {
         self.l2.validate("l2")?;
         self.l3.validate("l3")?;
         if self.runahead.sst_entries == 0 {
-            return Err(ConfigError::ZeroCapacity { field: "sst_entries" });
+            return Err(ConfigError::ZeroCapacity {
+                field: "sst_entries",
+            });
         }
         if self.runahead.prdq_entries == 0 {
-            return Err(ConfigError::ZeroCapacity { field: "prdq_entries" });
+            return Err(ConfigError::ZeroCapacity {
+                field: "prdq_entries",
+            });
         }
         if self.runahead.emq_entries == 0 {
-            return Err(ConfigError::ZeroCapacity { field: "emq_entries" });
+            return Err(ConfigError::ZeroCapacity {
+                field: "emq_entries",
+            });
         }
         Ok(())
     }
@@ -617,14 +623,20 @@ mod tests {
     fn validate_rejects_zero_rob() {
         let mut cfg = SimConfig::haswell_like();
         cfg.core.rob_entries = 0;
-        assert!(matches!(cfg.validate(), Err(ConfigError::ZeroCapacity { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ZeroCapacity { .. })
+        ));
     }
 
     #[test]
     fn validate_rejects_tiny_prf() {
         let mut cfg = SimConfig::haswell_like();
         cfg.core.int_phys_regs = 16;
-        assert!(matches!(cfg.validate(), Err(ConfigError::TooFewPhysRegs { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::TooFewPhysRegs { .. })
+        ));
     }
 
     #[test]
@@ -649,7 +661,10 @@ mod tests {
 
     #[test]
     fn builder_propagates_validation_errors() {
-        assert!(SimConfigBuilder::haswell_like().rob_entries(0).build().is_err());
+        assert!(SimConfigBuilder::haswell_like()
+            .rob_entries(0)
+            .build()
+            .is_err());
     }
 
     #[test]

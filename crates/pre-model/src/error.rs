@@ -53,7 +53,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "configuration field `{field}` must be non-zero")
             }
             ConfigError::NotPowerOfTwo { field, value } => {
-                write!(f, "configuration field `{field}` must be a power of two, got {value}")
+                write!(
+                    f,
+                    "configuration field `{field}` must be a power of two, got {value}"
+                )
             }
             ConfigError::TooFewPhysRegs {
                 class,
@@ -64,7 +67,10 @@ impl fmt::Display for ConfigError {
                 "{class} physical register file has {configured} entries, need at least {required}"
             ),
             ConfigError::WidthOutOfRange { field, value, max } => {
-                write!(f, "configuration field `{field}` is {value}, maximum supported is {max}")
+                write!(
+                    f,
+                    "configuration field `{field}` is {value}, maximum supported is {max}"
+                )
             }
             ConfigError::BadCacheGeometry { cache, detail } => {
                 write!(f, "inconsistent {cache} geometry: {detail}")
@@ -115,7 +121,10 @@ impl fmt::Display for ProgramError {
                 "instruction at pc {pc} targets {target}, but the program has {len} instructions"
             ),
             ProgramError::EntryOutOfRange { entry, len } => {
-                write!(f, "entry point {entry} is outside the program of length {len}")
+                write!(
+                    f,
+                    "entry point {entry} is outside the program of length {len}"
+                )
             }
             ProgramError::MalformedOperands { pc, detail } => {
                 write!(f, "malformed instruction at pc {pc}: {detail}")
@@ -132,7 +141,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = ConfigError::ZeroCapacity { field: "rob_entries" };
+        let e = ConfigError::ZeroCapacity {
+            field: "rob_entries",
+        };
         assert!(e.to_string().contains("rob_entries"));
         let e = ProgramError::Empty;
         assert!(e.to_string().contains("no instructions"));

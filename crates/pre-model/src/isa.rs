@@ -435,16 +435,32 @@ impl StaticInst {
         match self.opcode {
             Opcode::Nop => ExecOutcome::plain(None, fallthrough),
             Opcode::IntAlu(op) | Opcode::FpAlu(op) => {
-                let b = if self.src2.is_some() { src2 } else { self.imm as u64 };
+                let b = if self.src2.is_some() {
+                    src2
+                } else {
+                    self.imm as u64
+                };
                 ExecOutcome::plain(Some(op.apply(src1, b)), fallthrough)
             }
             Opcode::IntMul | Opcode::FpMul => {
-                let b = if self.src2.is_some() { src2 } else { self.imm as u64 };
+                let b = if self.src2.is_some() {
+                    src2
+                } else {
+                    self.imm as u64
+                };
                 ExecOutcome::plain(Some(src1.wrapping_mul(b)), fallthrough)
             }
             Opcode::FpDiv => {
-                let b = if self.src2.is_some() { src2 } else { self.imm as u64 };
-                let v = if b == 0 { u64::MAX } else { src1.wrapping_div(b) };
+                let b = if self.src2.is_some() {
+                    src2
+                } else {
+                    self.imm as u64
+                };
+                let v = if b == 0 {
+                    u64::MAX
+                } else {
+                    src1.wrapping_div(b)
+                };
                 ExecOutcome::plain(Some(v), fallthrough)
             }
             Opcode::LoadImm => ExecOutcome::plain(Some(self.imm as u64), fallthrough),

@@ -30,6 +30,7 @@ pub mod isa;
 pub mod mem;
 pub mod program;
 pub mod reg;
+pub mod rng;
 pub mod stats;
 
 pub use config::SimConfig;

@@ -275,7 +275,8 @@ impl Interpreter {
         }
         if let (Some(addr), Some(value)) = (out.mem_addr, out.store_value) {
             self.stores += 1;
-            self.store_checksum = fold_store_checksum(self.store_checksum, addr, value, self.stores);
+            self.store_checksum =
+                fold_store_checksum(self.store_checksum, addr, value, self.stores);
             self.mem.store_u64(addr, value);
         }
         if inst.opcode.is_cond_branch() {
@@ -329,17 +330,17 @@ mod tests {
         let tmp = ArchReg::int(5);
         let addr = ArchReg::int(6);
         p.insts = vec![
-            StaticInst::load_imm(base, 0x10_000),              // 0
-            StaticInst::load_imm(idx, 0),                      // 1
-            StaticInst::load_imm(acc, 0),                      // 2
-            StaticInst::load_imm(limit, 64),                   // 3
+            StaticInst::load_imm(base, 0x10_000), // 0
+            StaticInst::load_imm(idx, 0),         // 1
+            StaticInst::load_imm(acc, 0),         // 2
+            StaticInst::load_imm(limit, 64),      // 3
             // loop:
-            StaticInst::int_alu(AluOp::Add, addr, base, idx),  // 4
-            StaticInst::load(tmp, addr, 0),                    // 5
-            StaticInst::int_alu(AluOp::Add, acc, acc, tmp),    // 6
-            StaticInst::int_alu_imm(AluOp::Add, idx, idx, 8),  // 7
+            StaticInst::int_alu(AluOp::Add, addr, base, idx), // 4
+            StaticInst::load(tmp, addr, 0),                   // 5
+            StaticInst::int_alu(AluOp::Add, acc, acc, tmp),   // 6
+            StaticInst::int_alu_imm(AluOp::Add, idx, idx, 8), // 7
             StaticInst::branch(BranchCond::Lt, idx, limit, 4), // 8
-            StaticInst::store(acc, base, 4096),                // 9
+            StaticInst::store(acc, base, 4096),               // 9
         ];
         p.initial_mem = (0..8).map(|i| (0x10_000 + i * 8, i + 1)).collect();
         p
@@ -369,7 +370,10 @@ mod tests {
     fn validate_rejects_wrong_dest_class() {
         let mut p = sum_loop();
         p.insts[5].dest = Some(ArchReg::fp(0));
-        assert!(matches!(p.validate(), Err(ProgramError::MalformedOperands { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::MalformedOperands { .. })
+        ));
     }
 
     #[test]

@@ -119,7 +119,10 @@ impl ArchReg {
     ///
     /// Panics if `flat >= NUM_ARCH_REGS`.
     pub fn from_flat_index(flat: usize) -> Self {
-        assert!(flat < NUM_ARCH_REGS, "flat register index {flat} out of range");
+        assert!(
+            flat < NUM_ARCH_REGS,
+            "flat register index {flat} out of range"
+        );
         if flat < NUM_INT_ARCH_REGS {
             ArchReg::int(flat as u8)
         } else {

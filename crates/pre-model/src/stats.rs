@@ -147,7 +147,7 @@ impl RunningAverage {
 ///
 /// Fields are public counters incremented directly by the pipeline and the
 /// runahead engines; derived metrics are provided as methods.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     // ---- time -------------------------------------------------------------
     /// Total simulated core cycles.
@@ -404,7 +404,11 @@ impl fmt::Display for SimStats {
         writeln!(f, "stall cycle fraction : {:.3}", self.stall_fraction())?;
         writeln!(f, "runahead entries     : {}", self.runahead_entries)?;
         writeln!(f, "runahead cycles      : {}", self.runahead_cycles)?;
-        writeln!(f, "runahead prefetches  : {}", self.runahead_prefetches_issued)?;
+        writeln!(
+            f,
+            "runahead prefetches  : {}",
+            self.runahead_prefetches_issued
+        )?;
         writeln!(f, "prefetch accuracy    : {:.3}", self.prefetch_accuracy())?;
         write!(f, "sst hit rate         : {:.3}", self.sst_hit_rate())
     }

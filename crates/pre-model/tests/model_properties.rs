@@ -1,22 +1,30 @@
-//! Property-based tests for the model crate: functional memory, ALU
+//! Randomized-property tests for the model crate: functional memory, ALU
 //! semantics, the reference interpreter and the statistics helpers.
+//!
+//! Driven by the workspace's deterministic [`pre_model::rng::SmallRng`]
+//! instead of proptest (no crates.io access); every case derives from a fixed
+//! seed, so failures reproduce exactly.
 
 use pre_model::isa::{AluOp, BranchCond, StaticInst};
 use pre_model::mem::FuncMem;
 use pre_model::program::{Interpreter, Program};
 use pre_model::reg::ArchReg;
+use pre_model::rng::SmallRng;
 use pre_model::stats::Histogram;
-use proptest::prelude::*;
 
-proptest! {
-    /// Functional memory behaves like a map from word-aligned addresses to
-    /// the last value stored there.
-    #[test]
-    fn funcmem_matches_a_reference_map(ops in proptest::collection::vec(
-        (0u64..4096u64, any::<u64>(), any::<bool>()), 1..200)) {
+/// Functional memory behaves like a map from word-aligned addresses to the
+/// last value stored there.
+#[test]
+fn funcmem_matches_a_reference_map() {
+    let mut rng = SmallRng::seed_from_u64(0x40DE_0001);
+    for _case in 0..64 {
+        let len = rng.gen_range_usize(1..200);
         let mut mem = FuncMem::new();
         let mut reference = std::collections::HashMap::new();
-        for (addr, value, is_store) in ops {
+        for _ in 0..len {
+            let addr = rng.gen_range_u64(0..4096);
+            let value = rng.next_u64();
+            let is_store = rng.gen_bool(0.5);
             let word = (addr * 8) & !7;
             if is_store {
                 mem.store_u64(word, value);
@@ -24,45 +32,62 @@ proptest! {
             } else if let Some(&expected) = reference.get(&word) {
                 // The sentinel value is remapped on store; skip comparing it.
                 if expected != 0xDEAD_BEEF_DEAD_BEEF {
-                    prop_assert_eq!(mem.load_u64(word), expected);
+                    assert_eq!(mem.load_u64(word), expected);
                 }
             } else {
                 // Unwritten reads are deterministic.
-                prop_assert_eq!(mem.load_u64(word), mem.load_u64(word));
+                assert_eq!(mem.load_u64(word), mem.load_u64(word));
             }
         }
-        prop_assert!(mem.written_words() as usize <= reference.len());
+        assert!(mem.written_words() as usize <= reference.len());
     }
+}
 
-    /// ALU operations agree with their obvious reference semantics.
-    #[test]
-    fn alu_ops_match_reference(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(AluOp::Add.apply(a, b), a.wrapping_add(b));
-        prop_assert_eq!(AluOp::Sub.apply(a, b), a.wrapping_sub(b));
-        prop_assert_eq!(AluOp::And.apply(a, b), a & b);
-        prop_assert_eq!(AluOp::Or.apply(a, b), a | b);
-        prop_assert_eq!(AluOp::Xor.apply(a, b), a ^ b);
-        prop_assert_eq!(AluOp::Shl.apply(a, b), a.wrapping_shl((b & 63) as u32));
-        prop_assert_eq!(AluOp::Shr.apply(a, b), a.wrapping_shr((b & 63) as u32));
+/// ALU operations agree with their obvious reference semantics.
+#[test]
+fn alu_ops_match_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x40DE_0002);
+    for _case in 0..256 {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_eq!(AluOp::Add.apply(a, b), a.wrapping_add(b));
+        assert_eq!(AluOp::Sub.apply(a, b), a.wrapping_sub(b));
+        assert_eq!(AluOp::And.apply(a, b), a & b);
+        assert_eq!(AluOp::Or.apply(a, b), a | b);
+        assert_eq!(AluOp::Xor.apply(a, b), a ^ b);
+        assert_eq!(AluOp::Shl.apply(a, b), a.wrapping_shl((b & 63) as u32));
+        assert_eq!(AluOp::Shr.apply(a, b), a.wrapping_shr((b & 63) as u32));
     }
+}
 
-    /// Branch conditions partition the input space consistently.
-    #[test]
-    fn branch_conditions_are_consistent(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(BranchCond::Eq.taken(a, b), !BranchCond::Ne.taken(a, b));
-        prop_assert_eq!(BranchCond::Lt.taken(a, b), !BranchCond::Ge.taken(a, b));
+/// Branch conditions partition the input space consistently.
+#[test]
+fn branch_conditions_are_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0x40DE_0003);
+    for case in 0..256 {
+        // Mix in equal pairs, which uniform sampling would essentially never
+        // produce on its own.
+        let a = rng.next_u64();
+        let b = if case % 8 == 0 { a } else { rng.next_u64() };
+        assert_eq!(BranchCond::Eq.taken(a, b), !BranchCond::Ne.taken(a, b));
+        assert_eq!(BranchCond::Lt.taken(a, b), !BranchCond::Ge.taken(a, b));
         if a == b {
-            prop_assert!(BranchCond::Ge.taken(a, b));
+            assert!(BranchCond::Ge.taken(a, b));
         }
     }
+}
 
-    /// The interpreter is deterministic and its retired-instruction count is
-    /// monotone in the step budget.
-    #[test]
-    fn interpreter_is_deterministic_and_monotone(
-        values in proptest::collection::vec(0i64..1000, 2..20),
-        budget in 1u64..200,
-    ) {
+/// The interpreter is deterministic and its retired-instruction count is
+/// monotone in the step budget.
+#[test]
+fn interpreter_is_deterministic_and_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0x40DE_0004);
+    for _case in 0..64 {
+        let count = rng.gen_range_usize(2..20);
+        let values: Vec<i64> = (0..count)
+            .map(|_| rng.gen_range_u64(0..1000) as i64)
+            .collect();
+        let budget = rng.gen_range_u64(1..200);
         let mut p = Program::new("prop");
         let acc = ArchReg::int(1);
         let tmp = ArchReg::int(2);
@@ -78,41 +103,51 @@ proptest! {
         let mut b = Interpreter::new(&p);
         a.run(budget);
         b.run(budget);
-        prop_assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.snapshot(), b.snapshot());
 
         let mut c = Interpreter::new(&p);
         c.run(budget + 5);
-        prop_assert!(c.retired() >= a.retired());
+        assert!(c.retired() >= a.retired());
     }
+}
 
-    /// Histogram counts always sum to the number of recorded samples and
-    /// `fraction_below` is monotone in the threshold.
-    #[test]
-    fn histogram_invariants(samples in proptest::collection::vec(0u64..2000, 0..300)) {
+/// Histogram counts always sum to the number of recorded samples and
+/// `fraction_below` is monotone in the threshold.
+#[test]
+fn histogram_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0x40DE_0005);
+    for _case in 0..64 {
+        let len = rng.gen_range_usize(0..300);
+        let samples: Vec<u64> = (0..len).map(|_| rng.gen_range_u64(0..2000)).collect();
         let mut h = Histogram::new(&[10, 20, 50, 100, 500]);
         for &s in &samples {
             h.record(s);
         }
-        prop_assert_eq!(h.count() as usize, samples.len());
+        assert_eq!(h.count() as usize, samples.len());
         let total: u64 = h.buckets().map(|(_, c)| c).sum();
-        prop_assert_eq!(total as usize, samples.len());
-        prop_assert!(h.fraction_below(10) <= h.fraction_below(20));
-        prop_assert!(h.fraction_below(20) <= h.fraction_below(500));
+        assert_eq!(total as usize, samples.len());
+        assert!(h.fraction_below(10) <= h.fraction_below(20));
+        assert!(h.fraction_below(20) <= h.fraction_below(500));
         if !samples.is_empty() {
-            prop_assert!(h.max() >= samples.iter().copied().max().unwrap());
+            assert!(h.max() >= samples.iter().copied().max().unwrap());
         }
     }
+}
 
-    /// Program validation accepts every branch target inside the program and
-    /// rejects every branch target outside it.
-    #[test]
-    fn branch_target_validation(target in 0u32..40, len in 1usize..20) {
+/// Program validation accepts every branch target inside the program and
+/// rejects every branch target outside it.
+#[test]
+fn branch_target_validation() {
+    let mut rng = SmallRng::seed_from_u64(0x40DE_0006);
+    for _case in 0..128 {
+        let target = rng.gen_range_u64(0..40) as u32;
+        let len = rng.gen_range_usize(1..20);
         let mut p = Program::new("targets");
         for _ in 0..len {
             p.insts.push(StaticInst::nop());
         }
         p.insts.push(StaticInst::jump(target));
         let ok = p.validate().is_ok();
-        prop_assert_eq!(ok, (target as usize) < len + 1);
+        assert_eq!(ok, (target as usize) < len + 1);
     }
 }

@@ -1,0 +1,132 @@
+//! Minimal std-only data parallelism for the PRE experiment engine.
+//!
+//! Simulations in the evaluation matrix are independent per
+//! (workload, technique) cell, so the runner only needs an ordered parallel
+//! map. The container this workspace builds in has no crates.io access, so
+//! instead of depending on rayon this crate implements the one primitive the
+//! workspace needs on top of [`std::thread::scope`]: [`par_map`], an
+//! order-preserving parallel map over a slice. The API is shaped so that a
+//! future swap to `rayon::par_iter` is a one-line change at each call site.
+//!
+//! Work is distributed dynamically: an atomic cursor hands out the next item
+//! to whichever worker is free, so heterogeneous cell runtimes (a pointer
+//! chase under PRE takes far longer than a compute-bound baseline) do not
+//! leave threads idle the way static chunking would.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = pre_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count (`0` or unset = one
+/// worker per available core).
+pub const THREADS_ENV: &str = "PRE_THREADS";
+
+/// Number of worker threads [`par_map`] will use for a workload of `len`
+/// items: `min(len, PRE_THREADS or available cores)`, and at least 1.
+pub fn num_threads(len: usize) -> usize {
+    let configured = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    configured.min(len).max(1)
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Equivalent to `items.iter().map(f).collect()` — same outputs, same order —
+/// but distributed over [`num_threads`] scoped worker threads. `f` runs at
+/// most once per item. Panics in `f` propagate to the caller once all workers
+/// have stopped.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = num_threads(items.len());
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(idx) else { break };
+                let result = f(item);
+                *slots[idx].lock().expect("result slot poisoned") = Some(result);
+            }));
+        }
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool completed without filling every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        let parallel = par_map(&items, |&x| x * 3 + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[41u64], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn runs_each_item_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        par_map(&(0..64usize).collect::<Vec<_>>(), |&i| {
+            counters[i].fetch_add(1, Ordering::Relaxed)
+        });
+        for c in &counters {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn num_threads_is_clamped_by_len() {
+        assert_eq!(num_threads(0), 1);
+        assert_eq!(num_threads(1), 1);
+        assert!(num_threads(1024) >= 1);
+    }
+}

@@ -174,7 +174,7 @@ impl PreciseRegisterDeallocationQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pre_model::rng::SmallRng;
 
     fn reg(i: u16) -> Option<(RegClass, PhysReg)> {
         Some((RegClass::Int, PhysReg(i)))
@@ -249,34 +249,29 @@ mod tests {
         let _ = PreciseRegisterDeallocationQueue::new(0);
     }
 
-    proptest! {
-        /// Regardless of the execution order, (a) occupancy never exceeds
-        /// capacity, (b) every reclaimable old register is freed exactly once,
-        /// and (c) registers are freed in allocation order.
-        #[test]
-        fn prop_exactly_once_in_order(exec_order in Just(()).prop_perturb(|_, mut rng| {
-            let mut order: Vec<u64> = (0..20).collect();
-            // Fisher-Yates with the proptest RNG.
-            for i in (1..order.len()).rev() {
-                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
-                order.swap(i, j);
-            }
-            order
-        })) {
+    /// Randomized: regardless of the execution order, (a) occupancy never
+    /// exceeds capacity, (b) every reclaimable old register is freed exactly
+    /// once, and (c) registers are freed in allocation order.
+    #[test]
+    fn prop_exactly_once_in_order() {
+        let mut rng = SmallRng::seed_from_u64(0xD0_0001);
+        for _case in 0..64 {
+            let mut exec_order: Vec<u64> = (0..20).collect();
+            rng.shuffle(&mut exec_order);
             let mut q = PreciseRegisterDeallocationQueue::new(32);
             for id in 0..20u64 {
-                prop_assert!(q.allocate(id, Some((RegClass::Int, PhysReg(id as u16))), true));
+                assert!(q.allocate(id, Some((RegClass::Int, PhysReg(id as u16))), true));
             }
             let mut freed = Vec::new();
             for id in exec_order {
                 q.mark_executed(id);
                 freed.extend(q.drain_completed());
-                prop_assert!(q.len() <= q.capacity());
+                assert!(q.len() <= q.capacity());
             }
             freed.extend(q.drain_completed());
-            prop_assert_eq!(freed.len(), 20, "every register freed exactly once");
+            assert_eq!(freed.len(), 20, "every register freed exactly once");
             for (i, (_, p)) in freed.iter().enumerate() {
-                prop_assert_eq!(p.0 as usize, i, "freed in allocation order");
+                assert_eq!(p.0 as usize, i, "freed in allocation order");
             }
         }
     }

@@ -201,8 +201,17 @@ impl ChainReplayEngine {
     /// entry (speculative rename-table values, exactly what the hardware
     /// reads); `inv_regs` lists registers whose values are invalid because
     /// they depend on the stalling load's missing data.
-    pub fn new(chain: Vec<StaticInst>, initial_regs: &[u64], inv_regs: &[ArchReg], now: u64) -> Self {
-        assert_eq!(initial_regs.len(), NUM_ARCH_REGS, "need all architectural registers");
+    pub fn new(
+        chain: Vec<StaticInst>,
+        initial_regs: &[u64],
+        inv_regs: &[ArchReg],
+        now: u64,
+    ) -> Self {
+        assert_eq!(
+            initial_regs.len(),
+            NUM_ARCH_REGS,
+            "need all architectural registers"
+        );
         let mut regs = vec![
             RegState {
                 value: 0,
@@ -264,8 +273,14 @@ impl ChainReplayEngine {
                 start = start.max(s.ready_at);
                 inv |= s.inv;
             }
-            let src1 = inst.src1.map(|r| self.regs[r.flat_index()].value).unwrap_or(0);
-            let src2 = inst.src2.map(|r| self.regs[r.flat_index()].value).unwrap_or(0);
+            let src1 = inst
+                .src1
+                .map(|r| self.regs[r.flat_index()].value)
+                .unwrap_or(0);
+            let src2 = inst
+                .src2
+                .map(|r| self.regs[r.flat_index()].value)
+                .unwrap_or(0);
 
             let (result, ready_at) = if inst.opcode.is_load() {
                 self.loads_executed += 1;
@@ -313,14 +328,17 @@ impl ChainReplayEngine {
                 (0, now + latency_of(inst.opcode.class()))
             } else {
                 let out = inst.execute(0, src1, src2, None);
-                (out.result.unwrap_or(0), now + latency_of(inst.opcode.class()))
+                (
+                    out.result.unwrap_or(0),
+                    now + latency_of(inst.opcode.class()),
+                )
             };
 
             if let Some(dest) = inst.dest {
                 self.regs[dest.flat_index()] = RegState {
                     value: result,
                     ready_at,
-                    inv: inv || (inst.opcode.is_load() && inv),
+                    inv,
                 };
             }
             self.uops_executed += 1;
@@ -437,10 +455,19 @@ mod tests {
         let mut mem = MemoryHierarchy::new(&cfg);
         let mut engine = ChainReplayEngine::new(chain, &regs, &[], 0);
         for cycle in 0..2000 {
-            engine.step(cycle, 4, &mut mem, |_| 1, |a| a.wrapping_mul(0x9E3779B97F4A7C15));
+            engine.step(
+                cycle,
+                4,
+                &mut mem,
+                |_| 1,
+                |a| a.wrapping_mul(0x9E3779B97F4A7C15),
+            );
         }
         assert!(engine.iterations() >= 2, "chain should loop");
-        assert!(engine.prefetches_issued() >= 2, "strided chain should prefetch");
+        assert!(
+            engine.prefetches_issued() >= 2,
+            "strided chain should prefetch"
+        );
         assert_eq!(engine.inv_loads(), 0);
     }
 
@@ -455,7 +482,13 @@ mod tests {
         let mut mem = MemoryHierarchy::new(&cfg);
         let mut engine = ChainReplayEngine::new(chain, &regs, &[p], 0);
         for cycle in 0..200 {
-            engine.step(cycle, 4, &mut mem, |_| 1, |a| a.wrapping_mul(0x9E3779B97F4A7C15));
+            engine.step(
+                cycle,
+                4,
+                &mut mem,
+                |_| 1,
+                |a| a.wrapping_mul(0x9E3779B97F4A7C15),
+            );
         }
         assert_eq!(engine.prefetches_issued(), 0);
         assert!(engine.inv_loads() > 0);
@@ -475,9 +508,19 @@ mod tests {
         let mut mem = MemoryHierarchy::new(&cfg);
         let mut engine = ChainReplayEngine::new(chain, &regs, &[], 0);
         for cycle in 0..300 {
-            engine.step(cycle, 8, &mut mem, |_| 1, |a| a.wrapping_mul(0x9E3779B97F4A7C15));
+            engine.step(
+                cycle,
+                8,
+                &mut mem,
+                |_| 1,
+                |a| a.wrapping_mul(0x9E3779B97F4A7C15),
+            );
         }
-        assert_eq!(engine.prefetches_issued(), 1, "only the first miss can prefetch");
+        assert_eq!(
+            engine.prefetches_issued(),
+            1,
+            "only the first miss can prefetch"
+        );
         assert!(engine.inv_loads() > 0, "later iterations propagate INV");
     }
 

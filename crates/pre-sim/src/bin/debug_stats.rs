@@ -19,13 +19,26 @@ fn main() {
 
     let result = run_one(&RunSpec::new(workload, technique).with_budget(budget)).expect("run");
     let s = &result.stats;
-    println!("workload {workload}  technique {technique}  deadlocked {}", result.deadlocked);
+    println!(
+        "workload {workload}  technique {technique}  deadlocked {}",
+        result.deadlocked
+    );
     println!("{s}");
     println!("--- pipeline ---");
-    println!("fetched {}  decoded {}  renamed {}  dispatched {}  issued {}  executed {}  squashed {}",
-        s.fetched_uops, s.decoded_uops, s.renamed_uops, s.dispatched_uops, s.issued_uops, s.executed_uops, s.squashed_uops);
-    println!("frontend stall cycles {}  fw-stall cycles {}  fw-stalls {}",
-        s.frontend_stall_cycles, s.full_window_stall_cycles, s.full_window_stalls);
+    println!(
+        "fetched {}  decoded {}  renamed {}  dispatched {}  issued {}  executed {}  squashed {}",
+        s.fetched_uops,
+        s.decoded_uops,
+        s.renamed_uops,
+        s.dispatched_uops,
+        s.issued_uops,
+        s.executed_uops,
+        s.squashed_uops
+    );
+    println!(
+        "frontend stall cycles {}  fw-stall cycles {}  fw-stalls {}",
+        s.frontend_stall_cycles, s.full_window_stall_cycles, s.full_window_stalls
+    );
     println!("--- memory ---");
     println!("l1d acc {} miss {}  l2 acc {} miss {}  l3 acc {} miss {}  dram rd {} wr {} rowhit {} rowmiss {}",
         s.l1d_accesses, s.l1d_misses, s.l2_accesses, s.l2_misses, s.l3_accesses, s.l3_misses,
@@ -34,15 +47,41 @@ fn main() {
     println!("entries {}  exits {}  cycles {}  uops {}  loads {}  inv-loads {}  prefetches {}  useful {}",
         s.runahead_entries, s.runahead_exits, s.runahead_cycles, s.runahead_uops_executed,
         s.runahead_loads_executed, s.runahead_inv_loads, s.runahead_prefetches_issued, s.runahead_prefetches_useful);
-    println!("skipped short {}  skipped overlap {}  emq-full stalls {}  flush/refill {}",
-        s.runahead_entries_skipped_short, s.runahead_entries_skipped_overlap, s.emq_full_stall_cycles, s.flush_refill_cycles);
-    println!("interval mean {:.1}  <20cyc {:.2}",
-        s.runahead_interval_hist.mean(), s.runahead_interval_hist.fraction_below(20));
-    println!("sst lookups {} hits {} inserts {} evictions {}", s.sst_lookups, s.sst_hits, s.sst_inserts, s.sst_evictions);
-    println!("prdq alloc {} reclaim {}  emq w {} r {}  rabuf walks {} replays {}",
-        s.prdq_allocations, s.prdq_reclaims, s.emq_writes, s.emq_reads, s.runahead_buffer_walks, s.runahead_buffer_replays);
-    println!("free@entry iq {:.2} int {:.2} fp {:.2}",
-        s.iq_free_at_entry.mean(), s.int_regs_free_at_entry.mean(), s.fp_regs_free_at_entry.mean());
+    println!(
+        "skipped short {}  skipped overlap {}  emq-full stalls {}  flush/refill {}",
+        s.runahead_entries_skipped_short,
+        s.runahead_entries_skipped_overlap,
+        s.emq_full_stall_cycles,
+        s.flush_refill_cycles
+    );
+    println!(
+        "interval mean {:.1}  <20cyc {:.2}",
+        s.runahead_interval_hist.mean(),
+        s.runahead_interval_hist.fraction_below(20)
+    );
+    println!(
+        "sst lookups {} hits {} inserts {} evictions {}",
+        s.sst_lookups, s.sst_hits, s.sst_inserts, s.sst_evictions
+    );
+    println!(
+        "prdq alloc {} reclaim {}  emq w {} r {}  rabuf walks {} replays {}",
+        s.prdq_allocations,
+        s.prdq_reclaims,
+        s.emq_writes,
+        s.emq_reads,
+        s.runahead_buffer_walks,
+        s.runahead_buffer_replays
+    );
+    println!(
+        "free@entry iq {:.2} int {:.2} fp {:.2}",
+        s.iq_free_at_entry.mean(),
+        s.int_regs_free_at_entry.mean(),
+        s.fp_regs_free_at_entry.mean()
+    );
     println!("--- energy ---");
-    println!("total {:.3} mJ  static fraction {:.2}", result.energy.total_mj(), result.energy.static_fraction());
+    println!(
+        "total {:.3} mJ  static fraction {:.2}",
+        result.energy.total_mj(),
+        result.energy.static_fraction()
+    );
 }

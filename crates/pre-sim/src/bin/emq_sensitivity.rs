@@ -9,5 +9,7 @@ fn main() {
     let budget = budget_from_args(DEFAULT_EVAL_UOPS / 2);
     let table = emq_sensitivity(budget, &[192, 384, 768, 1536]).expect("EMQ sweep");
     println!("{}", table.render());
-    println!("paper: PRE+EMQ with a 768-entry EMQ improves performance by 28.6 % vs 35.5 % for PRE");
+    println!(
+        "paper: PRE+EMQ with a 768-entry EMQ improves performance by 28.6 % vs 35.5 % for PRE"
+    );
 }

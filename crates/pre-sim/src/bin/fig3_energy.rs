@@ -3,7 +3,9 @@
 //!
 //! Usage: `fig3_energy [max_uops_per_run]` (default 300 000).
 
-use pre_sim::experiments::{budget_from_args, fig3_summary, fig3_table, run_evaluation_matrix, DEFAULT_EVAL_UOPS};
+use pre_sim::experiments::{
+    budget_from_args, fig3_summary, fig3_table, run_evaluation_matrix, DEFAULT_EVAL_UOPS,
+};
 
 fn main() {
     let budget = budget_from_args(DEFAULT_EVAL_UOPS);

@@ -35,7 +35,10 @@ fn main() {
 
     let _ = fig2.write_csv("fig2_performance.csv");
     let _ = fig3.write_csv("fig3_energy.csv");
-    eprintln!("total wall-clock time: {:.1}s", start.elapsed().as_secs_f64());
+    eprintln!(
+        "total wall-clock time: {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
     if matrix.any_deadlocked() {
         eprintln!("WARNING: at least one run hit the deadlock watchdog");
         std::process::exit(1);

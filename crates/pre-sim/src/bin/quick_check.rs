@@ -20,7 +20,15 @@ fn main() {
     ];
     println!(
         "{:<16} {:<10} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>8}",
-        "workload", "technique", "ipc", "speedup", "entries", "ra-cycles", "prefetches", "useful", "mJ"
+        "workload",
+        "technique",
+        "ipc",
+        "speedup",
+        "entries",
+        "ra-cycles",
+        "prefetches",
+        "useful",
+        "mJ"
     );
     for workload in workloads {
         let mut base_ipc = 0.0;

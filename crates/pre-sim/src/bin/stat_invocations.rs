@@ -4,7 +4,9 @@
 //!
 //! Usage: `stat_invocations [max_uops_per_run]`.
 
-use pre_sim::experiments::{budget_from_args, run_evaluation_matrix, stat_invocations, DEFAULT_EVAL_UOPS};
+use pre_sim::experiments::{
+    budget_from_args, run_evaluation_matrix, stat_invocations, DEFAULT_EVAL_UOPS,
+};
 
 fn main() {
     let budget = budget_from_args(DEFAULT_EVAL_UOPS / 2);

@@ -38,7 +38,7 @@ pub fn budget_from_args(default: u64) -> u64 {
 /// Propagates [`BuildError`] from the simulator.
 pub fn run_evaluation_matrix(
     max_uops: u64,
-    progress: impl FnMut(&RunResult),
+    progress: impl FnMut(&RunResult) + Send,
 ) -> Result<EvaluationMatrix, BuildError> {
     EvaluationMatrix::run(
         &Workload::MEMORY_INTENSIVE,
@@ -163,7 +163,10 @@ pub fn fig3_summary(matrix: &EvaluationMatrix) -> String {
 /// uses.
 pub fn table1() -> Table {
     let cfg = SimConfig::haswell_like();
-    let mut t = Table::new("Table 1 — baseline out-of-order core", &["parameter", "value"]);
+    let mut t = Table::new(
+        "Table 1 — baseline out-of-order core",
+        &["parameter", "value"],
+    );
     let rows: Vec<(&str, String)> = vec![
         ("frequency", format!("{:.2} GHz", cfg.core.freq_ghz)),
         ("ROB", cfg.core.rob_entries.to_string()),
@@ -175,10 +178,16 @@ pub fn table1() -> Table {
             ),
         ),
         ("width", cfg.core.dispatch_width.to_string()),
-        ("front-end depth", format!("{} stages", cfg.core.frontend_depth)),
+        (
+            "front-end depth",
+            format!("{} stages", cfg.core.frontend_depth),
+        ),
         (
             "register file",
-            format!("{} int, {} fp", cfg.core.int_phys_regs, cfg.core.fp_phys_regs),
+            format!(
+                "{} int, {} fp",
+                cfg.core.int_phys_regs, cfg.core.fp_phys_regs
+            ),
         ),
         (
             "SST",
@@ -186,10 +195,42 @@ pub fn table1() -> Table {
         ),
         ("PRDQ size", cfg.runahead.prdq_entries.to_string()),
         ("EMQ size", cfg.runahead.emq_entries.to_string()),
-        ("L1 I-cache", format!("{} KB, assoc {}, {} cyc", cfg.l1i.size_bytes / 1024, cfg.l1i.assoc, cfg.l1i.latency)),
-        ("L1 D-cache", format!("{} KB, assoc {}, {} cyc", cfg.l1d.size_bytes / 1024, cfg.l1d.assoc, cfg.l1d.latency)),
-        ("private L2", format!("{} KB, assoc {}, {} cyc", cfg.l2.size_bytes / 1024, cfg.l2.assoc, cfg.l2.latency)),
-        ("shared L3", format!("{} KB, assoc {}, {} cyc", cfg.l3.size_bytes / 1024, cfg.l3.assoc, cfg.l3.latency)),
+        (
+            "L1 I-cache",
+            format!(
+                "{} KB, assoc {}, {} cyc",
+                cfg.l1i.size_bytes / 1024,
+                cfg.l1i.assoc,
+                cfg.l1i.latency
+            ),
+        ),
+        (
+            "L1 D-cache",
+            format!(
+                "{} KB, assoc {}, {} cyc",
+                cfg.l1d.size_bytes / 1024,
+                cfg.l1d.assoc,
+                cfg.l1d.latency
+            ),
+        ),
+        (
+            "private L2",
+            format!(
+                "{} KB, assoc {}, {} cyc",
+                cfg.l2.size_bytes / 1024,
+                cfg.l2.assoc,
+                cfg.l2.latency
+            ),
+        ),
+        (
+            "shared L3",
+            format!(
+                "{} KB, assoc {}, {} cyc",
+                cfg.l3.size_bytes / 1024,
+                cfg.l3.assoc,
+                cfg.l3.latency
+            ),
+        ),
         (
             "memory",
             format!(
@@ -215,19 +256,31 @@ pub fn table1() -> Table {
 /// from a traditional-runahead run.
 pub fn stat_flush_overhead(max_uops: u64) -> Result<Table, BuildError> {
     let cfg = SimConfig::haswell_like();
-    let analytic = cfg.core.frontend_depth as u64
-        + (cfg.core.rob_entries / cfg.core.dispatch_width) as u64;
+    let analytic =
+        cfg.core.frontend_depth as u64 + (cfg.core.rob_entries / cfg.core.dispatch_width) as u64;
     let mut table = Table::new(
         "Stat A — flush/refill penalty per runahead invocation",
-        &["workload", "invocations", "avg penalty (cycles)", "analytic (cycles)"],
+        &[
+            "workload",
+            "invocations",
+            "avg penalty (cycles)",
+            "analytic (cycles)",
+        ],
     );
-    for workload in [Workload::LbmLike, Workload::LibquantumLike, Workload::MilcLike] {
+    for workload in [
+        Workload::LbmLike,
+        Workload::LibquantumLike,
+        Workload::MilcLike,
+    ] {
         let result = run_one(&RunSpec::new(workload, Technique::Runahead).with_budget(max_uops))?;
         let exits = result.stats.runahead_exits.max(1);
         table.add_row(vec![
             workload.name().into(),
             result.stats.runahead_exits.to_string(),
-            format!("{:.1}", result.stats.flush_refill_cycles as f64 / exits as f64),
+            format!(
+                "{:.1}",
+                result.stats.flush_refill_cycles as f64 / exits as f64
+            ),
             analytic.to_string(),
         ]);
     }
@@ -284,12 +337,18 @@ pub fn stat_invocations(matrix: &EvaluationMatrix) -> Table {
     table.add_row(vec![
         "PRE".into(),
         "1.62x".into(),
-        format!("{:.2}x", matrix.invocation_ratio_vs_runahead(Technique::Pre)),
+        format!(
+            "{:.2}x",
+            matrix.invocation_ratio_vs_runahead(Technique::Pre)
+        ),
     ]);
     table.add_row(vec![
         "PRE+EMQ".into(),
         "1.95x".into(),
-        format!("{:.2}x", matrix.invocation_ratio_vs_runahead(Technique::PreEmq)),
+        format!(
+            "{:.2}x",
+            matrix.invocation_ratio_vs_runahead(Technique::PreEmq)
+        ),
     ]);
     table
 }

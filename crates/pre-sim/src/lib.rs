@@ -10,7 +10,9 @@
 //!   plus energy.
 //! * [`matrix`] — run the full evaluation matrix and compute the normalized
 //!   metrics the figures plot (speedup over the out-of-order baseline,
-//!   energy savings, invocation ratios, …).
+//!   energy savings, invocation ratios, …). Cells are independent
+//!   simulations and run in parallel over a [`pre_par`] worker pool;
+//!   `PRE_THREADS` caps the worker count.
 //! * [`experiments`] — the per-figure/per-stat experiment definitions,
 //!   including the reduced default budgets that keep runs tractable on a
 //!   laptop.

@@ -5,6 +5,7 @@ use pre_core::pipeline::BuildError;
 use pre_model::config::SimConfig;
 use pre_runahead::Technique;
 use pre_workloads::{Workload, WorkloadParams};
+use std::sync::Mutex;
 
 /// Results of running a set of workloads under a set of techniques.
 #[derive(Debug, Clone, Default)]
@@ -22,10 +23,47 @@ impl EvaluationMatrix {
     /// per-run micro-op budget, invoking `progress` after every completed
     /// run (for incremental console output).
     ///
+    /// Cells are independent simulations, so they are fanned out over a
+    /// [`pre_par`] worker pool (one worker per core, override with
+    /// `PRE_THREADS`). Each cell is fully deterministic, and results are
+    /// collected back in matrix order, so the returned matrix is
+    /// bit-identical to [`EvaluationMatrix::run_serial`] for the same
+    /// arguments. `progress` fires as cells complete, which under parallel
+    /// execution is not necessarily matrix order.
+    ///
     /// # Errors
     ///
-    /// Returns the first [`BuildError`] encountered.
+    /// Returns the first [`BuildError`] in matrix order. Unlike the serial
+    /// path, later cells may already have run by then.
     pub fn run(
+        workloads: &[Workload],
+        techniques: &[Technique],
+        config: &SimConfig,
+        params: &WorkloadParams,
+        max_uops: u64,
+        progress: impl FnMut(&RunResult) + Send,
+    ) -> Result<Self, BuildError> {
+        let specs = Self::specs(workloads, techniques, config, params, max_uops);
+        let progress = Mutex::new(progress);
+        let outcomes = pre_par::par_map(&specs, |spec| {
+            let outcome = run_one(spec);
+            if let Ok(result) = &outcome {
+                let mut report = progress.lock().expect("progress callback poisoned");
+                (*report)(result);
+            }
+            outcome
+        });
+        Self::from_outcomes(outcomes)
+    }
+
+    /// Runs the matrix one cell at a time on the calling thread, in matrix
+    /// order. Reference implementation for [`EvaluationMatrix::run`]; the
+    /// parallel path must produce bit-identical statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BuildError`] encountered; later cells do not run.
+    pub fn run_serial(
         workloads: &[Workload],
         techniques: &[Technique],
         config: &SimConfig,
@@ -34,16 +72,45 @@ impl EvaluationMatrix {
         mut progress: impl FnMut(&RunResult),
     ) -> Result<Self, BuildError> {
         let mut matrix = EvaluationMatrix::new();
-        for &workload in workloads {
-            for &technique in techniques {
-                let spec = RunSpec::new(workload, technique)
+        for spec in Self::specs(workloads, techniques, config, params, max_uops) {
+            let result = run_one(&spec)?;
+            progress(&result);
+            matrix.results.push(result);
+        }
+        Ok(matrix)
+    }
+
+    /// The run specifications for every (workload, technique) cell, in
+    /// matrix order (workload-major, matching the paper's figures).
+    fn specs(
+        workloads: &[Workload],
+        techniques: &[Technique],
+        config: &SimConfig,
+        params: &WorkloadParams,
+        max_uops: u64,
+    ) -> Vec<RunSpec> {
+        workloads
+            .iter()
+            .flat_map(|&workload| {
+                techniques
+                    .iter()
+                    .map(move |&technique| (workload, technique))
+            })
+            .map(|(workload, technique)| {
+                RunSpec::new(workload, technique)
                     .with_budget(max_uops)
                     .with_config(config.clone())
-                    .with_params(*params);
-                let result = run_one(&spec)?;
-                progress(&result);
-                matrix.results.push(result);
-            }
+                    .with_params(*params)
+            })
+            .collect()
+    }
+
+    /// Folds per-cell outcomes (in matrix order) into a matrix, propagating
+    /// the first error.
+    fn from_outcomes(outcomes: Vec<Result<RunResult, BuildError>>) -> Result<Self, BuildError> {
+        let mut matrix = EvaluationMatrix::new();
+        for outcome in outcomes {
+            matrix.results.push(outcome?);
         }
         Ok(matrix)
     }
@@ -190,12 +257,32 @@ mod tests {
     #[test]
     fn speedup_and_means_from_synthetic_results() {
         let mut m = EvaluationMatrix::new();
-        m.push(fake_result(Workload::LbmLike, Technique::OutOfOrder, 0.5, 0));
+        m.push(fake_result(
+            Workload::LbmLike,
+            Technique::OutOfOrder,
+            0.5,
+            0,
+        ));
         m.push(fake_result(Workload::LbmLike, Technique::Pre, 0.75, 200));
-        m.push(fake_result(Workload::LbmLike, Technique::Runahead, 0.6, 100));
-        m.push(fake_result(Workload::McfLike, Technique::OutOfOrder, 0.4, 0));
+        m.push(fake_result(
+            Workload::LbmLike,
+            Technique::Runahead,
+            0.6,
+            100,
+        ));
+        m.push(fake_result(
+            Workload::McfLike,
+            Technique::OutOfOrder,
+            0.4,
+            0,
+        ));
         m.push(fake_result(Workload::McfLike, Technique::Pre, 0.5, 150));
-        m.push(fake_result(Workload::McfLike, Technique::Runahead, 0.44, 100));
+        m.push(fake_result(
+            Workload::McfLike,
+            Technique::Runahead,
+            0.44,
+            100,
+        ));
         assert!((m.speedup(Workload::LbmLike, Technique::Pre).unwrap() - 1.5).abs() < 1e-9);
         let gmean = m.gmean_speedup(Technique::Pre);
         assert!((gmean - (1.5f64 * 1.25).sqrt()).abs() < 1e-9);

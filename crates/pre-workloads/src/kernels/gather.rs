@@ -33,7 +33,10 @@ pub struct GatherSpec {
 
 /// Builds a gather kernel.
 pub fn gather(spec: &GatherSpec, iterations: u64) -> Program {
-    assert!(spec.gathers >= 1 && spec.gathers <= 4, "1..=4 gathers supported");
+    assert!(
+        spec.gathers >= 1 && spec.gathers <= 4,
+        "1..=4 gathers supported"
+    );
     assert!(spec.data_working_set.is_power_of_two());
     assert!(spec.index_working_set.is_power_of_two());
     let mut b = KernelBuilder::new(spec.name);
@@ -150,13 +153,19 @@ mod tests {
             let reg = regs::stream_addr(k as usize + 4);
             let v = interp.reg(reg);
             let base = layout::GATHER_DATA_BASE + k * layout::REGION_SPACING;
-            assert!(v >= base && v < base + (1 << 24), "gather {k} address {v:#x} out of range");
+            assert!(
+                v >= base && v < base + (1 << 24),
+                "gather {k} address {v:#x} out of range"
+            );
         }
     }
 
     #[test]
     fn gather_count_controls_load_count() {
-        let single = GatherSpec { gathers: 1, ..spec() };
+        let single = GatherSpec {
+            gathers: 1,
+            ..spec()
+        };
         let p = gather(&single, 16);
         let mut interp = Interpreter::new(&p);
         interp.run(100_000);

@@ -26,7 +26,12 @@ pub fn compute_bound(iterations: u64) -> Program {
     let loop_top = b.pc();
     for k in 0..4 {
         b.alu(AluOp::Add, regs::stream_addr(k), regs::stream_addr(k), acc);
-        b.fp_alu(AluOp::Add, regs::facc(k), regs::facc(k), regs::facc((k + 1) % 4));
+        b.fp_alu(
+            AluOp::Add,
+            regs::facc(k),
+            regs::facc(k),
+            regs::facc((k + 1) % 4),
+        );
     }
     b.mul(acc, acc, regs::stream_addr(0));
     b.alui(AluOp::Xor, acc, acc, 0x55);

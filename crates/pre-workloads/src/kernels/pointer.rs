@@ -4,8 +4,7 @@ use super::{layout, regs};
 use crate::builder::KernelBuilder;
 use pre_model::isa::{AluOp, BranchCond};
 use pre_model::program::Program;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pre_model::rng::SmallRng;
 
 /// Parameters of a pointer-chasing kernel.
 #[derive(Debug, Clone, Copy)]
@@ -72,11 +71,8 @@ pub fn pointer_chase(spec: &PointerChaseSpec, iterations: u64, seed: u64) -> Pro
         let base = layout::LIST_BASE + list as u64 * layout::REGION_SPACING;
         let nodes = spec.nodes_per_list;
         let mut order: Vec<u64> = (0..nodes as u64).collect();
-        // Fisher-Yates shuffle for a single random cycle.
-        for idx in (1..nodes).rev() {
-            let j = rng.gen_range(0..=idx);
-            order.swap(idx, j);
-        }
+        // Shuffle into a single random cycle.
+        rng.shuffle(&mut order);
         for w in 0..nodes {
             let cur = base + order[w] * 64;
             let next = base + order[(w + 1) % nodes] * 64;
@@ -233,13 +229,12 @@ mod tests {
         // file (and not the ROB) limits the window and PRE has no registers
         // to run ahead with (see DESIGN.md).
         let p = pointer_chase(&spec(), 10, 1);
-        let body: Vec<_> = p
-            .insts
-            .iter()
-            .skip_while(|i| !i.opcode.is_load())
-            .collect();
+        let body: Vec<_> = p.insts.iter().skip_while(|i| !i.opcode.is_load()).collect();
         let with_dest = body.iter().filter(|i| i.dest.is_some()).count();
         let density = with_dest as f64 / body.len() as f64;
-        assert!(density < 0.71, "integer destination density too high: {density:.2}");
+        assert!(
+            density < 0.71,
+            "integer destination density too high: {density:.2}"
+        );
     }
 }

@@ -41,8 +41,14 @@ pub struct StreamingSpec {
 /// amount of compute, an optional store of the result, and the induction
 /// update `i = (i + stride) & mask; t = t + 1; if t < N goto loop`.
 pub fn streaming(spec: &StreamingSpec, iterations: u64) -> Program {
-    assert!(spec.arrays >= 1 && spec.arrays <= 6, "1..=6 streamed arrays supported");
-    assert!(spec.working_set.is_power_of_two(), "working set must be a power of two");
+    assert!(
+        spec.arrays >= 1 && spec.arrays <= 6,
+        "1..=6 streamed arrays supported"
+    );
+    assert!(
+        spec.working_set.is_power_of_two(),
+        "working set must be a power of two"
+    );
     let mut b = KernelBuilder::new(spec.name);
     let t = regs::counter();
     let n = regs::limit();
@@ -57,7 +63,10 @@ pub fn streaming(spec: &StreamingSpec, iterations: u64) -> Program {
     b.li(mask, (spec.working_set - 1) as i64);
     b.li(acc, 0);
     b.li(regs::const_one(), 1);
-    b.li(out, (layout::STREAM_BASE + 7 * layout::REGION_SPACING) as i64);
+    b.li(
+        out,
+        (layout::STREAM_BASE + 7 * layout::REGION_SPACING) as i64,
+    );
     for k in 0..spec.arrays {
         b.li(
             regs::stream_base(k),
@@ -109,7 +118,8 @@ pub fn streaming(spec: &StreamingSpec, iterations: u64) -> Program {
             // The integer variant writes the output stream relative to the
             // first input stream's address (fixed region offset), avoiding an
             // extra address-generation micro-op.
-            let offset = (7 - 0) * layout::REGION_SPACING as i64;
+            // Region 7 (the scratch region) relative to stream region 0.
+            let offset = 7 * layout::REGION_SPACING as i64;
             b.store(acc, regs::stream_addr(0), offset);
         }
     }

@@ -436,9 +436,15 @@ mod tests {
 
     #[test]
     fn slice_profiles_cover_the_interesting_cases() {
-        assert_eq!(Workload::LibquantumLike.slice_profile(), SliceProfile::Single);
+        assert_eq!(
+            Workload::LibquantumLike.slice_profile(),
+            SliceProfile::Single
+        );
         assert_eq!(Workload::McfLike.slice_profile(), SliceProfile::Many);
-        assert_eq!(Workload::ComputeBound.slice_profile(), SliceProfile::ComputeBound);
+        assert_eq!(
+            Workload::ComputeBound.slice_profile(),
+            SliceProfile::ComputeBound
+        );
     }
 
     #[test]

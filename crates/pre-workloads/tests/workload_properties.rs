@@ -1,62 +1,90 @@
-//! Property-based tests of the workload generators: every workload must
+//! Randomized-property tests of the workload generators: every workload must
 //! produce a well-formed, deterministic, functionally executable program for
 //! arbitrary (reasonable) build parameters.
+//!
+//! The cases are driven by the workspace's deterministic
+//! [`pre_model::rng::SmallRng`] instead of proptest (the build environment
+//! has no crates.io access); each case derives from a fixed seed, so failures
+//! reproduce exactly.
 
 use pre_model::program::Interpreter;
+use pre_model::rng::SmallRng;
 use pre_workloads::{Workload, WorkloadParams};
-use proptest::prelude::*;
 
-fn any_workload() -> impl Strategy<Value = Workload> {
-    proptest::sample::select(Workload::ALL.to_vec())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Programs validate, are deterministic for a seed, and halt after the
-    /// requested number of iterations.
-    #[test]
-    fn workloads_are_wellformed_and_deterministic(
-        workload in any_workload(),
-        iterations in 1u64..60,
-        seed in 0u64..1000,
-    ) {
+/// Programs validate, are deterministic for a seed, and halt after the
+/// requested number of iterations.
+#[test]
+fn workloads_are_wellformed_and_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0001);
+    for _case in 0..24 {
+        let workload = Workload::ALL[rng.gen_range_usize(0..Workload::ALL.len())];
+        let iterations = rng.gen_range_u64(1..60);
+        let seed = rng.gen_range_u64(0..1000);
         let params = WorkloadParams { iterations, seed };
         let a = workload.build(&params);
         let b = workload.build(&params);
-        prop_assert!(a.validate().is_ok());
-        prop_assert_eq!(a.insts.len(), b.insts.len());
-        prop_assert_eq!(&a.initial_mem, &b.initial_mem);
-        prop_assert_eq!(&a.initial_regs, &b.initial_regs);
+        assert!(a.validate().is_ok());
+        assert_eq!(a.insts.len(), b.insts.len());
+        assert_eq!(a.initial_mem, b.initial_mem);
+        assert_eq!(a.initial_regs, b.initial_regs);
 
         let mut interp = Interpreter::new(&a);
         interp.run(4_000_000);
-        prop_assert!(interp.halted(), "{} with {} iterations did not halt", workload, iterations);
-        prop_assert!(interp.retired() >= iterations, "loop body must execute once per iteration");
+        assert!(
+            interp.halted(),
+            "{workload} with {iterations} iterations did not halt"
+        );
+        assert!(
+            interp.retired() >= iterations,
+            "loop body must execute once per iteration"
+        );
     }
+}
 
-    /// The memory-intensive suite really is memory intensive: dynamic load
-    /// density stays above one load per 25 micro-ops for every member.
-    #[test]
-    fn memory_intensive_suite_has_load_density(
-        workload in proptest::sample::select(Workload::MEMORY_INTENSIVE.to_vec()),
-        iterations in 20u64..60,
-    ) {
-        let params = WorkloadParams { iterations, seed: 7 };
+/// The memory-intensive suite really is memory intensive: dynamic load
+/// density stays above one load per 25 micro-ops for every member.
+#[test]
+fn memory_intensive_suite_has_load_density() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0002);
+    for _case in 0..16 {
+        let suite = Workload::MEMORY_INTENSIVE;
+        let workload = suite[rng.gen_range_usize(0..suite.len())];
+        let iterations = rng.gen_range_u64(20..60);
+        let params = WorkloadParams {
+            iterations,
+            seed: 7,
+        };
         let program = workload.build(&params);
         let mut interp = Interpreter::new(&program);
         interp.run(4_000_000);
         let density = interp.loads() as f64 / interp.retired() as f64;
-        prop_assert!(density > 0.04, "{} load density {:.3} too low", workload, density);
-        prop_assert!(density < 0.6, "{} load density {:.3} implausibly high", workload, density);
+        assert!(
+            density > 0.04,
+            "{workload} load density {density:.3} too low"
+        );
+        assert!(
+            density < 0.6,
+            "{workload} load density {density:.3} implausibly high"
+        );
     }
+}
 
-    /// Different seeds produce different linked-list layouts for the
-    /// pointer-chasing workloads (the randomization actually randomizes).
-    #[test]
-    fn pointer_layouts_depend_on_the_seed(seed_a in 0u64..500, seed_b in 501u64..1000) {
-        let a = Workload::McfLike.build(&WorkloadParams { iterations: 5, seed: seed_a });
-        let b = Workload::McfLike.build(&WorkloadParams { iterations: 5, seed: seed_b });
-        prop_assert_ne!(&a.initial_mem, &b.initial_mem);
+/// Different seeds produce different linked-list layouts for the
+/// pointer-chasing workloads (the randomization actually randomizes).
+#[test]
+fn pointer_layouts_depend_on_the_seed() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0003);
+    for _case in 0..16 {
+        let seed_a = rng.gen_range_u64(0..500);
+        let seed_b = rng.gen_range_u64(501..1000);
+        let a = Workload::McfLike.build(&WorkloadParams {
+            iterations: 5,
+            seed: seed_a,
+        });
+        let b = Workload::McfLike.build(&WorkloadParams {
+            iterations: 5,
+            seed: seed_b,
+        });
+        assert_ne!(a.initial_mem, b.initial_mem);
     }
 }

@@ -18,7 +18,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("workload: {} — {}", workload.name(), workload.description());
     println!(
         "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "technique", "core dyn", "ra structs", "caches", "dram dyn", "static", "total mJ", "savings"
+        "technique",
+        "core dyn",
+        "ra structs",
+        "caches",
+        "dram dyn",
+        "static",
+        "total mJ",
+        "savings"
     );
     let mut baseline_total = 0.0;
     for technique in Technique::ALL {

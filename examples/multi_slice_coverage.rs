@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let program = workload.build(&WorkloadParams::default());
         let mut ipc = std::collections::HashMap::new();
         let mut sst_pcs = 0;
-        for technique in [Technique::OutOfOrder, Technique::RunaheadBuffer, Technique::Pre] {
+        for technique in [
+            Technique::OutOfOrder,
+            Technique::RunaheadBuffer,
+            Technique::Pre,
+        ] {
             let mut core = OooCore::new(&config, &program, technique)?;
             core.run(budget, 40_000_000);
             ipc.insert(technique, core.stats().ipc());

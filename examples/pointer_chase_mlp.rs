@@ -24,7 +24,11 @@ use precise_runahead::workloads::KernelBuilder;
 /// Builds a pointer-chase kernel over `nodes` cache lines, optionally with an
 /// independent strided scan per iteration.
 fn chase_kernel(nodes: u64, with_scan: bool) -> Program {
-    let mut b = KernelBuilder::new(if with_scan { "chase-plus-scan" } else { "single-chase" });
+    let mut b = KernelBuilder::new(if with_scan {
+        "chase-plus-scan"
+    } else {
+        "single-chase"
+    });
     let ptr = ArchReg::int(1);
     let t = ArchReg::int(2);
     let n = ArchReg::int(3);
@@ -63,7 +67,8 @@ fn chase_kernel(nodes: u64, with_scan: bool) -> Program {
 }
 
 fn run(program: &Program, technique: Technique) -> (f64, u64) {
-    let mut core = OooCore::new(&SimConfig::haswell_like(), program, technique).expect("valid core");
+    let mut core =
+        OooCore::new(&SimConfig::haswell_like(), program, technique).expect("valid core");
     core.run(40_000, 40_000_000);
     (core.stats().ipc(), core.stats().runahead_prefetches_issued)
 }

@@ -14,10 +14,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::MilcLike;
     let program = workload.build(&WorkloadParams::default());
 
-    println!("workload : {} — {}", workload.name(), workload.description());
-    println!("config   : {}-entry ROB, {}-entry IQ, {} int + {} fp physical registers",
-        config.core.rob_entries, config.core.iq_entries,
-        config.core.int_phys_regs, config.core.fp_phys_regs);
+    println!(
+        "workload : {} — {}",
+        workload.name(),
+        workload.description()
+    );
+    println!(
+        "config   : {}-entry ROB, {}-entry IQ, {} int + {} fp physical registers",
+        config.core.rob_entries,
+        config.core.iq_entries,
+        config.core.int_phys_regs,
+        config.core.fp_phys_regs
+    );
     println!();
 
     let mut baseline_ipc = 0.0;
@@ -33,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.runahead_entries, stats.runahead_prefetches_issued);
         if technique == Technique::Pre {
             println!();
-            println!("PRE speedup over the out-of-order baseline: {:.2}x", stats.ipc() / baseline_ipc);
+            println!(
+                "PRE speedup over the out-of-order baseline: {:.2}x",
+                stats.ipc() / baseline_ipc
+            );
         }
     }
     Ok(())

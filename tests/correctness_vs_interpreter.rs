@@ -29,7 +29,10 @@ fn check(workload: Workload, technique: Technique, iterations: u64) {
         core.halted(),
         "{workload} under {technique} did not retire the whole program"
     );
-    assert!(!core.deadlocked(), "{workload} under {technique} deadlocked");
+    assert!(
+        !core.deadlocked(),
+        "{workload} under {technique} deadlocked"
+    );
 
     let result = core.arch_snapshot();
     assert_eq!(

@@ -81,6 +81,9 @@ fn dependent_pointer_chases_gain_little_from_any_technique() {
             t < base * 1.3,
             "{technique} gained implausibly much on a chase-dominated workload"
         );
-        assert!(t > base * 0.7, "{technique} should not cripple a chase workload");
+        assert!(
+            t > base * 0.7,
+            "{technique} should not cripple a chase workload"
+        );
     }
 }

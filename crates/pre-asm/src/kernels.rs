@@ -1,0 +1,263 @@
+//! The bundled RISC-V assembly kernel suite.
+//!
+//! Six small but real programs — written fresh for this reproduction in the
+//! style of classic teaching-simulator kernels — covering the control-flow
+//! and address-stream shapes the synthetic suite cannot express: nested
+//! loops over 2-D indexing (matmul), data-dependent recursion with a real
+//! stack (quicksort), a single serial dependence chain (pointer-chase),
+//! streaming with a store stream (box-blur), irregular inner-loop trip
+//! counts (prime sieve) and unpredictable data-dependent branching
+//! (binary search).
+//!
+//! Every kernel follows the same loader convention: the **outer iteration
+//! count arrives in `a0`** (set via [`AsmKernel::build`]), each round ends
+//! by storing a live result into its `.data` section, and the program falls
+//! off the end (halts) when the rounds are exhausted.
+
+use crate::assembler::assemble;
+use crate::error::AsmError;
+use pre_model::program::Program;
+use pre_model::reg::ArchReg;
+use std::fmt;
+use std::str::FromStr;
+
+/// RISC-V register carrying the outer iteration count into a kernel (`a0`).
+pub fn iter_reg() -> ArchReg {
+    ArchReg::int(10)
+}
+
+/// The bundled assembly kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AsmKernel {
+    /// 8×8 integer matrix multiply (nested loops, 2-D indexing).
+    Matmul,
+    /// Recursive quicksort over 64 keys (call/return, stack traffic).
+    Quicksort,
+    /// Single pointer chase over a 4096-node scattered ring.
+    PointerChase,
+    /// 1-D three-tap box blur streaming a cold 16 MB arena.
+    BoxBlur,
+    /// Sieve of Eratosthenes over 1024 flags (irregular trip counts).
+    PrimeSieve,
+    /// 64 scrambled binary searches per round (data-dependent branches).
+    BinarySearch,
+}
+
+impl AsmKernel {
+    /// Every bundled kernel.
+    pub const ALL: [AsmKernel; 6] = [
+        AsmKernel::Matmul,
+        AsmKernel::Quicksort,
+        AsmKernel::PointerChase,
+        AsmKernel::BoxBlur,
+        AsmKernel::PrimeSieve,
+        AsmKernel::BinarySearch,
+    ];
+
+    /// Short name (also the workload name with an `asm-` prefix).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AsmKernel::Matmul => "matmul",
+            AsmKernel::Quicksort => "quicksort",
+            AsmKernel::PointerChase => "pointer-chase",
+            AsmKernel::BoxBlur => "box-blur",
+            AsmKernel::PrimeSieve => "prime-sieve",
+            AsmKernel::BinarySearch => "binary-search",
+        }
+    }
+
+    /// One-line description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            AsmKernel::Matmul => "8x8 integer matmul, nested loops over 2-D indexing",
+            AsmKernel::Quicksort => "recursive quicksort over 64 keys with a real stack",
+            AsmKernel::PointerChase => "single dependent load chain over a scattered ring",
+            AsmKernel::BoxBlur => "three-tap 1-D blur streaming a cold arena + store stream",
+            AsmKernel::PrimeSieve => "sieve of Eratosthenes, irregular inner trip counts",
+            AsmKernel::BinarySearch => "scrambled binary searches, unpredictable branches",
+        }
+    }
+
+    /// The kernel's assembly source text.
+    pub fn source(&self) -> &'static str {
+        match self {
+            AsmKernel::Matmul => include_str!("kernels/matmul.s"),
+            AsmKernel::Quicksort => include_str!("kernels/quicksort.s"),
+            AsmKernel::PointerChase => include_str!("kernels/pointer_chase.s"),
+            AsmKernel::BoxBlur => include_str!("kernels/box_blur.s"),
+            AsmKernel::PrimeSieve => include_str!("kernels/prime_sieve.s"),
+            AsmKernel::BinarySearch => include_str!("kernels/binary_search.s"),
+        }
+    }
+
+    /// Assembles the kernel and initializes `a0` with the outer iteration
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] if the embedded source fails to assemble —
+    /// which would be a packaging bug; [`AsmKernel::build`] is the
+    /// infallible variant the workload suite uses.
+    pub fn try_build(&self, iterations: u64) -> Result<Program, AsmError> {
+        let mut program = assemble(&format!("asm-{}", self.name()), self.source())?;
+        program.initial_regs.push((iter_reg(), iterations));
+        Ok(program)
+    }
+
+    /// Assembles the kernel ([`AsmKernel::try_build`]), panicking on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source fails to assemble; the bundled sources
+    /// are compiled into the crate and covered by tests, so this is
+    /// unreachable in practice.
+    pub fn build(&self, iterations: u64) -> Program {
+        self.try_build(iterations)
+            .expect("bundled kernel must assemble")
+    }
+}
+
+impl fmt::Display for AsmKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown kernel name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmKernelError(String);
+
+impl fmt::Display for ParseAsmKernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown asm kernel `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseAsmKernelError {}
+
+impl FromStr for AsmKernel {
+    type Err = ParseAsmKernelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let wanted = s.to_ascii_lowercase();
+        let wanted = wanted.strip_prefix("asm-").unwrap_or(&wanted);
+        AsmKernel::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == wanted)
+            .ok_or_else(|| ParseAsmKernelError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembler::AsmOptions;
+    use pre_model::program::Interpreter;
+
+    fn finish(kernel: AsmKernel, iterations: u64) -> Interpreter {
+        let program = kernel.build(iterations);
+        program.validate().expect("kernel validates");
+        let mut interp = Interpreter::new(&program);
+        interp.run(20_000_000);
+        assert!(interp.halted(), "{kernel} did not halt");
+        interp
+    }
+
+    #[test]
+    fn all_kernels_assemble_and_halt() {
+        for kernel in AsmKernel::ALL {
+            let interp = finish(kernel, 2);
+            assert!(interp.loads() > 0, "{kernel} issued no loads");
+        }
+    }
+
+    #[test]
+    fn zero_iterations_skip_the_body() {
+        for kernel in AsmKernel::ALL {
+            // Setup/init loops may run, but the program must still halt fast.
+            let interp = finish(kernel, 0);
+            assert!(interp.retired() < 200_000);
+        }
+    }
+
+    #[test]
+    fn prime_sieve_counts_172_primes_below_1024() {
+        let interp = finish(AsmKernel::PrimeSieve, 1);
+        let result_addr = AsmOptions::default().data_base + 1024 * 8;
+        assert_eq!(interp.memory().load_u64(result_addr), 172);
+    }
+
+    #[test]
+    fn quicksort_sorts_the_array() {
+        let interp = finish(AsmKernel::Quicksort, 1);
+        let base = AsmOptions::default().data_base;
+        let mut prev = 0;
+        for i in 0..64 {
+            let v = interp.memory().load_u64(base + i * 8);
+            assert!(v >= prev, "arr[{i}] = {v} < {prev}: not sorted");
+            assert!(v < 1024, "keys are 10-bit");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn matmul_computes_the_product() {
+        let interp = finish(AsmKernel::Matmul, 1);
+        let base = AsmOptions::default().data_base;
+        let n = 8u64;
+        let a = |i: u64, j: u64| i * n + j + 1;
+        let b = |i: u64, j: u64| i.wrapping_sub(j).wrapping_add(3);
+        // Spot-check two elements of C (third matrix in the data section).
+        for (i, j) in [(0u64, 0u64), (7, 5)] {
+            let expected: u64 = (0..n).fold(0u64, |acc, k| {
+                acc.wrapping_add(a(i, k).wrapping_mul(b(k, j)))
+            });
+            let addr = base + (2 * n * n + i * n + j) * 8;
+            assert_eq!(interp.memory().load_u64(addr), expected, "C[{i}][{j}]");
+        }
+    }
+
+    #[test]
+    fn binary_search_hit_count_matches_reference() {
+        let interp = finish(AsmKernel::BinarySearch, 1);
+        // Mirror the kernel: key = (q * 2654435761 + round) & 4095, table
+        // holds 3*i + 1; the final round executes with round counter 1.
+        let hits = (0..64u64)
+            .filter(|q| {
+                let key = (q.wrapping_mul(2_654_435_761).wrapping_add(1)) & 4095;
+                key % 3 == 1 && key / 3 < 1024
+            })
+            .count() as u64;
+        let result_addr = AsmOptions::default().data_base + 1024 * 8;
+        assert_eq!(interp.memory().load_u64(result_addr), hits);
+    }
+
+    #[test]
+    fn pointer_chase_ends_each_round_at_a_node_address() {
+        let interp = finish(AsmKernel::PointerChase, 1);
+        let base = AsmOptions::default().data_base;
+        let result = interp.memory().load_u64(base + 4096 * 8);
+        // After 4096 steps of a full-cycle permutation the cursor is back at
+        // the ring entry.
+        assert_eq!(result, base);
+    }
+
+    #[test]
+    fn names_parse_and_roundtrip() {
+        for kernel in AsmKernel::ALL {
+            assert_eq!(kernel.name().parse::<AsmKernel>().unwrap(), kernel);
+            let prefixed = format!("asm-{kernel}");
+            assert_eq!(prefixed.parse::<AsmKernel>().unwrap(), kernel);
+            assert!(!kernel.description().is_empty());
+        }
+        assert!("unknown".parse::<AsmKernel>().is_err());
+    }
+
+    #[test]
+    fn more_iterations_do_more_work() {
+        let one = finish(AsmKernel::BoxBlur, 1).retired();
+        let three = finish(AsmKernel::BoxBlur, 3).retired();
+        assert!(three > one * 2, "{three} vs {one}");
+    }
+}

@@ -1,0 +1,63 @@
+# Binary search: 64 scrambled probes per round into a sorted
+# 1024-entry table — a data-dependent branch pattern no predictor
+# can learn, with a short dependent-load chain per probe.
+# a0 = outer iteration count.
+
+main:
+        mv      s0, a0
+        la      s1, table
+        li      s2, 1024
+
+        li      t0, 0
+tinit:
+        slli    t1, t0, 1
+        add     t1, t1, t0          # 3*i
+        addi    t1, t1, 1           # sorted keys: 3*i + 1
+        slli    t2, t0, 3
+        add     t2, s1, t2
+        sd      t1, 0(t2)
+        addi    t0, t0, 1
+        bltu    t0, s2, tinit
+
+        li      s3, 2654435761      # query scrambler
+        li      s4, 4095            # query mask (max key is 3070)
+outer:
+        beqz    s0, end
+        li      s5, 0               # hits
+        li      t0, 0               # query number
+        li      s6, 64              # queries per round
+probe:
+        mul     t1, t0, s3
+        add     t1, t1, s0          # salt with the round counter
+        and     t1, t1, s4          # key
+        li      t2, 0               # lo
+        mv      t3, s2              # hi
+bsearch:
+        bgeu    t2, t3, miss
+        add     t4, t2, t3
+        srli    t4, t4, 1           # mid
+        slli    t5, t4, 3
+        add     t5, s1, t5
+        ld      t6, 0(t5)
+        beq     t6, t1, hit
+        bltu    t6, t1, go_right
+        mv      t3, t4              # hi = mid
+        j       bsearch
+go_right:
+        addi    t2, t4, 1           # lo = mid + 1
+        j       bsearch
+hit:
+        addi    s5, s5, 1
+miss:
+        addi    t0, t0, 1
+        bltu    t0, s6, probe
+        la      t1, result
+        sd      s5, 0(t1)
+        addi    s0, s0, -1
+        j       outer
+end:
+        nop
+
+.data
+table:  .fill 1024, 0
+result: .word 0

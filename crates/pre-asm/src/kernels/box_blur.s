@@ -1,0 +1,44 @@
+# Streaming three-tap box blur: every round blurs a fresh 512-element
+# tile of a 16 MB arena into a fixed output tile, then advances to the
+# next tile (wrapping at the end). The source stream is always cold —
+# compulsory misses all the way to DRAM — so this kernel is genuinely
+# memory-bound, like the image filters it imitates. The arena is read
+# uninitialized: the functional memory returns deterministic
+# address-derived values, the same idiom the synthetic streaming
+# workloads use.
+# a0 = outer iteration count.
+
+main:
+        mv      s0, a0
+        li      s1, 0x1000000       # arena base (16 MB mark)
+        la      s2, dst
+        li      s3, 512             # tile elements
+        li      s4, 0               # byte cursor into the arena
+        li      s5, 0xFFFFFF        # arena wrap mask (16 MB)
+outer:
+        beqz    s0, end
+        add     s6, s1, s4          # current source tile
+        li      t0, 1
+        addi    t5, s3, -1          # last interior index
+blur:
+        slli    t1, t0, 3
+        add     t2, s6, t1
+        ld      t3, -8(t2)
+        ld      t4, 0(t2)
+        ld      t6, 8(t2)
+        add     t3, t3, t4
+        add     t3, t3, t6
+        srli    t3, t3, 2
+        add     t4, s2, t1
+        sd      t3, 0(t4)
+        addi    t0, t0, 1
+        bltu    t0, t5, blur
+        addi    s4, s4, 4096        # advance one tile
+        and     s4, s4, s5
+        addi    s0, s0, -1
+        j       outer
+end:
+        nop
+
+.data
+dst:    .fill 512, 0

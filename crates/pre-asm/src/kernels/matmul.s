@@ -1,0 +1,75 @@
+# 8x8 u64 matrix multiply: C += A * B on every outer round.
+# a0 = outer iteration count (initialized by the loader).
+
+main:
+        mv      s0, a0              # rounds remaining
+        la      s1, mat_a
+        la      s2, mat_b
+        la      s4, mat_c
+        li      s3, 8               # N
+
+        # A[i][j] = i*N + j + 1;  B[i][j] = i - j + 3 (wrapping is fine)
+        li      t0, 0               # i
+init_i:
+        li      t1, 0               # j
+init_j:
+        mul     t2, t0, s3
+        add     t2, t2, t1          # i*N + j
+        slli    t3, t2, 3
+        add     t4, s1, t3
+        addi    t5, t2, 1
+        sw      t5, 0(t4)
+        add     t4, s2, t3
+        sub     t6, t0, t1
+        addi    t6, t6, 3
+        sw      t6, 0(t4)
+        add     t4, s4, t3
+        sw      zero, 0(t4)
+        addi    t1, t1, 1
+        bltu    t1, s3, init_j
+        addi    t0, t0, 1
+        bltu    t0, s3, init_i
+
+outer:
+        beqz    s0, end
+        li      t0, 0               # i
+row:
+        li      t1, 0               # j
+col:
+        li      t2, 0               # k
+        li      a5, 0               # dot-product accumulator
+dot:
+        mul     t3, t0, s3
+        add     t3, t3, t2          # i*N + k
+        slli    t3, t3, 3
+        add     t3, s1, t3
+        ld      a1, 0(t3)           # A[i][k]
+        mul     t4, t2, s3
+        add     t4, t4, t1          # k*N + j
+        slli    t4, t4, 3
+        add     t4, s2, t4
+        ld      a2, 0(t4)           # B[k][j]
+        mul     a3, a1, a2
+        add     a5, a5, a3
+        addi    t2, t2, 1
+        bltu    t2, s3, dot
+        mul     t5, t0, s3
+        add     t5, t5, t1
+        slli    t5, t5, 3
+        add     t5, s4, t5
+        ld      a4, 0(t5)
+        add     a4, a4, a5
+        sd      a4, 0(t5)           # C[i][j] += dot
+        addi    t1, t1, 1
+        bltu    t1, s3, col
+        addi    t0, t0, 1
+        bltu    t0, s3, row
+        addi    s0, s0, -1
+        j       outer
+end:
+        nop
+
+.data
+mat_a:  .fill 64, 0
+mat_b:  .fill 64, 0
+mat_c:  .fill 64, 0

@@ -1,0 +1,42 @@
+# Pointer chase over a 4096-node ring (32 KB, larger than the L1).
+# The ring is laid out with a coprime stride so the traversal order is
+# scattered relative to the layout: a single dependent load chain.
+# a0 = outer iteration count; each round chases all 4096 links.
+
+main:
+        mv      s0, a0
+        la      s1, nodes
+        li      s2, 4096            # nodes
+        li      s3, 1531            # coprime step
+        li      s4, 4095            # index mask
+
+        li      t0, 0
+build:
+        add     t1, t0, s3
+        and     t1, t1, s4
+        slli    t1, t1, 3
+        add     t1, s1, t1          # &nodes[(i + step) & mask]
+        slli    t2, t0, 3
+        add     t2, s1, t2
+        sd      t1, 0(t2)
+        addi    t0, t0, 1
+        bltu    t0, s2, build
+
+outer:
+        beqz    s0, end
+        mv      t3, s1              # cursor = &nodes[0]
+        li      t4, 0
+chase:
+        ld      t3, 0(t3)
+        addi    t4, t4, 1
+        bltu    t4, s2, chase
+        la      t5, result
+        sd      t3, 0(t5)
+        addi    s0, s0, -1
+        j       outer
+end:
+        nop
+
+.data
+nodes:  .fill 4096, 0
+result: .word 0

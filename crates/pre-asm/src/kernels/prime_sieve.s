@@ -1,0 +1,61 @@
+# Sieve of Eratosthenes over 1024 flag words; each round clears the
+# flags, marks composites, and counts the primes below 1024 into
+# `result` (there are 172 of them).
+# a0 = outer iteration count.
+
+main:
+        mv      s0, a0
+        la      s1, flags
+        li      s2, 1024
+outer:
+        beqz    s0, end
+
+        li      t0, 0
+clear:
+        slli    t1, t0, 3
+        add     t1, s1, t1
+        sd      zero, 0(t1)
+        addi    t0, t0, 1
+        bltu    t0, s2, clear
+
+        li      t0, 2
+mark_i:
+        mul     t1, t0, t0          # first multiple worth marking: i*i
+        bgeu    t1, s2, count
+        slli    t2, t0, 3
+        add     t2, s1, t2
+        ld      t3, 0(t2)
+        bnez    t3, mark_next       # i itself already composite
+        li      t4, 1
+mark:
+        slli    t5, t1, 3
+        add     t5, s1, t5
+        sd      t4, 0(t5)
+        add     t1, t1, t0
+        bltu    t1, s2, mark
+mark_next:
+        addi    t0, t0, 1
+        j       mark_i
+
+count:
+        li      t6, 0
+        li      t0, 2
+cnt:
+        slli    t1, t0, 3
+        add     t1, s1, t1
+        ld      t2, 0(t1)
+        bnez    t2, cnt_next
+        addi    t6, t6, 1
+cnt_next:
+        addi    t0, t0, 1
+        bltu    t0, s2, cnt
+        la      t1, result
+        sd      t6, 0(t1)
+        addi    s0, s0, -1
+        j       outer
+end:
+        nop
+
+.data
+flags:  .fill 1024, 0
+result: .word 0

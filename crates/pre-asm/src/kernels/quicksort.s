@@ -1,0 +1,90 @@
+# Recursive quicksort (Lomuto partition) over 64 u64 keys.
+# a0 = outer iteration count; each round re-scrambles and re-sorts,
+# then folds the sorted array into `result` so the work stays live.
+
+main:
+        mv      s0, a0
+        la      s1, arr
+        li      s2, 64              # N
+outer:
+        beqz    s0, end
+
+        # arr[i] = (i * 2654435761 + round * 97) & 1023
+        li      t0, 0
+        li      t1, 2654435761
+        li      t2, 97
+        mul     t3, s0, t2          # per-round salt
+fill:
+        mul     t4, t0, t1
+        add     t4, t4, t3
+        andi    t4, t4, 1023
+        slli    t5, t0, 3
+        add     t5, s1, t5
+        sd      t4, 0(t5)
+        addi    t0, t0, 1
+        bltu    t0, s2, fill
+
+        # quicksort(&arr[0], &arr[N-1])
+        mv      a1, s1
+        slli    t0, s2, 3
+        add     a2, s1, t0
+        addi    a2, a2, -8
+        call    quicksort
+
+        # checksum the sorted array
+        li      t0, 0
+        li      t6, 0
+sum:
+        slli    t5, t0, 3
+        add     t5, s1, t5
+        ld      t4, 0(t5)
+        add     t6, t6, t4
+        addi    t0, t0, 1
+        bltu    t0, s2, sum
+        la      t5, result
+        sd      t6, 0(t5)
+        addi    s0, s0, -1
+        j       outer
+
+# quicksort(a1 = lo address, a2 = hi address); clobbers a3-a7.
+quicksort:
+        bgeu    a1, a2, qret
+        ld      a3, 0(a2)           # pivot = *hi
+        mv      a4, a1              # store position
+        mv      a5, a1              # scan cursor
+qscan:
+        bgeu    a5, a2, qswap
+        ld      a6, 0(a5)
+        bgeu    a6, a3, qnext       # keys are 10-bit, unsigned compare is fine
+        ld      a7, 0(a4)
+        sd      a6, 0(a4)
+        sd      a7, 0(a5)
+        addi    a4, a4, 8
+qnext:
+        addi    a5, a5, 8
+        j       qscan
+qswap:
+        ld      a6, 0(a4)
+        ld      a7, 0(a2)
+        sd      a7, 0(a4)
+        sd      a6, 0(a2)
+        addi    sp, sp, -24
+        sd      ra, 0(sp)
+        sd      a2, 8(sp)
+        sd      a4, 16(sp)
+        addi    a2, a4, -8
+        call    quicksort           # left part: [lo, p-1]
+        ld      a4, 16(sp)
+        ld      a2, 8(sp)
+        addi    a1, a4, 8
+        call    quicksort           # right part: [p+1, hi]
+        ld      ra, 0(sp)
+        addi    sp, sp, 24
+qret:
+        ret
+end:
+        nop
+
+.data
+arr:    .fill 64, 0
+result: .word 0

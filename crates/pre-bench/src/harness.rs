@@ -12,8 +12,15 @@
 //! minimum, median and mean wall-clock time (plus throughput when the group
 //! declares one). Set `PRE_BENCH_SAMPLES` to override every group's sample
 //! count, e.g. `PRE_BENCH_SAMPLES=3 cargo bench` for a quick smoke run.
+//!
+//! Set `PRE_BENCH_JSON` to additionally emit one machine-readable
+//! `BENCH_<name>.json` per benchmark (raw samples, min, median, mean in
+//! nanoseconds) next to the text output, so the perf trajectory can be
+//! tracked across commits: `PRE_BENCH_JSON=1` writes into the current
+//! directory, any other non-empty value is used as the target directory.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Top-level harness handle, mirroring `criterion::Criterion`.
@@ -168,6 +175,89 @@ fn run_samples(sample_size: usize, mut f: impl FnMut(&mut Bencher)) -> Vec<Durat
     bencher.samples
 }
 
+/// Directory for machine-readable reports, from `PRE_BENCH_JSON` (`1`/`true`
+/// mean the current directory); `None` disables JSON output.
+fn json_dir() -> Option<PathBuf> {
+    let value = std::env::var("PRE_BENCH_JSON").ok()?;
+    match value.trim() {
+        "" | "0" | "false" => None,
+        "1" | "true" => Some(PathBuf::from(".")),
+        dir => Some(PathBuf::from(dir)),
+    }
+}
+
+/// `BENCH_<name>.json` with path-hostile characters mapped to `_`.
+fn json_file_name(name: &str) -> String {
+    let sanitized: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("BENCH_{sanitized}.json")
+}
+
+/// Renders one benchmark's samples as a JSON object (times in nanoseconds).
+fn json_report(
+    name: &str,
+    samples: &[Duration],
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+) -> String {
+    let samples_ns: Vec<String> = samples.iter().map(|d| d.as_nanos().to_string()).collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"name\": \"{}\",\n",
+            "  \"samples_ns\": [{}],\n",
+            "  \"min_ns\": {},\n",
+            "  \"median_ns\": {},\n",
+            "  \"mean_ns\": {}\n",
+            "}}\n"
+        ),
+        escape_json(name),
+        samples_ns.join(", "),
+        min.as_nanos(),
+        median.as_nanos(),
+        mean.as_nanos(),
+    )
+}
+
+/// Escapes the characters JSON strings cannot contain raw (benchmark names
+/// are ASCII identifiers, so quotes/backslashes/control chars suffice).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_json(
+    dir: &Path,
+    name: &str,
+    samples: &[Duration],
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+) {
+    let path = dir.join(json_file_name(name));
+    let body = json_report(name, samples, min, median, mean);
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("could not write {}: {e}", path.display());
+    }
+}
+
 fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
     if samples.is_empty() {
         println!("{name:<40} (no samples — did the closure call iter()?)");
@@ -178,6 +268,9 @@ fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
     let min = sorted[0];
     let median = sorted[sorted.len() / 2];
     let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    if let Some(dir) = json_dir() {
+        write_json(&dir, name, samples, min, median, mean);
+    }
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => format!("  {:>12}/s", human_rate(n, median)),
         Throughput::Bytes(n) => format!("  {:>10}B/s", human_rate(n, median)),
@@ -257,6 +350,43 @@ mod tests {
     fn benchmark_id_renders_like_criterion() {
         assert_eq!(BenchmarkId::new("lbm", 42).to_string(), "lbm/42");
         assert_eq!(BenchmarkId::from_parameter("x/y").to_string(), "x/y");
+    }
+
+    #[test]
+    fn json_report_is_valid_and_complete() {
+        let samples = [
+            Duration::from_nanos(100),
+            Duration::from_nanos(300),
+            Duration::from_nanos(200),
+        ];
+        let body = json_report(
+            "fig2_performance/lbm-like/RA",
+            &samples,
+            Duration::from_nanos(100),
+            Duration::from_nanos(200),
+            Duration::from_nanos(200),
+        );
+        assert!(body.contains("\"samples_ns\": [100, 300, 200]"), "{body}");
+        assert!(body.contains("\"min_ns\": 100"), "{body}");
+        assert!(body.contains("\"median_ns\": 200"), "{body}");
+        assert!(body.contains("\"mean_ns\": 200"), "{body}");
+        assert!(body.contains("\"name\": \"fig2_performance/lbm-like/RA\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(body.matches('{').count(), body.matches('}').count());
+        assert_eq!(body.matches('[').count(), body.matches(']').count());
+    }
+
+    #[test]
+    fn json_file_names_are_path_safe() {
+        assert_eq!(
+            json_file_name("fig2_performance/lbm-like/RA buffer"),
+            "BENCH_fig2_performance_lbm-like_RA_buffer.json"
+        );
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
     }
 
     #[test]

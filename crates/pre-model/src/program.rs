@@ -15,7 +15,7 @@ use crate::mem::FuncMem;
 use crate::reg::{ArchReg, NUM_ARCH_REGS};
 
 /// A static program for the synthetic ISA.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {
     /// Human-readable workload name (e.g. `"mcf-like"`).
     pub name: String,

@@ -1,21 +1,37 @@
 //! Development aid: dump detailed statistics for one workload under one
-//! technique. Usage: `debug_stats [workload] [technique] [max_uops]`.
+//! technique.
+//!
+//! Usage: `debug_stats [--suite synthetic|asm|mixed] [workload] [technique]
+//! [max_uops]`. Workload names include the asm kernels (`asm-matmul`,
+//! `quicksort`, ...); when only `--suite` is given, the suite's first
+//! workload is dumped.
 
 use pre_runahead::Technique;
+use pre_sim::experiments::split_suite_flag;
 use pre_sim::runner::{run_one, RunSpec};
 use pre_workloads::Workload;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let workload: Workload = args
-        .get(1)
+    let (suite, positional) = match split_suite_flag(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: debug_stats [--suite synthetic|asm|mixed] [workload] [technique] [max_uops]");
+            std::process::exit(2);
+        }
+    };
+    let workload: Workload = positional
+        .first()
         .map(|s| s.parse().expect("workload"))
-        .unwrap_or(Workload::LibquantumLike);
-    let technique: Technique = args
-        .get(2)
+        .unwrap_or_else(|| suite.workloads()[0]);
+    let technique: Technique = positional
+        .get(1)
         .map(|s| s.parse().expect("technique"))
         .unwrap_or(Technique::OutOfOrder);
-    let budget: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let budget: u64 = positional
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
 
     let result = run_one(&RunSpec::new(workload, technique).with_budget(budget)).expect("run");
     let s = &result.stats;

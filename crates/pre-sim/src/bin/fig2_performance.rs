@@ -1,19 +1,23 @@
 //! Regenerates Figure 2: performance of RA, RA-buffer, PRE and PRE+EMQ
-//! normalized to the out-of-order baseline, for every memory-intensive
-//! workload plus the geometric mean.
+//! normalized to the out-of-order baseline, for every workload in the
+//! selected suite plus the geometric mean.
 //!
-//! Usage: `fig2_performance [max_uops_per_run]` (default 300 000).
+//! Usage: `fig2_performance [--suite synthetic|asm|mixed] [max_uops_per_run]`
+//! (defaults: the synthetic memory-intensive suite, 300 000 uops).
 
 use pre_sim::experiments::{
-    budget_from_args, fig2_summary, fig2_table, run_evaluation_matrix, DEFAULT_EVAL_UOPS,
+    cli_from_args, fig2_summary, fig2_table, run_suite_matrix, Suite, DEFAULT_EVAL_UOPS,
 };
 
 fn main() {
-    let budget = budget_from_args(DEFAULT_EVAL_UOPS);
-    eprintln!("running the Figure 2 evaluation matrix ({budget} committed uops per run)...");
-    let matrix = run_evaluation_matrix(budget, |r| {
+    let cli = cli_from_args(DEFAULT_EVAL_UOPS);
+    eprintln!(
+        "running the Figure 2 evaluation matrix over the {} suite ({} committed uops per run)...",
+        cli.suite, cli.budget
+    );
+    let matrix = run_suite_matrix(cli.suite, cli.budget, |r| {
         eprintln!(
-            "  {:<16} {:<10} ipc {:.3}  runahead entries {}",
+            "  {:<18} {:<10} ipc {:.3}  runahead entries {}",
             r.workload.name(),
             r.technique.label(),
             r.ipc(),
@@ -23,8 +27,10 @@ fn main() {
     .expect("evaluation matrix");
     let table = fig2_table(&matrix);
     println!("{}", table.render());
-    println!("paper-vs-measured (average improvement over OoO):");
-    println!("{}", fig2_summary(&matrix));
+    if cli.suite == Suite::Synthetic {
+        println!("paper-vs-measured (average improvement over OoO):");
+        println!("{}", fig2_summary(&matrix));
+    }
     if let Err(e) = table.write_csv("fig2_performance.csv") {
         eprintln!("could not write fig2_performance.csv: {e}");
     } else {

@@ -1,18 +1,22 @@
 //! Regenerates Figure 3: energy savings (core + DRAM) of RA, RA-buffer, PRE
 //! and PRE+EMQ relative to the out-of-order baseline.
 //!
-//! Usage: `fig3_energy [max_uops_per_run]` (default 300 000).
+//! Usage: `fig3_energy [--suite synthetic|asm|mixed] [max_uops_per_run]`
+//! (defaults: the synthetic memory-intensive suite, 300 000 uops).
 
 use pre_sim::experiments::{
-    budget_from_args, fig3_summary, fig3_table, run_evaluation_matrix, DEFAULT_EVAL_UOPS,
+    cli_from_args, fig3_summary, fig3_table, run_suite_matrix, Suite, DEFAULT_EVAL_UOPS,
 };
 
 fn main() {
-    let budget = budget_from_args(DEFAULT_EVAL_UOPS);
-    eprintln!("running the Figure 3 evaluation matrix ({budget} committed uops per run)...");
-    let matrix = run_evaluation_matrix(budget, |r| {
+    let cli = cli_from_args(DEFAULT_EVAL_UOPS);
+    eprintln!(
+        "running the Figure 3 evaluation matrix over the {} suite ({} committed uops per run)...",
+        cli.suite, cli.budget
+    );
+    let matrix = run_suite_matrix(cli.suite, cli.budget, |r| {
         eprintln!(
-            "  {:<16} {:<10} energy {:.3} mJ",
+            "  {:<18} {:<10} energy {:.3} mJ",
             r.workload.name(),
             r.technique.label(),
             r.energy_mj()
@@ -21,8 +25,10 @@ fn main() {
     .expect("evaluation matrix");
     let table = fig3_table(&matrix);
     println!("{}", table.render());
-    println!("paper-vs-measured (average energy savings over OoO):");
-    println!("{}", fig3_summary(&matrix));
+    if cli.suite == Suite::Synthetic {
+        println!("paper-vs-measured (average energy savings over OoO):");
+        println!("{}", fig3_summary(&matrix));
+    }
     if let Err(e) = table.write_csv("fig3_energy.csv") {
         eprintln!("could not write fig3_energy.csv: {e}");
     } else {

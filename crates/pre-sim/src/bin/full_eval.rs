@@ -3,20 +3,24 @@
 //! (runahead invocation ratios). This is the cheapest way to regenerate the
 //! paper's headline numbers because the matrix is simulated only once.
 //!
-//! Usage: `full_eval [max_uops_per_run]` (default 300 000).
+//! Usage: `full_eval [--suite synthetic|asm|mixed] [max_uops_per_run]`
+//! (defaults: the synthetic memory-intensive suite, 300 000 uops).
 
 use pre_sim::experiments::{
-    budget_from_args, fig2_summary, fig2_table, fig3_summary, fig3_table, run_evaluation_matrix,
-    stat_invocations, DEFAULT_EVAL_UOPS,
+    cli_from_args, fig2_summary, fig2_table, fig3_summary, fig3_table, run_suite_matrix,
+    stat_invocations, Suite, DEFAULT_EVAL_UOPS,
 };
 
 fn main() {
-    let budget = budget_from_args(DEFAULT_EVAL_UOPS);
-    eprintln!("running the full evaluation matrix ({budget} committed uops per run)...");
+    let cli = cli_from_args(DEFAULT_EVAL_UOPS);
+    eprintln!(
+        "running the full evaluation matrix over the {} suite ({} committed uops per run)...",
+        cli.suite, cli.budget
+    );
     let start = std::time::Instant::now();
-    let matrix = run_evaluation_matrix(budget, |r| {
+    let matrix = run_suite_matrix(cli.suite, cli.budget, |r| {
         eprintln!(
-            "  [{:>6.1}s] {:<16} {:<10} ipc {:.3}",
+            "  [{:>6.1}s] {:<18} {:<10} ipc {:.3}",
             start.elapsed().as_secs_f64(),
             r.workload.name(),
             r.technique.label(),
@@ -27,10 +31,12 @@ fn main() {
 
     let fig2 = fig2_table(&matrix);
     println!("{}", fig2.render());
-    println!("paper-vs-measured (Figure 2):\n{}", fig2_summary(&matrix));
     let fig3 = fig3_table(&matrix);
     println!("{}", fig3.render());
-    println!("paper-vs-measured (Figure 3):\n{}", fig3_summary(&matrix));
+    if cli.suite == Suite::Synthetic {
+        println!("paper-vs-measured (Figure 2):\n{}", fig2_summary(&matrix));
+        println!("paper-vs-measured (Figure 3):\n{}", fig3_summary(&matrix));
+    }
     println!("{}", stat_invocations(&matrix).render());
 
     let _ = fig2.write_csv("fig2_performance.csv");

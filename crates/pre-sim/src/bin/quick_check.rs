@@ -3,23 +3,37 @@
 //! energy. Intended for development and for a fast "does the reproduction
 //! behave sensibly" smoke test; the real figures come from the
 //! `fig2_performance` / `fig3_energy` binaries.
+//!
+//! Usage: `quick_check [--suite synthetic|asm|mixed] [max_uops]`
+//! (`--suite asm` smoke-tests every assembled RISC-V kernel).
 
 use pre_runahead::Technique;
-use pre_sim::experiments::budget_from_args;
+use pre_sim::experiments::{cli_from_args, Suite};
 use pre_sim::runner::{run_one, RunSpec};
 use pre_workloads::Workload;
 
 fn main() {
-    let budget = budget_from_args(60_000);
-    let workloads = [
+    let cli = cli_from_args(60_000);
+    // The synthetic suite is large, so the quick check runs a representative
+    // subset; the asm suite is small enough to run whole.
+    let representative = vec![
         Workload::LibquantumLike,
         Workload::LbmLike,
         Workload::MilcLike,
         Workload::McfLike,
         Workload::ComputeBound,
     ];
+    let workloads = match cli.suite {
+        Suite::Synthetic => representative,
+        Suite::Asm => Workload::ASM_SUITE.to_vec(),
+        Suite::Mixed => {
+            let mut all = representative;
+            all.extend(Workload::ASM_SUITE);
+            all
+        }
+    };
     println!(
-        "{:<16} {:<10} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>8}",
+        "{:<18} {:<10} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>8}",
         "workload",
         "technique",
         "ipc",
@@ -30,10 +44,11 @@ fn main() {
         "useful",
         "mJ"
     );
+    let mut failed = false;
     for workload in workloads {
         let mut base_ipc = 0.0;
         for technique in Technique::ALL {
-            let spec = RunSpec::new(workload, technique).with_budget(budget);
+            let spec = RunSpec::new(workload, technique).with_budget(cli.budget);
             match run_one(&spec) {
                 Ok(result) => {
                     if technique == Technique::OutOfOrder {
@@ -44,8 +59,9 @@ fn main() {
                     } else {
                         0.0
                     };
+                    failed |= result.deadlocked;
                     println!(
-                        "{:<16} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8.2}{}",
+                        "{:<18} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8.2}{}",
                         workload.name(),
                         technique.label(),
                         result.ipc(),
@@ -58,8 +74,14 @@ fn main() {
                         if result.deadlocked { "  DEADLOCK" } else { "" },
                     );
                 }
-                Err(e) => println!("{workload} / {technique}: build error: {e}"),
+                Err(e) => {
+                    failed = true;
+                    println!("{workload} / {technique}: build error: {e}");
+                }
             }
         }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

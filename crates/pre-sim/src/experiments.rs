@@ -8,6 +8,8 @@ use pre_core::pipeline::BuildError;
 use pre_model::config::{SimConfig, SimConfigBuilder};
 use pre_runahead::Technique;
 use pre_workloads::{Workload, WorkloadParams};
+use std::fmt;
+use std::str::FromStr;
 
 /// Default committed-micro-op budget per (workload, technique) run used by
 /// the experiment binaries. The paper simulates 1-billion-instruction
@@ -21,13 +23,169 @@ pub const DEFAULT_EVAL_UOPS: u64 = 300_000;
 /// several times).
 pub const BENCH_EVAL_UOPS: u64 = 60_000;
 
+/// Which workload set an experiment binary runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Suite {
+    /// The synthetic memory-intensive SPEC-2006-like suite (the default,
+    /// matching the paper's figures).
+    #[default]
+    Synthetic,
+    /// The assembled RISC-V kernel suite (`pre-asm`): real programs.
+    Asm,
+    /// Both suites in one matrix.
+    Mixed,
+}
+
+impl Suite {
+    /// The workloads this suite runs, in figure order.
+    pub fn workloads(&self) -> Vec<Workload> {
+        match self {
+            Suite::Synthetic => Workload::MEMORY_INTENSIVE.to_vec(),
+            Suite::Asm => Workload::ASM_SUITE.to_vec(),
+            Suite::Mixed => {
+                let mut all = Workload::MEMORY_INTENSIVE.to_vec();
+                all.extend(Workload::ASM_SUITE);
+                all
+            }
+        }
+    }
+
+    /// Short name used on the command line.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Suite::Synthetic => "synthetic",
+            Suite::Asm => "asm",
+            Suite::Mixed => "mixed",
+        }
+    }
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown suite name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSuiteError(String);
+
+impl fmt::Display for ParseSuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown suite `{}` (expected synthetic|asm|mixed)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseSuiteError {}
+
+impl FromStr for Suite {
+    type Err = ParseSuiteError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "synthetic" | "spec" => Ok(Suite::Synthetic),
+            "asm" | "riscv" => Ok(Suite::Asm),
+            "mixed" | "all" => Ok(Suite::Mixed),
+            _ => Err(ParseSuiteError(s.to_string())),
+        }
+    }
+}
+
+/// Common command-line arguments of the experiment binaries:
+/// `<binary> [--suite synthetic|asm|mixed] [max_uops]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CliArgs {
+    /// Which workload suite to run.
+    pub suite: Suite,
+    /// Committed-micro-op budget per run.
+    pub budget: u64,
+}
+
+/// Extracts a `--suite <name>` / `--suite=<name>` flag from `args`,
+/// returning the suite (default [`Suite::Synthetic`]) and the remaining
+/// positional arguments in order. Shared by every experiment binary so the
+/// flag parses identically everywhere.
+///
+/// # Errors
+///
+/// Returns a message suitable for printing when the flag is malformed.
+pub fn split_suite_flag<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<(Suite, Vec<String>), String> {
+    let mut suite = Suite::default();
+    let mut positional = Vec::new();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--suite" {
+            let value = args.next().ok_or("--suite requires a value")?;
+            suite = value.parse().map_err(|e: ParseSuiteError| e.to_string())?;
+        } else if let Some(value) = arg.strip_prefix("--suite=") {
+            suite = value.parse().map_err(|e: ParseSuiteError| e.to_string())?;
+        } else {
+            positional.push(arg);
+        }
+    }
+    Ok((suite, positional))
+}
+
+/// Parses `[--suite <name>] [max_uops]` from an argument iterator.
+///
+/// # Errors
+///
+/// Returns a message suitable for printing when a flag is malformed.
+pub fn parse_cli<I: IntoIterator<Item = String>>(
+    args: I,
+    default_budget: u64,
+) -> Result<CliArgs, String> {
+    let (suite, positional) = split_suite_flag(args)?;
+    let mut cli = CliArgs {
+        suite,
+        budget: default_budget,
+    };
+    for arg in positional {
+        match arg.parse() {
+            Ok(budget) => cli.budget = budget,
+            Err(_) => return Err(format!("unrecognized argument `{arg}`")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Parses the process command line (`[--suite <name>] [max_uops]`), exiting
+/// with a usage message on malformed input.
+pub fn cli_from_args(default_budget: u64) -> CliArgs {
+    match parse_cli(std::env::args().skip(1), default_budget) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: <binary> [--suite synthetic|asm|mixed] [max_uops]");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Parses an optional per-run micro-op budget from the command line
-/// (`<binary> [max_uops]`), falling back to `default`.
+/// (`<binary> [max_uops]`), falling back to `default`. `--suite` flags are
+/// tolerated and ignored (use [`cli_from_args`] to honour them).
 pub fn budget_from_args(default: u64) -> u64 {
-    std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(default)
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--suite" {
+            let _ = args.next(); // skip the flag's value
+            continue;
+        }
+        if arg.starts_with("--") {
+            continue;
+        }
+        if let Ok(budget) = arg.parse() {
+            return budget;
+        }
+    }
+    default
 }
 
 /// Runs the full Figure 2 / Figure 3 evaluation matrix: every
@@ -40,8 +198,22 @@ pub fn run_evaluation_matrix(
     max_uops: u64,
     progress: impl FnMut(&RunResult) + Send,
 ) -> Result<EvaluationMatrix, BuildError> {
+    run_suite_matrix(Suite::Synthetic, max_uops, progress)
+}
+
+/// Runs the evaluation matrix over the given [`Suite`]: every workload in
+/// the suite under every technique.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] from the simulator.
+pub fn run_suite_matrix(
+    suite: Suite,
+    max_uops: u64,
+    progress: impl FnMut(&RunResult) + Send,
+) -> Result<EvaluationMatrix, BuildError> {
     EvaluationMatrix::run(
-        &Workload::MEMORY_INTENSIVE,
+        &suite.workloads(),
         &Technique::ALL,
         &SimConfig::haswell_like(),
         &WorkloadParams::default(),
@@ -437,5 +609,58 @@ mod tests {
     #[test]
     fn budget_default_is_used_without_args() {
         assert_eq!(budget_from_args(1234).max(1), budget_from_args(1234));
+    }
+
+    #[test]
+    fn suites_select_the_right_workloads() {
+        assert_eq!(
+            Suite::Synthetic.workloads(),
+            Workload::MEMORY_INTENSIVE.to_vec()
+        );
+        assert_eq!(Suite::Asm.workloads(), Workload::ASM_SUITE.to_vec());
+        let mixed = Suite::Mixed.workloads();
+        assert_eq!(
+            mixed.len(),
+            Workload::MEMORY_INTENSIVE.len() + Workload::ASM_SUITE.len()
+        );
+        assert!(Suite::Asm.workloads().iter().all(|w| w.is_asm()));
+    }
+
+    #[test]
+    fn cli_parses_suite_and_budget_in_any_order() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let cli = parse_cli(args(&[]), 777).unwrap();
+        assert_eq!(cli.suite, Suite::Synthetic);
+        assert_eq!(cli.budget, 777);
+
+        let cli = parse_cli(args(&["--suite", "asm", "5000"]), 777).unwrap();
+        assert_eq!(cli.suite, Suite::Asm);
+        assert_eq!(cli.budget, 5000);
+
+        let cli = parse_cli(args(&["9000", "--suite=mixed"]), 777).unwrap();
+        assert_eq!(cli.suite, Suite::Mixed);
+        assert_eq!(cli.budget, 9000);
+
+        assert!(parse_cli(args(&["--suite", "bogus"]), 777).is_err());
+        assert!(parse_cli(args(&["--suite"]), 777).is_err());
+        assert!(parse_cli(args(&["wat"]), 777).is_err());
+    }
+
+    #[test]
+    fn split_suite_flag_preserves_positionals() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (suite, positional) =
+            split_suite_flag(args(&["asm-quicksort", "--suite", "asm", "pre", "3000"])).unwrap();
+        assert_eq!(suite, Suite::Asm);
+        assert_eq!(positional, args(&["asm-quicksort", "pre", "3000"]));
+        assert!(split_suite_flag(args(&["--suite", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn suite_names_roundtrip() {
+        for suite in [Suite::Synthetic, Suite::Asm, Suite::Mixed] {
+            assert_eq!(suite.name().parse::<Suite>().unwrap(), suite);
+        }
+        assert!("nope".parse::<Suite>().is_err());
     }
 }

@@ -13,6 +13,11 @@
 //! See `DESIGN.md` §3 for the substitution rationale and the per-workload
 //! descriptions in [`Workload::description`].
 //!
+//! Alongside the synthetic generators, the suite carries the **assembled
+//! RISC-V kernels** from `pre-asm` ([`Workload::ASM_SUITE`], names prefixed
+//! `asm-`): real programs with real control flow and address streams,
+//! first-class members of [`Workload`].
+//!
 //! # Example
 //!
 //! ```

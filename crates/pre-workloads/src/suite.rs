@@ -1,8 +1,9 @@
-//! The SPEC-CPU2006-like workload suite.
+//! The SPEC-CPU2006-like workload suite, plus the assembled RISC-V kernels.
 
 use crate::kernels::{
     compute_bound, gather, pointer_chase, streaming, GatherSpec, PointerChaseSpec, StreamingSpec,
 };
+use pre_asm::AsmKernel;
 use pre_model::program::Program;
 use std::fmt;
 use std::str::FromStr;
@@ -87,6 +88,10 @@ pub enum Workload {
     GccLike,
     /// Compute-bound control kernel (not part of the paper's suite).
     ComputeBound,
+    /// A real RISC-V assembly kernel from the bundled [`AsmKernel`] suite,
+    /// assembled by `pre-asm` (real control flow and address streams rather
+    /// than generated ones).
+    Asm(AsmKernel),
 }
 
 impl Workload {
@@ -107,8 +112,8 @@ impl Workload {
         Workload::GccLike,
     ];
 
-    /// Every workload, including the compute-bound control.
-    pub const ALL: [Workload; 14] = [
+    /// Every synthetic workload, including the compute-bound control.
+    pub const SYNTHETIC: [Workload; 14] = [
         Workload::McfLike,
         Workload::LbmLike,
         Workload::MilcLike,
@@ -123,6 +128,40 @@ impl Workload {
         Workload::CactusLike,
         Workload::GccLike,
         Workload::ComputeBound,
+    ];
+
+    /// The assembled RISC-V kernel suite (real programs, `--suite asm`).
+    pub const ASM_SUITE: [Workload; 6] = [
+        Workload::Asm(AsmKernel::Matmul),
+        Workload::Asm(AsmKernel::Quicksort),
+        Workload::Asm(AsmKernel::PointerChase),
+        Workload::Asm(AsmKernel::BoxBlur),
+        Workload::Asm(AsmKernel::PrimeSieve),
+        Workload::Asm(AsmKernel::BinarySearch),
+    ];
+
+    /// Every workload: the synthetic suite followed by the asm suite.
+    pub const ALL: [Workload; 20] = [
+        Workload::McfLike,
+        Workload::LbmLike,
+        Workload::MilcLike,
+        Workload::LibquantumLike,
+        Workload::OmnetppLike,
+        Workload::SoplexLike,
+        Workload::Sphinx3Like,
+        Workload::BwavesLike,
+        Workload::Leslie3dLike,
+        Workload::GemsLike,
+        Workload::ZeusmpLike,
+        Workload::CactusLike,
+        Workload::GccLike,
+        Workload::ComputeBound,
+        Workload::Asm(AsmKernel::Matmul),
+        Workload::Asm(AsmKernel::Quicksort),
+        Workload::Asm(AsmKernel::PointerChase),
+        Workload::Asm(AsmKernel::BoxBlur),
+        Workload::Asm(AsmKernel::PrimeSieve),
+        Workload::Asm(AsmKernel::BinarySearch),
     ];
 
     /// Short name used in figures and on the command line.
@@ -142,6 +181,14 @@ impl Workload {
             Workload::CactusLike => "cactus-like",
             Workload::GccLike => "gcc-like",
             Workload::ComputeBound => "compute-bound",
+            Workload::Asm(k) => match k {
+                AsmKernel::Matmul => "asm-matmul",
+                AsmKernel::Quicksort => "asm-quicksort",
+                AsmKernel::PointerChase => "asm-pointer-chase",
+                AsmKernel::BoxBlur => "asm-box-blur",
+                AsmKernel::PrimeSieve => "asm-prime-sieve",
+                AsmKernel::BinarySearch => "asm-binary-search",
+            },
         }
     }
 
@@ -162,6 +209,7 @@ impl Workload {
             Workload::CactusLike => "five-array FP streaming stencil",
             Workload::GccLike => "pointer-heavy integer code, smaller working set, branchy",
             Workload::ComputeBound => "cache-resident integer/FP arithmetic (control)",
+            Workload::Asm(k) => k.description(),
         }
     }
 
@@ -171,8 +219,24 @@ impl Workload {
             Workload::LibquantumLike => SliceProfile::Single,
             Workload::GemsLike | Workload::ZeusmpLike | Workload::Sphinx3Like => SliceProfile::Few,
             Workload::ComputeBound => SliceProfile::ComputeBound,
+            Workload::Asm(k) => match k {
+                // One serial dependence chain / one dominant load slice.
+                AsmKernel::PointerChase | AsmKernel::BinarySearch => SliceProfile::Single,
+                // A handful of strided streams.
+                AsmKernel::BoxBlur | AsmKernel::PrimeSieve | AsmKernel::Quicksort => {
+                    SliceProfile::Few
+                }
+                // Small matrices stay cache-resident.
+                AsmKernel::Matmul => SliceProfile::ComputeBound,
+            },
             _ => SliceProfile::Many,
         }
+    }
+
+    /// `true` for the assembled RISC-V kernels, `false` for the synthetic
+    /// generators.
+    pub fn is_asm(&self) -> bool {
+        matches!(self, Workload::Asm(_))
     }
 
     /// Builds the workload's program.
@@ -349,6 +413,9 @@ impl Workload {
                 params.seed,
             ),
             Workload::ComputeBound => compute_bound(iters),
+            // Assembly kernels take the outer iteration count in `a0`; the
+            // seed is irrelevant (their layouts are written in the source).
+            Workload::Asm(k) => k.build(iters),
         }
     }
 }
@@ -379,7 +446,11 @@ impl FromStr for Workload {
         Workload::ALL
             .iter()
             .copied()
-            .find(|w| w.name() == wanted || w.name().trim_end_matches("-like") == wanted)
+            .find(|w| {
+                w.name() == wanted
+                    || w.name().trim_end_matches("-like") == wanted
+                    || w.name().strip_prefix("asm-") == Some(wanted.as_str())
+            })
             .ok_or_else(|| ParseWorkloadError(s.to_string()))
     }
 }

@@ -69,6 +69,53 @@ fn memory_intensive_suite_has_load_density() {
     }
 }
 
+/// `Display` and `FromStr` round-trip for every workload in both suites,
+/// and the suite predicates partition `ALL`.
+#[test]
+fn names_roundtrip_across_both_suites() {
+    for workload in Workload::ALL {
+        let name = workload.to_string();
+        assert_eq!(name.parse::<Workload>().unwrap(), workload, "{name}");
+    }
+    assert!(Workload::SYNTHETIC.iter().all(|w| !w.is_asm()));
+    assert!(Workload::ASM_SUITE.iter().all(|w| w.is_asm()));
+    assert_eq!(
+        Workload::ALL.len(),
+        Workload::SYNTHETIC.len() + Workload::ASM_SUITE.len()
+    );
+    // Asm kernels also parse without their `asm-` prefix.
+    assert_eq!(
+        "quicksort".parse::<Workload>().unwrap().name(),
+        "asm-quicksort"
+    );
+}
+
+/// Assembling the same source twice yields identical `Program`s, and the
+/// seed (which randomizes synthetic layouts) does not perturb asm builds.
+#[test]
+fn asm_builds_are_deterministic_and_seed_independent() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0004);
+    for workload in Workload::ASM_SUITE {
+        let iterations = rng.gen_range_u64(1..40);
+        let seed_a = rng.gen_range_u64(0..1000);
+        let seed_b = rng.gen_range_u64(0..1000);
+        let a = workload.build(&WorkloadParams {
+            iterations,
+            seed: seed_a,
+        });
+        let b = workload.build(&WorkloadParams {
+            iterations,
+            seed: seed_b,
+        });
+        assert_eq!(a, b, "{workload} build depends on the seed");
+        let c = workload.build(&WorkloadParams {
+            iterations,
+            seed: seed_a,
+        });
+        assert_eq!(a, c, "{workload} build is not deterministic");
+    }
+}
+
 /// Different seeds produce different linked-list layouts for the
 /// pointer-chasing workloads (the randomization actually randomizes).
 #[test]

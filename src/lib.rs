@@ -4,6 +4,8 @@
 //! downstream users need a single dependency:
 //!
 //! * [`model`] — ISA, configuration (Table 1 defaults) and statistics.
+//! * [`asm`] — RISC-V (RV64I subset) assembler + loader and the bundled
+//!   assembly kernel suite, so the simulator runs real programs.
 //! * [`mem`] — caches, MSHRs and DDR3-like DRAM.
 //! * [`frontend`] — branch prediction and front-end queues.
 //! * [`core`] — the execution-driven out-of-order pipeline with integrated
@@ -31,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub use pre_asm as asm;
 pub use pre_core as core;
 pub use pre_energy as energy;
 pub use pre_frontend as frontend;

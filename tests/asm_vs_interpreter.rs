@@ -1,0 +1,130 @@
+//! End-to-end architectural correctness for the assembled RISC-V kernels:
+//! for every bundled kernel and every technique, running the out-of-order
+//! core to completion must produce exactly the architectural state
+//! (registers and the ordered stream of committed stores) of the in-order
+//! reference interpreter.
+//!
+//! This is the credibility test of the `pre-asm` frontend: the kernels have
+//! real control flow — nested loops, recursion through a software stack,
+//! data-dependent branches, the `jalr` return dispatch — so agreement here
+//! covers program shapes the synthetic generators never produce (see
+//! `correctness_vs_interpreter.rs` for the synthetic suite).
+
+use precise_runahead::asm::AsmKernel;
+use precise_runahead::core::OooCore;
+use precise_runahead::model::config::SimConfig;
+use precise_runahead::model::program::Interpreter;
+use precise_runahead::runahead::Technique;
+use precise_runahead::workloads::{Workload, WorkloadParams};
+
+/// Outer iteration count per kernel, sized so every (kernel, technique)
+/// cell stays fast in debug builds while still crossing each kernel's
+/// interesting control flow many times.
+fn iterations(kernel: AsmKernel) -> u64 {
+    match kernel {
+        AsmKernel::Matmul => 3,
+        AsmKernel::Quicksort => 4,
+        AsmKernel::PointerChase => 3,
+        AsmKernel::BoxBlur => 4,
+        AsmKernel::PrimeSieve => 3,
+        AsmKernel::BinarySearch => 4,
+    }
+}
+
+/// Runs one assembled kernel under `technique` to completion and compares
+/// against the interpreter.
+fn check(kernel: AsmKernel, technique: Technique) {
+    let workload = Workload::Asm(kernel);
+    let params = WorkloadParams::short(iterations(kernel));
+    let program = workload.build(&params);
+    program.validate().expect("assembled kernel validates");
+
+    let mut interp = Interpreter::new(&program);
+    while interp.step() {}
+    let reference = interp.snapshot();
+    assert!(
+        reference.stores > 0,
+        "asm kernel {kernel} committed no stores — the checksum would be vacuous"
+    );
+
+    let cfg = SimConfig::haswell_like();
+    let mut core = OooCore::new(&cfg, &program, technique).expect("core builds");
+    core.run(u64::MAX, 50_000_000);
+    assert!(
+        core.halted(),
+        "{workload} under {technique} did not retire the whole program"
+    );
+    assert!(
+        !core.deadlocked(),
+        "{workload} under {technique} deadlocked"
+    );
+
+    let result = core.arch_snapshot();
+    assert_eq!(
+        result.retired, reference.retired,
+        "{workload} under {technique}: retired-instruction count differs"
+    );
+    assert_eq!(
+        result.regs, reference.regs,
+        "{workload} under {technique}: architectural register state differs"
+    );
+    assert_eq!(
+        result.stores, reference.stores,
+        "{workload} under {technique}: committed store count differs"
+    );
+    assert_eq!(
+        result.store_checksum, reference.store_checksum,
+        "{workload} under {technique}: committed store stream differs"
+    );
+}
+
+#[test]
+fn baseline_matches_interpreter_on_every_asm_kernel() {
+    for kernel in AsmKernel::ALL {
+        check(kernel, Technique::OutOfOrder);
+    }
+}
+
+#[test]
+fn traditional_runahead_matches_interpreter_on_every_asm_kernel() {
+    for kernel in AsmKernel::ALL {
+        check(kernel, Technique::Runahead);
+    }
+}
+
+#[test]
+fn runahead_buffer_matches_interpreter_on_every_asm_kernel() {
+    for kernel in AsmKernel::ALL {
+        check(kernel, Technique::RunaheadBuffer);
+    }
+}
+
+#[test]
+fn pre_matches_interpreter_on_every_asm_kernel() {
+    for kernel in AsmKernel::ALL {
+        check(kernel, Technique::Pre);
+    }
+}
+
+#[test]
+fn pre_emq_matches_interpreter_on_every_asm_kernel() {
+    for kernel in AsmKernel::ALL {
+        check(kernel, Technique::PreEmq);
+    }
+}
+
+#[test]
+fn asm_workloads_are_first_class_in_the_suite() {
+    assert_eq!(Workload::ASM_SUITE.len(), AsmKernel::ALL.len());
+    for workload in Workload::ASM_SUITE {
+        assert!(workload.is_asm());
+        assert!(workload.name().starts_with("asm-"));
+        // Round-trip through the command-line name.
+        assert_eq!(workload.name().parse::<Workload>().unwrap(), workload);
+    }
+    // The asm suite rides in `ALL` next to the synthetic suite.
+    assert_eq!(
+        Workload::ALL.len(),
+        Workload::SYNTHETIC.len() + Workload::ASM_SUITE.len()
+    );
+}

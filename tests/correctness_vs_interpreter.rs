@@ -1,10 +1,13 @@
-//! End-to-end architectural correctness: for every workload and every
-//! technique, running the out-of-order core to completion must produce
+//! End-to-end architectural correctness: for every synthetic workload and
+//! every technique, running the out-of-order core to completion must produce
 //! exactly the architectural state (registers and the ordered stream of
 //! committed stores) of the in-order reference interpreter. This is the
 //! central safety property of runahead execution — however aggressively a
 //! technique speculates, prefetches and discards, it must never change what
 //! the program computes.
+//!
+//! The assembled RISC-V kernels get the same treatment (with per-kernel
+//! iteration budgets) in `asm_vs_interpreter.rs`.
 
 use precise_runahead::core::OooCore;
 use precise_runahead::model::config::SimConfig;
@@ -55,35 +58,35 @@ fn check(workload: Workload, technique: Technique, iterations: u64) {
 
 #[test]
 fn baseline_matches_interpreter_on_every_workload() {
-    for workload in Workload::ALL {
+    for workload in Workload::SYNTHETIC {
         check(workload, Technique::OutOfOrder, 120);
     }
 }
 
 #[test]
 fn traditional_runahead_matches_interpreter_on_every_workload() {
-    for workload in Workload::ALL {
+    for workload in Workload::SYNTHETIC {
         check(workload, Technique::Runahead, 120);
     }
 }
 
 #[test]
 fn runahead_buffer_matches_interpreter_on_every_workload() {
-    for workload in Workload::ALL {
+    for workload in Workload::SYNTHETIC {
         check(workload, Technique::RunaheadBuffer, 120);
     }
 }
 
 #[test]
 fn pre_matches_interpreter_on_every_workload() {
-    for workload in Workload::ALL {
+    for workload in Workload::SYNTHETIC {
         check(workload, Technique::Pre, 120);
     }
 }
 
 #[test]
 fn pre_emq_matches_interpreter_on_every_workload() {
-    for workload in Workload::ALL {
+    for workload in Workload::SYNTHETIC {
         check(workload, Technique::PreEmq, 120);
     }
 }

@@ -1,13 +1,14 @@
 //! The bundled RISC-V assembly kernel suite.
 //!
-//! Six small but real programs — written fresh for this reproduction in the
-//! style of classic teaching-simulator kernels — covering the control-flow
-//! and address-stream shapes the synthetic suite cannot express: nested
-//! loops over 2-D indexing (matmul), data-dependent recursion with a real
-//! stack (quicksort), a single serial dependence chain (pointer-chase),
-//! streaming with a store stream (box-blur), irregular inner-loop trip
-//! counts (prime sieve) and unpredictable data-dependent branching
-//! (binary search).
+//! Seven small but real programs — written fresh for this reproduction in
+//! the style of classic teaching-simulator kernels — covering the
+//! control-flow and address-stream shapes the synthetic suite cannot
+//! express: nested loops over 2-D indexing (matmul), data-dependent
+//! recursion with a real stack (quicksort), a single serial dependence
+//! chain (pointer-chase), streaming with a store stream (box-blur),
+//! irregular inner-loop trip counts (prime sieve), unpredictable
+//! data-dependent branching (binary search) and an LLC-missing dependent
+//! chase over a 4 MB working set (chase-large).
 //!
 //! Every kernel follows the same loader convention: the **outer iteration
 //! count arrives in `a0`** (set via [`AsmKernel::build`]), each round ends
@@ -41,17 +42,41 @@ pub enum AsmKernel {
     PrimeSieve,
     /// 64 scrambled binary searches per round (data-dependent branches).
     BinarySearch,
+    /// Pointer chase over a 4 MB ring (4× the LLC): every hop is an LLC
+    /// miss, so runahead always has a stalling slice to chase.
+    ChaseLarge,
 }
+
+/// Number of nodes in the [`AsmKernel::ChaseLarge`] ring: 4 MB of 8-byte
+/// links, four times the 1 MB LLC of the Table 1 configuration.
+pub const CHASE_LARGE_NODES: u64 = 524_288;
+
+// The working set must stay at least 4x the Table 1 LLC (1 MB) so the chase
+// keeps missing off-chip, and a power of two so the stride mask is valid.
+const _: () = assert!(CHASE_LARGE_NODES * 8 >= 4 * 1024 * 1024);
+const _: () = assert!(CHASE_LARGE_NODES.is_power_of_two());
+
+/// Chase hops per outer round of [`AsmKernel::ChaseLarge`]. Small enough
+/// that one round stays within tier-1 test budgets even though every hop is
+/// a serial LLC miss; the cursor carries across rounds, so longer runs keep
+/// visiting fresh nodes.
+pub const CHASE_LARGE_STEPS_PER_ROUND: u64 = 512;
+
+/// Stride of the [`AsmKernel::ChaseLarge`] permutation. Odd, so
+/// `i -> (i + STEP) mod NODES` is a full cycle over the power-of-two ring,
+/// and large, so successive hops land ~1.5 MB apart.
+pub const CHASE_LARGE_STEP: u64 = 196_613;
 
 impl AsmKernel {
     /// Every bundled kernel.
-    pub const ALL: [AsmKernel; 6] = [
+    pub const ALL: [AsmKernel; 7] = [
         AsmKernel::Matmul,
         AsmKernel::Quicksort,
         AsmKernel::PointerChase,
         AsmKernel::BoxBlur,
         AsmKernel::PrimeSieve,
         AsmKernel::BinarySearch,
+        AsmKernel::ChaseLarge,
     ];
 
     /// Short name (also the workload name with an `asm-` prefix).
@@ -63,6 +88,7 @@ impl AsmKernel {
             AsmKernel::BoxBlur => "box-blur",
             AsmKernel::PrimeSieve => "prime-sieve",
             AsmKernel::BinarySearch => "binary-search",
+            AsmKernel::ChaseLarge => "chase-large",
         }
     }
 
@@ -75,6 +101,7 @@ impl AsmKernel {
             AsmKernel::BoxBlur => "three-tap 1-D blur streaming a cold arena + store stream",
             AsmKernel::PrimeSieve => "sieve of Eratosthenes, irregular inner trip counts",
             AsmKernel::BinarySearch => "scrambled binary searches, unpredictable branches",
+            AsmKernel::ChaseLarge => "LLC-missing pointer chase over a 4 MB scattered ring",
         }
     }
 
@@ -87,6 +114,7 @@ impl AsmKernel {
             AsmKernel::BoxBlur => include_str!("kernels/box_blur.s"),
             AsmKernel::PrimeSieve => include_str!("kernels/prime_sieve.s"),
             AsmKernel::BinarySearch => include_str!("kernels/binary_search.s"),
+            AsmKernel::ChaseLarge => include_str!("kernels/chase_large.s"),
         }
     }
 
@@ -100,6 +128,18 @@ impl AsmKernel {
     /// infallible variant the workload suite uses.
     pub fn try_build(&self, iterations: u64) -> Result<Program, AsmError> {
         let mut program = assemble(&format!("asm-{}", self.name()), self.source())?;
+        if let AsmKernel::ChaseLarge = self {
+            // The ring links are installed by the loader: building them in
+            // assembly would burn ~4 M instructions per simulation before
+            // the chase even starts. `nodes` is the first `.data` symbol,
+            // so it sits at the default data base; later `initial_mem`
+            // entries override the `.fill` zeros.
+            let base = crate::assembler::AsmOptions::default().data_base;
+            for i in 0..CHASE_LARGE_NODES {
+                let next = (i + CHASE_LARGE_STEP) & (CHASE_LARGE_NODES - 1);
+                program.initial_mem.push((base + i * 8, base + next * 8));
+            }
+        }
         program.initial_regs.push((iter_reg(), iterations));
         Ok(program)
     }
@@ -241,6 +281,36 @@ mod tests {
         // After 4096 steps of a full-cycle permutation the cursor is back at
         // the ring entry.
         assert_eq!(result, base);
+    }
+
+    #[test]
+    fn chase_large_ring_is_a_full_cycle_over_four_megabytes() {
+        let program = AsmKernel::ChaseLarge.build(1);
+        let mem = program.build_memory();
+        let base = AsmOptions::default().data_base;
+        let mut cursor = base;
+        for step in 1..=CHASE_LARGE_NODES {
+            cursor = mem.load_u64(cursor);
+            let offset = cursor - base;
+            assert_eq!(offset % 8, 0);
+            assert!(offset / 8 < CHASE_LARGE_NODES, "link escaped the ring");
+            if cursor == base {
+                assert_eq!(step, CHASE_LARGE_NODES, "permutation is not a full cycle");
+            }
+        }
+        assert_eq!(cursor, base, "ring does not close");
+    }
+
+    #[test]
+    fn chase_large_cursor_advances_across_rounds() {
+        let interp = finish(AsmKernel::ChaseLarge, 2);
+        let base = AsmOptions::default().data_base;
+        let mask = CHASE_LARGE_NODES - 1;
+        // The cursor is not reset between rounds: after r rounds it sits at
+        // index (r * steps_per_round * STEP) mod NODES.
+        let index = (2 * CHASE_LARGE_STEPS_PER_ROUND * CHASE_LARGE_STEP) & mask;
+        let result = interp.memory().load_u64(base + CHASE_LARGE_NODES * 8);
+        assert_eq!(result, base + index * 8);
     }
 
     #[test]

@@ -1,0 +1,31 @@
+# LLC-missing pointer chase: a 524288-node ring (4 MB, 4x the 1 MB L3).
+# The links are installed by the loader (see `AsmKernel::try_build`) as a
+# full-cycle stride permutation, so successive hops land ~1.5 MB apart and
+# every load misses the LLC until the ring wraps. The cursor persists
+# across rounds (it is NOT reset to the ring base), so each round chases
+# 512 fresh, uncached nodes: runahead always has something to chase.
+# a0 = outer iteration count (rounds).
+
+main:
+        mv      s0, a0
+        la      s1, nodes
+        li      s2, 512             # chase steps per round
+        mv      t3, s1              # cursor, live across rounds
+
+outer:
+        beqz    s0, end
+        li      t4, 0
+chase:
+        ld      t3, 0(t3)
+        addi    t4, t4, 1
+        bltu    t4, s2, chase
+        la      t5, result
+        sd      t3, 0(t5)
+        addi    s0, s0, -1
+        j       outer
+end:
+        nop
+
+.data
+nodes:  .fill 524288, 0
+result: .word 0

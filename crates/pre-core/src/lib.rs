@@ -49,8 +49,10 @@ pub mod lsq;
 pub mod pipeline;
 pub mod rat;
 pub mod regfile;
+pub mod rename;
 pub mod rob;
 pub mod uop;
 
 pub use pipeline::OooCore;
+pub use rename::{DestRename, RenameCheckpoint, RenameSubsystem};
 pub use uop::DynUop;

@@ -15,11 +15,10 @@
 mod runahead;
 mod stages;
 
-use crate::freelist::FreeList;
 use crate::iq::IssueQueue;
 use crate::lsq::LoadStoreQueue;
-use crate::rat::{RatCheckpoint, RegisterAliasTable};
 use crate::regfile::PhysRegFile;
+use crate::rename::{RenameCheckpoint, RenameSubsystem};
 use crate::rob::ReorderBuffer;
 use crate::uop::DynUop;
 use pre_frontend::{BranchPredictorUnit, DelayPipe, UopQueue};
@@ -31,11 +30,11 @@ use pre_model::program::{fold_store_checksum, ArchSnapshot, Program};
 use pre_model::reg::{ArchReg, PhysReg, RegClass, NUM_ARCH_REGS};
 use pre_model::stats::SimStats;
 use pre_runahead::{
-    ChainReplayEngine, EntryPolicy, ExtendedMicroOpQueue, PreciseRegisterDeallocationQueue,
-    RunaheadBuffer, StallingSliceTable, Technique,
+    ChainReplayEngine, EntryPolicy, ExtendedMicroOpQueue, RunaheadBuffer, StallingSliceTable,
+    Technique,
 };
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
 
@@ -91,13 +90,14 @@ pub(crate) struct RunaheadInterval {
     pub stalling_pc: u32,
     pub expected_return: u64,
     pub entered_at: u64,
-    pub rat_checkpoint: Option<RatCheckpoint>,
-    pub int_free_snapshot: Option<Vec<PhysReg>>,
-    pub fp_free_snapshot: Option<Vec<PhysReg>>,
+    pub rename_checkpoint: Option<RenameCheckpoint>,
     pub arch_checkpoint: Option<[u64; NUM_ARCH_REGS]>,
     pub history: u64,
     pub ras: Vec<u32>,
     pub resume_fetch_pc: u32,
+    /// PRDQ allocation counter at entry, so the exit event can report how
+    /// many entries this interval allocated.
+    pub prdq_allocs_at_entry: u64,
 }
 
 /// Error building an [`OooCore`].
@@ -156,12 +156,10 @@ pub struct OooCore {
     pub(crate) last_fetch_line: Option<u64>,
     pub(crate) next_dispatch_pc: u32,
 
-    // Rename.
-    pub(crate) rat: RegisterAliasTable,
-    pub(crate) int_free: FreeList,
-    pub(crate) fp_free: FreeList,
-    pub(crate) int_prf: PhysRegFile,
-    pub(crate) fp_prf: PhysRegFile,
+    // Rename: allocation, mapping, checkpointing and every reclamation path
+    // (commit, branch recovery, PRDQ drain, eager drain) live behind this
+    // subsystem.
+    pub(crate) rename: RenameSubsystem,
 
     // Back end.
     pub(crate) rob: ReorderBuffer,
@@ -177,16 +175,19 @@ pub struct OooCore {
     pub(crate) use_emq: bool,
     pub(crate) entry_policy: EntryPolicy,
     pub(crate) sst: StallingSliceTable,
-    pub(crate) prdq: PreciseRegisterDeallocationQueue,
     pub(crate) emq: ExtendedMicroOpQueue<DynUop>,
     pub(crate) runahead_buffer: RunaheadBuffer,
     pub(crate) chain_engine: Option<ChainReplayEngine>,
     pub(crate) runahead_store_buffer: HashMap<u64, u64>,
-    pub(crate) runahead_allocated: HashSet<(RegClass, PhysReg)>,
     pub(crate) interval: Option<RunaheadInterval>,
     pub(crate) interval_seq: u64,
     pub(crate) last_stall_head_id: Option<u64>,
     pub(crate) runahead_done_for: Option<u64>,
+    /// Set when an event that can create new eager-drain candidates occurred
+    /// this interval (a normal micro-op issued or completed): the candidate
+    /// set only changes at those boundaries, so the per-cycle
+    /// [`RenameSubsystem::seed_eager`] scan is skipped while this is clear.
+    pub(crate) pre_eager_rescan: bool,
 
     // Time, statistics and run control.
     pub(crate) cycle: u64,
@@ -218,19 +219,12 @@ impl OooCore {
         for &(reg, value) in &program.initial_regs {
             arf[reg.flat_index()] = value;
         }
-        let mut int_prf =
-            PhysRegFile::new(core_cfg.int_phys_regs, pre_model::reg::NUM_INT_ARCH_REGS);
-        let mut fp_prf = PhysRegFile::new(core_cfg.fp_phys_regs, pre_model::reg::NUM_FP_ARCH_REGS);
-        // Seed the identity-mapped physical registers with the initial
-        // architectural values.
-        for (flat, &value) in arf.iter().enumerate() {
-            let arch = ArchReg::from_flat_index(flat);
-            let phys = RegisterAliasTable::identity_mapping(flat);
-            match arch.class() {
-                RegClass::Int => int_prf.init_arch_value(phys, value),
-                RegClass::Fp => fp_prf.init_arch_value(phys, value),
-            }
-        }
+        let rename = RenameSubsystem::new(
+            core_cfg.int_phys_regs,
+            core_cfg.fp_phys_regs,
+            cfg.runahead.prdq_entries,
+            &arf,
+        );
         let entry_policy = technique.entry_policy(&cfg.runahead);
         Ok(OooCore {
             mem_hier: MemoryHierarchy::new(cfg),
@@ -247,11 +241,7 @@ impl OooCore {
             fetch_done: false,
             last_fetch_line: None,
             next_dispatch_pc: program.entry,
-            rat: RegisterAliasTable::new(),
-            int_free: FreeList::new(core_cfg.int_phys_regs, pre_model::reg::NUM_INT_ARCH_REGS),
-            fp_free: FreeList::new(core_cfg.fp_phys_regs, pre_model::reg::NUM_FP_ARCH_REGS),
-            int_prf,
-            fp_prf,
+            rename,
             rob: ReorderBuffer::new(core_cfg.rob_entries),
             iq: IssueQueue::new(core_cfg.iq_entries),
             lsq: LoadStoreQueue::new(core_cfg.lq_entries, core_cfg.sq_entries),
@@ -263,16 +253,15 @@ impl OooCore {
             use_emq: technique.uses_emq(),
             entry_policy,
             sst: StallingSliceTable::new(cfg.runahead.sst_entries),
-            prdq: PreciseRegisterDeallocationQueue::new(cfg.runahead.prdq_entries),
             emq: ExtendedMicroOpQueue::new(cfg.runahead.emq_entries),
             runahead_buffer: RunaheadBuffer::new(),
             chain_engine: None,
             runahead_store_buffer: HashMap::new(),
-            runahead_allocated: HashSet::new(),
             interval: None,
             interval_seq: 0,
             last_stall_head_id: None,
             runahead_done_for: None,
+            pre_eager_rescan: false,
             cycle: 0,
             stats: SimStats::new(),
             halted: false,
@@ -390,10 +379,12 @@ impl OooCore {
     pub fn finalize_stats(&mut self) {
         self.stats.cycles = self.cycle;
         self.mem_hier.export_stats(&mut self.stats);
-        self.stats.rat_reads = self.rat.reads();
-        self.stats.rat_writes = self.rat.writes();
-        self.stats.prf_reads = self.int_prf.reads() + self.fp_prf.reads();
-        self.stats.prf_writes = self.int_prf.writes() + self.fp_prf.writes();
+        self.stats.rat_reads = self.rename.rat().reads();
+        self.stats.rat_writes = self.rename.rat().writes();
+        self.stats.prf_reads =
+            self.rename.prf(RegClass::Int).reads() + self.rename.prf(RegClass::Fp).reads();
+        self.stats.prf_writes =
+            self.rename.prf(RegClass::Int).writes() + self.rename.prf(RegClass::Fp).writes();
         self.stats.iq_writes = self.iq.writes();
         self.stats.rob_writes = self.rob.writes();
         self.stats.rob_reads = self.rob.reads();
@@ -402,8 +393,10 @@ impl OooCore {
         self.stats.sst_hits = self.sst.hits();
         self.stats.sst_inserts = self.sst.inserts();
         self.stats.sst_evictions = self.sst.evictions();
-        self.stats.prdq_allocations = self.prdq.allocations();
-        self.stats.prdq_reclaims = self.prdq.reclaims();
+        self.stats.prdq_allocations = self.rename.prdq().allocations();
+        self.stats.prdq_reclaims = self.rename.prdq().reclaims();
+        self.stats.prdq_eager_seeds = self.rename.prdq().eager_seeds();
+        self.stats.prdq_eager_reclaims = self.rename.prdq().eager_reclaims();
         self.stats.emq_writes = self.emq.writes();
         self.stats.emq_reads = self.emq.reads();
         self.stats.runahead_buffer_walks = self.runahead_buffer.walks();
@@ -426,7 +419,7 @@ impl OooCore {
                     if let Some((class, reg)) = head.dest {
                         self.prf_mut(class).set_ready(reg, true);
                     }
-                    self.prdq.mark_executed(head.id);
+                    self.rename.mark_runahead_executed(head.id);
                     self.stats.iq_wakeups += 1;
                 }
                 continue;
@@ -441,6 +434,11 @@ impl OooCore {
             }
             if let Some(entry) = self.rob.get_mut(head.id) {
                 entry.executed = true;
+            }
+            if self.mode == Mode::RunaheadPre {
+                // A window producer completed: previous mappings whose last
+                // consumer already issued may now be eager-drain candidates.
+                self.pre_eager_rescan = true;
             }
             self.stats.executed_uops += 1;
             self.stats.iq_wakeups += 1;
@@ -514,7 +512,7 @@ impl OooCore {
                 }
             }
             if let Some((arch, old, _)) = entry.old_dest {
-                self.free_list_mut(arch.class()).free(old);
+                self.rename.free_committed(arch.class(), old);
             }
             self.stats.committed_uops += 1;
             self.last_progress_cycle = now;
@@ -539,7 +537,7 @@ impl OooCore {
                 self.lsq.release_load(entry.id);
             }
             if let Some((arch, old, _)) = entry.old_dest {
-                self.free_list_mut(arch.class()).free(old);
+                self.rename.free_committed(arch.class(), old);
             }
             self.stats.runahead_uops_executed += 1;
             self.last_progress_cycle = now;
@@ -552,50 +550,11 @@ impl OooCore {
     // ---------------------------------------------------------------------
 
     pub(crate) fn prf(&self, class: RegClass) -> &PhysRegFile {
-        match class {
-            RegClass::Int => &self.int_prf,
-            RegClass::Fp => &self.fp_prf,
-        }
+        self.rename.prf(class)
     }
 
     pub(crate) fn prf_mut(&mut self, class: RegClass) -> &mut PhysRegFile {
-        match class {
-            RegClass::Int => &mut self.int_prf,
-            RegClass::Fp => &mut self.fp_prf,
-        }
-    }
-
-    pub(crate) fn free_list(&self, class: RegClass) -> &FreeList {
-        match class {
-            RegClass::Int => &self.int_free,
-            RegClass::Fp => &self.fp_free,
-        }
-    }
-
-    pub(crate) fn free_list_mut(&mut self, class: RegClass) -> &mut FreeList {
-        match class {
-            RegClass::Int => &mut self.int_free,
-            RegClass::Fp => &mut self.fp_free,
-        }
-    }
-
-    /// Rebuilds the rename state (RAT, free lists, physical register values)
-    /// from an architectural checkpoint — used after flush-style runahead
-    /// exits and modelled as free in time, as the paper assumes.
-    pub(crate) fn reset_rename_state(&mut self, arch_values: &[u64; NUM_ARCH_REGS]) {
-        self.rat.reset_identity();
-        self.int_free = FreeList::new(
-            self.cfg.core.int_phys_regs,
-            pre_model::reg::NUM_INT_ARCH_REGS,
-        );
-        self.fp_free = FreeList::new(self.cfg.core.fp_phys_regs, pre_model::reg::NUM_FP_ARCH_REGS);
-        for (flat, &value) in arch_values.iter().enumerate() {
-            let arch = ArchReg::from_flat_index(flat);
-            let phys = RegisterAliasTable::identity_mapping(flat);
-            self.prf_mut(arch.class()).init_arch_value(phys, value);
-        }
-        self.int_prf.clear_all_inv();
-        self.fp_prf.clear_all_inv();
+        self.rename.prf_mut(class)
     }
 
     /// The current speculative value of an architectural register, read
@@ -603,7 +562,7 @@ impl OooCore {
     /// producer has not executed yet). Used to seed the runahead-buffer chain
     /// replay.
     pub(crate) fn speculative_arch_value(&self, reg: ArchReg) -> u64 {
-        let phys = self.rat.peek(reg);
+        let phys = self.rename.rat().peek(reg);
         let prf = self.prf(reg.class());
         if prf.is_ready(phys) {
             prf.peek(phys)

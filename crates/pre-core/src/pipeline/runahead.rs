@@ -3,7 +3,8 @@
 
 use super::{FlushKind, Mode, OooCore, RunaheadInterval};
 use crate::iq::IqEntry;
-use pre_model::reg::{ArchReg, NUM_ARCH_REGS};
+use pre_model::reg::{ArchReg, RegClass, NUM_ARCH_REGS};
+use pre_model::stats::{RunaheadEvent, RunaheadEventKind};
 use pre_runahead::{ChainReplayEngine, EntryDecision, Technique, WindowUop};
 
 impl OooCore {
@@ -39,19 +40,47 @@ impl OooCore {
         if self.last_stall_head_id != Some(head_id) {
             self.last_stall_head_id = Some(head_id);
             self.stats.full_window_stalls += 1;
+            // Per-class free-register occupancy at the stall — the paper's
+            // §3.4 premise ("~51 % of integer registers free") that the
+            // integer-only asm kernels violate.
+            self.stats
+                .int_free_at_stall_hist
+                .record_fraction(self.rename.free_fraction(RegClass::Int));
+            self.stats
+                .fp_free_at_stall_hist
+                .record_fraction(self.rename.free_fraction(RegClass::Fp));
         }
         if !self.technique.is_runahead() {
             return;
         }
         let expected_remaining = head_completion.saturating_sub(now);
         let already = self.runahead_done_for == Some(head_id);
-        match self.entry_policy.decide(expected_remaining, already) {
+        // The free-register gate counts what the eager drain could release,
+        // so it only refuses entry when runahead renaming would stay starved
+        // even after reclamation.
+        let (mut free_int, mut free_fp) = (
+            self.rename.num_free(RegClass::Int),
+            self.rename.num_free(RegClass::Fp),
+        );
+        if self.entry_policy.needs_free_reg_counts() {
+            let (int_reclaimable, fp_reclaimable) =
+                self.rename.count_eager_reclaimable(&self.rob, &self.iq);
+            free_int += int_reclaimable;
+            free_fp += fp_reclaimable;
+        }
+        match self
+            .entry_policy
+            .decide(expected_remaining, already, free_int, free_fp)
+        {
             EntryDecision::Enter => self.enter_runahead(now, head_id, head_pc, head_completion),
             EntryDecision::SkipShortInterval => {
                 self.stats.runahead_entries_skipped_short += 1;
             }
             EntryDecision::SkipOverlap => {
                 self.stats.runahead_entries_skipped_overlap += 1;
+            }
+            EntryDecision::SkipNoFreeRegs => {
+                self.stats.runahead_entries_skipped_no_regs += 1;
             }
         }
     }
@@ -69,24 +98,24 @@ impl OooCore {
         self.stats.iq_free_at_entry.record(self.iq.free_fraction());
         self.stats
             .int_regs_free_at_entry
-            .record(self.int_free.free_fraction());
+            .record(self.rename.free_fraction(RegClass::Int));
         self.stats
             .fp_regs_free_at_entry
-            .record(self.fp_free.free_fraction());
+            .record(self.rename.free_fraction(RegClass::Fp));
 
         let mut interval = RunaheadInterval {
             stalling_pc: head_pc,
             expected_return: completion.max(now + 1),
             entered_at: now,
-            rat_checkpoint: None,
-            int_free_snapshot: None,
-            fp_free_snapshot: None,
+            rename_checkpoint: None,
             arch_checkpoint: None,
             history: self.predictor.history(),
             ras: self.predictor.ras_snapshot(),
             resume_fetch_pc: self.next_dispatch_pc,
+            prdq_allocs_at_entry: self.rename.prdq().allocations(),
         };
 
+        let mut eager_freed = (0usize, 0usize);
         match self.technique {
             Technique::Runahead => {
                 interval.arch_checkpoint = Some(self.arf);
@@ -98,13 +127,23 @@ impl OooCore {
                 self.begin_flush_runahead(head_id, kind);
             }
             Technique::Pre | Technique::PreEmq => {
-                interval.rat_checkpoint = Some(self.rat.checkpoint());
-                interval.int_free_snapshot = Some(self.int_free.snapshot());
-                interval.fp_free_snapshot = Some(self.fp_free.snapshot());
-                self.begin_pre_runahead(head_pc);
+                // The checkpoint is captured before the eager drain, so the
+                // exit restore also un-frees every eagerly released
+                // register.
+                interval.rename_checkpoint = Some(self.rename.begin_runahead_interval());
+                eager_freed = self.begin_pre_runahead(head_pc);
             }
             Technique::OutOfOrder => unreachable!("baseline never enters runahead"),
         }
+        self.stats.record_runahead_event(RunaheadEvent {
+            cycle: now,
+            kind: RunaheadEventKind::Entry,
+            int_free: self.rename.num_free(RegClass::Int),
+            fp_free: self.rename.num_free(RegClass::Fp),
+            int_eager_freed: eager_freed.0,
+            fp_eager_freed: eager_freed.1,
+            prdq_allocated: 0,
+        });
         self.interval = Some(interval);
     }
 
@@ -189,19 +228,30 @@ impl OooCore {
         FlushKind::Buffer
     }
 
-    /// PRE entry: checkpoint the RAT, seed the SST with the stalling load and
-    /// its producers, and switch the decode path to the SST filter. The ROB,
-    /// issue queue and LSQ are left untouched.
-    fn begin_pre_runahead(&mut self, head_pc: u32) {
+    /// PRE entry: seed the SST with the stalling load and its producers,
+    /// run the eager PRDQ drain so runahead renaming has free destination
+    /// registers even when the stalled window exhausted a register class,
+    /// and switch the decode path to the SST filter. The ROB, issue queue
+    /// and LSQ are left untouched. Returns `(int, fp)` counts of eagerly
+    /// freed registers.
+    fn begin_pre_runahead(&mut self, head_pc: u32) -> (usize, usize) {
         self.sst.insert(head_pc);
         if let Some(inst) = self.program.inst_at(head_pc) {
             for src in inst.sources() {
-                if let Some(pc) = self.rat.producer_pc(src) {
+                if let Some(pc) = self.rename.rat().producer_pc(src) {
                     self.sst.insert(pc);
                 }
             }
         }
         self.mode = Mode::RunaheadPre;
+        // Eager drain: seed the PRDQ with the window's dead previous
+        // mappings and reclaim them immediately (the PRDQ is empty at
+        // entry, so everything drained here is an eager free). Leave the
+        // rescan flag set: a seed pass cut short by a full PRDQ retries on
+        // the next cycle.
+        self.rename.seed_eager(&self.rob, &self.iq);
+        self.pre_eager_rescan = true;
+        self.rename.drain_prdq()
     }
 
     // ---------------------------------------------------------------------
@@ -233,13 +283,20 @@ impl OooCore {
             Mode::RunaheadPre => {
                 self.stats.runahead_cycles += 1;
                 self.last_progress_cycle = now;
-                // Runahead register reclamation: drain executed PRDQ entries
-                // in order and return their old registers to the free lists.
-                let freed = self.prdq.drain_completed();
-                for (class, reg) in freed {
-                    self.free_list_mut(class).free(reg);
-                    self.runahead_allocated.remove(&(class, reg));
+                // Window mappings whose last consumer issued (or whose
+                // producer completed) this cycle are now dead: seed them so
+                // the drain below frees them at that boundary instead of
+                // waiting for a commit. The candidate set only changes at
+                // those events, so the scan is skipped on quiet cycles; a
+                // full PRDQ keeps the flag set so unseeded candidates are
+                // retried once the drain makes room.
+                if self.pre_eager_rescan {
+                    self.rename.seed_eager(&self.rob, &self.iq);
+                    self.pre_eager_rescan = self.rename.prdq().is_full();
                 }
+                // Runahead register reclamation: drain executed PRDQ entries
+                // in order and return their registers to the free lists.
+                self.rename.drain_prdq();
             }
         }
     }
@@ -273,11 +330,11 @@ impl OooCore {
     }
 
     fn pre_runahead_resources_available(&self, uop: &crate::uop::DynUop) -> bool {
-        if self.iq.is_full() || self.prdq.is_full() {
+        if self.iq.is_full() || self.rename.prdq().is_full() {
             return false;
         }
         if let Some(class) = uop.inst.opcode.dest_class() {
-            if self.free_list(class).num_free() == 0 {
+            if self.rename.num_free(class) == 0 {
                 return false;
             }
         }
@@ -292,33 +349,13 @@ impl OooCore {
         // Iterative slice learning: the producers of this instruction's
         // sources are part of the slice too.
         for src in inst.sources() {
-            if let Some(pc) = self.rat.producer_pc(src) {
+            if let Some(pc) = self.rename.rat().producer_pc(src) {
                 self.sst.insert(pc);
             }
         }
         let id = self.next_id;
         self.next_id += 1;
-        let mut srcs = Vec::with_capacity(2);
-        for src in inst.sources() {
-            let phys = self.rat.lookup(src);
-            srcs.push((src.class(), phys));
-        }
-        let mut dest = None;
-        if let Some(d) = inst.dest {
-            let class = d.class();
-            let new = self
-                .free_list_mut(class)
-                .allocate()
-                .expect("checked by pre_runahead_resources_available");
-            let (old, _) = self.rat.rename(d, new, uop.pc);
-            self.prf_mut(class).reset_for_allocation(new);
-            let reclaimable = self.runahead_allocated.contains(&(class, old));
-            self.prdq.allocate(id, Some((class, old)), reclaimable);
-            self.runahead_allocated.insert((class, new));
-            dest = Some((class, new));
-        } else {
-            self.prdq.allocate(id, None, false);
-        }
+        let (srcs, dest) = self.rename.runahead_rename(&inst, uop.pc, id);
         self.iq.insert(IqEntry {
             id,
             pc: uop.pc,
@@ -389,9 +426,10 @@ impl OooCore {
         let arch = interval
             .arch_checkpoint
             .expect("flush-style runahead checkpoints the ARF");
-        self.reset_rename_state(&arch);
+        self.rename.reset_from_arch(&arch);
         self.predictor.restore_history(interval.history);
         self.predictor.ras_restore(interval.ras);
+        self.record_exit_event(now, interval.prdq_allocs_at_entry);
 
         self.fetch_pc = interval.stalling_pc;
         self.next_dispatch_pc = interval.stalling_pc;
@@ -410,7 +448,7 @@ impl OooCore {
     /// `aborted` is set when the exit is forced by a normal-mode branch
     /// misprediction rather than by the stalling load returning.
     pub(crate) fn exit_pre(&mut self, now: u64, aborted: bool) {
-        let interval = self
+        let mut interval = self
             .interval
             .take()
             .expect("exit requires an active interval");
@@ -421,30 +459,19 @@ impl OooCore {
 
         let removed = self.iq.remove_where(|e| e.is_runahead);
         self.stats.squashed_uops += removed as u64;
-        self.prdq.clear();
-        self.runahead_allocated.clear();
         self.runahead_store_buffer.clear();
 
-        self.rat.restore(
+        // One call restores the RAT and both free lists (undoing runahead
+        // allocations and eager frees alike) and clears the INV bits.
+        self.rename.end_runahead_interval(
             interval
-                .rat_checkpoint
-                .as_ref()
-                .expect("PRE checkpoints the RAT"),
+                .rename_checkpoint
+                .take()
+                .expect("PRE checkpoints the rename state"),
         );
-        self.int_free.restore(
-            interval
-                .int_free_snapshot
-                .expect("PRE snapshots the free lists"),
-        );
-        self.fp_free.restore(
-            interval
-                .fp_free_snapshot
-                .expect("PRE snapshots the free lists"),
-        );
-        self.int_prf.clear_all_inv();
-        self.fp_prf.clear_all_inv();
         self.predictor.restore_history(interval.history);
         self.predictor.ras_restore(interval.ras);
+        self.record_exit_event(now, interval.prdq_allocs_at_entry);
 
         if !self.use_emq || aborted {
             // Without the EMQ the micro-ops fetched during runahead are
@@ -462,5 +489,23 @@ impl OooCore {
         self.last_stall_head_id = None;
         self.mode = Mode::Normal;
         self.last_progress_cycle = now;
+    }
+
+    /// Records a runahead exit event with the post-restore free-register
+    /// occupancy and the PRDQ entries this interval allocated.
+    fn record_exit_event(&mut self, now: u64, prdq_allocs_at_entry: u64) {
+        self.stats.record_runahead_event(RunaheadEvent {
+            cycle: now,
+            kind: RunaheadEventKind::Exit,
+            int_free: self.rename.num_free(RegClass::Int),
+            fp_free: self.rename.num_free(RegClass::Fp),
+            int_eager_freed: 0,
+            fp_eager_freed: 0,
+            prdq_allocated: self
+                .rename
+                .prdq()
+                .allocations()
+                .saturating_sub(prdq_allocs_at_entry),
+        });
     }
 }

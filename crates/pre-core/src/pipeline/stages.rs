@@ -170,7 +170,7 @@ impl OooCore {
             return false;
         }
         if let Some(class) = opcode.dest_class() {
-            if self.free_list(class).num_free() == 0 {
+            if self.rename.num_free(class) == 0 {
                 return false;
             }
         }
@@ -188,29 +188,22 @@ impl OooCore {
         // registers — read from the RAT extension — join the slice.
         if self.technique.uses_sst() && self.sst.lookup(uop.pc) {
             for src in inst.sources() {
-                if let Some(pc) = self.rat.producer_pc(src) {
+                if let Some(pc) = self.rename.rat().producer_pc(src) {
                     self.sst.insert(pc);
                 }
             }
         }
 
-        let mut srcs = Vec::with_capacity(2);
-        for src in inst.sources() {
-            let phys = self.rat.lookup(src);
-            srcs.push((src.class(), phys));
-        }
+        let srcs = self.rename.lookup_sources(&inst);
         let mut dest = None;
         let mut old_dest = None;
         if let Some(d) = inst.dest {
-            let class = d.class();
-            let new = self
-                .free_list_mut(class)
-                .allocate()
+            let rename = self
+                .rename
+                .rename_dest(d, uop.pc)
                 .expect("dispatch checked for a free register");
-            let (old, old_pc) = self.rat.rename(d, new, uop.pc);
-            self.prf_mut(class).reset_for_allocation(new);
-            dest = Some((class, new));
-            old_dest = Some((d, old, old_pc));
+            dest = Some((d.class(), rename.new));
+            old_dest = Some((d, rename.old, rename.old_pc));
         }
 
         let mut rob_entry = RobEntry::new(id, uop);
@@ -279,6 +272,11 @@ impl OooCore {
                     remaining -= 1;
                     issued.push(entry.id);
                     self.stats.issued_uops += 1;
+                    if self.mode == Mode::RunaheadPre && !entry.is_runahead {
+                        // A waiting consumer left the issue queue: its
+                        // sources may now be eager-drain candidates.
+                        self.pre_eager_rescan = true;
+                    }
                     match entry.class {
                         OpClass::IntAlu | OpClass::Nop => self.stats.int_alu_ops += 1,
                         OpClass::IntMul => self.stats.int_mul_ops += 1,
@@ -547,12 +545,7 @@ impl OooCore {
         }
         let squashed = self.rob.squash_younger_than(branch_id);
         for entry in &squashed {
-            if let Some((arch, old, old_pc)) = entry.old_dest {
-                self.rat.rollback(arch, old, old_pc);
-            }
-            if let Some((class, dest)) = entry.dest {
-                self.free_list_mut(class).free(dest);
-            }
+            self.rename.rollback_squashed(entry.old_dest, entry.dest);
         }
         self.stats.squashed_uops += squashed.len() as u64;
         let ids: Vec<u64> = squashed.iter().map(|e| e.id).collect();

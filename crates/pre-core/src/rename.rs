@@ -1,0 +1,602 @@
+//! The rename subsystem: one owner for every rename-adjacent structure.
+//!
+//! Register allocation, mapping, value storage and — crucially — *every*
+//! path that returns a physical register to a free list used to be smeared
+//! across the pipeline stages. [`RenameSubsystem`] centralizes that state
+//! (RAT, per-class free lists, per-class physical register files and the
+//! PRDQ) behind a single reclamation interface with four entry points:
+//!
+//! * [`RenameSubsystem::free_committed`] — normal commit frees the previous
+//!   mapping of the retiring instruction's destination.
+//! * [`RenameSubsystem::rollback_squashed`] — branch recovery restores the
+//!   previous mapping and frees the squashed instruction's own destination.
+//! * [`RenameSubsystem::drain_prdq`] — precise runahead's in-order
+//!   reclamation of registers allocated by runahead micro-ops (Section 3.4
+//!   of the paper).
+//! * [`RenameSubsystem::seed_eager`] — the eager drain: previous mappings
+//!   of the *stalled window* whose producer has completed and whose last
+//!   consumer has issued are dead, so they are seeded into the PRDQ and
+//!   freed immediately instead of waiting for a commit that cannot happen
+//!   while the window is stalled. This is what gives PRE free destination
+//!   registers on integer-only kernels that exhaust the integer PRF at the
+//!   full-window stall (the `asm-box-blur` reproduction finding).
+//!
+//! Checkpoint/restore ([`RenameSubsystem::begin_runahead_interval`] /
+//! [`RenameSubsystem::end_runahead_interval`]) snapshots the RAT and the
+//! free lists together, so a restored interval also un-frees every register
+//! the eager drain released — the eager path needs no undo log.
+//!
+//! # Safety argument for the eager drain
+//!
+//! A previous mapping `p` recorded in ROB entry `E.old_dest` may be freed
+//! during a precise-runahead interval when all of the following hold:
+//!
+//! 1. `E` cannot be squashed: no conditional branch older than `E` is still
+//!    unissued (branches resolve at issue in this pipeline, and recovery
+//!    runs in the same cycle). Squashing `E` would roll the RAT back to `p`,
+//!    so `p`'s value would have to survive.
+//! 2. `p`'s producer has completed (`ready` bit set): an in-flight producer
+//!    would later write `p` and set its ready bit, corrupting a runahead
+//!    micro-op that re-allocated `p`.
+//! 3. No waiting micro-op in the issue queue reads `p`: operands are read at
+//!    issue, so issued consumers are done with it.
+//! 4. `p` is not a live RAT mapping (holds by construction — `old_dest`
+//!    registers were mapped out by the renaming instruction — and checked
+//!    defensively anyway).
+//!
+//! Commit itself never observes an eager free: commits do not happen in
+//! runahead mode, and the free-list snapshot is restored before normal mode
+//! resumes, so the same register is freed exactly once on each path.
+
+use crate::freelist::FreeList;
+use crate::iq::IssueQueue;
+use crate::rat::{RatCheckpoint, RegisterAliasTable};
+use crate::regfile::PhysRegFile;
+use crate::rob::ReorderBuffer;
+use pre_model::isa::StaticInst;
+use pre_model::reg::{ArchReg, PhysReg, RegClass, NUM_ARCH_REGS};
+use pre_runahead::PreciseRegisterDeallocationQueue;
+use std::collections::HashSet;
+
+/// A joint snapshot of the RAT and both free lists, captured at runahead
+/// entry and restored at exit. Restoring the free lists subsumes undoing
+/// both runahead allocations and eager frees.
+#[derive(Debug, Clone)]
+pub struct RenameCheckpoint {
+    rat: RatCheckpoint,
+    int_free: Vec<PhysReg>,
+    fp_free: Vec<PhysReg>,
+}
+
+/// The outcome of renaming a destination register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DestRename {
+    /// The freshly allocated physical register.
+    pub new: PhysReg,
+    /// The previous mapping (freed when the instruction commits).
+    pub old: PhysReg,
+    /// The producer PC previously recorded for the architectural register.
+    pub old_pc: Option<u32>,
+}
+
+/// The rename subsystem: RAT, free lists, physical register files and the
+/// PRDQ behind one allocation/reclamation interface.
+#[derive(Debug)]
+pub struct RenameSubsystem {
+    rat: RegisterAliasTable,
+    int_free: FreeList,
+    fp_free: FreeList,
+    int_prf: PhysRegFile,
+    fp_prf: PhysRegFile,
+    prdq: PreciseRegisterDeallocationQueue,
+    /// Registers allocated by runahead renaming in the current interval;
+    /// only these may be reclaimed through regular PRDQ deallocation.
+    runahead_allocated: HashSet<(RegClass, PhysReg)>,
+    /// ROB entry ids whose previous mapping the eager drain already seeded
+    /// in the current interval.
+    eager_seeded: HashSet<u64>,
+    int_capacity: usize,
+    fp_capacity: usize,
+}
+
+impl RenameSubsystem {
+    /// Builds the subsystem for register files of `int_phys` / `fp_phys`
+    /// registers, a PRDQ of `prdq_entries`, and the initial architectural
+    /// values in `arch_values` (flat index order).
+    pub fn new(
+        int_phys: usize,
+        fp_phys: usize,
+        prdq_entries: usize,
+        arch_values: &[u64; NUM_ARCH_REGS],
+    ) -> Self {
+        let mut subsystem = RenameSubsystem {
+            rat: RegisterAliasTable::new(),
+            int_free: FreeList::new(int_phys, pre_model::reg::NUM_INT_ARCH_REGS),
+            fp_free: FreeList::new(fp_phys, pre_model::reg::NUM_FP_ARCH_REGS),
+            int_prf: PhysRegFile::new(int_phys, pre_model::reg::NUM_INT_ARCH_REGS),
+            fp_prf: PhysRegFile::new(fp_phys, pre_model::reg::NUM_FP_ARCH_REGS),
+            prdq: PreciseRegisterDeallocationQueue::new(prdq_entries),
+            runahead_allocated: HashSet::new(),
+            eager_seeded: HashSet::new(),
+            int_capacity: int_phys,
+            fp_capacity: fp_phys,
+        };
+        subsystem.seed_arch_values(arch_values);
+        subsystem
+    }
+
+    fn seed_arch_values(&mut self, arch_values: &[u64; NUM_ARCH_REGS]) {
+        for (flat, &value) in arch_values.iter().enumerate() {
+            let arch = ArchReg::from_flat_index(flat);
+            let phys = RegisterAliasTable::identity_mapping(flat);
+            self.prf_mut(arch.class()).init_arch_value(phys, value);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Structure access.
+    // -----------------------------------------------------------------
+
+    /// Read-only view of the RAT (producer-PC lookups, peeks).
+    pub fn rat(&self) -> &RegisterAliasTable {
+        &self.rat
+    }
+
+    /// The physical register file of `class`.
+    pub fn prf(&self, class: RegClass) -> &PhysRegFile {
+        match class {
+            RegClass::Int => &self.int_prf,
+            RegClass::Fp => &self.fp_prf,
+        }
+    }
+
+    /// Mutable physical register file of `class` (value writes, ready/INV
+    /// bits are driven by the execution stages).
+    pub fn prf_mut(&mut self, class: RegClass) -> &mut PhysRegFile {
+        match class {
+            RegClass::Int => &mut self.int_prf,
+            RegClass::Fp => &mut self.fp_prf,
+        }
+    }
+
+    /// The free list of `class` (read-only; all frees go through the
+    /// reclamation interface).
+    pub fn free_list(&self, class: RegClass) -> &FreeList {
+        match class {
+            RegClass::Int => &self.int_free,
+            RegClass::Fp => &self.fp_free,
+        }
+    }
+
+    fn free_list_mut(&mut self, class: RegClass) -> &mut FreeList {
+        match class {
+            RegClass::Int => &mut self.int_free,
+            RegClass::Fp => &mut self.fp_free,
+        }
+    }
+
+    /// The PRDQ (statistics and occupancy checks).
+    pub fn prdq(&self) -> &PreciseRegisterDeallocationQueue {
+        &self.prdq
+    }
+
+    /// Free registers in `class`.
+    pub fn num_free(&self, class: RegClass) -> usize {
+        self.free_list(class).num_free()
+    }
+
+    /// Fraction of `class`'s register file currently free.
+    pub fn free_fraction(&self, class: RegClass) -> f64 {
+        self.free_list(class).free_fraction()
+    }
+
+    // -----------------------------------------------------------------
+    // Allocation (normal and runahead renaming).
+    // -----------------------------------------------------------------
+
+    /// Looks up the physical sources of `inst` through the RAT, in operand
+    /// order (counts RAT read ports).
+    pub fn lookup_sources(&mut self, inst: &StaticInst) -> Vec<(RegClass, PhysReg)> {
+        let mut srcs = Vec::with_capacity(2);
+        for src in inst.sources() {
+            let phys = self.rat.lookup(src);
+            srcs.push((src.class(), phys));
+        }
+        srcs
+    }
+
+    /// Renames destination `d` for the instruction at `pc`: allocates a
+    /// fresh register, updates the RAT and prepares the register for a new
+    /// value. Returns `None` when `d`'s class has no free register (the
+    /// dispatch stage checks beforehand, so this is exceptional).
+    pub fn rename_dest(&mut self, d: ArchReg, pc: u32) -> Option<DestRename> {
+        let class = d.class();
+        let new = self.free_list_mut(class).allocate()?;
+        let (old, old_pc) = self.rat.rename(d, new, pc);
+        self.prf_mut(class).reset_for_allocation(new);
+        Some(DestRename { new, old, old_pc })
+    }
+
+    /// Renames one runahead micro-op (identified by `uop_id`): sources
+    /// through the RAT, destination on a free register, and a PRDQ entry
+    /// recording the previous mapping. The previous mapping is reclaimable
+    /// through the PRDQ only if it was itself allocated during this
+    /// runahead interval; pre-runahead state is restored by the checkpoint
+    /// instead.
+    ///
+    /// The caller must have checked that a destination register and a PRDQ
+    /// entry are available.
+    #[allow(clippy::type_complexity)]
+    pub fn runahead_rename(
+        &mut self,
+        inst: &StaticInst,
+        pc: u32,
+        uop_id: u64,
+    ) -> (Vec<(RegClass, PhysReg)>, Option<(RegClass, PhysReg)>) {
+        let srcs = self.lookup_sources(inst);
+        let mut dest = None;
+        if let Some(d) = inst.dest {
+            let class = d.class();
+            let rename = self
+                .rename_dest(d, pc)
+                .expect("caller checked for a free register");
+            let reclaimable = self.runahead_allocated.contains(&(class, rename.old));
+            self.prdq
+                .allocate(uop_id, Some((class, rename.old)), reclaimable);
+            self.runahead_allocated.insert((class, rename.new));
+            dest = Some((class, rename.new));
+        } else {
+            self.prdq.allocate(uop_id, None, false);
+        }
+        (srcs, dest)
+    }
+
+    // -----------------------------------------------------------------
+    // The reclamation interface.
+    // -----------------------------------------------------------------
+
+    /// Normal commit: the retiring instruction's previous destination
+    /// mapping is dead once the instruction is architectural.
+    pub fn free_committed(&mut self, class: RegClass, old: PhysReg) {
+        self.free_list_mut(class).free(old);
+    }
+
+    /// Branch recovery for one squashed instruction (walked youngest-first):
+    /// restores the previous RAT mapping and frees the squashed
+    /// instruction's own destination register.
+    pub fn rollback_squashed(
+        &mut self,
+        old_dest: Option<(ArchReg, PhysReg, Option<u32>)>,
+        dest: Option<(RegClass, PhysReg)>,
+    ) {
+        if let Some((arch, old, old_pc)) = old_dest {
+            self.rat.rollback(arch, old, old_pc);
+        }
+        if let Some((class, reg)) = dest {
+            self.free_list_mut(class).free(reg);
+        }
+    }
+
+    /// Marks the PRDQ entry of a completed runahead micro-op as executed.
+    pub fn mark_runahead_executed(&mut self, uop_id: u64) {
+        self.prdq.mark_executed(uop_id);
+    }
+
+    /// Drains executed PRDQ entries in order and returns their registers to
+    /// the free lists. Returns `(int, fp)` counts of registers freed.
+    pub fn drain_prdq(&mut self) -> (usize, usize) {
+        let freed = self.prdq.drain_completed();
+        let mut counts = (0usize, 0usize);
+        for (class, reg) in freed {
+            self.free_list_mut(class).free(reg);
+            self.runahead_allocated.remove(&(class, reg));
+            match class {
+                RegClass::Int => counts.0 += 1,
+                RegClass::Fp => counts.1 += 1,
+            }
+        }
+        counts
+    }
+
+    /// The eager drain: seeds the PRDQ with dead previous mappings of the
+    /// stalled window (see the module documentation for the safety
+    /// argument) and returns how many entries were seeded. Call
+    /// [`RenameSubsystem::drain_prdq`] afterwards to realize the frees.
+    ///
+    /// Invoked at precise-runahead entry and once per runahead cycle, so
+    /// mappings whose last consumer issues *during* the interval are freed
+    /// at that issue boundary.
+    pub fn seed_eager(&mut self, rob: &ReorderBuffer, iq: &IssueQueue) -> usize {
+        let mut seeded = 0;
+        for (id, class, old) in self.eager_candidates(rob, iq) {
+            if !self.prdq.seed_executed(id, (class, old)) {
+                break;
+            }
+            self.eager_seeded.insert(id);
+            seeded += 1;
+        }
+        seeded
+    }
+
+    /// Counts the registers per class that [`RenameSubsystem::seed_eager`]
+    /// could release right now, without mutating anything. Used by the
+    /// free-register entry gate to decide whether entering runahead mode
+    /// can inject micro-ops.
+    pub fn count_eager_reclaimable(&self, rob: &ReorderBuffer, iq: &IssueQueue) -> (usize, usize) {
+        let mut counts = (0usize, 0usize);
+        for (_, class, _) in self.eager_candidates(rob, iq) {
+            match class {
+                RegClass::Int => counts.0 += 1,
+                RegClass::Fp => counts.1 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Enumerates `(rob_id, class, old_reg)` for every previous mapping in
+    /// the window that is provably dead, oldest first.
+    fn eager_candidates(
+        &self,
+        rob: &ReorderBuffer,
+        iq: &IssueQueue,
+    ) -> Vec<(u64, RegClass, PhysReg)> {
+        // Registers still wanted by waiting (un-issued) micro-ops.
+        let mut live_sources: HashSet<(RegClass, PhysReg)> = HashSet::new();
+        for entry in iq.iter() {
+            live_sources.extend(entry.srcs.iter().copied());
+        }
+        // Live RAT mappings (defensive: `old_dest` registers are mapped out
+        // by construction).
+        let mut mapped: HashSet<(RegClass, PhysReg)> = HashSet::new();
+        for (arch, phys) in self.rat.iter() {
+            mapped.insert((arch.class(), phys));
+        }
+        let mut candidates = Vec::new();
+        for entry in rob.iter() {
+            if let Some((arch, old, _)) = entry.old_dest {
+                let class = arch.class();
+                let dead = !self.eager_seeded.contains(&entry.id)
+                    && self.prf(class).is_ready(old)
+                    && !live_sources.contains(&(class, old))
+                    && !mapped.contains(&(class, old))
+                    && !self.free_list(class).is_free(old);
+                if dead {
+                    candidates.push((entry.id, class, old));
+                }
+            }
+            // Entries younger than an unresolved conditional branch may be
+            // squashed, which would roll the RAT back to their previous
+            // mappings — stop here. (Branches resolve at issue.)
+            if entry.uop.inst.opcode.is_cond_branch() && !entry.issued {
+                break;
+            }
+        }
+        candidates
+    }
+
+    // -----------------------------------------------------------------
+    // Checkpoint / restore and bulk resets.
+    // -----------------------------------------------------------------
+
+    /// Captures a checkpoint of the RAT and both free lists.
+    pub fn checkpoint(&self) -> RenameCheckpoint {
+        RenameCheckpoint {
+            rat: self.rat.checkpoint(),
+            int_free: self.int_free.snapshot(),
+            fp_free: self.fp_free.snapshot(),
+        }
+    }
+
+    /// Starts a precise-runahead interval: clears the per-interval eager
+    /// bookkeeping and returns the checkpoint to restore at exit.
+    pub fn begin_runahead_interval(&mut self) -> RenameCheckpoint {
+        self.eager_seeded.clear();
+        self.checkpoint()
+    }
+
+    /// Ends a precise-runahead interval: discards the PRDQ and the
+    /// per-interval allocation sets, restores the checkpoint (which undoes
+    /// runahead allocations *and* eager frees) and clears all INV bits.
+    /// Consumes the checkpoint so the free-list snapshots move instead of
+    /// being cloned on every exit.
+    pub fn end_runahead_interval(&mut self, checkpoint: RenameCheckpoint) {
+        self.prdq.clear();
+        self.runahead_allocated.clear();
+        self.eager_seeded.clear();
+        self.rat.restore(&checkpoint.rat);
+        self.int_free.restore(checkpoint.int_free);
+        self.fp_free.restore(checkpoint.fp_free);
+        self.int_prf.clear_all_inv();
+        self.fp_prf.clear_all_inv();
+    }
+
+    /// Restores a previously captured checkpoint.
+    pub fn restore(&mut self, checkpoint: &RenameCheckpoint) {
+        self.rat.restore(&checkpoint.rat);
+        self.int_free.restore(checkpoint.int_free.clone());
+        self.fp_free.restore(checkpoint.fp_free.clone());
+    }
+
+    /// Rebuilds the whole rename state from an architectural checkpoint
+    /// (flush-style runahead exit): identity RAT, full free lists, register
+    /// files seeded with the architectural values, modelled as free in time
+    /// as the paper assumes.
+    pub fn reset_from_arch(&mut self, arch_values: &[u64; NUM_ARCH_REGS]) {
+        self.rat.reset_identity();
+        self.int_free = FreeList::new(self.int_capacity, pre_model::reg::NUM_INT_ARCH_REGS);
+        self.fp_free = FreeList::new(self.fp_capacity, pre_model::reg::NUM_FP_ARCH_REGS);
+        self.seed_arch_values(arch_values);
+        self.int_prf.clear_all_inv();
+        self.fp_prf.clear_all_inv();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rob::RobEntry;
+    use crate::uop::DynUop;
+    use pre_model::isa::{AluOp, BranchCond, StaticInst};
+
+    fn subsystem() -> RenameSubsystem {
+        RenameSubsystem::new(40, 36, 16, &[0u64; NUM_ARCH_REGS])
+    }
+
+    fn rob_entry_with_rename(
+        id: u64,
+        subsystem: &mut RenameSubsystem,
+        arch: ArchReg,
+        executed: bool,
+    ) -> RobEntry {
+        let inst = StaticInst::int_alu_imm(AluOp::Add, arch, arch, 1);
+        let rename = subsystem.rename_dest(arch, id as u32).expect("free reg");
+        let mut entry = RobEntry::new(id, DynUop::sequential(id as u32, inst, 0));
+        entry.dest = Some((arch.class(), rename.new));
+        entry.old_dest = Some((arch, rename.old, rename.old_pc));
+        entry.issued = true;
+        entry.executed = executed;
+        if executed {
+            subsystem.prf_mut(arch.class()).set_ready(rename.new, true);
+        }
+        entry
+    }
+
+    #[test]
+    fn rename_dest_allocates_and_tracks_old_mapping() {
+        let mut r = subsystem();
+        let a = ArchReg::int(3);
+        let first = r.rename_dest(a, 10).unwrap();
+        assert_eq!(first.old, PhysReg(3), "initial mapping is identity");
+        let second = r.rename_dest(a, 11).unwrap();
+        assert_eq!(second.old, first.new);
+        assert_eq!(second.old_pc, Some(10));
+        // Commit of the second instruction frees the first allocation.
+        let free_before = r.num_free(RegClass::Int);
+        r.free_committed(RegClass::Int, second.old);
+        assert_eq!(r.num_free(RegClass::Int), free_before + 1);
+    }
+
+    #[test]
+    fn runahead_rename_feeds_the_prdq_and_reclaims_only_runahead_regs() {
+        let mut r = subsystem();
+        let a = ArchReg::int(4);
+        let cp = r.begin_runahead_interval();
+        let (_, dest1) = r.runahead_rename(&StaticInst::load_imm(a, 1), 100, 1);
+        let first = dest1.unwrap().1;
+        // The pre-runahead mapping is non-reclaimable: draining after
+        // execution frees nothing.
+        r.mark_runahead_executed(1);
+        assert_eq!(r.drain_prdq(), (0, 0));
+        // A second runahead write to the same register reclaims the first
+        // runahead allocation.
+        let (_, _dest2) = r.runahead_rename(&StaticInst::load_imm(a, 2), 101, 2);
+        r.mark_runahead_executed(2);
+        let free_before = r.num_free(RegClass::Int);
+        assert_eq!(r.drain_prdq(), (1, 0));
+        assert_eq!(r.num_free(RegClass::Int), free_before + 1);
+        assert!(r.free_list(RegClass::Int).is_free(first));
+        r.end_runahead_interval(cp);
+        assert_eq!(r.rat().peek(a), PhysReg(4), "checkpoint restored");
+    }
+
+    #[test]
+    fn eager_drain_frees_dead_window_mappings_through_the_prdq() {
+        let mut r = subsystem();
+        let mut rob = ReorderBuffer::new(8);
+        let iq = IssueQueue::new(8);
+        let a = ArchReg::int(5);
+        // Two back-to-back redefinitions: the first allocation's previous
+        // mapping (identity reg 5) is dead once both have executed and no
+        // consumer waits.
+        rob.push(rob_entry_with_rename(1, &mut r, a, true));
+        rob.push(rob_entry_with_rename(2, &mut r, a, true));
+        let cp = r.begin_runahead_interval();
+        let (int_reclaimable, fp_reclaimable) = r.count_eager_reclaimable(&rob, &iq);
+        assert_eq!(int_reclaimable, 2);
+        assert_eq!(fp_reclaimable, 0);
+        let free_before = r.num_free(RegClass::Int);
+        assert_eq!(r.seed_eager(&rob, &iq), 2);
+        assert_eq!(r.drain_prdq(), (2, 0));
+        assert_eq!(r.num_free(RegClass::Int), free_before + 2);
+        assert_eq!(r.prdq().eager_seeds(), 2);
+        // Seeding is idempotent per entry.
+        assert_eq!(r.seed_eager(&rob, &iq), 0);
+        // Exit restores the free lists exactly.
+        r.end_runahead_interval(cp);
+        assert_eq!(r.num_free(RegClass::Int), free_before);
+    }
+
+    #[test]
+    fn eager_drain_respects_unresolved_branches_and_waiting_consumers() {
+        let mut r = subsystem();
+        let mut rob = ReorderBuffer::new(8);
+        let mut iq = IssueQueue::new(8);
+        let a = ArchReg::int(6);
+        let first = rob_entry_with_rename(1, &mut r, a, true);
+        let first_new = first.dest.unwrap().1;
+        rob.push(first);
+        // An unissued conditional branch shadows everything younger.
+        let branch = StaticInst::branch(BranchCond::Lt, a, a, 0);
+        let mut branch_entry = RobEntry::new(2, DynUop::sequential(2, branch, 0));
+        branch_entry.issued = false;
+        rob.push(branch_entry);
+        rob.push(rob_entry_with_rename(3, &mut r, a, true));
+        // A waiting consumer still reads the first allocation.
+        iq.insert(crate::iq::IqEntry {
+            id: 4,
+            pc: 4,
+            inst: StaticInst::int_alu_imm(AluOp::Add, a, a, 1),
+            srcs: vec![(RegClass::Int, first_new)],
+            dest: None,
+            class: pre_model::isa::OpClass::IntAlu,
+            is_runahead: false,
+            dispatched_at: 0,
+            store_addr_ready: false,
+        });
+        r.begin_runahead_interval();
+        // Entry 1's old mapping (identity reg 6) is free-able; entry 3 is in
+        // the branch shadow; entry 1's own destination is consumer-live.
+        let candidates = r.count_eager_reclaimable(&rob, &iq);
+        assert_eq!(candidates, (1, 0));
+        assert_eq!(r.seed_eager(&rob, &iq), 1);
+        let (int_freed, _) = r.drain_prdq();
+        assert_eq!(int_freed, 1);
+        assert!(r.free_list(RegClass::Int).is_free(PhysReg(6)));
+        assert!(!r.free_list(RegClass::Int).is_free(first_new));
+    }
+
+    #[test]
+    fn reset_from_arch_rebuilds_identity_state() {
+        let mut r = subsystem();
+        let a = ArchReg::int(1);
+        r.rename_dest(a, 1).unwrap();
+        r.rename_dest(ArchReg::fp(2), 2).unwrap();
+        let mut arch_values = [0u64; NUM_ARCH_REGS];
+        arch_values[a.flat_index()] = 99;
+        r.reset_from_arch(&arch_values);
+        assert_eq!(r.rat().peek(a), PhysReg(1));
+        assert_eq!(r.prf(RegClass::Int).peek(PhysReg(1)), 99);
+        assert_eq!(
+            r.num_free(RegClass::Int),
+            40 - pre_model::reg::NUM_INT_ARCH_REGS
+        );
+        assert_eq!(
+            r.num_free(RegClass::Fp),
+            36 - pre_model::reg::NUM_FP_ARCH_REGS
+        );
+    }
+
+    #[test]
+    fn rollback_squashed_restores_mapping_and_frees_destination() {
+        let mut r = subsystem();
+        let a = ArchReg::int(9);
+        let rename = r.rename_dest(a, 5).unwrap();
+        let free_before = r.num_free(RegClass::Int);
+        r.rollback_squashed(
+            Some((a, rename.old, rename.old_pc)),
+            Some((RegClass::Int, rename.new)),
+        );
+        assert_eq!(r.rat().peek(a), rename.old);
+        assert_eq!(r.num_free(RegClass::Int), free_before + 1);
+    }
+}

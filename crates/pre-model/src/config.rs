@@ -324,6 +324,13 @@ pub struct RunaheadConfig {
     pub sst_read_ports: usize,
     /// Number of SST write ports (2).
     pub sst_write_ports: usize,
+    /// PRE entry gate: refuse to enter runahead mode unless at least this
+    /// many integer physical registers are free (counting registers the
+    /// eager PRDQ drain can release at entry). Zero disables the gate.
+    pub min_free_int_regs: usize,
+    /// PRE entry gate for the floating-point register class. Zero disables
+    /// the gate.
+    pub min_free_fp_regs: usize,
 }
 
 impl Default for RunaheadConfig {
@@ -337,6 +344,8 @@ impl Default for RunaheadConfig {
             prefetch_fill_l1: true,
             sst_read_ports: 8,
             sst_write_ports: 2,
+            min_free_int_regs: 0,
+            min_free_fp_regs: 0,
         }
     }
 }
@@ -565,6 +574,15 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets PRE's free-register entry gates: runahead mode is only entered
+    /// when at least this many integer / floating-point registers are free
+    /// (or can be released by the eager PRDQ drain). Zero disables a gate.
+    pub fn min_free_regs(mut self, int_regs: usize, fp_regs: usize) -> Self {
+        self.cfg.runahead.min_free_int_regs = int_regs;
+        self.cfg.runahead.min_free_fp_regs = fp_regs;
+        self
+    }
+
     /// Applies an arbitrary closure to the configuration under construction.
     pub fn tweak(mut self, f: impl FnOnce(&mut SimConfig)) -> Self {
         f(&mut self.cfg);
@@ -657,6 +675,19 @@ mod tests {
         assert_eq!(cfg.runahead.sst_entries, 64);
         assert_eq!(cfg.runahead.emq_entries, 192);
         assert_eq!(cfg.core.rob_entries, 256);
+    }
+
+    #[test]
+    fn free_reg_gates_default_off_and_are_buildable() {
+        let cfg = SimConfig::haswell_like();
+        assert_eq!(cfg.runahead.min_free_int_regs, 0);
+        assert_eq!(cfg.runahead.min_free_fp_regs, 0);
+        let gated = SimConfigBuilder::haswell_like()
+            .min_free_regs(4, 2)
+            .build()
+            .unwrap();
+        assert_eq!(gated.runahead.min_free_int_regs, 4);
+        assert_eq!(gated.runahead.min_free_fp_regs, 2);
     }
 
     #[test]

@@ -114,6 +114,95 @@ impl Default for Histogram {
     }
 }
 
+/// A histogram over percentage samples (0–100), used for the per-class
+/// free-physical-register occupancy observed at full-window stalls. The
+/// buckets resolve the interesting low end ("&lt; 1 % free" is the pathology
+/// the eager PRDQ drain exists to fix) as well as the paper's "~51 % free"
+/// regime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PercentHistogram(Histogram);
+
+impl PercentHistogram {
+    /// Creates an empty percentage histogram.
+    pub fn new() -> Self {
+        PercentHistogram(Histogram::new(&[1, 5, 10, 25, 50, 75, 90]))
+    }
+
+    /// Records one sample, clamped to 0–100.
+    pub fn record(&mut self, percent: u64) {
+        self.0.record(percent.min(100));
+    }
+
+    /// Records a fraction in `[0, 1]` as a percentage.
+    pub fn record_fraction(&mut self, fraction: f64) {
+        self.record((fraction.clamp(0.0, 1.0) * 100.0).round() as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count()
+    }
+
+    /// Mean percentage (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.0.mean()
+    }
+
+    /// Fraction of samples strictly below `threshold` percent (which should
+    /// be one of the bucket bounds for an exact answer).
+    pub fn fraction_below(&self, threshold: u64) -> f64 {
+        self.0.fraction_below(threshold)
+    }
+
+    /// Iterates over `(upper_bound, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.0.buckets()
+    }
+}
+
+impl Default for PercentHistogram {
+    fn default() -> Self {
+        PercentHistogram::new()
+    }
+}
+
+/// What kind of runahead event a [`RunaheadEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunaheadEventKind {
+    /// The core entered runahead mode.
+    Entry,
+    /// The core left runahead mode.
+    Exit,
+}
+
+/// One runahead entry or exit event with the rename-resource occupancy
+/// observed at that moment, recorded so tools like `debug_stats` can show
+/// per-interval behaviour without re-instrumenting the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunaheadEvent {
+    /// Cycle at which the event occurred.
+    pub cycle: u64,
+    /// Entry or exit.
+    pub kind: RunaheadEventKind,
+    /// Free integer physical registers after the event was processed (for
+    /// entries: after the eager PRDQ drain).
+    pub int_free: usize,
+    /// Free floating-point physical registers after the event.
+    pub fp_free: usize,
+    /// Integer registers released by the eager PRDQ drain (entry events).
+    pub int_eager_freed: usize,
+    /// Floating-point registers released by the eager drain (entry events).
+    pub fp_eager_freed: usize,
+    /// PRDQ entries allocated by runahead renaming during the interval
+    /// (exit events; 0 on entries).
+    pub prdq_allocated: u64,
+}
+
+/// Cap on the number of [`RunaheadEvent`]s kept per run; long evaluations
+/// record the overflow in [`SimStats::runahead_events_dropped`] instead of
+/// growing without bound.
+pub const MAX_RUNAHEAD_EVENTS: usize = 4096;
+
 /// Running average of occupancy-style samples.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunningAverage {
@@ -279,6 +368,20 @@ pub struct SimStats {
     pub int_regs_free_at_entry: RunningAverage,
     /// Fraction of floating-point physical registers free at runahead entry.
     pub fp_regs_free_at_entry: RunningAverage,
+    /// Percent of integer physical registers free, sampled at each distinct
+    /// full-window stall (all techniques, before any eager reclamation).
+    pub int_free_at_stall_hist: PercentHistogram,
+    /// Percent of floating-point physical registers free at each distinct
+    /// full-window stall.
+    pub fp_free_at_stall_hist: PercentHistogram,
+    /// Runahead entries refused because the free-register entry gate
+    /// (`min_free_int_regs`/`min_free_fp_regs`) was not met.
+    pub runahead_entries_skipped_no_regs: u64,
+    /// Per-interval runahead entry/exit events with rename-resource
+    /// occupancy (capped at [`MAX_RUNAHEAD_EVENTS`]).
+    pub runahead_events: Vec<RunaheadEvent>,
+    /// Events not recorded because the cap was reached.
+    pub runahead_events_dropped: u64,
 
     // ---- PRE structures ------------------------------------------------------
     /// SST lookups.
@@ -289,10 +392,15 @@ pub struct SimStats {
     pub sst_inserts: u64,
     /// SST evictions due to capacity.
     pub sst_evictions: u64,
-    /// PRDQ entry allocations.
+    /// PRDQ entry allocations by runahead renaming.
     pub prdq_allocations: u64,
     /// Physical registers reclaimed through the PRDQ in runahead mode.
     pub prdq_reclaims: u64,
+    /// Dead previous mappings of the stalled window seeded into the PRDQ by
+    /// the eager drain (at runahead entry and at later issue boundaries).
+    pub prdq_eager_seeds: u64,
+    /// Registers freed by draining eager-seeded PRDQ entries.
+    pub prdq_eager_reclaims: u64,
     /// EMQ writes (micro-ops buffered in runahead mode).
     pub emq_writes: u64,
     /// EMQ reads (micro-ops dispatched from the EMQ after exit).
@@ -389,6 +497,16 @@ impl SimStats {
     /// Average runahead-interval length in cycles.
     pub fn mean_runahead_interval(&self) -> f64 {
         self.runahead_interval_hist.mean()
+    }
+
+    /// Records a runahead entry/exit event, honouring the
+    /// [`MAX_RUNAHEAD_EVENTS`] cap (overflow is counted instead of stored).
+    pub fn record_runahead_event(&mut self, event: RunaheadEvent) {
+        if self.runahead_events.len() < MAX_RUNAHEAD_EVENTS {
+            self.runahead_events.push(event);
+        } else {
+            self.runahead_events_dropped += 1;
+        }
     }
 }
 
@@ -489,6 +607,38 @@ mod tests {
         assert_eq!(s.l3_mpki(), 0.0);
         assert_eq!(s.prefetch_accuracy(), 0.0);
         assert_eq!(s.sst_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn percent_histogram_clamps_and_buckets() {
+        let mut h = PercentHistogram::new();
+        h.record(0);
+        h.record(3);
+        h.record(250); // clamped to 100
+        h.record_fraction(0.51);
+        assert_eq!(h.count(), 4);
+        assert!((h.fraction_below(1) - 0.25).abs() < 1e-9);
+        assert!((h.fraction_below(5) - 0.5).abs() < 1e-9);
+        assert!(h.mean() <= 100.0);
+    }
+
+    #[test]
+    fn runahead_event_log_caps_and_counts_overflow() {
+        let mut s = SimStats::new();
+        let event = RunaheadEvent {
+            cycle: 1,
+            kind: RunaheadEventKind::Entry,
+            int_free: 10,
+            fp_free: 20,
+            int_eager_freed: 5,
+            fp_eager_freed: 0,
+            prdq_allocated: 0,
+        };
+        for _ in 0..MAX_RUNAHEAD_EVENTS + 3 {
+            s.record_runahead_event(event);
+        }
+        assert_eq!(s.runahead_events.len(), MAX_RUNAHEAD_EVENTS);
+        assert_eq!(s.runahead_events_dropped, 3);
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub enum EntryDecision {
     /// Skip: runahead was already performed for this stall (overlap
     /// avoidance).
     SkipOverlap,
+    /// Skip: too few free destination registers to inject any slice
+    /// micro-op (PRE's free-register entry gate).
+    SkipNoFreeRegs,
 }
 
 impl EntryDecision {
@@ -39,6 +42,14 @@ pub struct EntryPolicy {
     /// Whether to refuse re-entering runahead for the same stalling-load
     /// instance (overlap avoidance). PRE disables this as well.
     pub avoid_overlap: bool,
+    /// Minimum free integer physical registers (including registers the
+    /// eager PRDQ drain can release) for entry to be useful. Zero disables
+    /// the gate. Runahead micro-ops execute on free registers, so entering
+    /// with an exhausted register class is pure overhead.
+    pub min_free_int_regs: usize,
+    /// Minimum free floating-point physical registers. Zero disables the
+    /// gate.
+    pub min_free_fp_regs: usize,
 }
 
 impl EntryPolicy {
@@ -48,6 +59,8 @@ impl EntryPolicy {
         EntryPolicy {
             min_expected_cycles,
             avoid_overlap: true,
+            min_free_int_regs: 0,
+            min_free_fp_regs: 0,
         }
     }
 
@@ -57,7 +70,24 @@ impl EntryPolicy {
         EntryPolicy {
             min_expected_cycles: 0,
             avoid_overlap: false,
+            min_free_int_regs: 0,
+            min_free_fp_regs: 0,
         }
+    }
+
+    /// PRE's policy with the free-register entry gate enabled.
+    pub fn gated(min_free_int_regs: usize, min_free_fp_regs: usize) -> Self {
+        EntryPolicy {
+            min_free_int_regs,
+            min_free_fp_regs,
+            ..EntryPolicy::always()
+        }
+    }
+
+    /// `true` when [`EntryPolicy::decide`] inspects the free-register
+    /// counts, so callers can skip computing them otherwise.
+    pub fn needs_free_reg_counts(&self) -> bool {
+        self.min_free_int_regs > 0 || self.min_free_fp_regs > 0
     }
 
     /// Decides whether to enter runahead mode.
@@ -66,15 +96,23 @@ impl EntryPolicy {
     ///   is expected to arrive.
     /// * `already_ran_for_this_stall` — a runahead interval was already
     ///   executed for this stalling-load instance.
+    /// * `free_int_regs` / `free_fp_regs` — per-class free destination
+    ///   registers available to runahead renaming, counting registers an
+    ///   eager PRDQ drain would release (only consulted when the gate is
+    ///   enabled; pass the raw free counts otherwise).
     pub fn decide(
         &self,
         expected_remaining_cycles: u64,
         already_ran_for_this_stall: bool,
+        free_int_regs: usize,
+        free_fp_regs: usize,
     ) -> EntryDecision {
         if self.avoid_overlap && already_ran_for_this_stall {
             EntryDecision::SkipOverlap
         } else if expected_remaining_cycles < self.min_expected_cycles {
             EntryDecision::SkipShortInterval
+        } else if free_int_regs < self.min_free_int_regs || free_fp_regs < self.min_free_fp_regs {
+            EntryDecision::SkipNoFreeRegs
         } else {
             EntryDecision::Enter
         }
@@ -88,22 +126,35 @@ mod tests {
     #[test]
     fn efficient_policy_skips_short_intervals() {
         let p = EntryPolicy::efficient(20);
-        assert_eq!(p.decide(10, false), EntryDecision::SkipShortInterval);
-        assert_eq!(p.decide(20, false), EntryDecision::Enter);
-        assert_eq!(p.decide(200, false), EntryDecision::Enter);
+        assert_eq!(p.decide(10, false, 0, 0), EntryDecision::SkipShortInterval);
+        assert_eq!(p.decide(20, false, 0, 0), EntryDecision::Enter);
+        assert_eq!(p.decide(200, false, 0, 0), EntryDecision::Enter);
     }
 
     #[test]
     fn efficient_policy_skips_overlapping_intervals() {
         let p = EntryPolicy::efficient(20);
-        assert_eq!(p.decide(200, true), EntryDecision::SkipOverlap);
+        assert_eq!(p.decide(200, true, 0, 0), EntryDecision::SkipOverlap);
     }
 
     #[test]
     fn always_policy_never_skips() {
         let p = EntryPolicy::always();
-        assert!(p.decide(1, false).should_enter());
-        assert!(p.decide(0, true).should_enter());
+        assert!(p.decide(1, false, 0, 0).should_enter());
+        assert!(p.decide(0, true, 0, 0).should_enter());
+        assert!(!p.needs_free_reg_counts());
+    }
+
+    #[test]
+    fn gated_policy_requires_free_registers() {
+        let p = EntryPolicy::gated(4, 2);
+        assert!(p.needs_free_reg_counts());
+        assert_eq!(p.decide(100, false, 3, 10), EntryDecision::SkipNoFreeRegs);
+        assert_eq!(p.decide(100, false, 10, 1), EntryDecision::SkipNoFreeRegs);
+        assert_eq!(p.decide(100, false, 4, 2), EntryDecision::Enter);
+        // The gate keeps PRE's unconditional entry otherwise.
+        assert!(!p.avoid_overlap);
+        assert_eq!(p.min_expected_cycles, 0);
     }
 
     #[test]
@@ -111,5 +162,6 @@ mod tests {
         assert!(EntryDecision::Enter.should_enter());
         assert!(!EntryDecision::SkipShortInterval.should_enter());
         assert!(!EntryDecision::SkipOverlap.should_enter());
+        assert!(!EntryDecision::SkipNoFreeRegs.should_enter());
     }
 }

@@ -38,6 +38,12 @@ pub struct PrdqEntry {
     pub reclaimable: bool,
     /// Set when the allocating instruction finishes execution.
     pub executed: bool,
+    /// `true` for entries seeded by the eager drain: dead previous mappings
+    /// of the stalled window (Section 3.4's normal-mode freeing condition —
+    /// the last consumer has issued — detected at runahead entry or at a
+    /// later issue boundary). Seeded entries enter at the head side, since
+    /// the window predates every runahead micro-op in program order.
+    pub eager: bool,
 }
 
 /// The PRDQ: a bounded FIFO of [`PrdqEntry`].
@@ -47,6 +53,8 @@ pub struct PreciseRegisterDeallocationQueue {
     capacity: usize,
     allocations: u64,
     reclaims: u64,
+    eager_seeds: u64,
+    eager_reclaims: u64,
 }
 
 impl PreciseRegisterDeallocationQueue {
@@ -62,6 +70,8 @@ impl PreciseRegisterDeallocationQueue {
             capacity,
             allocations: 0,
             reclaims: 0,
+            eager_seeds: 0,
+            eager_reclaims: 0,
         }
     }
 
@@ -95,6 +105,17 @@ impl PreciseRegisterDeallocationQueue {
         self.reclaims
     }
 
+    /// Total dead window mappings seeded by the eager drain.
+    pub fn eager_seeds(&self) -> u64 {
+        self.eager_seeds
+    }
+
+    /// Registers reclaimed by draining eager-seeded entries (a subset of
+    /// [`PreciseRegisterDeallocationQueue::reclaims`]).
+    pub fn eager_reclaims(&self) -> u64 {
+        self.eager_reclaims
+    }
+
     /// Allocates an entry at the tail, in program order.
     ///
     /// Returns `false` (and allocates nothing) when the queue is full; the
@@ -113,8 +134,38 @@ impl PreciseRegisterDeallocationQueue {
             old_reg,
             reclaimable,
             executed: false,
+            eager: false,
         });
         self.allocations += 1;
+        true
+    }
+
+    /// Seeds an already-dead window mapping at the head side of the queue
+    /// (the eager drain). The entry is marked executed — its producer is a
+    /// normal-mode instruction whose last consumer has already issued — so
+    /// it deallocates on the next [`PreciseRegisterDeallocationQueue::
+    /// drain_completed`]. Entries seeded by one pass must be pushed in
+    /// program order; relative to live runahead entries they are older, so
+    /// they are inserted after any executed eager prefix but before the
+    /// runahead-allocated tail.
+    ///
+    /// Returns `false` (and seeds nothing) when the queue is full.
+    pub fn seed_executed(&mut self, uop_id: u64, old_reg: (RegClass, PhysReg)) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        let insert_at = self.entries.iter().take_while(|e| e.eager).count();
+        self.entries.insert(
+            insert_at,
+            PrdqEntry {
+                uop_id,
+                old_reg: Some(old_reg),
+                reclaimable: true,
+                executed: true,
+                eager: true,
+            },
+        );
+        self.eager_seeds += 1;
         true
     }
 
@@ -143,6 +194,9 @@ impl PreciseRegisterDeallocationQueue {
                 if let Some(reg) = head.old_reg {
                     freed.push(reg);
                     self.reclaims += 1;
+                    if head.eager {
+                        self.eager_reclaims += 1;
+                    }
                 }
             }
         }
@@ -235,6 +289,38 @@ mod tests {
     fn mark_executed_unknown_uop_is_false() {
         let mut q = PreciseRegisterDeallocationQueue::new(2);
         assert!(!q.mark_executed(42));
+    }
+
+    #[test]
+    fn eager_seeds_drain_immediately_and_in_order() {
+        let mut q = PreciseRegisterDeallocationQueue::new(8);
+        // A pending runahead allocation sits in the queue.
+        assert!(q.allocate(100, reg(40), true));
+        // Window mappings seeded in program order drain ahead of it.
+        assert!(q.seed_executed(1, (RegClass::Int, PhysReg(10))));
+        assert!(q.seed_executed(2, (RegClass::Int, PhysReg(11))));
+        let freed = q.drain_completed();
+        assert_eq!(
+            freed,
+            vec![(RegClass::Int, PhysReg(10)), (RegClass::Int, PhysReg(11))]
+        );
+        assert_eq!(q.len(), 1, "the pending runahead entry remains");
+        assert_eq!(q.eager_seeds(), 2);
+        assert_eq!(q.eager_reclaims(), 2);
+        assert_eq!(q.reclaims(), 2);
+        // The runahead entry still reclaims normally.
+        q.mark_executed(100);
+        assert_eq!(q.drain_completed(), vec![(RegClass::Int, PhysReg(40))]);
+        assert_eq!(q.eager_reclaims(), 2, "runahead reclaims are not eager");
+        assert_eq!(q.reclaims(), 3);
+    }
+
+    #[test]
+    fn eager_seed_fails_when_full() {
+        let mut q = PreciseRegisterDeallocationQueue::new(1);
+        assert!(q.allocate(1, reg(1), true));
+        assert!(!q.seed_executed(2, (RegClass::Int, PhysReg(2))));
+        assert_eq!(q.eager_seeds(), 0);
     }
 
     #[test]

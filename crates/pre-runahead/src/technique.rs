@@ -89,7 +89,7 @@ impl Technique {
         if self.flushes_pipeline() {
             EntryPolicy::efficient(cfg.min_expected_runahead_cycles)
         } else {
-            EntryPolicy::always()
+            EntryPolicy::gated(cfg.min_free_int_regs, cfg.min_free_fp_regs)
         }
     }
 }
@@ -165,6 +165,8 @@ mod tests {
         let pre = Technique::Pre.entry_policy(&cfg);
         assert_eq!(pre.min_expected_cycles, 0);
         assert!(!pre.avoid_overlap);
+        assert_eq!(pre.min_free_int_regs, cfg.min_free_int_regs);
+        assert_eq!(pre.min_free_fp_regs, cfg.min_free_fp_regs);
     }
 
     #[test]

@@ -80,20 +80,78 @@ fn main() {
         s.sst_lookups, s.sst_hits, s.sst_inserts, s.sst_evictions
     );
     println!(
-        "prdq alloc {} reclaim {}  emq w {} r {}  rabuf walks {} replays {}",
+        "prdq alloc {} reclaim {}  eager seeds {} reclaims {}  emq w {} r {}  rabuf walks {} replays {}",
         s.prdq_allocations,
         s.prdq_reclaims,
+        s.prdq_eager_seeds,
+        s.prdq_eager_reclaims,
         s.emq_writes,
         s.emq_reads,
         s.runahead_buffer_walks,
         s.runahead_buffer_replays
     );
     println!(
-        "free@entry iq {:.2} int {:.2} fp {:.2}",
+        "free@entry iq {:.2} int {:.2} fp {:.2}  skipped(no-regs) {}",
         s.iq_free_at_entry.mean(),
         s.int_regs_free_at_entry.mean(),
-        s.fp_regs_free_at_entry.mean()
+        s.fp_regs_free_at_entry.mean(),
+        s.runahead_entries_skipped_no_regs
     );
+    println!("--- free PRF at full-window stalls ---");
+    for (label, hist) in [
+        ("int", &s.int_free_at_stall_hist),
+        ("fp ", &s.fp_free_at_stall_hist),
+    ] {
+        let buckets: Vec<String> = hist
+            .buckets()
+            .map(|(bound, count)| {
+                if bound == u64::MAX {
+                    format!(">=90%:{count}")
+                } else {
+                    format!("<{bound}%:{count}")
+                }
+            })
+            .collect();
+        println!(
+            "{label} stalls {}  mean {:.1}%  [{}]",
+            hist.count(),
+            hist.mean(),
+            buckets.join(" ")
+        );
+    }
+    println!("--- runahead entry/exit events (free regs per class) ---");
+    if s.runahead_events.is_empty() {
+        println!("(no runahead events)");
+    }
+    // Keep the dump usable on big budgets; PRE_DEBUG_ALL_EVENTS lifts the cap.
+    let shown = if std::env::var_os("PRE_DEBUG_ALL_EVENTS").is_some() {
+        s.runahead_events.len()
+    } else {
+        s.runahead_events.len().min(200)
+    };
+    for event in &s.runahead_events[..shown] {
+        match event.kind {
+            pre_model::stats::RunaheadEventKind::Entry => println!(
+                "cycle {:>9}  ENTER  int free {:>3} (eager +{})  fp free {:>3} (eager +{})",
+                event.cycle,
+                event.int_free,
+                event.int_eager_freed,
+                event.fp_free,
+                event.fp_eager_freed
+            ),
+            pre_model::stats::RunaheadEventKind::Exit => println!(
+                "cycle {:>9}  EXIT   int free {:>3}  fp free {:>3}  prdq allocs {}",
+                event.cycle, event.int_free, event.fp_free, event.prdq_allocated
+            ),
+        }
+    }
+    let hidden = s.runahead_events.len() - shown;
+    if hidden > 0 {
+        println!("({hidden} further events hidden; set PRE_DEBUG_ALL_EVENTS=1 to print all)");
+    }
+    if s.runahead_events_dropped > 0 {
+        println!("({} further events dropped)", s.runahead_events_dropped);
+    }
     println!("--- energy ---");
     println!(
         "total {:.3} mJ  static fraction {:.2}",

@@ -33,7 +33,7 @@ fn main() {
         }
     };
     println!(
-        "{:<18} {:<10} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>8}",
+        "{:<18} {:<10} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8}",
         "workload",
         "technique",
         "ipc",
@@ -42,6 +42,7 @@ fn main() {
         "ra-cycles",
         "prefetches",
         "useful",
+        "prdq",
         "mJ"
     );
     let mut failed = false;
@@ -61,7 +62,7 @@ fn main() {
                     };
                     failed |= result.deadlocked;
                     println!(
-                        "{:<18} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8.2}{}",
+                        "{:<18} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8.2}{}",
                         workload.name(),
                         technique.label(),
                         result.ipc(),
@@ -70,6 +71,7 @@ fn main() {
                         result.stats.runahead_cycles,
                         result.stats.runahead_prefetches_issued,
                         result.stats.runahead_prefetches_useful,
+                        result.stats.prdq_allocations,
                         result.energy_mj(),
                         if result.deadlocked { "  DEADLOCK" } else { "" },
                     );

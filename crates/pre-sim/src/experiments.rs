@@ -481,19 +481,30 @@ pub fn stat_intervals(max_uops: u64) -> Result<Table, BuildError> {
 
 /// Stat C (§3.4): free back-end resources sampled at runahead entry
 /// (the paper reports ≈37 % of IQ entries, 51 % of integer and 59 % of
-/// floating-point registers free).
-pub fn stat_free_resources(max_uops: u64) -> Result<Table, BuildError> {
+/// floating-point registers free), plus the per-class free-register
+/// occupancy histograms at full-window stalls and the eager-drain volume —
+/// the counters behind the `asm-box-blur` reproduction finding.
+pub fn stat_free_resources(suite: Suite, max_uops: u64) -> Result<Table, BuildError> {
     let mut table = Table::new(
         "Stat C — free resources at runahead entry (PRE)",
-        &["workload", "IQ free", "int regs free", "fp regs free"],
+        &[
+            "workload",
+            "IQ free",
+            "int regs free",
+            "fp regs free",
+            "int <5% @stall",
+            "eager frees",
+        ],
     );
-    for workload in Workload::MEMORY_INTENSIVE {
+    for workload in suite.workloads() {
         let result = run_one(&RunSpec::new(workload, Technique::Pre).with_budget(max_uops))?;
         table.add_row(vec![
             workload.name().into(),
             pct(result.stats.iq_free_at_entry.mean()),
             pct(result.stats.int_regs_free_at_entry.mean()),
             pct(result.stats.fp_regs_free_at_entry.mean()),
+            pct(result.stats.int_free_at_stall_hist.fraction_below(5)),
+            result.stats.prdq_eager_reclaims.to_string(),
         ]);
     }
     Ok(table)

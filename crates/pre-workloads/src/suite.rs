@@ -131,17 +131,18 @@ impl Workload {
     ];
 
     /// The assembled RISC-V kernel suite (real programs, `--suite asm`).
-    pub const ASM_SUITE: [Workload; 6] = [
+    pub const ASM_SUITE: [Workload; 7] = [
         Workload::Asm(AsmKernel::Matmul),
         Workload::Asm(AsmKernel::Quicksort),
         Workload::Asm(AsmKernel::PointerChase),
         Workload::Asm(AsmKernel::BoxBlur),
         Workload::Asm(AsmKernel::PrimeSieve),
         Workload::Asm(AsmKernel::BinarySearch),
+        Workload::Asm(AsmKernel::ChaseLarge),
     ];
 
     /// Every workload: the synthetic suite followed by the asm suite.
-    pub const ALL: [Workload; 20] = [
+    pub const ALL: [Workload; 21] = [
         Workload::McfLike,
         Workload::LbmLike,
         Workload::MilcLike,
@@ -162,6 +163,7 @@ impl Workload {
         Workload::Asm(AsmKernel::BoxBlur),
         Workload::Asm(AsmKernel::PrimeSieve),
         Workload::Asm(AsmKernel::BinarySearch),
+        Workload::Asm(AsmKernel::ChaseLarge),
     ];
 
     /// Short name used in figures and on the command line.
@@ -188,6 +190,7 @@ impl Workload {
                 AsmKernel::BoxBlur => "asm-box-blur",
                 AsmKernel::PrimeSieve => "asm-prime-sieve",
                 AsmKernel::BinarySearch => "asm-binary-search",
+                AsmKernel::ChaseLarge => "asm-chase-large",
             },
         }
     }
@@ -221,7 +224,9 @@ impl Workload {
             Workload::ComputeBound => SliceProfile::ComputeBound,
             Workload::Asm(k) => match k {
                 // One serial dependence chain / one dominant load slice.
-                AsmKernel::PointerChase | AsmKernel::BinarySearch => SliceProfile::Single,
+                AsmKernel::PointerChase | AsmKernel::BinarySearch | AsmKernel::ChaseLarge => {
+                    SliceProfile::Single
+                }
                 // A handful of strided streams.
                 AsmKernel::BoxBlur | AsmKernel::PrimeSieve | AsmKernel::Quicksort => {
                     SliceProfile::Few

@@ -28,6 +28,9 @@ fn iterations(kernel: AsmKernel) -> u64 {
         AsmKernel::BoxBlur => 4,
         AsmKernel::PrimeSieve => 3,
         AsmKernel::BinarySearch => 4,
+        // Every hop is a serial LLC miss (~250 cycles), so one round of
+        // 512 hops is already a long run in debug builds.
+        AsmKernel::ChaseLarge => 1,
     }
 }
 

@@ -1,0 +1,229 @@
+//! Simulator-throughput benchmark: simulated micro-ops per second and
+//! cycles per second for every (workload, technique) cell of the mixed
+//! suite. This is the perf trajectory every scheduler/pipeline change is
+//! judged against (the README "Simulator performance" table comes from
+//! here).
+//!
+//! Environment:
+//!
+//! * `PRE_SIM_SPEED_CELLS` — comma-separated `workload:technique` pairs
+//!   (e.g. `asm-chase-large:ooo,lbm-like:pre`) restricting the matrix; the
+//!   CI perf smoke uses this to keep the job fast.
+//! * `PRE_SIM_SPEED_UOPS` — committed-micro-op budget per cell (default
+//!   20 000).
+//! * `PRE_SIM_SPEED_REFERENCE` — set non-empty to benchmark the reference
+//!   (scan-based, no fast-forward) scheduler instead of the event-driven
+//!   one, for before/after comparisons.
+//! * `PRE_BENCH_SAMPLES` — timed repetitions per cell (default 3).
+//! * `PRE_BENCH_JSON` — when set, additionally writes an aggregate
+//!   `BENCH_sim_speed.json` (one record per cell with median time and
+//!   derived rates) into the given directory (`1`/`true` = current
+//!   directory), next to the per-bench JSON the other benches emit.
+
+use pre_model::config::SimConfig;
+use pre_runahead::Technique;
+use pre_sim::experiments::Suite;
+use pre_sim::runner::{run_one, RunResult, RunSpec};
+use pre_workloads::Workload;
+use std::time::{Duration, Instant};
+
+struct CellReport {
+    workload: &'static str,
+    technique: &'static str,
+    uops: u64,
+    cycles: u64,
+    median: Duration,
+    samples_ns: Vec<u128>,
+}
+
+impl CellReport {
+    fn uops_per_sec(&self) -> f64 {
+        self.uops as f64 / self.median.as_secs_f64().max(1e-12)
+    }
+
+    fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.median.as_secs_f64().max(1e-12)
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Parses `PRE_SIM_SPEED_CELLS` into (workload, technique) pairs; `None`
+/// means "the whole mixed matrix".
+fn cell_filter() -> Option<Vec<(Workload, Technique)>> {
+    let raw = std::env::var("PRE_SIM_SPEED_CELLS").ok()?;
+    let mut cells = Vec::new();
+    for item in raw.split(',').filter(|s| !s.trim().is_empty()) {
+        let (workload_name, technique_name) = item.trim().split_once(':').unwrap_or_else(|| {
+            panic!("PRE_SIM_SPEED_CELLS item `{item}` is not workload:technique")
+        });
+        let workload = Suite::Mixed
+            .workloads()
+            .into_iter()
+            .find(|w| w.name() == workload_name.trim())
+            .unwrap_or_else(|| panic!("unknown workload `{workload_name}`"));
+        let technique: Technique = technique_name
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("{e}"));
+        cells.push((workload, technique));
+    }
+    Some(cells)
+}
+
+fn bench_cell(spec: &RunSpec, samples: usize) -> (RunResult, Vec<Duration>) {
+    // One untimed warm-up run also supplies the uop/cycle counts.
+    let reference = run_one(spec).expect("cell runs");
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        let result = std::hint::black_box(run_one(spec).expect("cell runs"));
+        times.push(start.elapsed());
+        assert_eq!(
+            result.stats.cycles, reference.stats.cycles,
+            "simulation must be deterministic"
+        );
+    }
+    (reference, times)
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(s
+        .chars()
+        .all(|c| c != '"' && c != '\\' && (c as u32) >= 0x20));
+    s
+}
+
+fn write_aggregate_json(reports: &[CellReport], budget: u64, reference_scheduler: bool) {
+    let dir = match std::env::var("PRE_BENCH_JSON")
+        .ok()
+        .as_deref()
+        .map(str::trim)
+    {
+        None | Some("") | Some("0") | Some("false") => return,
+        Some("1") | Some("true") => std::path::PathBuf::from("."),
+        Some(dir) => std::path::PathBuf::from(dir),
+    };
+    let mut body = String::new();
+    body.push_str("{\n  \"name\": \"sim_speed\",\n");
+    body.push_str(&format!("  \"budget_uops\": {budget},\n"));
+    body.push_str(&format!(
+        "  \"scheduler\": \"{}\",\n  \"cells\": [\n",
+        if reference_scheduler {
+            "reference"
+        } else {
+            "event"
+        }
+    ));
+    for (i, r) in reports.iter().enumerate() {
+        let samples: Vec<String> = r.samples_ns.iter().map(u128::to_string).collect();
+        body.push_str(&format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"technique\": \"{}\", ",
+                "\"uops\": {}, \"cycles\": {}, \"median_ns\": {}, ",
+                "\"uops_per_sec\": {:.1}, \"cycles_per_sec\": {:.1}, ",
+                "\"samples_ns\": [{}]}}{}\n"
+            ),
+            json_escape_free(r.workload),
+            json_escape_free(r.technique),
+            r.uops,
+            r.cycles,
+            r.median.as_nanos(),
+            r.uops_per_sec(),
+            r.cycles_per_sec(),
+            samples.join(", "),
+            if i + 1 == reports.len() { "" } else { "," },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    let path = dir.join("BENCH_sim_speed.json");
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("could not write {}: {e}", path.display());
+    }
+}
+
+fn human_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+fn main() {
+    let budget = env_usize("PRE_SIM_SPEED_UOPS", 20_000) as u64;
+    let samples = env_usize("PRE_BENCH_SAMPLES", 3);
+    let reference_scheduler = std::env::var("PRE_SIM_SPEED_REFERENCE")
+        .map(|v| !v.trim().is_empty() && v.trim() != "0")
+        .unwrap_or(false);
+    let cells = cell_filter().unwrap_or_else(|| {
+        Suite::Mixed
+            .workloads()
+            .into_iter()
+            .flat_map(|w| Technique::ALL.into_iter().map(move |t| (w, t)))
+            .collect()
+    });
+    let mut config = SimConfig::haswell_like();
+    config.core.reference_scheduler = reference_scheduler;
+
+    println!(
+        "== sim_speed ({} cells, {budget} uops per cell, {} scheduler)",
+        cells.len(),
+        if reference_scheduler {
+            "reference"
+        } else {
+            "event"
+        }
+    );
+    let mut reports = Vec::with_capacity(cells.len());
+    for (workload, technique) in cells {
+        let spec = RunSpec::new(workload, technique)
+            .with_budget(budget)
+            .with_config(config.clone());
+        let (result, times) = bench_cell(&spec, samples);
+        let mut sorted = times.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let report = CellReport {
+            workload: workload.name(),
+            technique: technique.label(),
+            uops: result.stats.committed_uops,
+            cycles: result.stats.cycles,
+            median,
+            samples_ns: times.iter().map(Duration::as_nanos).collect(),
+        };
+        println!(
+            "{:<18} {:<10} {:>9} uops {:>11} cycles  med {:>9.3} ms  {:>10} uops/s  {:>10} cycles/s",
+            report.workload,
+            report.technique,
+            report.uops,
+            report.cycles,
+            median.as_secs_f64() * 1e3,
+            human_rate(report.uops_per_sec()),
+            human_rate(report.cycles_per_sec()),
+        );
+        reports.push(report);
+    }
+    let total_uops: u64 = reports.iter().map(|r| r.uops * samples as u64).sum();
+    let total_time: f64 = reports
+        .iter()
+        .flat_map(|r| r.samples_ns.iter())
+        .map(|&ns| ns as f64 / 1e9)
+        .sum();
+    println!(
+        "aggregate: {} timed uops in {total_time:.2} s -> {} uops/s",
+        total_uops,
+        human_rate(total_uops as f64 / total_time.max(1e-12)),
+    );
+    write_aggregate_json(&reports, budget, reference_scheduler);
+}

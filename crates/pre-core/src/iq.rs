@@ -1,19 +1,129 @@
-//! The unified issue queue.
+//! The unified issue queue: a slab-backed store with an event-driven
+//! wakeup/select scheduler.
+//!
+//! Entries live in fixed slots (stable indices, O(1) insert/remove); age
+//! order is recovered from the monotonically increasing micro-op id. Instead
+//! of rescanning the whole queue every cycle, the queue keeps:
+//!
+//! * a **producer-indexed wakeup table** (`PhysReg` → waiting consumer
+//!   slots), mirroring a hardware scheduler's CAM/dependency lists: when a
+//!   completion sets a register's ready bit, only that register's waiters
+//!   are touched, each decrementing an unready-source counter;
+//! * per-[`OpClass`], age-ordered **ready queues** fed by those counter
+//!   decrements, from which select pops up to `issue_width` candidates in
+//!   global age order against a fixed per-class port array; and
+//! * a **store address-generation queue**: stores enqueue exactly when
+//!   their base operand becomes ready, replacing the per-cycle full-queue
+//!   scan.
+//!
+//! Slots carry a generation counter so wakeup tokens and ready-queue keys
+//! that outlive their entry (squash, runahead exit) are dropped lazily
+//! without walking any list eagerly.
+//!
+//! The queue also supports a *reference mode* (the `--reference-scheduler`
+//! escape hatch) in which none of the event structures are maintained and
+//! the pipeline falls back to scan-based select; both paths produce
+//! bit-identical statistics, which `pre-sim`'s `scheduler_equivalence` test
+//! asserts cell-by-cell.
 
 use pre_model::isa::{OpClass, StaticInst};
 use pre_model::reg::{PhysReg, RegClass};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A fixed-capacity inline list of physical source operands (at most two:
+/// `src1`, `src2`). Keeps [`IqEntry`] `Copy` and dispatch allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrcList {
+    regs: [(RegClass, PhysReg); 2],
+    len: u8,
+}
+
+impl Default for SrcList {
+    fn default() -> Self {
+        SrcList {
+            regs: [(RegClass::Int, PhysReg(0)); 2],
+            len: 0,
+        }
+    }
+}
+
+impl SrcList {
+    /// An empty source list.
+    pub fn new() -> Self {
+        SrcList::default()
+    }
+
+    /// Builds a list from up to two operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `srcs` has more than two elements.
+    pub fn from_slice(srcs: &[(RegClass, PhysReg)]) -> Self {
+        let mut list = SrcList::new();
+        for &(class, reg) in srcs {
+            list.push(class, reg);
+        }
+        list
+    }
+
+    /// Appends an operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics when both operand slots are already used.
+    pub fn push(&mut self, class: RegClass, reg: PhysReg) {
+        assert!(
+            (self.len as usize) < self.regs.len(),
+            "micro-ops have at most two sources"
+        );
+        self.regs[self.len as usize] = (class, reg);
+        self.len += 1;
+    }
+
+    /// The operands as a slice, in operand order.
+    pub fn as_slice(&self) -> &[(RegClass, PhysReg)] {
+        &self.regs[..self.len as usize]
+    }
+
+    /// Iterates over the operands in operand order.
+    pub fn iter(&self) -> impl Iterator<Item = &(RegClass, PhysReg)> {
+        self.as_slice().iter()
+    }
+
+    /// The first operand (the base address for memory operations), if any.
+    pub fn first(&self) -> Option<(RegClass, PhysReg)> {
+        self.as_slice().first().copied()
+    }
+
+    /// The operand at `idx`, if present.
+    pub fn get(&self, idx: usize) -> Option<(RegClass, PhysReg)> {
+        self.as_slice().get(idx).copied()
+    }
+
+    /// Number of operands.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when the list holds no operands.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
 
 /// One issue-queue entry: a micro-op waiting for its source operands.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct IqEntry {
     /// Micro-op identifier (shared with the ROB for normal micro-ops).
+    /// Monotonically increasing, so it doubles as the age for select.
     pub id: u64,
     /// Program counter (needed for SST learning of runahead micro-ops).
     pub pc: u32,
     /// The static instruction.
     pub inst: StaticInst,
     /// Physical source registers, in operand order.
-    pub srcs: Vec<(RegClass, PhysReg)>,
+    pub srcs: SrcList,
     /// Physical destination register, if any.
     pub dest: Option<(RegClass, PhysReg)>,
     /// Functional-unit class.
@@ -28,14 +138,75 @@ pub struct IqEntry {
     pub store_addr_ready: bool,
 }
 
-/// The unified issue queue: a bounded, age-ordered collection of waiting
-/// micro-ops.
+/// A validated handle to a ready entry popped from the select queues; pass
+/// it back to [`IssueQueue::requeue_ready`] when the entry could not issue
+/// this cycle (memory-ordering or MSHR stall).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ReadyKey {
+    id: u64,
+    slot: u32,
+    gen: u32,
+}
+
+impl ReadyKey {
+    /// The slot the ready entry occupies.
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+}
+
+/// One wakeup-table token: consumer slot, slot generation and which operand
+/// of the consumer the watched register feeds (operand 0 is the store base,
+/// which additionally triggers address generation). `counts` tokens
+/// decrement the consumer's unready counter when they fire; non-counting
+/// tokens only re-arm store address generation.
+#[derive(Debug, Clone, Copy)]
+struct WaitToken {
+    slot: u32,
+    gen: u32,
+    src_idx: u8,
+    counts: bool,
+}
+
+/// One slab slot.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    /// Bumped every time the slot is freed; stale tokens/keys carry an older
+    /// generation and are dropped on sight.
+    gen: u32,
+    /// Unready source-operand occurrences remaining (event mode only).
+    unready: u8,
+    entry: Option<IqEntry>,
+}
+
+fn class_idx(class: RegClass) -> usize {
+    match class {
+        RegClass::Int => 0,
+        RegClass::Fp => 1,
+    }
+}
+
+/// The unified issue queue (see the module documentation).
 #[derive(Debug, Clone)]
 pub struct IssueQueue {
-    entries: Vec<IqEntry>,
+    slots: Vec<Slot>,
+    /// Free slot indices (stack).
+    free: Vec<u32>,
+    len: usize,
     capacity: usize,
     writes: u64,
     peak_occupancy: usize,
+    /// When set, the event structures below are not maintained and the
+    /// pipeline uses the scan-based reference select.
+    reference: bool,
+    /// Producer-indexed wakeup lists: `wakeup[class][phys reg] -> tokens`.
+    /// Grown on demand to the physical register file size.
+    wakeup: [Vec<Vec<WaitToken>>; 2],
+    /// Per-class ready queues, age-ordered (min-heap on the micro-op id).
+    ready: [BinaryHeap<Reverse<ReadyKey>>; OpClass::COUNT],
+    /// Stores whose base operand became ready and whose address generation
+    /// has not run yet.
+    agen: VecDeque<(u32, u32)>,
 }
 
 impl IssueQueue {
@@ -47,26 +218,47 @@ impl IssueQueue {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "issue queue capacity must be non-zero");
         IssueQueue {
-            entries: Vec::with_capacity(capacity),
+            slots: vec![Slot::default(); capacity],
+            free: (0..capacity as u32).rev().collect(),
+            len: 0,
             capacity,
             writes: 0,
             peak_occupancy: 0,
+            reference: false,
+            wakeup: [Vec::new(), Vec::new()],
+            ready: std::array::from_fn(|_| BinaryHeap::new()),
+            agen: VecDeque::new(),
         }
+    }
+
+    /// Switches the queue into reference mode (scan-based select, no event
+    /// structures). Must be called while the queue is empty.
+    pub fn set_reference_mode(&mut self, reference: bool) {
+        assert!(
+            self.is_empty(),
+            "scheduler mode is fixed after dispatch begins"
+        );
+        self.reference = reference;
+    }
+
+    /// `true` when the queue runs in reference (scan-based) mode.
+    pub fn is_reference_mode(&self) -> bool {
+        self.reference
     }
 
     /// `true` when no further micro-op can be dispatched.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.len >= self.capacity
     }
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// `true` when the queue holds no micro-ops.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Configured capacity.
@@ -76,7 +268,7 @@ impl IssueQueue {
 
     /// Free entries.
     pub fn free_slots(&self) -> usize {
-        self.capacity - self.entries.len()
+        self.capacity - self.len
     }
 
     /// Fraction of entries currently free (sampled by Stat C at runahead
@@ -85,49 +277,315 @@ impl IssueQueue {
         self.free_slots() as f64 / self.capacity as f64
     }
 
-    /// Inserts a micro-op.
+    /// Inserts a micro-op. `ready` reports whether a physical register's
+    /// value is available (the PRF ready bit); unready operands register
+    /// wakeup tokens, fully ready entries go straight to the ready queues,
+    /// and stores with a ready base operand enqueue for address generation.
     ///
     /// # Panics
     ///
     /// Panics if the queue is full; dispatch must check
     /// [`IssueQueue::is_full`] first.
-    pub fn insert(&mut self, entry: IqEntry) {
+    pub fn insert(&mut self, entry: IqEntry, ready: impl Fn(RegClass, PhysReg) -> bool) {
         assert!(!self.is_full(), "dispatch into a full issue queue");
         self.writes += 1;
-        self.entries.push(entry);
-        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        let slot_idx = self.free.pop().expect("fullness checked above") as usize;
+        let gen = self.slots[slot_idx].gen;
+        let mut unready = 0u8;
+        if !self.reference {
+            for (i, &(class, reg)) in entry.srcs.as_slice().iter().enumerate() {
+                if !ready(class, reg) {
+                    unready += 1;
+                    self.register_token(class, reg, slot_idx as u32, gen, i as u8, true);
+                }
+            }
+            if entry.class == OpClass::Store && !entry.store_addr_ready {
+                if let Some((class, reg)) = entry.srcs.first() {
+                    if ready(class, reg) {
+                        self.agen.push_back((slot_idx as u32, gen));
+                    }
+                }
+            }
+            if unready == 0 {
+                self.ready[entry.class.index()].push(Reverse(ReadyKey {
+                    id: entry.id,
+                    slot: slot_idx as u32,
+                    gen,
+                }));
+            }
+        }
+        let slot = &mut self.slots[slot_idx];
+        slot.unready = unready;
+        slot.entry = Some(entry);
+        self.len += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.len);
     }
 
-    /// Iterates over waiting micro-ops in age order (oldest first — entries
-    /// are inserted in dispatch order and removal preserves order).
+    fn register_token(
+        &mut self,
+        class: RegClass,
+        reg: PhysReg,
+        slot: u32,
+        gen: u32,
+        src_idx: u8,
+        counts: bool,
+    ) {
+        let table = &mut self.wakeup[class_idx(class)];
+        if reg.index() >= table.len() {
+            table.resize_with(reg.index() + 1, Vec::new);
+        }
+        table[reg.index()].push(WaitToken {
+            slot,
+            gen,
+            src_idx,
+            counts,
+        });
+    }
+
+    /// Wakes the consumers of `reg`: called exactly when the register's
+    /// ready bit transitions to set. Each waiting occurrence decrements its
+    /// entry's unready counter; entries reaching zero enter the ready
+    /// queues, and stores whose base operand woke enqueue for address
+    /// generation.
+    pub fn wake(&mut self, class: RegClass, reg: PhysReg) {
+        if self.reference {
+            return;
+        }
+        let ci = class_idx(class);
+        if reg.index() >= self.wakeup[ci].len() {
+            return;
+        }
+        // Take the token list out so its iteration does not alias the slot
+        // and queue mutations below; nothing in the loop registers new
+        // tokens, and the list (with its capacity) is handed back cleared.
+        let mut tokens = std::mem::take(&mut self.wakeup[ci][reg.index()]);
+        for &tok in &tokens {
+            let slot = &mut self.slots[tok.slot as usize];
+            if slot.gen != tok.gen {
+                continue;
+            }
+            let Some(entry) = slot.entry.as_ref() else {
+                continue;
+            };
+            if tok.counts {
+                debug_assert!(slot.unready > 0, "woke an entry with no unready sources");
+                slot.unready -= 1;
+            }
+            if entry.class == OpClass::Store && tok.src_idx == 0 && !entry.store_addr_ready {
+                self.agen.push_back((tok.slot, tok.gen));
+            }
+            if tok.counts && slot.unready == 0 {
+                self.ready[entry.class.index()].push(Reverse(ReadyKey {
+                    id: entry.id,
+                    slot: tok.slot,
+                    gen: tok.gen,
+                }));
+            }
+        }
+        tokens.clear();
+        self.wakeup[ci][reg.index()] = tokens;
+    }
+
+    /// Re-registers a popped-but-no-longer-ready entry. This covers a rare
+    /// PRE-mode hazard: a source register can be reclaimed through the PRDQ
+    /// and re-allocated to a younger runahead micro-op *after* this entry
+    /// consumed its wakeup, clearing the ready bit again. The reference
+    /// scheduler re-observes the cleared bit on its next scan; the event
+    /// scheduler re-plants wakeup tokens here so the entry waits for the new
+    /// producer — keeping both schedulers in lockstep.
+    pub fn reregister(&mut self, key: ReadyKey, ready: impl Fn(RegClass, PhysReg) -> bool) {
+        let slot_idx = key.slot as usize;
+        debug_assert_eq!(
+            self.slots[slot_idx].gen, key.gen,
+            "reregister of a stale key"
+        );
+        let entry = self.slots[slot_idx]
+            .entry
+            .expect("reregister of a freed slot");
+        let mut unready = 0u8;
+        for (i, &(class, reg)) in entry.srcs.as_slice().iter().enumerate() {
+            if !ready(class, reg) {
+                unready += 1;
+                self.register_token(class, reg, key.slot, key.gen, i as u8, true);
+            }
+        }
+        debug_assert!(unready > 0, "reregister of a genuinely ready entry");
+        self.slots[slot_idx].unready = unready;
+    }
+
+    /// Re-arms store address generation for the store in `slot` (its base
+    /// register was reclaimed and re-allocated before the agen pass ran):
+    /// the next wake of the base enqueues it again without touching the
+    /// unready counter.
+    pub fn watch_store_base(&mut self, slot: u32) {
+        let gen = self.slots[slot as usize].gen;
+        let Some(entry) = self.slots[slot as usize].entry else {
+            return;
+        };
+        let Some((class, reg)) = entry.srcs.first() else {
+            return;
+        };
+        self.register_token(class, reg, slot, gen, 0, false);
+    }
+
+    /// Pops the oldest ready entry whose class still has an issue port
+    /// (`ports[class.index()] > 0`), returning its key and a copy of the
+    /// entry. Stale keys (the entry issued or was squashed since it became
+    /// ready) are discarded on the way.
+    pub fn pop_ready(&mut self, ports: &[usize; OpClass::COUNT]) -> Option<(ReadyKey, IqEntry)> {
+        let mut best: Option<(u64, usize)> = None;
+        for (ci, heap) in self.ready.iter_mut().enumerate() {
+            if ports[ci] == 0 {
+                continue;
+            }
+            while let Some(&Reverse(key)) = heap.peek() {
+                let slot = &self.slots[key.slot as usize];
+                if slot.gen == key.gen && slot.entry.is_some() {
+                    let older = match best {
+                        None => true,
+                        Some((best_id, _)) => key.id < best_id,
+                    };
+                    if older {
+                        best = Some((key.id, ci));
+                    }
+                    break;
+                }
+                heap.pop();
+            }
+        }
+        let (_, ci) = best?;
+        let Reverse(key) = self.ready[ci].pop().expect("validated head");
+        let entry = self.slots[key.slot as usize].entry.expect("validated head");
+        debug_assert_eq!(self.slots[key.slot as usize].unready, 0);
+        Some((key, entry))
+    }
+
+    /// Puts a key popped by [`IssueQueue::pop_ready`] back (the entry stays
+    /// ready but could not issue this cycle).
+    pub fn requeue_ready(&mut self, key: ReadyKey) {
+        let slot = &self.slots[key.slot as usize];
+        debug_assert_eq!(slot.gen, key.gen, "requeue of a stale ready key");
+        let class = slot.entry.as_ref().expect("requeue of a freed slot").class;
+        self.ready[class.index()].push(Reverse(key));
+    }
+
+    /// Pops the next store awaiting address generation, returning its slot
+    /// and a copy of the entry. Stale events are discarded.
+    pub fn pop_agen(&mut self) -> Option<(u32, IqEntry)> {
+        while let Some((slot_idx, gen)) = self.agen.pop_front() {
+            let slot = &self.slots[slot_idx as usize];
+            if slot.gen != gen {
+                continue;
+            }
+            let Some(entry) = slot.entry else { continue };
+            if entry.store_addr_ready {
+                continue;
+            }
+            return Some((slot_idx, entry));
+        }
+        None
+    }
+
+    /// Marks the store in `slot` as having generated its address.
+    pub fn mark_store_addr_ready(&mut self, slot: u32) {
+        if let Some(entry) = self.slots[slot as usize].entry.as_mut() {
+            entry.store_addr_ready = true;
+        }
+    }
+
+    /// Purges stale heads from the select structures and reports whether
+    /// the next issue stage has anything at all to do. Used by the
+    /// quiescent-cycle fast-forward.
+    pub fn select_idle(&mut self) -> bool {
+        while let Some(&(slot_idx, gen)) = self.agen.front() {
+            let slot = &self.slots[slot_idx as usize];
+            if slot.gen == gen && slot.entry.is_some_and(|e| !e.store_addr_ready) {
+                return false;
+            }
+            self.agen.pop_front();
+        }
+        for heap in &mut self.ready {
+            while let Some(&Reverse(key)) = heap.peek() {
+                let slot = &self.slots[key.slot as usize];
+                if slot.gen == key.gen && slot.entry.is_some() {
+                    return false;
+                }
+                heap.pop();
+            }
+        }
+        true
+    }
+
+    /// Iterates over waiting micro-ops in **slot order** (arbitrary with
+    /// respect to age). Use the micro-op id to recover age where it
+    /// matters.
     pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
-        self.entries.iter()
+        self.slots.iter().filter_map(|s| s.entry.as_ref())
     }
 
-    /// Mutable iteration in age order.
+    /// Mutable iteration in slot order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut IqEntry> {
-        self.entries.iter_mut()
+        self.slots.iter_mut().filter_map(|s| s.entry.as_mut())
+    }
+
+    /// Frees one slot (the entry issued or was squashed).
+    fn free_slot(&mut self, slot_idx: usize) -> IqEntry {
+        let slot = &mut self.slots[slot_idx];
+        let entry = slot.entry.take().expect("freeing an empty slot");
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.unready = 0;
+        self.free.push(slot_idx as u32);
+        self.len -= 1;
+        entry
+    }
+
+    /// Removes the entry in `slot` (it issued). Outstanding wakeup tokens
+    /// and ready keys die against the bumped generation.
+    pub fn remove_slot(&mut self, slot: u32) -> IqEntry {
+        self.free_slot(slot as usize)
     }
 
     /// Removes the entry for micro-op `id` (it issued or was squashed).
     /// Returns the removed entry.
     pub fn remove(&mut self, id: u64) -> Option<IqEntry> {
-        let idx = self.entries.iter().position(|e| e.id == id)?;
-        Some(self.entries.remove(idx))
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.entry.as_ref().is_some_and(|e| e.id == id))?;
+        Some(self.free_slot(idx))
     }
 
     /// Removes every entry matching the predicate and returns how many were
     /// removed (used for squashes and runahead exit).
     pub fn remove_where(&mut self, mut pred: impl FnMut(&IqEntry) -> bool) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|e| !pred(e));
-        before - self.entries.len()
+        let mut removed = 0;
+        for idx in 0..self.slots.len() {
+            if self.slots[idx].entry.as_ref().is_some_and(&mut pred) {
+                self.free_slot(idx);
+                removed += 1;
+            }
+        }
+        removed
     }
 
-    /// Discards all entries and returns how many there were.
+    /// Discards all entries and event state, and returns how many entries
+    /// there were.
     pub fn clear(&mut self) -> usize {
-        let n = self.entries.len();
-        self.entries.clear();
+        let n = self.len;
+        for idx in 0..self.slots.len() {
+            if self.slots[idx].entry.is_some() {
+                self.free_slot(idx);
+            }
+        }
+        for table in &mut self.wakeup {
+            for list in table.iter_mut() {
+                list.clear();
+            }
+        }
+        for heap in &mut self.ready {
+            heap.clear();
+        }
+        self.agen.clear();
         n
     }
 
@@ -152,7 +610,7 @@ mod tests {
             id,
             pc: id as u32,
             inst: StaticInst::nop(),
-            srcs: Vec::new(),
+            srcs: SrcList::new(),
             dest: None,
             class: OpClass::Nop,
             is_runahead: runahead,
@@ -161,11 +619,17 @@ mod tests {
         }
     }
 
+    fn all_ready(_: RegClass, _: PhysReg) -> bool {
+        true
+    }
+
+    const NOP_PORTS: [usize; OpClass::COUNT] = [4; OpClass::COUNT];
+
     #[test]
     fn insert_and_remove_by_id() {
         let mut iq = IssueQueue::new(4);
-        iq.insert(entry(1, false));
-        iq.insert(entry(2, false));
+        iq.insert(entry(1, false), all_ready);
+        iq.insert(entry(2, false), all_ready);
         assert_eq!(iq.len(), 2);
         assert!(iq.remove(1).is_some());
         assert!(iq.remove(1).is_none());
@@ -173,22 +637,23 @@ mod tests {
     }
 
     #[test]
-    fn age_order_is_preserved_across_removals() {
+    fn slot_reuse_preserves_membership() {
         let mut iq = IssueQueue::new(8);
         for id in 1..=5 {
-            iq.insert(entry(id, false));
+            iq.insert(entry(id, false), all_ready);
         }
         iq.remove(3);
-        let ids: Vec<_> = iq.iter().map(|e| e.id).collect();
+        let mut ids: Vec<_> = iq.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
         assert_eq!(ids, vec![1, 2, 4, 5]);
     }
 
     #[test]
     fn remove_where_filters_runahead_entries() {
         let mut iq = IssueQueue::new(8);
-        iq.insert(entry(1, false));
-        iq.insert(entry(2, true));
-        iq.insert(entry(3, true));
+        iq.insert(entry(1, false), all_ready);
+        iq.insert(entry(2, true), all_ready);
+        iq.insert(entry(3, true), all_ready);
         let removed = iq.remove_where(|e| e.is_runahead);
         assert_eq!(removed, 2);
         assert_eq!(iq.len(), 1);
@@ -199,8 +664,8 @@ mod tests {
     fn occupancy_accounting() {
         let mut iq = IssueQueue::new(4);
         assert_eq!(iq.free_slots(), 4);
-        iq.insert(entry(1, false));
-        iq.insert(entry(2, false));
+        iq.insert(entry(1, false), all_ready);
+        iq.insert(entry(2, false), all_ready);
         assert_eq!(iq.free_slots(), 2);
         assert!((iq.free_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(iq.peak_occupancy(), 2);
@@ -213,7 +678,146 @@ mod tests {
     #[should_panic(expected = "full issue queue")]
     fn insert_into_full_queue_panics() {
         let mut iq = IssueQueue::new(1);
-        iq.insert(entry(1, false));
-        iq.insert(entry(2, false));
+        iq.insert(entry(1, false), all_ready);
+        iq.insert(entry(2, false), all_ready);
+    }
+
+    #[test]
+    fn ready_at_insert_pops_in_age_order() {
+        let mut iq = IssueQueue::new(8);
+        for id in [5, 2, 9, 1] {
+            iq.insert(entry(id, false), all_ready);
+        }
+        let mut popped = Vec::new();
+        while let Some((key, e)) = iq.pop_ready(&NOP_PORTS) {
+            popped.push(e.id);
+            iq.remove_slot(key.slot());
+        }
+        assert_eq!(popped, vec![1, 2, 5, 9]);
+        assert!(iq.select_idle());
+    }
+
+    #[test]
+    fn wakeup_counts_source_occurrences() {
+        let mut iq = IssueQueue::new(8);
+        let r1 = (RegClass::Int, PhysReg(7));
+        let r2 = (RegClass::Int, PhysReg(9));
+        let mut e = entry(1, false);
+        e.class = OpClass::IntAlu;
+        e.srcs = SrcList::from_slice(&[r1, r2]);
+        iq.insert(e, |_, _| false);
+        assert!(iq.pop_ready(&NOP_PORTS).is_none());
+        iq.wake(RegClass::Int, PhysReg(7));
+        assert!(iq.pop_ready(&NOP_PORTS).is_none());
+        iq.wake(RegClass::Int, PhysReg(9));
+        let (key, woken) = iq.pop_ready(&NOP_PORTS).expect("both sources woke");
+        assert_eq!(woken.id, 1);
+        iq.remove_slot(key.slot());
+    }
+
+    #[test]
+    fn duplicate_source_needs_one_wake() {
+        let mut iq = IssueQueue::new(8);
+        let r = (RegClass::Int, PhysReg(3));
+        let mut e = entry(4, false);
+        e.class = OpClass::IntAlu;
+        e.srcs = SrcList::from_slice(&[r, r]);
+        iq.insert(e, |_, _| false);
+        iq.wake(RegClass::Int, PhysReg(3));
+        assert!(iq.pop_ready(&NOP_PORTS).is_some());
+    }
+
+    #[test]
+    fn port_exhaustion_skips_class_but_not_others() {
+        let mut iq = IssueQueue::new(8);
+        let mut load = entry(1, false);
+        load.class = OpClass::Load;
+        let mut alu = entry(2, false);
+        alu.class = OpClass::IntAlu;
+        iq.insert(load, all_ready);
+        iq.insert(alu, all_ready);
+        let mut ports = [4usize; OpClass::COUNT];
+        ports[OpClass::Load.index()] = 0;
+        let (key, e) = iq.pop_ready(&ports).expect("ALU port available");
+        assert_eq!(e.id, 2);
+        // The load stays queued for a later cycle.
+        iq.remove_slot(key.slot());
+        ports[OpClass::Load.index()] = 1;
+        let (_, e) = iq.pop_ready(&ports).expect("load pops once ported");
+        assert_eq!(e.id, 1);
+    }
+
+    #[test]
+    fn requeue_keeps_entry_ready_and_aged() {
+        let mut iq = IssueQueue::new(8);
+        iq.insert(entry(3, false), all_ready);
+        iq.insert(entry(8, false), all_ready);
+        let (key, e) = iq.pop_ready(&NOP_PORTS).unwrap();
+        assert_eq!(e.id, 3);
+        iq.requeue_ready(key);
+        let (_, e) = iq.pop_ready(&NOP_PORTS).unwrap();
+        assert_eq!(e.id, 3, "requeued entry keeps its age priority");
+    }
+
+    #[test]
+    fn squashed_entries_leave_stale_keys_that_are_skipped() {
+        let mut iq = IssueQueue::new(8);
+        iq.insert(entry(1, false), all_ready);
+        iq.insert(entry(2, false), all_ready);
+        iq.remove(1);
+        // Slot of id 1 is reused by id 5; the stale ready key for id 1 must
+        // not resurface as id 5's.
+        iq.insert(entry(5, false), all_ready);
+        let mut popped = Vec::new();
+        while let Some((key, e)) = iq.pop_ready(&NOP_PORTS) {
+            popped.push(e.id);
+            iq.remove_slot(key.slot());
+        }
+        assert_eq!(popped, vec![2, 5]);
+    }
+
+    #[test]
+    fn store_base_wake_triggers_address_generation() {
+        let mut iq = IssueQueue::new(8);
+        let base = (RegClass::Int, PhysReg(11));
+        let data = (RegClass::Int, PhysReg(12));
+        let mut st = entry(6, false);
+        st.class = OpClass::Store;
+        st.srcs = SrcList::from_slice(&[base, data]);
+        iq.insert(st, |_, _| false);
+        assert!(iq.pop_agen().is_none(), "base not ready yet");
+        iq.wake(RegClass::Int, PhysReg(12));
+        assert!(iq.pop_agen().is_none(), "data wake must not trigger agen");
+        iq.wake(RegClass::Int, PhysReg(11));
+        let (slot, e) = iq.pop_agen().expect("base woke");
+        assert_eq!(e.id, 6);
+        iq.mark_store_addr_ready(slot);
+        assert!(iq.pop_agen().is_none(), "agen runs once per store");
+    }
+
+    #[test]
+    fn store_with_ready_base_enqueues_agen_at_insert() {
+        let mut iq = IssueQueue::new(8);
+        let base = (RegClass::Int, PhysReg(1));
+        let data = (RegClass::Int, PhysReg(2));
+        let mut st = entry(7, false);
+        st.class = OpClass::Store;
+        st.srcs = SrcList::from_slice(&[base, data]);
+        iq.insert(st, |_, reg| reg == PhysReg(1));
+        let (slot, e) = iq.pop_agen().expect("ready base enqueues at insert");
+        assert_eq!(e.id, 7);
+        iq.mark_store_addr_ready(slot);
+        assert!(!iq.select_idle() || iq.pop_ready(&NOP_PORTS).is_none());
+    }
+
+    #[test]
+    fn reference_mode_maintains_no_event_state() {
+        let mut iq = IssueQueue::new(8);
+        iq.set_reference_mode(true);
+        iq.insert(entry(1, false), all_ready);
+        assert!(iq.pop_ready(&NOP_PORTS).is_none());
+        assert!(iq.pop_agen().is_none());
+        assert!(iq.select_idle());
+        assert_eq!(iq.len(), 1);
     }
 }

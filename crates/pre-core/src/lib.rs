@@ -51,6 +51,7 @@ pub mod rat;
 pub mod regfile;
 pub mod rename;
 pub mod rob;
+mod sorted_deque;
 pub mod uop;
 
 pub use pipeline::OooCore;

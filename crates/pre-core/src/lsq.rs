@@ -107,17 +107,24 @@ impl LoadStoreQueue {
         });
     }
 
+    /// Index of store `id`. Stores are allocated in dispatch order and
+    /// removed from anywhere, so the deque stays sorted by id and a binary
+    /// search suffices.
+    fn store_index(&self, id: u64) -> Option<usize> {
+        crate::sorted_deque::index_by_key(&self.stores, id, |e| e.id)
+    }
+
     /// Records the eagerly generated address of store `id`.
     pub fn set_store_addr(&mut self, id: u64, addr: u64) {
-        if let Some(e) = self.stores.iter_mut().find(|e| e.id == id) {
-            e.addr = Some(addr);
+        if let Some(idx) = self.store_index(id) {
+            self.stores[idx].addr = Some(addr);
         }
     }
 
     /// Records the data value of store `id`.
     pub fn set_store_value(&mut self, id: u64, value: u64) {
-        if let Some(e) = self.stores.iter_mut().find(|e| e.id == id) {
-            e.value = Some(value);
+        if let Some(idx) = self.store_index(id) {
+            self.stores[idx].value = Some(value);
         }
     }
 
@@ -150,14 +157,14 @@ impl LoadStoreQueue {
 
     /// Releases the load-queue entry of `id` (commit or squash).
     pub fn release_load(&mut self, id: u64) {
-        if let Some(pos) = self.loads.iter().position(|&l| l == id) {
+        if let Some(pos) = crate::sorted_deque::index_by_key(&self.loads, id, |&l| l) {
             self.loads.remove(pos);
         }
     }
 
     /// Releases the store-queue entry of `id` (commit or squash).
     pub fn release_store(&mut self, id: u64) {
-        if let Some(pos) = self.stores.iter().position(|e| e.id == id) {
+        if let Some(pos) = self.store_index(id) {
             self.stores.remove(pos);
         }
     }

@@ -15,14 +15,14 @@
 mod runahead;
 mod stages;
 
-use crate::iq::IssueQueue;
+use crate::iq::{IqEntry, IssueQueue, ReadyKey};
 use crate::lsq::LoadStoreQueue;
 use crate::regfile::PhysRegFile;
 use crate::rename::{RenameCheckpoint, RenameSubsystem};
 use crate::rob::ReorderBuffer;
 use crate::uop::DynUop;
 use pre_frontend::{BranchPredictorUnit, DelayPipe, UopQueue};
-use pre_mem::MemoryHierarchy;
+use pre_mem::{HitLevel, MemoryHierarchy};
 use pre_model::config::SimConfig;
 use pre_model::error::{ConfigError, ProgramError};
 use pre_model::mem::FuncMem;
@@ -30,13 +30,17 @@ use pre_model::program::{fold_store_checksum, ArchSnapshot, Program};
 use pre_model::reg::{ArchReg, PhysReg, RegClass, NUM_ARCH_REGS};
 use pre_model::stats::SimStats;
 use pre_runahead::{
-    ChainReplayEngine, EntryPolicy, ExtendedMicroOpQueue, RunaheadBuffer, StallingSliceTable,
-    Technique,
+    ChainReplayEngine, EntryDecision, EntryPolicy, ExtendedMicroOpQueue, RunaheadBuffer,
+    StallingSliceTable, Technique,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
+
+/// Cycles without a commit after which the run is declared deadlocked (a
+/// modelling-bug safety net, not an architectural feature).
+pub(crate) const DEADLOCK_WINDOW: u64 = 200_000;
 
 /// Execution mode of the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,6 +202,13 @@ pub struct OooCore {
     /// Developer aid: print prefetch/demand-miss addresses when the
     /// `PRE_TRACE_PREFETCH` environment variable is set.
     pub(crate) trace_prefetches: bool,
+
+    // Reusable scratch buffers so the steady-state tick performs no heap
+    // allocation (the event path) and the reference path reuses capacity.
+    pub(crate) issue_retry: Vec<ReadyKey>,
+    pub(crate) ref_candidates: Vec<IqEntry>,
+    pub(crate) ref_issued: Vec<u64>,
+    pub(crate) ref_agen_updates: Vec<(u64, Option<u64>, Option<u64>)>,
 }
 
 impl OooCore {
@@ -226,6 +237,8 @@ impl OooCore {
             &arf,
         );
         let entry_policy = technique.entry_policy(&cfg.runahead);
+        let mut iq = IssueQueue::new(core_cfg.iq_entries);
+        iq.set_reference_mode(core_cfg.reference_scheduler);
         Ok(OooCore {
             mem_hier: MemoryHierarchy::new(cfg),
             func_mem: program.build_memory(),
@@ -243,7 +256,7 @@ impl OooCore {
             next_dispatch_pc: program.entry,
             rename,
             rob: ReorderBuffer::new(core_cfg.rob_entries),
-            iq: IssueQueue::new(core_cfg.iq_entries),
+            iq,
             lsq: LoadStoreQueue::new(core_cfg.lq_entries, core_cfg.sq_entries),
             in_flight: BinaryHeap::new(),
             next_id: 1,
@@ -268,6 +281,10 @@ impl OooCore {
             deadlocked: false,
             last_progress_cycle: 0,
             trace_prefetches: std::env::var_os("PRE_TRACE_PREFETCH").is_some(),
+            issue_retry: Vec::new(),
+            ref_candidates: Vec::new(),
+            ref_issued: Vec::new(),
+            ref_agen_updates: Vec::new(),
             cfg: cfg.clone(),
             technique,
             program: program.clone(),
@@ -360,15 +377,30 @@ impl OooCore {
     /// Runs until `max_uops` micro-ops have committed, `max_cycles` cycles
     /// have elapsed, or the program retires completely; then folds structure
     /// counters into the statistics.
+    ///
+    /// With the event-driven scheduler (the default), quiescent stretches —
+    /// cycles during which every pipeline stage is provably a no-op, e.g. a
+    /// full-window stall on an off-chip load — are fast-forwarded in bulk:
+    /// the clock jumps to the next completion event and the per-cycle stall
+    /// statistics are accumulated arithmetically. The resulting [`SimStats`]
+    /// are bit-identical to ticking cycle by cycle (asserted by the
+    /// `scheduler_equivalence` suite against the reference scheduler).
     pub fn run(&mut self, max_uops: u64, max_cycles: u64) -> &SimStats {
+        let fast_forward = !self.cfg.core.reference_scheduler;
         while !self.halted
             && !self.deadlocked
             && self.stats.committed_uops < max_uops
             && self.cycle < max_cycles
         {
             self.tick();
-            if self.cycle - self.last_progress_cycle > 200_000 {
+            if self.cycle - self.last_progress_cycle > DEADLOCK_WINDOW {
                 self.deadlocked = true;
+            }
+            // Only fast-forward when the loop will keep ticking; advancing
+            // the clock after the final tick would diverge from the
+            // cycle-by-cycle reference.
+            if fast_forward && self.stats.committed_uops < max_uops && self.cycle < max_cycles {
+                self.fast_forward_quiescent(max_cycles);
             }
         }
         self.finalize_stats();
@@ -417,7 +449,7 @@ impl OooCore {
                 // is still the active PRE interval.
                 if self.mode == Mode::RunaheadPre && head.interval_seq == self.interval_seq {
                     if let Some((class, reg)) = head.dest {
-                        self.prf_mut(class).set_ready(reg, true);
+                        self.set_ready_and_wake(class, reg);
                     }
                     self.rename.mark_runahead_executed(head.id);
                     self.stats.iq_wakeups += 1;
@@ -430,7 +462,7 @@ impl OooCore {
                 continue;
             }
             if let Some((class, reg)) = head.dest {
-                self.prf_mut(class).set_ready(reg, true);
+                self.set_ready_and_wake(class, reg);
             }
             if let Some(entry) = self.rob.get_mut(head.id) {
                 entry.executed = true;
@@ -557,6 +589,20 @@ impl OooCore {
         self.rename.prf_mut(class)
     }
 
+    /// Sets `reg`'s ready bit (writeback completed) and, on the not-ready →
+    /// ready transition, wakes its waiting consumers through the issue
+    /// queue's producer-indexed wakeup table. Every ready-bit set in the
+    /// pipeline goes through here so the event scheduler never misses a
+    /// wakeup.
+    pub(crate) fn set_ready_and_wake(&mut self, class: RegClass, reg: PhysReg) {
+        let prf = self.rename.prf_mut(class);
+        let newly_ready = !prf.is_ready(reg);
+        prf.set_ready(reg, true);
+        if newly_ready {
+            self.iq.wake(class, reg);
+        }
+    }
+
     /// The current speculative value of an architectural register, read
     /// through the RAT (falls back to the committed value when the youngest
     /// producer has not executed yet). Used to seed the runahead-buffer chain
@@ -569,5 +615,185 @@ impl OooCore {
         } else {
             self.arf[reg.flat_index()]
         }
+    }
+
+    // ---------------------------------------------------------------------
+    // Quiescent-cycle fast-forward.
+    // ---------------------------------------------------------------------
+
+    /// Jumps the clock over cycles during which every pipeline stage is
+    /// provably a no-op, bulk-accumulating the per-cycle stall statistics so
+    /// the resulting [`SimStats`] are bit-identical to ticking cycle by
+    /// cycle.
+    ///
+    /// The quiescence conditions (all must hold; anything else falls back to
+    /// normal ticking):
+    ///
+    /// * normal mode — every runahead flavour does per-cycle work in its
+    ///   cycle hook;
+    /// * nothing ready or pending in the issue stage (select and store
+    ///   address generation idle);
+    /// * the ROB head exists and has not executed (commit blocked; an empty
+    ///   or committing ROB makes progress);
+    /// * dispatch has nothing it could dispatch (no front micro-op, or a
+    ///   back-end resource is exhausted);
+    /// * fetch and decode cannot act before the jump target (the target is
+    ///   capped at `fetch_stall_until` and the delay pipe's next-ready
+    ///   cycle).
+    ///
+    /// Under those conditions the only per-cycle effects are the
+    /// full-window-stall counters (plus the runahead entry-skip counters for
+    /// runahead techniques) and the front-end stall counter, all of which
+    /// are accumulated here exactly as `tick` would. The jump target is the
+    /// next `in_flight` completion, additionally capped by the deadlock
+    /// watchdog and the caller's cycle limit so aborted runs stop at the
+    /// same cycle as the reference scheduler.
+    pub(crate) fn fast_forward_quiescent(&mut self, max_cycles: u64) {
+        if self.halted || self.deadlocked || self.mode != Mode::Normal {
+            return;
+        }
+        debug_assert!(self.pending_recovery.is_none());
+        debug_assert!(self.interval.is_none());
+        if !self.iq.select_idle() {
+            return;
+        }
+        let Some(head) = self.rob.head() else {
+            return;
+        };
+        if head.executed {
+            return;
+        }
+        let head_id = head.id;
+        let head_completion = head.completion_cycle;
+        let head_blocking = head.uop.inst.opcode.is_load()
+            && head.issued
+            && head.mem_level == Some(HitLevel::Memory);
+        let front = if !self.emq.is_empty() {
+            self.emq.peek().copied()
+        } else {
+            self.uop_queue.front().copied()
+        };
+        let mut dispatch_would_block = false;
+        if let Some(uop) = front {
+            if self.dispatch_resources_available(&uop) {
+                return;
+            }
+            dispatch_would_block = true;
+        }
+        let now = self.cycle;
+        // Earliest future cycle at which any stage can make progress again,
+        // capped so deadlocked and budget-bounded runs stop exactly where
+        // the cycle-by-cycle reference stops.
+        let mut target = (self.last_progress_cycle + DEADLOCK_WINDOW + 1).min(max_cycles);
+        if let Some(&Reverse(next)) = self.in_flight.peek() {
+            debug_assert!(next.completion > now, "unprocessed completion event");
+            target = target.min(next.completion);
+        }
+        if !self.fetch_done && !self.delay_pipe.is_full() {
+            // Fetch resumes (or discovers the end of the program) once the
+            // instruction-cache stall expires.
+            if self.fetch_stall_until <= now + 1 {
+                return;
+            }
+            target = target.min(self.fetch_stall_until);
+        }
+        if !self.uop_queue.is_full() {
+            if let Some(ready_at) = self.delay_pipe.next_ready_at() {
+                if ready_at <= now + 1 {
+                    return;
+                }
+                target = target.min(ready_at);
+            }
+        }
+        if target <= now + 1 {
+            return;
+        }
+
+        // Emulate the per-cycle statistics of the skipped cycles
+        // `now+1 ..= target-1`; `tick` itself runs cycle `target`.
+        //
+        // The commit stage of skipped cycle `t` observes `dispatch_blocked`
+        // as set by cycle `t-1`'s dispatch stage: the first skipped cycle
+        // sees the current flag, later ones see the value the (no-op)
+        // dispatch stages would recompute.
+        let rob_full = self.rob.is_full();
+        let head_may_stall =
+            head_blocking && (rob_full || self.dispatch_blocked || dispatch_would_block);
+        let mut end = target - 1;
+        if head_may_stall {
+            let is_runahead = self.technique.is_runahead();
+            let already = self.runahead_done_for == Some(head_id);
+            let (mut free_int, mut free_fp) = (
+                self.rename.num_free(RegClass::Int),
+                self.rename.num_free(RegClass::Fp),
+            );
+            if is_runahead && self.entry_policy.needs_free_reg_counts() {
+                let (int_reclaimable, fp_reclaimable) =
+                    self.rename.count_eager_reclaimable(&self.rob, &self.iq);
+                free_int += int_reclaimable;
+                free_fp += fp_reclaimable;
+            }
+            let mut t = now + 1;
+            while t <= end {
+                let blocked_last_cycle = if t == now + 1 {
+                    self.dispatch_blocked
+                } else {
+                    dispatch_would_block
+                };
+                if !(rob_full || blocked_last_cycle) {
+                    t += 1;
+                    continue;
+                }
+                if is_runahead {
+                    let expected_remaining = head_completion.saturating_sub(t);
+                    match self
+                        .entry_policy
+                        .decide(expected_remaining, already, free_int, free_fp)
+                    {
+                        EntryDecision::Enter => {
+                            // The real tick at `t` must perform the entry
+                            // (and account that cycle's stall statistics
+                            // itself).
+                            end = t - 1;
+                            break;
+                        }
+                        EntryDecision::SkipShortInterval => {
+                            self.stats.runahead_entries_skipped_short += 1;
+                        }
+                        EntryDecision::SkipOverlap => {
+                            self.stats.runahead_entries_skipped_overlap += 1;
+                        }
+                        EntryDecision::SkipNoFreeRegs => {
+                            self.stats.runahead_entries_skipped_no_regs += 1;
+                        }
+                    }
+                }
+                self.stats.full_window_stall_cycles += 1;
+                if self.last_stall_head_id != Some(head_id) {
+                    self.last_stall_head_id = Some(head_id);
+                    self.stats.full_window_stalls += 1;
+                    self.stats
+                        .int_free_at_stall_hist
+                        .record_fraction(self.rename.free_fraction(RegClass::Int));
+                    self.stats
+                        .fp_free_at_stall_hist
+                        .record_fraction(self.rename.free_fraction(RegClass::Fp));
+                }
+                t += 1;
+            }
+        }
+        if end <= now {
+            return;
+        }
+        // The skipped dispatch stages each recomputed the blocked flag; the
+        // tick at `target` must observe the final value.
+        self.dispatch_blocked = dispatch_would_block;
+        if !self.fetch_done {
+            // Skipped cycles with `t < fetch_stall_until` would each have
+            // counted one front-end stall cycle.
+            let stalled_until = end.min(self.fetch_stall_until.saturating_sub(1));
+            self.stats.frontend_stall_cycles += stalled_until.saturating_sub(now);
+        }
+        self.cycle = end;
     }
 }

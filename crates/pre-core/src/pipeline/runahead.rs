@@ -176,7 +176,8 @@ impl OooCore {
                 let prf = self.prf_mut(class);
                 prf.write(reg, 0);
                 prf.set_inv(reg, true);
-                prf.set_ready(reg, true);
+                // Waiting consumers of the invalidated register wake now.
+                self.set_ready_and_wake(class, reg);
             }
         }
         self.mode = Mode::RunaheadFlush(kind);
@@ -356,17 +357,24 @@ impl OooCore {
         let id = self.next_id;
         self.next_id += 1;
         let (srcs, dest) = self.rename.runahead_rename(&inst, uop.pc, id);
-        self.iq.insert(IqEntry {
-            id,
-            pc: uop.pc,
-            inst,
-            srcs,
-            dest,
-            class: inst.opcode.class(),
-            is_runahead: true,
-            dispatched_at: now,
-            store_addr_ready: false,
-        });
+        // Injected slice micro-ops register with the producer-indexed wakeup
+        // table exactly like normal dispatch, so completions wake them
+        // without any scan.
+        let rename = &self.rename;
+        self.iq.insert(
+            IqEntry {
+                id,
+                pc: uop.pc,
+                inst,
+                srcs,
+                dest,
+                class: inst.opcode.class(),
+                is_runahead: true,
+                dispatched_at: now,
+                store_addr_ready: false,
+            },
+            |class, reg| rename.prf(class).is_ready(reg),
+        );
         self.stats.renamed_uops += 1;
     }
 

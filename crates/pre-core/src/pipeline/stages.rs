@@ -8,7 +8,6 @@ use crate::uop::DynUop;
 use pre_mem::{AccessKind, HitLevel};
 use pre_model::isa::OpClass;
 use std::cmp::Reverse;
-use std::collections::HashMap;
 
 /// Outcome of attempting to execute one issue-queue entry.
 enum IssueOutcome {
@@ -158,7 +157,7 @@ impl OooCore {
         }
     }
 
-    fn dispatch_resources_available(&self, uop: &DynUop) -> bool {
+    pub(crate) fn dispatch_resources_available(&self, uop: &DynUop) -> bool {
         if self.rob.is_full() || self.iq.is_full() {
             return false;
         }
@@ -211,17 +210,21 @@ impl OooCore {
         rob_entry.old_dest = old_dest;
         self.rob.push(rob_entry);
 
-        self.iq.insert(IqEntry {
-            id,
-            pc: uop.pc,
-            inst,
-            srcs,
-            dest,
-            class: inst.opcode.class(),
-            is_runahead: false,
-            dispatched_at: now,
-            store_addr_ready: false,
-        });
+        let rename = &self.rename;
+        self.iq.insert(
+            IqEntry {
+                id,
+                pc: uop.pc,
+                inst,
+                srcs,
+                dest,
+                class: inst.opcode.class(),
+                is_runahead: false,
+                dispatched_at: now,
+                store_addr_ready: false,
+            },
+            |class, reg| rename.prf(class).is_ready(reg),
+        );
         if inst.opcode.is_load() {
             self.lsq.allocate_load(id);
         }
@@ -238,77 +241,170 @@ impl OooCore {
     // Issue + execute.
     // ---------------------------------------------------------------------
 
+    /// Issue + execute: wakeup-driven select. Store address generation runs
+    /// first (exactly the stores whose base operand became ready), then
+    /// select pops ready entries in global age order against the per-class
+    /// port array until `issue_width` is exhausted. Readiness is based on
+    /// the ready bits set by previous completions, so issuing one candidate
+    /// cannot make another ready within the same cycle.
     pub(crate) fn issue_stage(&mut self, now: u64) {
-        self.generate_store_addresses();
-
-        // Collect ready candidates in age order; readiness is based on the
-        // ready bits set by previous cycles' completions, so issuing one
-        // candidate cannot make another ready within the same cycle.
-        let candidates: Vec<IqEntry> = self
-            .iq
-            .iter()
-            .filter(|e| self.sources_ready(e))
-            .cloned()
-            .collect();
+        if self.cfg.core.reference_scheduler {
+            self.issue_stage_reference(now);
+            return;
+        }
+        self.process_store_agen();
 
         let mut remaining = self.cfg.core.issue_width;
-        let mut ports: HashMap<OpClass, usize> = OpClass::ALL
-            .iter()
-            .map(|&c| (c, self.cfg.core.fu.ports_for(c)))
-            .collect();
-        let mut issued = Vec::new();
+        let mut ports: [usize; OpClass::COUNT] =
+            std::array::from_fn(|i| self.cfg.core.fu.ports_for(OpClass::ALL[i]));
+        let mut retry = std::mem::take(&mut self.issue_retry);
+        debug_assert!(retry.is_empty());
 
-        for entry in candidates {
-            if remaining == 0 {
+        while remaining > 0 {
+            let Some((key, entry)) = self.iq.pop_ready(&ports) else {
                 break;
-            }
-            let port = ports.get_mut(&entry.class).expect("all classes present");
-            if *port == 0 {
+            };
+            if !self.sources_ready(&entry) {
+                // A source register was reclaimed (PRDQ) and re-allocated
+                // after this entry's wakeup: wait for the new producer, as
+                // the reference scan would.
+                let rename = &self.rename;
+                self.iq
+                    .reregister(key, |class, reg| rename.prf(class).is_ready(reg));
                 continue;
             }
             match self.try_execute(&entry, now) {
                 IssueOutcome::Issued => {
-                    *port -= 1;
+                    ports[entry.class.index()] -= 1;
                     remaining -= 1;
-                    issued.push(entry.id);
+                    self.iq.remove_slot(key.slot());
                     self.stats.issued_uops += 1;
                     if self.mode == Mode::RunaheadPre && !entry.is_runahead {
                         // A waiting consumer left the issue queue: its
                         // sources may now be eager-drain candidates.
                         self.pre_eager_rescan = true;
                     }
-                    match entry.class {
-                        OpClass::IntAlu | OpClass::Nop => self.stats.int_alu_ops += 1,
-                        OpClass::IntMul => self.stats.int_mul_ops += 1,
-                        OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => self.stats.fp_ops += 1,
-                        OpClass::Branch => self.stats.branch_ops += 1,
-                        OpClass::Load | OpClass::Store => {}
-                    }
+                    self.count_issue_class(entry.class);
                     if self.pending_recovery.is_some() {
                         // A mispredicted branch resolved: younger micro-ops
                         // must not issue this cycle.
                         break;
                     }
                 }
+                // Memory-ordering or MSHR stall: the entry stays ready and
+                // retries next cycle.
+                IssueOutcome::NotIssued => retry.push(key),
+            }
+        }
+        for key in retry.drain(..) {
+            self.iq.requeue_ready(key);
+        }
+        self.issue_retry = retry;
+    }
+
+    /// Reference select (the `--reference-scheduler` escape hatch): rescans
+    /// the whole queue for ready candidates every cycle, exactly like the
+    /// pre-event-scheduler pipeline. Must stay bit-identical to
+    /// [`OooCore::issue_stage`]; the `scheduler_equivalence` suite asserts
+    /// it.
+    fn issue_stage_reference(&mut self, now: u64) {
+        self.generate_store_addresses_scan();
+
+        let mut candidates = std::mem::take(&mut self.ref_candidates);
+        candidates.clear();
+        candidates.extend(self.iq.iter().filter(|e| self.sources_ready(e)).copied());
+        // Slot order is arbitrary; select works in age (= id) order.
+        candidates.sort_unstable_by_key(|e| e.id);
+
+        let mut remaining = self.cfg.core.issue_width;
+        let mut ports: [usize; OpClass::COUNT] =
+            std::array::from_fn(|i| self.cfg.core.fu.ports_for(OpClass::ALL[i]));
+        let mut issued = std::mem::take(&mut self.ref_issued);
+        debug_assert!(issued.is_empty());
+
+        for entry in &candidates {
+            if remaining == 0 {
+                break;
+            }
+            let port = &mut ports[entry.class.index()];
+            if *port == 0 {
+                continue;
+            }
+            match self.try_execute(entry, now) {
+                IssueOutcome::Issued => {
+                    *port -= 1;
+                    remaining -= 1;
+                    issued.push(entry.id);
+                    self.stats.issued_uops += 1;
+                    if self.mode == Mode::RunaheadPre && !entry.is_runahead {
+                        self.pre_eager_rescan = true;
+                    }
+                    self.count_issue_class(entry.class);
+                    if self.pending_recovery.is_some() {
+                        break;
+                    }
+                }
                 IssueOutcome::NotIssued => {}
             }
         }
-        for id in issued {
+        for id in issued.drain(..) {
             self.iq.remove(id);
+        }
+        self.ref_candidates = candidates;
+        self.ref_issued = issued;
+    }
+
+    fn count_issue_class(&mut self, class: OpClass) {
+        match class {
+            OpClass::IntAlu | OpClass::Nop => self.stats.int_alu_ops += 1,
+            OpClass::IntMul => self.stats.int_mul_ops += 1,
+            OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => self.stats.fp_ops += 1,
+            OpClass::Branch => self.stats.branch_ops += 1,
+            OpClass::Load | OpClass::Store => {}
         }
     }
 
-    /// Eagerly computes store addresses (and data values) as soon as their
-    /// operands are ready, so that younger loads are not serialized behind
-    /// stores that are only waiting for data.
-    fn generate_store_addresses(&mut self) {
-        let mut updates: Vec<(u64, Option<u64>, Option<u64>)> = Vec::new();
+    /// Wakeup-driven store address generation: drains the stores whose base
+    /// operand became ready (at dispatch or through a completion wakeup)
+    /// and publishes their addresses — and data values when already
+    /// available — to the store queue, so that younger loads are not
+    /// serialized behind stores that are only waiting for data.
+    fn process_store_agen(&mut self) {
+        while let Some((slot, e)) = self.iq.pop_agen() {
+            let Some((base_class, base_reg)) = e.srcs.first() else {
+                continue;
+            };
+            if !self.prf(base_class).is_ready(base_reg) {
+                // The base was reclaimed (PRDQ) and re-allocated between
+                // the wake and this pass: re-arm on the new producer.
+                self.iq.watch_store_base(slot);
+                continue;
+            }
+            let addr = e
+                .inst
+                .effective_address(self.prf(base_class).peek(base_reg));
+            self.lsq.set_store_addr(e.id, addr);
+            self.iq.mark_store_addr_ready(slot);
+            if let Some((data_class, data_reg)) = e.srcs.get(1) {
+                if self.prf(data_class).is_ready(data_reg) {
+                    let value = self.prf(data_class).peek(data_reg);
+                    self.lsq.set_store_value(e.id, value);
+                }
+            }
+        }
+    }
+
+    /// Scan-based store address generation for the reference scheduler:
+    /// sweeps the whole queue every cycle, as the pre-event pipeline did.
+    fn generate_store_addresses_scan(&mut self) {
+        let mut updates = std::mem::take(&mut self.ref_agen_updates);
+        updates.clear();
         for e in self.iq.iter() {
             if e.class != OpClass::Store || e.store_addr_ready {
                 continue;
             }
-            let base = e.srcs.first().copied();
-            let data = e.srcs.get(1).copied();
+            let base = e.srcs.first();
+            let data = e.srcs.get(1);
             let addr = match base {
                 Some((class, reg)) if self.prf(class).is_ready(reg) => {
                     Some(e.inst.effective_address(self.prf(class).peek(reg)))
@@ -326,7 +422,7 @@ impl OooCore {
             };
             updates.push((e.id, addr, value));
         }
-        for (id, addr, value) in updates {
+        for (id, addr, value) in updates.drain(..) {
             if let Some(a) = addr {
                 self.lsq.set_store_addr(id, a);
                 if let Some(e) = self.iq.iter_mut().find(|e| e.id == id) {
@@ -337,6 +433,7 @@ impl OooCore {
                 self.lsq.set_store_value(id, v);
             }
         }
+        self.ref_agen_updates = updates;
     }
 
     fn sources_ready(&self, entry: &IqEntry) -> bool {

@@ -49,7 +49,7 @@
 //! resumes, so the same register is freed exactly once on each path.
 
 use crate::freelist::FreeList;
-use crate::iq::IssueQueue;
+use crate::iq::{IssueQueue, SrcList};
 use crate::rat::{RatCheckpoint, RegisterAliasTable};
 use crate::regfile::PhysRegFile;
 use crate::rob::ReorderBuffer;
@@ -97,6 +97,11 @@ pub struct RenameSubsystem {
     eager_seeded: HashSet<u64>,
     int_capacity: usize,
     fp_capacity: usize,
+    /// Reusable scratch for [`RenameSubsystem::eager_candidates`], so the
+    /// per-runahead-cycle rescan allocates nothing in steady state.
+    scratch_live: HashSet<(RegClass, PhysReg)>,
+    scratch_mapped: HashSet<(RegClass, PhysReg)>,
+    scratch_candidates: Vec<(u64, RegClass, PhysReg)>,
 }
 
 impl RenameSubsystem {
@@ -120,6 +125,9 @@ impl RenameSubsystem {
             eager_seeded: HashSet::new(),
             int_capacity: int_phys,
             fp_capacity: fp_phys,
+            scratch_live: HashSet::new(),
+            scratch_mapped: HashSet::new(),
+            scratch_candidates: Vec::new(),
         };
         subsystem.seed_arch_values(arch_values);
         subsystem
@@ -195,12 +203,13 @@ impl RenameSubsystem {
     // -----------------------------------------------------------------
 
     /// Looks up the physical sources of `inst` through the RAT, in operand
-    /// order (counts RAT read ports).
-    pub fn lookup_sources(&mut self, inst: &StaticInst) -> Vec<(RegClass, PhysReg)> {
-        let mut srcs = Vec::with_capacity(2);
+    /// order (counts RAT read ports). Returns an inline list — renaming
+    /// allocates nothing on the heap.
+    pub fn lookup_sources(&mut self, inst: &StaticInst) -> SrcList {
+        let mut srcs = SrcList::new();
         for src in inst.sources() {
             let phys = self.rat.lookup(src);
-            srcs.push((src.class(), phys));
+            srcs.push(src.class(), phys);
         }
         srcs
     }
@@ -226,13 +235,12 @@ impl RenameSubsystem {
     ///
     /// The caller must have checked that a destination register and a PRDQ
     /// entry are available.
-    #[allow(clippy::type_complexity)]
     pub fn runahead_rename(
         &mut self,
         inst: &StaticInst,
         pc: u32,
         uop_id: u64,
-    ) -> (Vec<(RegClass, PhysReg)>, Option<(RegClass, PhysReg)>) {
+    ) -> (SrcList, Option<(RegClass, PhysReg)>) {
         let srcs = self.lookup_sources(inst);
         let mut dest = None;
         if let Some(d) = inst.dest {
@@ -307,14 +315,18 @@ impl RenameSubsystem {
     /// mappings whose last consumer issues *during* the interval are freed
     /// at that issue boundary.
     pub fn seed_eager(&mut self, rob: &ReorderBuffer, iq: &IssueQueue) -> usize {
+        self.collect_eager_candidates(rob, iq);
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
         let mut seeded = 0;
-        for (id, class, old) in self.eager_candidates(rob, iq) {
+        for &(id, class, old) in &candidates {
             if !self.prdq.seed_executed(id, (class, old)) {
                 break;
             }
             self.eager_seeded.insert(id);
             seeded += 1;
         }
+        candidates.clear();
+        self.scratch_candidates = candidates;
         seeded
     }
 
@@ -322,9 +334,14 @@ impl RenameSubsystem {
     /// could release right now, without mutating anything. Used by the
     /// free-register entry gate to decide whether entering runahead mode
     /// can inject micro-ops.
-    pub fn count_eager_reclaimable(&self, rob: &ReorderBuffer, iq: &IssueQueue) -> (usize, usize) {
+    pub fn count_eager_reclaimable(
+        &mut self,
+        rob: &ReorderBuffer,
+        iq: &IssueQueue,
+    ) -> (usize, usize) {
+        self.collect_eager_candidates(rob, iq);
         let mut counts = (0usize, 0usize);
-        for (_, class, _) in self.eager_candidates(rob, iq) {
+        for (_, class, _) in &self.scratch_candidates {
             match class {
                 RegClass::Int => counts.0 += 1,
                 RegClass::Fp => counts.1 += 1,
@@ -333,35 +350,33 @@ impl RenameSubsystem {
         counts
     }
 
-    /// Enumerates `(rob_id, class, old_reg)` for every previous mapping in
-    /// the window that is provably dead, oldest first.
-    fn eager_candidates(
-        &self,
-        rob: &ReorderBuffer,
-        iq: &IssueQueue,
-    ) -> Vec<(u64, RegClass, PhysReg)> {
+    /// Collects `(rob_id, class, old_reg)` for every previous mapping in the
+    /// window that is provably dead, oldest first, into
+    /// `self.scratch_candidates` (reused across calls; no steady-state
+    /// allocation).
+    fn collect_eager_candidates(&mut self, rob: &ReorderBuffer, iq: &IssueQueue) {
         // Registers still wanted by waiting (un-issued) micro-ops.
-        let mut live_sources: HashSet<(RegClass, PhysReg)> = HashSet::new();
+        self.scratch_live.clear();
         for entry in iq.iter() {
-            live_sources.extend(entry.srcs.iter().copied());
+            self.scratch_live.extend(entry.srcs.iter().copied());
         }
         // Live RAT mappings (defensive: `old_dest` registers are mapped out
         // by construction).
-        let mut mapped: HashSet<(RegClass, PhysReg)> = HashSet::new();
+        self.scratch_mapped.clear();
         for (arch, phys) in self.rat.iter() {
-            mapped.insert((arch.class(), phys));
+            self.scratch_mapped.insert((arch.class(), phys));
         }
-        let mut candidates = Vec::new();
+        self.scratch_candidates.clear();
         for entry in rob.iter() {
             if let Some((arch, old, _)) = entry.old_dest {
                 let class = arch.class();
                 let dead = !self.eager_seeded.contains(&entry.id)
                     && self.prf(class).is_ready(old)
-                    && !live_sources.contains(&(class, old))
-                    && !mapped.contains(&(class, old))
+                    && !self.scratch_live.contains(&(class, old))
+                    && !self.scratch_mapped.contains(&(class, old))
                     && !self.free_list(class).is_free(old);
                 if dead {
-                    candidates.push((entry.id, class, old));
+                    self.scratch_candidates.push((entry.id, class, old));
                 }
             }
             // Entries younger than an unresolved conditional branch may be
@@ -371,7 +386,6 @@ impl RenameSubsystem {
                 break;
             }
         }
-        candidates
     }
 
     // -----------------------------------------------------------------
@@ -542,17 +556,20 @@ mod tests {
         rob.push(branch_entry);
         rob.push(rob_entry_with_rename(3, &mut r, a, true));
         // A waiting consumer still reads the first allocation.
-        iq.insert(crate::iq::IqEntry {
-            id: 4,
-            pc: 4,
-            inst: StaticInst::int_alu_imm(AluOp::Add, a, a, 1),
-            srcs: vec![(RegClass::Int, first_new)],
-            dest: None,
-            class: pre_model::isa::OpClass::IntAlu,
-            is_runahead: false,
-            dispatched_at: 0,
-            store_addr_ready: false,
-        });
+        iq.insert(
+            crate::iq::IqEntry {
+                id: 4,
+                pc: 4,
+                inst: StaticInst::int_alu_imm(AluOp::Add, a, a, 1),
+                srcs: SrcList::from_slice(&[(RegClass::Int, first_new)]),
+                dest: None,
+                class: pre_model::isa::OpClass::IntAlu,
+                is_runahead: false,
+                dispatched_at: 0,
+                store_addr_ready: false,
+            },
+            |_, _| true,
+        );
         r.begin_runahead_interval();
         // Entry 1's old mapping (identity reg 6) is free-able; entry 3 is in
         // the branch shadow; entry 1's own destination is consumer-live.

@@ -145,20 +145,29 @@ impl ReorderBuffer {
         e
     }
 
+    /// Index of the entry with micro-op `id`, if present. Ids are assigned
+    /// in dispatch order, so the deque is always sorted by id and a binary
+    /// search suffices.
+    fn index_of(&self, id: u64) -> Option<usize> {
+        crate::sorted_deque::index_by_key(&self.entries, id, |e| e.id)
+    }
+
     /// Finds an entry by micro-op id.
     pub fn get_mut(&mut self, id: u64) -> Option<&mut RobEntry> {
-        self.entries.iter_mut().find(|e| e.id == id)
+        let idx = self.index_of(id)?;
+        self.entries.get_mut(idx)
     }
 
     /// Finds an entry by micro-op id (immutable).
     pub fn get(&self, id: u64) -> Option<&RobEntry> {
-        self.entries.iter().find(|e| e.id == id)
+        let idx = self.index_of(id)?;
+        self.entries.get(idx)
     }
 
     /// `true` when the ROB still holds the micro-op `id` (used to drop stale
     /// in-flight completions after a squash).
     pub fn contains(&self, id: u64) -> bool {
-        self.entries.iter().any(|e| e.id == id)
+        self.index_of(id).is_some()
     }
 
     /// Iterates over entries from oldest to youngest.

@@ -1,0 +1,51 @@
+//! Binary search over a `VecDeque` whose elements are sorted by a `u64` key.
+//!
+//! The ROB, load queue and store queue all hold entries keyed by the
+//! monotonically increasing micro-op id: entries are pushed in dispatch
+//! order and only ever *removed* (from either end or the middle), so the
+//! deque stays sorted by id at all times and an id lookup never needs a
+//! linear scan. The search runs over the deque's two internal slices
+//! without forcing it contiguous.
+
+use std::collections::VecDeque;
+
+/// Index of the element whose key equals `id`, if present.
+///
+/// Precondition: `deque` is sorted ascending by `key` (see the module
+/// documentation for why the backing structures uphold this).
+pub(crate) fn index_by_key<T>(
+    deque: &VecDeque<T>,
+    id: u64,
+    key: impl Fn(&T) -> u64,
+) -> Option<usize> {
+    let (front, back) = deque.as_slices();
+    match front.binary_search_by_key(&id, &key) {
+        Ok(i) => Some(i),
+        Err(_) => back
+            .binary_search_by_key(&id, &key)
+            .ok()
+            .map(|i| front.len() + i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_elements_across_both_internal_slices() {
+        let mut deque: VecDeque<u64> = VecDeque::with_capacity(4);
+        // Force a wrap-around so as_slices returns two non-empty halves.
+        deque.push_back(1);
+        deque.push_back(2);
+        deque.pop_front();
+        deque.push_back(3);
+        deque.push_back(4);
+        deque.push_back(5);
+        for (idx, &v) in deque.iter().enumerate() {
+            assert_eq!(index_by_key(&deque, v, |&x| x), Some(idx));
+        }
+        assert_eq!(index_by_key(&deque, 1, |&x| x), None);
+        assert_eq!(index_by_key(&deque, 99, |&x| x), None);
+    }
+}

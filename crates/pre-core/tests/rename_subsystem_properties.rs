@@ -9,7 +9,7 @@
 //! every case derives from a fixed seed, so failures reproduce exactly.
 //! (Double frees additionally trip the free list's debug assertion.)
 
-use pre_core::iq::{IqEntry, IssueQueue};
+use pre_core::iq::{IqEntry, IssueQueue, SrcList};
 use pre_core::rename::RenameSubsystem;
 use pre_core::rob::{ReorderBuffer, RobEntry};
 use pre_core::uop::DynUop;
@@ -44,7 +44,7 @@ fn assert_no_free_while_mapped(r: &RenameSubsystem) {
 
 fn assert_no_free_while_referenced(r: &RenameSubsystem, iq: &IssueQueue) {
     for entry in iq.iter() {
-        for &(class, reg) in &entry.srcs {
+        for &(class, reg) in entry.srcs.iter() {
             assert!(
                 !r.free_list(class).is_free(reg),
                 "register {reg} is free while waiting micro-op {} reads it",
@@ -137,17 +137,20 @@ fn build_window(
             r.prf_mut(RegClass::Int).set_ready(rename.new, true);
         }
         if !issued && !iq.is_full() {
-            iq.insert(IqEntry {
-                id,
-                pc: id as u32,
-                inst,
-                srcs: vec![(RegClass::Int, src_phys)],
-                dest: Some((RegClass::Int, rename.new)),
-                class: OpClass::IntAlu,
-                is_runahead: false,
-                dispatched_at: 0,
-                store_addr_ready: false,
-            });
+            iq.insert(
+                IqEntry {
+                    id,
+                    pc: id as u32,
+                    inst,
+                    srcs: SrcList::from_slice(&[(RegClass::Int, src_phys)]),
+                    dest: Some((RegClass::Int, rename.new)),
+                    class: OpClass::IntAlu,
+                    is_runahead: false,
+                    dispatched_at: 0,
+                    store_addr_ready: false,
+                },
+                |_, _| true,
+            );
         }
         rob.push(entry);
     }

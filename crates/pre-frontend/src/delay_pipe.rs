@@ -63,6 +63,13 @@ impl<T> DelayPipe<T> {
         }
     }
 
+    /// The cycle at which the oldest in-flight item becomes poppable, if
+    /// anything is in flight (used by the quiescent-cycle fast-forward to
+    /// bound how far the clock may jump).
+    pub fn next_ready_at(&self) -> Option<u64> {
+        self.entries.front().map(|&(ready, _)| ready)
+    }
+
     /// Number of in-flight items.
     pub fn len(&self) -> usize {
         self.entries.len()

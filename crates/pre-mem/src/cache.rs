@@ -76,11 +76,17 @@ pub struct CacheStats {
 }
 
 /// Set-associative write-back cache with true-LRU replacement.
+///
+/// Lines are stored in one flat slice (set-major, way-minor) so a probe
+/// walks `assoc` contiguous entries instead of chasing a per-set `Vec`
+/// pointer.
 #[derive(Debug, Clone)]
 pub struct Cache {
     name: &'static str,
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines, flattened: set `s` occupies `lines[s * assoc .. (s + 1) * assoc]`.
+    lines: Box<[Line]>,
+    num_sets: usize,
     lru_clock: u64,
     stats: CacheStats,
 }
@@ -94,14 +100,27 @@ impl Cache {
     /// configurations before constructing the hierarchy.
     pub fn new(name: &'static str, cfg: CacheConfig) -> Self {
         cfg.validate(name).expect("invalid cache configuration");
-        let sets = vec![vec![Line::invalid(); cfg.assoc]; cfg.num_sets()];
+        let num_sets = cfg.num_sets();
+        let lines = vec![Line::invalid(); num_sets * cfg.assoc].into_boxed_slice();
         Cache {
             name,
             cfg,
-            sets,
+            lines,
+            num_sets,
             lru_clock: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    /// The flat slice holding the lines of set `set`.
+    fn set(&self, set: usize) -> &[Line] {
+        &self.lines[set * self.cfg.assoc..(set + 1) * self.cfg.assoc]
+    }
+
+    /// Mutable flat slice holding the lines of set `set`.
+    fn set_mut(&mut self, set: usize) -> &mut [Line] {
+        let assoc = self.cfg.assoc;
+        &mut self.lines[set * assoc..(set + 1) * assoc]
     }
 
     /// The cache's configured geometry.
@@ -129,11 +148,11 @@ impl Cache {
     }
 
     fn set_index(&self, addr: u64) -> usize {
-        ((addr / self.cfg.line_bytes as u64) % self.sets.len() as u64) as usize
+        ((addr / self.cfg.line_bytes as u64) % self.num_sets as u64) as usize
     }
 
     fn tag(&self, addr: u64) -> u64 {
-        addr / self.cfg.line_bytes as u64 / self.sets.len() as u64
+        addr / self.cfg.line_bytes as u64 / self.num_sets as u64
     }
 
     /// Looks up `addr`, updating LRU state and statistics.
@@ -147,7 +166,10 @@ impl Cache {
         let set = self.set_index(addr);
         let tag = self.tag(addr);
         let lru_clock = self.lru_clock;
-        let line = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag);
+        let assoc = self.cfg.assoc;
+        let line = self.lines[set * assoc..(set + 1) * assoc]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag);
         match line {
             Some(line) => {
                 line.lru = lru_clock;
@@ -176,7 +198,7 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> Option<ProbeResult> {
         let set = self.set_index(addr);
         let tag = self.tag(addr);
-        self.sets[set]
+        self.set(set)
             .iter()
             .find(|l| l.valid && l.tag == tag)
             .map(|line| ProbeResult {
@@ -206,32 +228,37 @@ impl Cache {
         let tag = self.tag(addr);
         // Refill of an already-present line just refreshes metadata.
         let lru_clock = self.lru_clock;
-        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(line) = self
+            .set_mut(set)
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
             line.ready_at = line.ready_at.min(ready_at);
             line.dirty |= dirty;
             line.lru = lru_clock;
             return None;
         }
-        let victim_idx = self.sets[set]
+        let victim_idx = self
+            .set(set)
             .iter()
             .enumerate()
             .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
             .map(|(i, _)| i)
             .expect("cache set has at least one way");
-        let victim = self.sets[set][victim_idx];
+        let victim = self.set(set)[victim_idx];
         let eviction = if victim.valid {
             if victim.dirty {
                 self.stats.writebacks += 1;
             }
             Some(Eviction {
-                line_addr: victim.tag * self.sets.len() as u64 * self.cfg.line_bytes as u64
+                line_addr: victim.tag * self.num_sets as u64 * self.cfg.line_bytes as u64
                     + set as u64 * self.cfg.line_bytes as u64,
                 dirty: victim.dirty,
             })
         } else {
             None
         };
-        self.sets[set][victim_idx] = Line {
+        self.set_mut(set)[victim_idx] = Line {
             tag,
             valid: true,
             dirty,
@@ -248,7 +275,11 @@ impl Cache {
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let set = self.set_index(addr);
         let tag = self.tag(addr);
-        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(line) = self
+            .set_mut(set)
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
             line.valid = false;
             true
         } else {
@@ -258,10 +289,7 @@ impl Cache {
 
     /// Number of valid lines currently resident.
     pub fn resident_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|l| l.valid).count())
-            .sum()
+        self.lines.iter().filter(|l| l.valid).count()
     }
 
     /// The start address of the cache line containing `addr`.

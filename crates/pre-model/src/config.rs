@@ -141,6 +141,11 @@ pub struct CoreConfig {
     pub fu: FuConfig,
     /// Execution latencies.
     pub latencies: LatencyConfig,
+    /// Escape hatch: use the reference (cycle-by-cycle, scan-based) issue
+    /// scheduler instead of the event-driven wakeup/select scheduler with
+    /// quiescent-cycle fast-forward. Both produce bit-identical statistics;
+    /// the reference path exists for equivalence testing and debugging.
+    pub reference_scheduler: bool,
 }
 
 impl Default for CoreConfig {
@@ -160,6 +165,7 @@ impl Default for CoreConfig {
             fp_phys_regs: 168,
             fu: FuConfig::default(),
             latencies: LatencyConfig::default(),
+            reference_scheduler: false,
         }
     }
 }
@@ -580,6 +586,14 @@ impl SimConfigBuilder {
     pub fn min_free_regs(mut self, int_regs: usize, fp_regs: usize) -> Self {
         self.cfg.runahead.min_free_int_regs = int_regs;
         self.cfg.runahead.min_free_fp_regs = fp_regs;
+        self
+    }
+
+    /// Selects the reference (scan-based, no fast-forward) issue scheduler
+    /// instead of the event-driven one. Statistics are bit-identical either
+    /// way; this is the `--reference-scheduler` escape hatch.
+    pub fn reference_scheduler(mut self, on: bool) -> Self {
+        self.cfg.core.reference_scheduler = on;
         self
     }
 

@@ -126,8 +126,12 @@ pub enum OpClass {
 }
 
 impl OpClass {
-    /// All functional-unit classes.
-    pub const ALL: [OpClass; 9] = [
+    /// Number of functional-unit classes (the length of [`OpClass::ALL`]).
+    pub const COUNT: usize = 9;
+
+    /// All functional-unit classes, in discriminant order (so
+    /// `ALL[c.index()] == c`).
+    pub const ALL: [OpClass; OpClass::COUNT] = [
         OpClass::Nop,
         OpClass::IntAlu,
         OpClass::IntMul,
@@ -138,6 +142,12 @@ impl OpClass {
         OpClass::Store,
         OpClass::Branch,
     ];
+
+    /// Dense index of this class in `0..OpClass::COUNT`, usable for flat
+    /// per-class tables (issue ports, ready queues) without hashing.
+    pub fn index(self) -> usize {
+        self as usize
+    }
 }
 
 impl Opcode {

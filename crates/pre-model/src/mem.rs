@@ -8,13 +8,22 @@
 //! Reads of locations that were never written return a deterministic
 //! pseudo-random value derived from the address, so wrong-path and runahead
 //! execution stay deterministic without pre-initializing all of memory.
+//!
+//! Page payloads live in an arena indexed by a `page → index` map, with a
+//! one-entry last-page cache in front of the map: sequential and strided
+//! access streams (the common case for the bundled kernels) resolve
+//! repeated touches of the same 4 KB page without hashing.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Bytes per functional-memory page.
 const PAGE_BYTES: u64 = 4096;
 /// 64-bit words per page.
 const PAGE_WORDS: usize = (PAGE_BYTES / 8) as usize;
+
+/// Sentinel arena index for "last-page cache empty".
+const NO_PAGE: u32 = u32::MAX;
 
 /// Deterministic "uninitialized memory" value: a cheap integer hash of the
 /// address (SplitMix64 finalizer).
@@ -40,16 +49,34 @@ fn hash_addr(addr: u64) -> u64 {
 /// // Unwritten locations read a deterministic address-derived value.
 /// assert_eq!(mem.load_u64(0x2000), mem.load_u64(0x2000));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FuncMem {
-    pages: HashMap<u64, Box<[u64]>>,
+    /// Page number → index into `page_data`.
+    page_index: HashMap<u64, u32>,
+    /// Page payloads (arena; indices are stable because pages are never
+    /// removed).
+    page_data: Vec<Box<[u64]>>,
     stored_words: u64,
+    /// One-entry cache of the most recently touched `(page, arena index)`.
+    /// Interior mutability keeps `load_u64` a `&self` operation.
+    last_page: Cell<(u64, u32)>,
+}
+
+impl Default for FuncMem {
+    fn default() -> Self {
+        FuncMem::new()
+    }
 }
 
 impl FuncMem {
     /// Creates an empty functional memory.
     pub fn new() -> Self {
-        FuncMem::default()
+        FuncMem {
+            page_index: HashMap::new(),
+            page_data: Vec::new(),
+            stored_words: 0,
+            last_page: Cell::new((0, NO_PAGE)),
+        }
     }
 
     fn split(addr: u64) -> (u64, usize) {
@@ -59,15 +86,26 @@ impl FuncMem {
         (page, offset)
     }
 
+    /// Arena index of `page`, consulting the last-page cache first.
+    fn lookup_page(&self, page: u64) -> Option<u32> {
+        let (cached_page, cached_idx) = self.last_page.get();
+        if cached_idx != NO_PAGE && cached_page == page {
+            return Some(cached_idx);
+        }
+        let idx = *self.page_index.get(&page)?;
+        self.last_page.set((page, idx));
+        Some(idx)
+    }
+
     /// Reads the 64-bit word containing `addr`.
     ///
     /// Never allocates: reads of unwritten memory return a deterministic
     /// value derived from the (word-aligned) address.
     pub fn load_u64(&self, addr: u64) -> u64 {
         let (page, offset) = Self::split(addr);
-        match self.pages.get(&page) {
-            Some(words) => {
-                let v = words[offset];
+        match self.lookup_page(page) {
+            Some(idx) => {
+                let v = self.page_data[idx as usize][offset];
                 if v == UNWRITTEN_MARKER {
                     hash_addr(addr & !7)
                 } else {
@@ -81,10 +119,18 @@ impl FuncMem {
     /// Writes the 64-bit word containing `addr`.
     pub fn store_u64(&mut self, addr: u64, value: u64) {
         let (page, offset) = Self::split(addr);
-        let words = self
-            .pages
-            .entry(page)
-            .or_insert_with(|| vec![UNWRITTEN_MARKER; PAGE_WORDS].into_boxed_slice());
+        let idx = match self.lookup_page(page) {
+            Some(idx) => idx,
+            None => {
+                let idx = u32::try_from(self.page_data.len()).expect("fewer than 2^32 pages");
+                self.page_data
+                    .push(vec![UNWRITTEN_MARKER; PAGE_WORDS].into_boxed_slice());
+                self.page_index.insert(page, idx);
+                self.last_page.set((page, idx));
+                idx
+            }
+        };
+        let words = &mut self.page_data[idx as usize];
         if words[offset] == UNWRITTEN_MARKER {
             self.stored_words += 1;
         }
@@ -104,7 +150,7 @@ impl FuncMem {
 
     /// Number of resident pages.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.page_data.len()
     }
 
     /// Bulk-initializes memory from `(address, value)` pairs.
@@ -179,5 +225,23 @@ mod tests {
         mem.init_from([(0x10, 1), (0x18, 2), (0x20, 3)]);
         assert_eq!(mem.load_u64(0x18), 2);
         assert_eq!(mem.written_words(), 3);
+    }
+
+    #[test]
+    fn interleaved_page_accesses_hit_through_the_last_page_cache() {
+        let mut mem = FuncMem::new();
+        // Two pages, alternating touches: every switch must re-resolve the
+        // page correctly.
+        mem.store_u64(0x0000, 1);
+        mem.store_u64(0x2000, 2);
+        for _ in 0..8 {
+            assert_eq!(mem.load_u64(0x0000), 1);
+            assert_eq!(mem.load_u64(0x2000), 2);
+        }
+        // A clone keeps its own cache and the same contents.
+        let clone = mem.clone();
+        assert_eq!(clone.load_u64(0x0000), 1);
+        assert_eq!(clone.load_u64(0x2000), 2);
+        assert_eq!(clone.resident_pages(), 2);
     }
 }

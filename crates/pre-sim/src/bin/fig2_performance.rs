@@ -2,11 +2,12 @@
 //! normalized to the out-of-order baseline, for every workload in the
 //! selected suite plus the geometric mean.
 //!
-//! Usage: `fig2_performance [--suite synthetic|asm|mixed] [max_uops_per_run]`
-//! (defaults: the synthetic memory-intensive suite, 300 000 uops).
+//! Usage: `fig2_performance [--suite synthetic|asm|mixed]
+//! [--reference-scheduler] [max_uops_per_run]` (defaults: the synthetic
+//! memory-intensive suite, 300 000 uops, event-driven scheduler).
 
 use pre_sim::experiments::{
-    cli_from_args, fig2_summary, fig2_table, run_suite_matrix, Suite, DEFAULT_EVAL_UOPS,
+    cli_from_args, fig2_summary, fig2_table, run_suite_matrix_with, Suite, DEFAULT_EVAL_UOPS,
 };
 
 fn main() {
@@ -15,7 +16,7 @@ fn main() {
         "running the Figure 2 evaluation matrix over the {} suite ({} committed uops per run)...",
         cli.suite, cli.budget
     );
-    let matrix = run_suite_matrix(cli.suite, cli.budget, |r| {
+    let matrix = run_suite_matrix_with(cli.suite, &cli.config(), cli.budget, |r| {
         eprintln!(
             "  {:<18} {:<10} ipc {:.3}  runahead entries {}",
             r.workload.name(),

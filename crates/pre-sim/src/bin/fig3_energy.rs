@@ -1,11 +1,12 @@
 //! Regenerates Figure 3: energy savings (core + DRAM) of RA, RA-buffer, PRE
 //! and PRE+EMQ relative to the out-of-order baseline.
 //!
-//! Usage: `fig3_energy [--suite synthetic|asm|mixed] [max_uops_per_run]`
-//! (defaults: the synthetic memory-intensive suite, 300 000 uops).
+//! Usage: `fig3_energy [--suite synthetic|asm|mixed] [--reference-scheduler]
+//! [max_uops_per_run]` (defaults: the synthetic memory-intensive suite,
+//! 300 000 uops, event-driven scheduler).
 
 use pre_sim::experiments::{
-    cli_from_args, fig3_summary, fig3_table, run_suite_matrix, Suite, DEFAULT_EVAL_UOPS,
+    cli_from_args, fig3_summary, fig3_table, run_suite_matrix_with, Suite, DEFAULT_EVAL_UOPS,
 };
 
 fn main() {
@@ -14,7 +15,7 @@ fn main() {
         "running the Figure 3 evaluation matrix over the {} suite ({} committed uops per run)...",
         cli.suite, cli.budget
     );
-    let matrix = run_suite_matrix(cli.suite, cli.budget, |r| {
+    let matrix = run_suite_matrix_with(cli.suite, &cli.config(), cli.budget, |r| {
         eprintln!(
             "  {:<18} {:<10} energy {:.3} mJ",
             r.workload.name(),

@@ -3,22 +3,31 @@
 //! (runahead invocation ratios). This is the cheapest way to regenerate the
 //! paper's headline numbers because the matrix is simulated only once.
 //!
-//! Usage: `full_eval [--suite synthetic|asm|mixed] [max_uops_per_run]`
-//! (defaults: the synthetic memory-intensive suite, 300 000 uops).
+//! Usage: `full_eval [--suite synthetic|asm|mixed] [--reference-scheduler]
+//! [max_uops_per_run]` (defaults: the synthetic memory-intensive suite,
+//! 300 000 uops, event-driven scheduler). `--reference-scheduler` selects
+//! the scan-based escape-hatch scheduler — bit-identical statistics, much
+//! slower wall clock; useful for timing comparisons and debugging.
 
 use pre_sim::experiments::{
-    cli_from_args, fig2_summary, fig2_table, fig3_summary, fig3_table, run_suite_matrix,
+    cli_from_args, fig2_summary, fig2_table, fig3_summary, fig3_table, run_suite_matrix_with,
     stat_invocations, Suite, DEFAULT_EVAL_UOPS,
 };
 
 fn main() {
     let cli = cli_from_args(DEFAULT_EVAL_UOPS);
     eprintln!(
-        "running the full evaluation matrix over the {} suite ({} committed uops per run)...",
-        cli.suite, cli.budget
+        "running the full evaluation matrix over the {} suite ({} committed uops per run{})...",
+        cli.suite,
+        cli.budget,
+        if cli.reference_scheduler {
+            ", reference scheduler"
+        } else {
+            ""
+        }
     );
     let start = std::time::Instant::now();
-    let matrix = run_suite_matrix(cli.suite, cli.budget, |r| {
+    let matrix = run_suite_matrix_with(cli.suite, &cli.config(), cli.budget, |r| {
         eprintln!(
             "  [{:>6.1}s] {:<18} {:<10} ipc {:.3}",
             start.elapsed().as_secs_f64(),

@@ -49,7 +49,9 @@ fn main() {
     for workload in workloads {
         let mut base_ipc = 0.0;
         for technique in Technique::ALL {
-            let spec = RunSpec::new(workload, technique).with_budget(cli.budget);
+            let spec = RunSpec::new(workload, technique)
+                .with_budget(cli.budget)
+                .with_config(cli.config());
             match run_one(&spec) {
                 Ok(result) => {
                     if technique == Technique::OutOfOrder {

@@ -3,13 +3,15 @@
 //! floating-point physical registers free on average — the headroom PRE uses
 //! to execute stalling slices without discarding the window.
 //!
-//! Usage: `stat_free_resources [--suite synthetic|asm|mixed] [max_uops_per_run]`.
+//! Usage: `stat_free_resources [--suite synthetic|asm|mixed]
+//! [--reference-scheduler] [max_uops_per_run]`.
 
-use pre_sim::experiments::{cli_from_args, stat_free_resources, DEFAULT_EVAL_UOPS};
+use pre_sim::experiments::{cli_from_args, stat_free_resources_with, DEFAULT_EVAL_UOPS};
 
 fn main() {
     let cli = cli_from_args(DEFAULT_EVAL_UOPS / 2);
-    let table = stat_free_resources(cli.suite, cli.budget).expect("stat C runs");
+    let table =
+        stat_free_resources_with(cli.suite, &cli.config(), cli.budget).expect("stat C runs");
     println!("{}", table.render());
     println!("paper: ~37 % IQ, ~51 % integer registers, ~59 % FP registers free at entry");
     println!("note: see EXPERIMENTS.md — our synthetic integer kernels are denser in");

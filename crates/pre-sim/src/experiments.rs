@@ -96,13 +96,28 @@ impl FromStr for Suite {
 }
 
 /// Common command-line arguments of the experiment binaries:
-/// `<binary> [--suite synthetic|asm|mixed] [max_uops]`.
+/// `<binary> [--suite synthetic|asm|mixed] [--reference-scheduler] [max_uops]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CliArgs {
     /// Which workload suite to run.
     pub suite: Suite,
     /// Committed-micro-op budget per run.
     pub budget: u64,
+    /// Escape hatch: run on the reference (scan-based, no fast-forward)
+    /// scheduler instead of the event-driven one. Statistics are
+    /// bit-identical; only wall-clock time differs.
+    pub reference_scheduler: bool,
+}
+
+impl CliArgs {
+    /// The simulator configuration these arguments select: the paper's
+    /// Table 1 baseline, with the reference scheduler applied when
+    /// requested.
+    pub fn config(&self) -> SimConfig {
+        let mut cfg = SimConfig::haswell_like();
+        cfg.core.reference_scheduler = self.reference_scheduler;
+        cfg
+    }
 }
 
 /// Extracts a `--suite <name>` / `--suite=<name>` flag from `args`,
@@ -132,7 +147,8 @@ pub fn split_suite_flag<I: IntoIterator<Item = String>>(
     Ok((suite, positional))
 }
 
-/// Parses `[--suite <name>] [max_uops]` from an argument iterator.
+/// Parses `[--suite <name>] [--reference-scheduler] [max_uops]` from an
+/// argument iterator.
 ///
 /// # Errors
 ///
@@ -145,8 +161,13 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(
     let mut cli = CliArgs {
         suite,
         budget: default_budget,
+        reference_scheduler: false,
     };
     for arg in positional {
+        if arg == "--reference-scheduler" {
+            cli.reference_scheduler = true;
+            continue;
+        }
         match arg.parse() {
             Ok(budget) => cli.budget = budget,
             Err(_) => return Err(format!("unrecognized argument `{arg}`")),
@@ -155,14 +176,17 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(
     Ok(cli)
 }
 
-/// Parses the process command line (`[--suite <name>] [max_uops]`), exiting
-/// with a usage message on malformed input.
+/// Parses the process command line
+/// (`[--suite <name>] [--reference-scheduler] [max_uops]`), exiting with a
+/// usage message on malformed input.
 pub fn cli_from_args(default_budget: u64) -> CliArgs {
     match parse_cli(std::env::args().skip(1), default_budget) {
         Ok(cli) => cli,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!("usage: <binary> [--suite synthetic|asm|mixed] [max_uops]");
+            eprintln!(
+                "usage: <binary> [--suite synthetic|asm|mixed] [--reference-scheduler] [max_uops]"
+            );
             std::process::exit(2);
         }
     }
@@ -212,10 +236,25 @@ pub fn run_suite_matrix(
     max_uops: u64,
     progress: impl FnMut(&RunResult) + Send,
 ) -> Result<EvaluationMatrix, BuildError> {
+    run_suite_matrix_with(suite, &SimConfig::haswell_like(), max_uops, progress)
+}
+
+/// Runs the evaluation matrix over the given [`Suite`] with an explicit
+/// configuration (e.g. the `--reference-scheduler` escape hatch).
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] from the simulator.
+pub fn run_suite_matrix_with(
+    suite: Suite,
+    config: &SimConfig,
+    max_uops: u64,
+    progress: impl FnMut(&RunResult) + Send,
+) -> Result<EvaluationMatrix, BuildError> {
     EvaluationMatrix::run(
         &suite.workloads(),
         &Technique::ALL,
-        &SimConfig::haswell_like(),
+        config,
         &WorkloadParams::default(),
         max_uops,
         progress,
@@ -485,6 +524,20 @@ pub fn stat_intervals(max_uops: u64) -> Result<Table, BuildError> {
 /// occupancy histograms at full-window stalls and the eager-drain volume —
 /// the counters behind the `asm-box-blur` reproduction finding.
 pub fn stat_free_resources(suite: Suite, max_uops: u64) -> Result<Table, BuildError> {
+    stat_free_resources_with(suite, &SimConfig::haswell_like(), max_uops)
+}
+
+/// [`stat_free_resources`] with an explicit configuration (e.g. the
+/// `--reference-scheduler` escape hatch).
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] from the simulator.
+pub fn stat_free_resources_with(
+    suite: Suite,
+    config: &SimConfig,
+    max_uops: u64,
+) -> Result<Table, BuildError> {
     let mut table = Table::new(
         "Stat C — free resources at runahead entry (PRE)",
         &[
@@ -497,7 +550,11 @@ pub fn stat_free_resources(suite: Suite, max_uops: u64) -> Result<Table, BuildEr
         ],
     );
     for workload in suite.workloads() {
-        let result = run_one(&RunSpec::new(workload, Technique::Pre).with_budget(max_uops))?;
+        let result = run_one(
+            &RunSpec::new(workload, Technique::Pre)
+                .with_budget(max_uops)
+                .with_config(config.clone()),
+        )?;
         table.add_row(vec![
             workload.name().into(),
             pct(result.stats.iq_free_at_entry.mean()),

@@ -29,18 +29,22 @@
 //!   register matches no call site. This keeps returns — including
 //!   recursion — fully executable on the existing ISA at a modelled cost
 //!   proportional to the number of call sites.
-//! * **`lw`/`sw`** (and `lwu`) are native-width aliases of `ld`/`sd`: the
-//!   functional memory is 8-byte word addressable (accesses align down), so
-//!   the assembler treats the 64-bit word as the only access size. Kernels
-//!   use 8-byte element strides.
+//! * **Sub-word loads and stores** are first class: the functional memory
+//!   is byte-addressable, so `lb`/`lbu`/`lh`/`lhu`/`lw`/`lwu` and
+//!   `sb`/`sh`/`sw` lower to micro-ops carrying their true access width
+//!   and sign/zero extension ([`pre_model::isa::MemAccess`]). Accesses are
+//!   naturally aligned (the effective address is aligned down to the
+//!   access width). `.byte` and `.half` place byte-granular data;
+//!   `.align`/`.p2align` (power-of-two) and `.balign` (byte count) align
+//!   the data cursor.
 //!
 //! Because of the scratch lowering, `gp` (x3) and `tp` (x4) are **reserved**
-//! — using them in source text is an [`AsmError`] — and `sra`/`div`/`rem`
-//! are not in the subset (the micro-op ALU has no arithmetic shift or
-//! division).
+//! — using them in source text is an [`AsmError`] — and `div`/`rem` are not
+//! in the subset (the micro-op ALU has no division; `sra`/`srai` lower to
+//! the ALU's arithmetic shift).
 
 use crate::error::{AsmError, AsmErrorKind};
-use pre_model::isa::{AluOp, BranchCond, StaticInst};
+use pre_model::isa::{AluOp, BranchCond, MemAccess, MemWidth, StaticInst};
 use pre_model::program::Program;
 use pre_model::reg::ArchReg;
 use std::collections::HashMap;
@@ -115,11 +119,13 @@ enum PInst {
         rd: u8,
         rs1: u8,
         imm: i64,
+        access: MemAccess,
     },
     Store {
         rs2: u8,
         rs1: u8,
         imm: i64,
+        width: MemWidth,
     },
     /// Direct (unsigned or equality) conditional branch.
     BranchU {
@@ -183,6 +189,7 @@ pub fn assemble_with(name: &str, source: &str, opts: &AsmOptions) -> Result<Prog
     // ---- pass 1: parse ---------------------------------------------------
     let mut items: Vec<TextItem> = Vec::new();
     let mut data: Vec<(u64, u64)> = Vec::new();
+    let mut data_bytes: Vec<(u64, u8)> = Vec::new();
     let mut labels: HashMap<String, LabelVal> = HashMap::new();
     // Text labels bind to *instruction ordinals* first; converted to micro-op
     // indices once lowered sizes are known.
@@ -254,6 +261,25 @@ pub fn assemble_with(name: &str, source: &str, opts: &AsmOptions) -> Result<Prog
                     for w in words {
                         data.push((data_cursor, w));
                         data_cursor += 8;
+                    }
+                }
+                Directive::Bytes(bytes) => {
+                    if section != Section::Data {
+                        return Err(AsmError::new(
+                            AsmErrorKind::WrongSection,
+                            line_no,
+                            col,
+                            trimmed,
+                        ));
+                    }
+                    for b in bytes {
+                        data_bytes.push((data_cursor, b));
+                        data_cursor += 1;
+                    }
+                }
+                Directive::Align(bytes) => {
+                    if section == Section::Data {
+                        data_cursor = data_cursor.next_multiple_of(bytes);
                     }
                 }
                 Directive::Fill { repeat, value } => {
@@ -364,6 +390,7 @@ pub fn assemble_with(name: &str, source: &str, opts: &AsmOptions) -> Result<Prog
         _ => 0,
     };
     program.initial_mem = data;
+    program.initial_mem_bytes = data_bytes;
     program.initial_regs = vec![(ArchReg::int(REG_SP), opts.stack_top)];
 
     program
@@ -443,8 +470,18 @@ fn encode(
             };
             out.push(StaticInst::load_imm(dest(*rd), value));
         }
-        PInst::Load { rd, rs1, imm } => out.push(StaticInst::load(dest(*rd), reg(*rs1), *imm)),
-        PInst::Store { rs2, rs1, imm } => out.push(StaticInst::store(reg(*rs2), reg(*rs1), *imm)),
+        PInst::Load {
+            rd,
+            rs1,
+            imm,
+            access,
+        } => out.push(StaticInst::load_width(dest(*rd), reg(*rs1), *imm, *access)),
+        PInst::Store {
+            rs2,
+            rs1,
+            imm,
+            width,
+        } => out.push(StaticInst::store_width(reg(*rs2), reg(*rs1), *imm, *width)),
         PInst::BranchU {
             cond,
             rs1,
@@ -571,7 +608,15 @@ enum Directive {
     Data,
     Ignored,
     Words(Vec<u64>),
-    Fill { repeat: u64, value: u64 },
+    /// Byte-granular data items (`.byte` = 1 byte each, `.half` = 2), stored
+    /// little-endian at the running data cursor.
+    Bytes(Vec<u8>),
+    /// Align the data cursor up to a multiple of this many bytes.
+    Align(u64),
+    Fill {
+        repeat: u64,
+        value: u64,
+    },
 }
 
 fn parse_directive(body: &str, line: u32, col: u32) -> Result<Directive, AsmError> {
@@ -584,10 +629,56 @@ fn parse_directive(body: &str, line: u32, col: u32) -> Result<Directive, AsmErro
             .map(|v| v as u64)
             .ok_or_else(|| AsmError::new(AsmErrorKind::BadImmediate, line, col, tok))
     };
+    // Comma-separated immediates constrained to `bytes`-byte range, emitted
+    // little-endian.
+    let byte_list = |bytes: u32| -> Result<Directive, AsmError> {
+        let mut out = Vec::new();
+        for tok in rest.split(',') {
+            let tok = tok.trim();
+            if tok.is_empty() {
+                return Err(AsmError::new(AsmErrorKind::BadDirective, line, col, body));
+            }
+            let v = parse_imm(tok)
+                .ok_or_else(|| AsmError::new(AsmErrorKind::BadImmediate, line, col, tok))?;
+            let bits = bytes * 8;
+            let min = -(1i64 << (bits - 1));
+            let max = (1i64 << bits) - 1;
+            if v < min || v > max {
+                return Err(AsmError::new(AsmErrorKind::BadImmediate, line, col, tok));
+            }
+            out.extend_from_slice(&(v as u64).to_le_bytes()[..bytes as usize]);
+        }
+        if out.is_empty() {
+            return Err(AsmError::new(AsmErrorKind::BadDirective, line, col, body));
+        }
+        Ok(Directive::Bytes(out))
+    };
     match name {
         "text" => Ok(Directive::Text),
         "data" => Ok(Directive::Data),
-        "globl" | "global" | "align" | "p2align" | "balign" => Ok(Directive::Ignored),
+        "globl" | "global" => Ok(Directive::Ignored),
+        "align" | "p2align" | "balign" => {
+            let tok = rest.split(',').next().unwrap_or("").trim();
+            if tok.is_empty() {
+                // A bare `.align` is accepted as a no-op, as before.
+                return Ok(Directive::Ignored);
+            }
+            let n = imm(tok)?;
+            let bytes = if name == "balign" {
+                if n == 0 || !n.is_power_of_two() || n > 4096 {
+                    return Err(AsmError::new(AsmErrorKind::BadImmediate, line, col, tok));
+                }
+                n
+            } else {
+                if n > 12 {
+                    return Err(AsmError::new(AsmErrorKind::BadImmediate, line, col, tok));
+                }
+                1 << n
+            };
+            Ok(Directive::Align(bytes))
+        }
+        "byte" => byte_list(1),
+        "half" | "short" => byte_list(2),
         "word" | "dword" | "quad" => {
             let mut words = Vec::new();
             for tok in rest.split(',') {
@@ -885,6 +976,7 @@ impl<'a> Parser<'a> {
             "xor" => alu_reg(AluOp::Xor),
             "sll" => alu_reg(AluOp::Shl),
             "srl" => alu_reg(AluOp::Shr),
+            "sra" => alu_reg(AluOp::Sra),
             "mul" => {
                 self.expect_count(3, "rd, rs1, rs2")?;
                 Ok(PInst::MulReg {
@@ -899,6 +991,7 @@ impl<'a> Parser<'a> {
             "xori" => alu_imm(AluOp::Xor),
             "slli" => alu_imm(AluOp::Shl),
             "srli" => alu_imm(AluOp::Shr),
+            "srai" => alu_imm(AluOp::Sra),
             "li" => {
                 self.expect_count(2, "rd, imm")?;
                 Ok(PInst::Li {
@@ -940,17 +1033,42 @@ impl<'a> Parser<'a> {
                     imm: -1,
                 })
             }
-            "ld" | "lw" | "lwu" => {
+            "ld" | "lw" | "lwu" | "lh" | "lhu" | "lb" | "lbu" => {
                 self.expect_count(2, "rd, off(rs1)")?;
                 let rd = self.reg_at(0)?;
                 let (rs1, imm) = self.mem_at(1)?;
-                Ok(PInst::Load { rd, rs1, imm })
+                let access = match self.mnemonic {
+                    "ld" => MemAccess::D,
+                    "lw" => MemAccess::signed(MemWidth::W),
+                    "lwu" => MemAccess::unsigned(MemWidth::W),
+                    "lh" => MemAccess::signed(MemWidth::H),
+                    "lhu" => MemAccess::unsigned(MemWidth::H),
+                    "lb" => MemAccess::signed(MemWidth::B),
+                    _ => MemAccess::unsigned(MemWidth::B),
+                };
+                Ok(PInst::Load {
+                    rd,
+                    rs1,
+                    imm,
+                    access,
+                })
             }
-            "sd" | "sw" => {
+            "sd" | "sw" | "sh" | "sb" => {
                 self.expect_count(2, "rs2, off(rs1)")?;
                 let rs2 = self.reg_at(0)?;
                 let (rs1, imm) = self.mem_at(1)?;
-                Ok(PInst::Store { rs2, rs1, imm })
+                let width = match self.mnemonic {
+                    "sd" => MemWidth::D,
+                    "sw" => MemWidth::W,
+                    "sh" => MemWidth::H,
+                    _ => MemWidth::B,
+                };
+                Ok(PInst::Store {
+                    rs2,
+                    rs1,
+                    imm,
+                    width,
+                })
             }
             "beq" => branch(false, BranchCond::Eq, false),
             "bne" => branch(false, BranchCond::Ne, false),
@@ -1085,6 +1203,96 @@ mod tests {
         assert_eq!(interp.reg(ArchReg::int(12)), 42);
         let base = AsmOptions::default().data_base;
         assert_eq!(interp.memory().load_u64(base + 8), 42);
+    }
+
+    #[test]
+    fn sub_word_loads_extend_and_stores_truncate() {
+        let interp = run(concat!(
+            "main:\n",
+            "  la a0, buf\n",
+            "  lb a1, 0(a0)\n",  // 0x80 sign-extends to -128
+            "  lbu a2, 0(a0)\n", // 0x80 zero-extends to 128
+            "  lh a3, 2(a0)\n",  // 0xFFFF -> -1
+            "  lhu a4, 2(a0)\n", // 0xFFFF -> 65535
+            "  lw a5, 4(a0)\n",  // 0xFFFF_FFFF -> -1
+            "  lwu a6, 4(a0)\n",
+            "  li t0, 0x1122334455667788\n",
+            "  sb t0, 8(a0)\n",
+            "  sh t0, 10(a0)\n",
+            "  sw t0, 12(a0)\n",
+            "  ld a7, 8(a0)\n",
+            ".data\n",
+            "buf: .byte 0x80, 0\n",
+            "     .half -1\n",
+            "     .word 0xFFFFFFFF\n",
+            "     .word 0\n",
+        ));
+        assert_eq!(interp.reg(ArchReg::int(11)) as i64, -128);
+        assert_eq!(interp.reg(ArchReg::int(12)), 128);
+        assert_eq!(interp.reg(ArchReg::int(13)) as i64, -1);
+        assert_eq!(interp.reg(ArchReg::int(14)), 65535);
+        assert_eq!(interp.reg(ArchReg::int(15)) as i64, -1);
+        assert_eq!(interp.reg(ArchReg::int(16)), 0xFFFF_FFFF);
+        // sb wrote byte 0x88 at +8, sh wrote 0x7788 at +10, sw wrote
+        // 0x55667788 at +12; byte +9 keeps the zero from the first .word's
+        // high bytes.
+        assert_eq!(interp.reg(ArchReg::int(17)), 0x5566_7788_7788_0088);
+    }
+
+    #[test]
+    fn sra_is_an_arithmetic_shift() {
+        let interp = run(concat!(
+            "li a0, -64\n",
+            "srai a1, a0, 3\n",
+            "li a2, 2\n",
+            "sra a3, a0, a2\n",
+            "li a4, 64\n",
+            "srai a5, a4, 3\n",
+        ));
+        assert_eq!(interp.reg(ArchReg::int(11)) as i64, -8);
+        assert_eq!(interp.reg(ArchReg::int(13)) as i64, -16);
+        assert_eq!(interp.reg(ArchReg::int(15)), 8);
+    }
+
+    #[test]
+    fn byte_and_half_directives_pack_and_align() {
+        let program = assemble(
+            "t",
+            ".data\na: .byte 1, 2, 3\nb: .half 0x0504\n.align 3\nc: .word 9\n.text\nmain: nop",
+        )
+        .expect("assembles");
+        let base = AsmOptions::default().data_base;
+        assert_eq!(
+            program.initial_mem_bytes,
+            vec![
+                (base, 1),
+                (base + 1, 2),
+                (base + 2, 3),
+                (base + 3, 0x04),
+                (base + 4, 0x05)
+            ]
+        );
+        // `.align 3` advanced the cursor from base+5 to the next 8-byte
+        // boundary before the .word.
+        assert_eq!(program.initial_mem, vec![(base + 8, 9)]);
+        let mem = program.build_memory();
+        assert_eq!(mem.load_bytes(base, 2), 0x0201);
+        assert_eq!(mem.load_bytes(base + 3, 2), 0x0504);
+    }
+
+    #[test]
+    fn byte_directive_range_checks() {
+        let e = assemble("t", ".data\na: .byte 256").unwrap_err();
+        assert_eq!(e.kind, AsmErrorKind::BadImmediate);
+        let e = assemble("t", ".data\na: .byte -129").unwrap_err();
+        assert_eq!(e.kind, AsmErrorKind::BadImmediate);
+        let e = assemble("t", ".data\na: .half 65536").unwrap_err();
+        assert_eq!(e.kind, AsmErrorKind::BadImmediate);
+        assert!(assemble("t", ".data\na: .byte -128, 255").is_ok());
+        let e = assemble("t", ".text\n.byte 1").unwrap_err();
+        assert_eq!(e.kind, AsmErrorKind::WrongSection);
+        let e = assemble("t", ".data\n.align 99").unwrap_err();
+        assert_eq!(e.kind, AsmErrorKind::BadImmediate);
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! The bundled RISC-V assembly kernel suite.
 //!
-//! Seven small but real programs — written fresh for this reproduction in
+//! Nine small but real programs — written fresh for this reproduction in
 //! the style of classic teaching-simulator kernels — covering the
 //! control-flow and address-stream shapes the synthetic suite cannot
 //! express: nested loops over 2-D indexing (matmul), data-dependent
 //! recursion with a real stack (quicksort), a single serial dependence
 //! chain (pointer-chase), streaming with a store stream (box-blur),
 //! irregular inner-loop trip counts (prime sieve), unpredictable
-//! data-dependent branching (binary search) and an LLC-missing dependent
-//! chase over a 4 MB working set (chase-large).
+//! data-dependent branching (binary search), an LLC-missing dependent
+//! chase over a 4 MB working set (chase-large), and two kernels whose
+//! semantics depend on byte-granular memory: a byte-histogram scan
+//! (byte-histo) and a struct-of-bytes pointer chase (struct-chase).
 //!
 //! Every kernel follows the same loader convention: the **outer iteration
 //! count arrives in `a0`** (set via [`AsmKernel::build`]), each round ends
@@ -45,6 +47,14 @@ pub enum AsmKernel {
     /// Pointer chase over a 4 MB ring (4× the LLC): every hop is an LLC
     /// miss, so runahead always has a stalling slice to chase.
     ChaseLarge,
+    /// Byte-histogram / strlen-style scan: `lbu` walks a NUL-terminated
+    /// pseudo-random string, the histogram address depends on the loaded
+    /// byte value (sub-word semantics are load-bearing).
+    ByteHisto,
+    /// Struct-of-bytes pointer chase: each hop loads the next pointer, then
+    /// byte/halfword/word fields (`lbu`/`lb`/`lhu`/`lw`) off the freshly
+    /// loaded pointer.
+    StructChase,
 }
 
 /// Number of nodes in the [`AsmKernel::ChaseLarge`] ring: 4 MB of 8-byte
@@ -69,7 +79,7 @@ pub const CHASE_LARGE_STEP: u64 = 196_613;
 
 impl AsmKernel {
     /// Every bundled kernel.
-    pub const ALL: [AsmKernel; 7] = [
+    pub const ALL: [AsmKernel; 9] = [
         AsmKernel::Matmul,
         AsmKernel::Quicksort,
         AsmKernel::PointerChase,
@@ -77,6 +87,8 @@ impl AsmKernel {
         AsmKernel::PrimeSieve,
         AsmKernel::BinarySearch,
         AsmKernel::ChaseLarge,
+        AsmKernel::ByteHisto,
+        AsmKernel::StructChase,
     ];
 
     /// Short name (also the workload name with an `asm-` prefix).
@@ -89,6 +101,8 @@ impl AsmKernel {
             AsmKernel::PrimeSieve => "prime-sieve",
             AsmKernel::BinarySearch => "binary-search",
             AsmKernel::ChaseLarge => "chase-large",
+            AsmKernel::ByteHisto => "byte-histo",
+            AsmKernel::StructChase => "struct-chase",
         }
     }
 
@@ -102,6 +116,8 @@ impl AsmKernel {
             AsmKernel::PrimeSieve => "sieve of Eratosthenes, irregular inner trip counts",
             AsmKernel::BinarySearch => "scrambled binary searches, unpredictable branches",
             AsmKernel::ChaseLarge => "LLC-missing pointer chase over a 4 MB scattered ring",
+            AsmKernel::ByteHisto => "byte-histogram strlen-style scan, byte-indexed buckets",
+            AsmKernel::StructChase => "struct-of-bytes pointer chase with sub-word field loads",
         }
     }
 
@@ -115,6 +131,8 @@ impl AsmKernel {
             AsmKernel::PrimeSieve => include_str!("kernels/prime_sieve.s"),
             AsmKernel::BinarySearch => include_str!("kernels/binary_search.s"),
             AsmKernel::ChaseLarge => include_str!("kernels/chase_large.s"),
+            AsmKernel::ByteHisto => include_str!("kernels/byte_histo.s"),
+            AsmKernel::StructChase => include_str!("kernels/struct_chase.s"),
         }
     }
 
@@ -311,6 +329,85 @@ mod tests {
         let index = (2 * CHASE_LARGE_STEPS_PER_ROUND * CHASE_LARGE_STEP) & mask;
         let result = interp.memory().load_u64(base + CHASE_LARGE_NODES * 8);
         assert_eq!(result, base + index * 8);
+    }
+
+    /// The byte string the `byte-histo` init loop generates.
+    fn byte_histo_reference_string() -> Vec<u8> {
+        let mut x = 0x9E37_79B9u64;
+        let mut text: Vec<u8> = (0..2047u64)
+            .map(|i| {
+                x = x.wrapping_mul(2_654_435_761).wrapping_add(i);
+                let b = ((x >> 16) & 255) as u8;
+                if b == 0 {
+                    170
+                } else {
+                    b
+                }
+            })
+            .collect();
+        text.push(0);
+        text
+    }
+
+    #[test]
+    fn byte_histo_matches_a_rust_reference() {
+        let rounds = 3u64;
+        let interp = finish(AsmKernel::ByteHisto, rounds);
+        let text = byte_histo_reference_string();
+        let checksum: u64 = text.iter().map(|&b| u64::from(b)).sum();
+        let base = AsmOptions::default().data_base;
+        let result = base + 2048 + 64 * 8;
+        assert_eq!(interp.memory().load_u64(result), checksum);
+        assert_eq!(interp.memory().load_u64(result + 8), 2047);
+        // Histogram buckets accumulate across rounds.
+        let mut per_round = [0u64; 64];
+        for &b in text.iter().filter(|&&b| b != 0) {
+            per_round[(b & 63) as usize] += 1;
+        }
+        for (k, &count) in per_round.iter().enumerate() {
+            let addr = base + 2048 + k as u64 * 8;
+            assert_eq!(
+                interp.memory().load_u64(addr),
+                count * rounds,
+                "hist[{k}] after {rounds} rounds"
+            );
+        }
+        // The generated string is byte-granular: the image stores it as
+        // bytes, not words.
+        assert_eq!(interp.memory().load_bytes(base, 1), u64::from(text[0]));
+    }
+
+    #[test]
+    fn struct_chase_matches_a_rust_reference() {
+        let rounds = 2u64;
+        let interp = finish(AsmKernel::StructChase, rounds);
+        let base = AsmOptions::default().data_base;
+        // Replicate the init loop's fields and the chase.
+        let key = |i: u64| i & 255;
+        let sign = |i: u64| ((i.wrapping_mul(37) & 255) as u8) as i8 as i64 as u64;
+        let weight = |i: u64| (i.wrapping_mul(2_654_435_761) >> 8) & 0xFFFF;
+        let val = |i: u64| {
+            let w = (i.wrapping_mul(2_654_435_761) >> 24) & 0xFFFF_FFFF;
+            w as u32 as i32 as i64 as u64
+        };
+        let mut acc = 0u64;
+        let mut node = 0u64;
+        for _ in 0..rounds * 256 {
+            node = (node + 101) & 255;
+            acc = acc
+                .wrapping_add(key(node))
+                .wrapping_add(sign(node))
+                .wrapping_add(weight(node));
+            acc ^= val(node);
+            // The tag write-then-read: the 8-byte read returns the freshly
+            // stored low byte (bytes +17..+23 of the node are zero).
+            acc = acc.wrapping_add(acc & 0xFF);
+        }
+        let result = base + 256 * 32;
+        assert_eq!(interp.memory().load_u64(result), acc);
+        // 256 hops per round is a full cycle (101 is odd), so the cursor is
+        // back at node 0 at every round boundary.
+        assert_eq!(interp.memory().load_u64(result + 8), base);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+# Byte-histogram / strlen-style scan over a pseudo-random byte string.
+# a0 = outer iteration count (initialized by the loader).
+#
+# An init loop writes 2047 non-zero pseudo-random bytes (sb) plus a NUL
+# terminator. Each round then walks the string byte by byte (lbu) until the
+# NUL, bumping a 64-bucket histogram whose address depends on the loaded
+# byte value — a dependent chain through a sub-word load — and accumulating
+# a checksum that is stored live at the end of every round.
+
+main:
+        mv      s0, a0              # rounds remaining
+        la      s1, text
+        la      s2, hist
+        la      s3, result
+
+        # init: text[i] = prng(i) | forced non-zero, text[2047] = 0
+        li      t0, 0               # i
+        li      t1, 2047
+        li      t2, 0x9E3779B9      # x
+init:
+        li      t3, 2654435761
+        mul     t2, t2, t3
+        add     t2, t2, t0          # x = x * 2654435761 + i
+        srli    t3, t2, 16
+        andi    t3, t3, 255
+        bnez    t3, store_b
+        li      t3, 170             # never store the terminator early
+store_b:
+        add     t4, s1, t0
+        sb      t3, 0(t4)
+        addi    t0, t0, 1
+        bltu    t0, t1, init
+        add     t4, s1, t1
+        sb      zero, 0(t4)         # terminator
+
+outer:
+        beqz    s0, end
+        mv      t0, s1              # cursor
+        li      a5, 0               # checksum
+scan:
+        lbu     t1, 0(t0)
+        beqz    t1, done
+        andi    t2, t1, 63
+        slli    t2, t2, 3
+        add     t2, s2, t2
+        ld      t3, 0(t2)
+        addi    t3, t3, 1
+        sd      t3, 0(t2)           # hist[b & 63] += 1
+        add     a5, a5, t1
+        addi    t0, t0, 1
+        j       scan
+done:
+        sd      a5, 0(s3)           # live checksum
+        sub     t4, t0, s1
+        sd      t4, 8(s3)           # string length
+        addi    s0, s0, -1
+        j       outer
+end:
+        nop
+
+.data
+text:   .fill 256, 0                # 2048 bytes, written by the init loop
+hist:   .fill 64, 0
+result: .word 0, 0

@@ -18,13 +18,13 @@ init_j:
         slli    t3, t2, 3
         add     t4, s1, t3
         addi    t5, t2, 1
-        sw      t5, 0(t4)
+        sd      t5, 0(t4)
         add     t4, s2, t3
         sub     t6, t0, t1
         addi    t6, t6, 3
-        sw      t6, 0(t4)
+        sd      t6, 0(t4)
         add     t4, s4, t3
-        sw      zero, 0(t4)
+        sd      zero, 0(t4)
         addi    t1, t1, 1
         bltu    t1, s3, init_j
         addi    t0, t0, 1

@@ -1,0 +1,78 @@
+# Struct-of-bytes pointer chase: a ring of 256 32-byte nodes.
+# a0 = outer iteration count (initialized by the loader).
+#
+# Node layout:   +0  next   (8 bytes, ld)
+#                +8  key    (byte, lbu)
+#                +9  sign   (byte, lb — sign-extended)
+#                +10 weight (halfword, lhu)
+#                +12 val    (word, lw — sign-extended)
+#                +16 tag    (byte, written per hop; +17..+23 stay zero)
+#
+# An init loop installs the links (sd) and fields (sb/sh/sw). Each round
+# then chases 256 hops — every hop a dependent load of the next pointer
+# followed by sub-word field loads off the freshly loaded pointer — and
+# stores the live accumulator and cursor. Each hop also tags the visited
+# node with a byte store and immediately reads the whole 8-byte tag word
+# back: the byte store only partially overlaps the load, so the load
+# cannot forward from the store queue and must wait for the store to
+# commit (the LSQ's `forward_blocked_partial` path).
+
+main:
+        mv      s0, a0              # rounds remaining
+        la      s1, nodes
+        la      s2, result
+        li      s3, 256             # nodes / hops per round
+        li      s4, 32              # node stride
+
+        li      t0, 0               # i
+init:
+        mul     t1, t0, s4
+        add     t1, s1, t1          # &node[i]
+        addi    t2, t0, 101
+        andi    t2, t2, 255
+        mul     t2, t2, s4
+        add     t2, s1, t2
+        sd      t2, 0(t1)           # .next = &node[(i + 101) & 255]
+        sb      t0, 8(t1)           # .key  = i (low byte)
+        li      t3, 37
+        mul     t3, t0, t3
+        sb      t3, 9(t1)           # .sign = (i * 37) & 255
+        li      t4, 2654435761
+        mul     t4, t0, t4
+        srli    t5, t4, 8
+        sh      t5, 10(t1)          # .weight
+        srli    t5, t4, 24
+        sw      t5, 12(t1)          # .val
+        addi    t0, t0, 1
+        bltu    t0, s3, init
+
+        mv      s5, s1              # cursor = &node[0]
+        li      a5, 0               # accumulator
+outer:
+        beqz    s0, end
+        li      t0, 0               # hops this round
+chase:
+        ld      s5, 0(s5)           # cursor = cursor->next
+        lbu     t1, 8(s5)
+        lb      t2, 9(s5)           # sign-extended
+        lhu     t3, 10(s5)
+        lw      t4, 12(s5)          # sign-extended
+        add     a5, a5, t1
+        add     a5, a5, t2
+        add     a5, a5, t3
+        xor     a5, a5, t4
+        sb      a5, 16(s5)          # tag the node (byte field)
+        ld      t5, 16(s5)          # whole tag word: partial overlap with
+        add     a5, a5, t5          # the sb above -> acc += acc & 0xFF
+        addi    t0, t0, 1
+        bltu    t0, s3, chase
+        sd      a5, 0(s2)           # live accumulator
+        sd      s5, 8(s2)           # cursor address
+        addi    s0, s0, -1
+        j       outer
+end:
+        nop
+
+.data
+nodes:  .fill 1024, 0               # 256 nodes x 32 bytes
+result: .word 0, 0

@@ -2,17 +2,22 @@
 //!
 //! The synthetic workloads in `pre-workloads` are *generated*; this crate
 //! lets the simulator run *real programs*: a two-pass assembler + loader
-//! that lowers an RV64I subset (register/immediate ALU ops, `ld`/`sd`/
-//! `lw`/`sw`, the full branch family, `jal`/`jalr`, labels and
-//! `.data`/`.word`/`.fill` directives, with `x0` hardwired-zero semantics)
-//! onto the existing micro-op ISA ([`pre_model::isa::StaticInst`]) and
-//! emits a ready-to-run [`pre_model::Program`] — instructions, initial
-//! memory image and initial registers (`sp` pointing at a stack).
+//! that lowers an RV64I subset (register/immediate ALU ops including
+//! `sra`/`srai`, the full `lb`/`lbu`/`lh`/`lhu`/`lw`/`lwu`/`ld` and
+//! `sb`/`sh`/`sw`/`sd` load/store family at their true access widths, the
+//! full branch family, `jal`/`jalr`, labels and
+//! `.data`/`.byte`/`.half`/`.word`/`.fill`/`.align` directives, with `x0`
+//! hardwired-zero semantics) onto the existing micro-op ISA
+//! ([`pre_model::isa::StaticInst`], whose memory micro-ops carry an
+//! explicit [`pre_model::isa::MemAccess`] width) and emits a ready-to-run
+//! [`pre_model::Program`] — instructions, initial memory image (8-byte and
+//! byte-granular) and initial registers (`sp` pointing at a stack).
 //!
 //! See [`assembler`] for the exact lowering rules (signed branches, the
 //! `jalr` return-address dispatch, reserved `gp`/`tp` scratch registers)
-//! and [`kernels`] for the bundled six-kernel suite (matmul, quicksort,
-//! pointer-chase, box-blur, prime sieve, binary search).
+//! and [`kernels`] for the bundled nine-kernel suite (matmul, quicksort,
+//! pointer-chase, box-blur, prime sieve, binary search, chase-large,
+//! byte-histo, struct-chase).
 //!
 //! # Example
 //!

@@ -182,7 +182,9 @@ pub struct OooCore {
     pub(crate) emq: ExtendedMicroOpQueue<DynUop>,
     pub(crate) runahead_buffer: RunaheadBuffer,
     pub(crate) chain_engine: Option<ChainReplayEngine>,
-    pub(crate) runahead_store_buffer: HashMap<u64, u64>,
+    /// Byte-granular runahead store buffer: byte address → speculatively
+    /// stored byte (runahead stores never reach memory).
+    pub(crate) runahead_store_buffer: HashMap<u64, u8>,
     pub(crate) interval: Option<RunaheadInterval>,
     pub(crate) interval_seq: u64,
     pub(crate) last_stall_head_id: Option<u64>,
@@ -421,6 +423,8 @@ impl OooCore {
         self.stats.rob_writes = self.rob.writes();
         self.stats.rob_reads = self.rob.reads();
         self.stats.lsq_searches = self.lsq.searches();
+        self.stats.lsq_forwards = self.lsq.forwards();
+        self.stats.forward_blocked_partial = self.lsq.forward_blocked_partial();
         self.stats.sst_lookups = self.sst.lookups();
         self.stats.sst_hits = self.sst.hits();
         self.stats.sst_inserts = self.sst.inserts();
@@ -519,11 +523,11 @@ impl OooCore {
             if let (Some(dest), Some(result)) = (inst.dest, entry.result) {
                 self.arf[dest.flat_index()] = result;
             }
-            if inst.opcode.is_store() {
+            if let Some(width) = inst.opcode.store_width() {
                 let addr = entry.mem_addr.expect("committed store has an address");
                 let value = entry.store_value.expect("committed store has a value");
-                self.func_mem.store_u64(addr, value);
-                self.mem_hier.store(addr, now);
+                self.func_mem.store_bytes(addr, width.bytes(), value);
+                self.mem_hier.store_range(addr, width.bytes(), now);
                 self.stats.committed_stores += 1;
                 self.stats.store_checksum = fold_store_checksum(
                     self.stats.store_checksum,

@@ -273,7 +273,7 @@ impl OooCore {
                         self.cfg.core.dispatch_width,
                         &mut self.mem_hier,
                         |class| latencies.for_class(class),
-                        |addr| func_mem.load_u64(addr),
+                        |addr, len| func_mem.load_bytes(addr, len),
                     );
                 }
             }

@@ -228,8 +228,8 @@ impl OooCore {
         if inst.opcode.is_load() {
             self.lsq.allocate_load(id);
         }
-        if inst.opcode.is_store() {
-            self.lsq.allocate_store(id);
+        if let Some(width) = inst.opcode.store_width() {
+            self.lsq.allocate_store(id, width.bytes() as u8);
         }
         self.stats.renamed_uops += 1;
         self.stats.dispatched_uops += 1;
@@ -387,7 +387,8 @@ impl OooCore {
             self.iq.mark_store_addr_ready(slot);
             if let Some((data_class, data_reg)) = e.srcs.get(1) {
                 if self.prf(data_class).is_ready(data_reg) {
-                    let value = self.prf(data_class).peek(data_reg);
+                    let mask = e.inst.opcode.store_width().expect("agen on a store").mask();
+                    let value = self.prf(data_class).peek(data_reg) & mask;
                     self.lsq.set_store_value(e.id, value);
                 }
             }
@@ -416,7 +417,8 @@ impl OooCore {
             }
             let value = match data {
                 Some((class, reg)) if self.prf(class).is_ready(reg) => {
-                    Some(self.prf(class).peek(reg))
+                    let mask = e.inst.opcode.store_width().expect("agen on a store").mask();
+                    Some(self.prf(class).peek(reg) & mask)
                 }
                 _ => None,
             };
@@ -480,7 +482,8 @@ impl OooCore {
         let mut actual_next_pc = None;
         let mut mispredicted = false;
 
-        if inst.opcode.is_load() {
+        if let Some(load_access) = inst.opcode.load_access() {
+            let len = load_access.width.bytes();
             let addr = inst.effective_address(src1);
             mem_addr = Some(addr);
             // Back-pressure: a load that needs to bring its line in can only
@@ -503,8 +506,10 @@ impl OooCore {
                     completion = now + 1;
                     dest_inv = true;
                 } else {
-                    let value = self.runahead_load_value(entry.id, addr);
-                    let access = self.mem_hier.load(addr, now, AccessKind::Prefetch);
+                    let value = self.runahead_load_value(entry.id, addr, load_access);
+                    let access = self
+                        .mem_hier
+                        .load_range(addr, len, now, AccessKind::Prefetch);
                     if self.trace_prefetches {
                         eprintln!(
                             "PF cycle={now} pc={} addr={addr:#x} level={:?} new_fill={}",
@@ -530,35 +535,39 @@ impl OooCore {
                     }
                 }
             } else {
-                match self.lsq.check_load(entry.id, addr) {
+                match self.lsq.check_load(entry.id, addr, len as u8) {
                     crate::lsq::LoadCheck::Stall => return IssueOutcome::NotIssued,
-                    crate::lsq::LoadCheck::Forward(value) => {
-                        result = Some(value);
+                    crate::lsq::LoadCheck::Forward(raw) => {
+                        result = Some(load_access.extend(raw));
                         completion = now + self.cfg.l1d.latency;
                         mem_level = Some(HitLevel::L1);
                     }
                     crate::lsq::LoadCheck::Proceed => {
-                        let value = self.func_mem.load_u64(addr);
-                        let access = self.mem_hier.load(addr, now, AccessKind::Demand);
+                        let raw = self.func_mem.load_bytes(addr, len);
+                        let access = self.mem_hier.load_range(addr, len, now, AccessKind::Demand);
                         if self.trace_prefetches && access.level == HitLevel::Memory {
                             eprintln!("DM cycle={now} pc={} addr={addr:#x}", entry.pc);
                         }
-                        result = Some(value);
+                        result = Some(load_access.extend(raw));
                         completion = access.completion_cycle;
                         mem_level = Some(access.level);
                     }
                 }
             }
-        } else if inst.opcode.is_store() {
+        } else if let Some(width) = inst.opcode.store_width() {
             let addr = inst.effective_address(src1);
+            let value = src2 & width.mask();
             mem_addr = Some(addr);
-            store_value = Some(src2);
+            store_value = Some(value);
             if !entry.is_runahead {
                 self.lsq.set_store_addr(entry.id, addr);
-                self.lsq.set_store_value(entry.id, src2);
+                self.lsq.set_store_value(entry.id, value);
             }
             if runahead_exec && !src_inv {
-                self.runahead_store_buffer.insert(addr & !7, src2);
+                for i in 0..width.bytes() {
+                    self.runahead_store_buffer
+                        .insert(addr + i, (value >> (8 * i)) as u8);
+                }
             }
         } else if inst.opcode.is_control() {
             let outcome = inst.execute(entry.pc, src1, src2, None);
@@ -618,16 +627,53 @@ impl OooCore {
         IssueOutcome::Issued
     }
 
-    /// The value a runahead load observes: runahead stores first, then
-    /// uncommitted architectural stores, then committed memory.
-    fn runahead_load_value(&mut self, load_id: u64, addr: u64) -> u64 {
-        if let Some(&v) = self.runahead_store_buffer.get(&(addr & !7)) {
-            return v;
-        }
-        if let crate::lsq::LoadCheck::Forward(v) = self.lsq.check_load(load_id, addr) {
-            return v;
-        }
-        self.func_mem.load_u64(addr)
+    /// The value a runahead load observes, byte-wise in priority order:
+    /// runahead store-buffer bytes, then uncommitted architectural stores
+    /// (store-queue forwarding), then committed memory. Returns the value
+    /// extended per the load's access shape.
+    fn runahead_load_value(
+        &mut self,
+        load_id: u64,
+        addr: u64,
+        access: pre_model::isa::MemAccess,
+    ) -> u64 {
+        let len = access.width.bytes();
+        let buffered = (0..len)
+            .filter(|i| self.runahead_store_buffer.contains_key(&(addr + i)))
+            .count() as u64;
+        let raw = if buffered == len {
+            // Fully buffered: no LSQ search needed.
+            let mut value = 0u64;
+            for i in (0..len).rev() {
+                value = (value << 8) | u64::from(self.runahead_store_buffer[&(addr + i)]);
+            }
+            value
+        } else {
+            let underlying = if let crate::lsq::LoadCheck::Forward(v) =
+                self.lsq.check_load_speculative(load_id, addr, len as u8)
+            {
+                v
+            } else {
+                self.func_mem.load_bytes(addr, len)
+            };
+            if buffered == 0 {
+                underlying
+            } else {
+                // Partially buffered (only reachable with sub-word runahead
+                // stores): overlay the buffered bytes on the underlying
+                // LSQ-or-memory value.
+                let mut value = 0u64;
+                for i in (0..len).rev() {
+                    let byte = match self.runahead_store_buffer.get(&(addr + i)) {
+                        Some(&b) => b,
+                        None => (underlying >> (8 * i)) as u8,
+                    };
+                    value = (value << 8) | u64::from(byte);
+                }
+                value
+            }
+        };
+        access.extend(raw)
     }
 
     // ---------------------------------------------------------------------

@@ -296,6 +296,11 @@ impl Cache {
     pub fn align(&self, addr: u64) -> u64 {
         self.line_addr(addr)
     }
+
+    /// Byte offset of `addr` within its cache line.
+    pub fn line_offset(&self, addr: u64) -> u64 {
+        addr & (self.cfg.line_bytes as u64 - 1)
+    }
 }
 
 #[cfg(test)]

@@ -72,6 +72,18 @@ enum EntryPoint {
     Data,
 }
 
+/// Combines the two halves of a line-crossing access: the requester waits
+/// for the later half, the worse hit level is reported, and fill/prefetch
+/// attribution is the union of both halves.
+fn merge_split_access(a: MemAccess, b: MemAccess) -> MemAccess {
+    MemAccess {
+        completion_cycle: a.completion_cycle.max(b.completion_cycle),
+        level: a.level.max(b.level),
+        first_use_of_prefetch: a.first_use_of_prefetch || b.first_use_of_prefetch,
+        initiated_dram_fill: a.initiated_dram_fill || b.initiated_dram_fill,
+    }
+}
+
 /// The full memory hierarchy: L1I, L1D, L2, L3 and DRAM.
 #[derive(Debug, Clone)]
 pub struct MemoryHierarchy {
@@ -133,6 +145,41 @@ impl MemoryHierarchy {
     pub fn store(&mut self, addr: u64, now: u64) -> MemAccess {
         self.demand_stores += 1;
         self.walk(addr, now, EntryPoint::Data, AccessKind::Demand, true)
+    }
+
+    /// `true` when the byte range `[addr, addr + len)` spans more than one
+    /// L1D cache line (line offsets are byte-addressed; naturally aligned
+    /// accesses of up to 8 bytes never span a 64-byte line).
+    pub fn spans_data_lines(&self, addr: u64, len: u64) -> bool {
+        len > 0 && self.l1d.line_offset(addr) + len > self.l1d.config().line_bytes as u64
+    }
+
+    /// Issues a data-side load for the byte range `[addr, addr + len)`.
+    ///
+    /// A range contained in one cache line (the only shape the pipeline
+    /// produces, since effective addresses are naturally aligned) is a
+    /// single [`MemoryHierarchy::load`]; a line-crossing range walks both
+    /// lines and completes when the later half arrives.
+    pub fn load_range(&mut self, addr: u64, len: u64, now: u64, kind: AccessKind) -> MemAccess {
+        let first = self.load(addr, now, kind);
+        if !self.spans_data_lines(addr, len) {
+            return first;
+        }
+        let second_line = self.l1d.align(addr) + self.l1d.config().line_bytes as u64;
+        let second = self.load(second_line, now, kind);
+        merge_split_access(first, second)
+    }
+
+    /// Issues a committed store for the byte range `[addr, addr + len)`,
+    /// touching both lines when the range crosses a line boundary.
+    pub fn store_range(&mut self, addr: u64, len: u64, now: u64) -> MemAccess {
+        let first = self.store(addr, now);
+        if !self.spans_data_lines(addr, len) {
+            return first;
+        }
+        let second_line = self.l1d.align(addr) + self.l1d.config().line_bytes as u64;
+        let second = self.store(second_line, now);
+        merge_split_access(first, second)
     }
 
     /// Issues an instruction fetch for the line containing `addr`.
@@ -363,6 +410,49 @@ mod tests {
         let acc = m.load(0x10_000, 0, AccessKind::Demand);
         assert_eq!(acc.level, HitLevel::Memory);
         assert!(acc.latency(0) > 100, "cold miss latency {}", acc.latency(0));
+    }
+
+    #[test]
+    fn line_span_detection_is_byte_addressed() {
+        let m = hierarchy();
+        // 64-byte lines: a naturally aligned access of up to 8 bytes never
+        // crosses a line.
+        for len in [1u64, 2, 4, 8] {
+            let addr = 0x1000 + (64 - len); // last slot of the line
+            assert!(!m.spans_data_lines(addr, len), "aligned {len} @ {addr:#x}");
+        }
+        assert!(m.spans_data_lines(0x103E, 4)); // offset 62, 4 bytes
+        assert!(m.spans_data_lines(0x103F, 2));
+        assert!(!m.spans_data_lines(0x103F, 1));
+    }
+
+    #[test]
+    fn range_within_one_line_is_one_access() {
+        let mut a = hierarchy();
+        let mut b = hierarchy();
+        let single = a.load(0x2_0000, 0, AccessKind::Demand);
+        let ranged = b.load_range(0x2_0000, 8, 0, AccessKind::Demand);
+        assert_eq!(single, ranged);
+        let (mut sa, mut sb) = (SimStats::new(), SimStats::new());
+        a.export_stats(&mut sa);
+        b.export_stats(&mut sb);
+        assert_eq!(sa.l1d_accesses, sb.l1d_accesses);
+    }
+
+    #[test]
+    fn line_crossing_range_touches_both_lines_and_waits_for_the_later() {
+        let mut m = hierarchy();
+        // Warm the first line only.
+        let warm = m.load(0x3_0000, 0, AccessKind::Demand);
+        let now = warm.completion_cycle + 1;
+        // A (hypothetical, misaligned) 4-byte access at offset 62 touches
+        // the warm line and the cold one: the cold half dominates.
+        let acc = m.load_range(0x3_003E, 4, now, AccessKind::Demand);
+        assert_eq!(acc.level, HitLevel::Memory);
+        assert!(acc.latency(now) > 100);
+        // Both lines are now resident: a repeat crossing access hits L1.
+        let again = m.load_range(0x3_003E, 4, acc.completion_cycle + 1, AccessKind::Demand);
+        assert_eq!(again.level, HitLevel::L1);
     }
 
     #[test]

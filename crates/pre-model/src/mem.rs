@@ -3,30 +3,41 @@
 //! The simulator is execution-driven: loads and stores operate on real
 //! values so that dependence chains — in particular the *stalling slices*
 //! that runahead execution pre-executes — compute real addresses. [`FuncMem`]
-//! is the sparse 64-bit word-addressable memory backing that execution.
+//! is the sparse **byte-addressable** memory backing that execution: every
+//! access names a byte address and a length of 1–8 bytes, so sub-word
+//! `lb`/`lh`/`lw` accesses (and the byte-indexed data structures they
+//! traverse) are modelled faithfully instead of aliasing onto 8-byte words.
 //!
-//! Reads of locations that were never written return a deterministic
+//! Reads of bytes that were never written return a deterministic
 //! pseudo-random value derived from the address, so wrong-path and runahead
-//! execution stay deterministic without pre-initializing all of memory.
+//! execution stay deterministic without pre-initializing all of memory. The
+//! hash is assigned **per byte** (byte `a` reads byte `a % 8` of the hash of
+//! its containing aligned word), so an aligned 8-byte read of fully
+//! unwritten memory reassembles exactly the word hash the historical
+//! word-granular model returned — existing workloads observe bit-identical
+//! values.
 //!
 //! Page payloads live in an arena indexed by a `page → index` map, with a
 //! one-entry last-page cache in front of the map: sequential and strided
 //! access streams (the common case for the bundled kernels) resolve
-//! repeated touches of the same 4 KB page without hashing.
+//! repeated touches of the same 4 KB page without hashing. Freshly
+//! allocated pages are pre-seeded with their per-byte hash-init values, so
+//! the load path never consults a written-byte bitmap — the bitmap exists
+//! only to account [`FuncMem::written_bytes`].
 
 use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Bytes per functional-memory page.
 const PAGE_BYTES: u64 = 4096;
-/// 64-bit words per page.
-const PAGE_WORDS: usize = (PAGE_BYTES / 8) as usize;
+/// Words in the per-page written-byte bitmap (4096 bits).
+const BITMAP_WORDS: usize = (PAGE_BYTES / 64) as usize;
 
 /// Sentinel arena index for "last-page cache empty".
 const NO_PAGE: u32 = u32::MAX;
 
 /// Deterministic "uninitialized memory" value: a cheap integer hash of the
-/// address (SplitMix64 finalizer).
+/// 8-byte-aligned address (SplitMix64 finalizer).
 fn hash_addr(addr: u64) -> u64 {
     let mut z = addr.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -34,9 +45,72 @@ fn hash_addr(addr: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Sparse functional memory, 8-byte word granularity.
+/// The hash-init value of one byte: byte `addr % 8` (little-endian) of the
+/// hash of the containing aligned word.
+fn hash_init_byte(addr: u64) -> u8 {
+    (hash_addr(addr & !7) >> ((addr & 7) * 8)) as u8
+}
+
+/// Little-endian assembly of the hash-init values of `len` bytes at `addr`.
+fn hash_init_bytes(addr: u64, len: usize) -> u64 {
+    if len == 8 && addr & 7 == 0 {
+        return hash_addr(addr);
+    }
+    let mut value = 0u64;
+    for i in (0..len).rev() {
+        value = (value << 8) | u64::from(hash_init_byte(addr.wrapping_add(i as u64)));
+    }
+    value
+}
+
+/// One resident 4 KB page: byte payload plus a written-byte bitmap (the
+/// payload is pre-seeded with hash-init values, so the bitmap is only used
+/// to count distinct written bytes).
+#[derive(Debug, Clone)]
+struct Page {
+    data: Box<[u8]>,
+    written: Box<[u64]>,
+}
+
+impl Page {
+    fn new(page_no: u64) -> Self {
+        let base = page_no * PAGE_BYTES;
+        let mut data = vec![0u8; PAGE_BYTES as usize].into_boxed_slice();
+        for (w, chunk) in data.chunks_exact_mut(8).enumerate() {
+            chunk.copy_from_slice(&hash_addr(base + w as u64 * 8).to_le_bytes());
+        }
+        Page {
+            data,
+            written: vec![0u64; BITMAP_WORDS].into_boxed_slice(),
+        }
+    }
+
+    /// Marks bytes `offset .. offset + len` written; returns how many were
+    /// newly written. `len` is at most 8, so the bit run spans at most two
+    /// bitmap words — two mask operations, no per-byte loop.
+    fn mark_written(&mut self, offset: usize, len: usize) -> u32 {
+        debug_assert!((1..=8).contains(&len));
+        let bits = (1u64 << len) - 1;
+        let word = offset / 64;
+        let shift = offset % 64;
+        let lo = bits << shift;
+        let newly_lo = lo & !self.written[word];
+        self.written[word] |= lo;
+        let mut newly = newly_lo.count_ones();
+        if shift + len > 64 {
+            let hi = bits >> (64 - shift);
+            let newly_hi = hi & !self.written[word + 1];
+            self.written[word + 1] |= hi;
+            newly += newly_hi.count_ones();
+        }
+        newly
+    }
+}
+
+/// Sparse functional memory, byte granularity.
 ///
-/// Addresses are byte addresses; accesses are aligned down to 8 bytes.
+/// Addresses are byte addresses; accesses read or write `len` (1–8) bytes
+/// little-endian, at any alignment (accesses may span pages).
 ///
 /// # Example
 ///
@@ -44,21 +118,23 @@ fn hash_addr(addr: u64) -> u64 {
 /// use pre_model::mem::FuncMem;
 ///
 /// let mut mem = FuncMem::new();
-/// mem.store_u64(0x1000, 42);
-/// assert_eq!(mem.load_u64(0x1000), 42);
+/// mem.store_u64(0x1000, 0x1122_3344_5566_7788);
+/// assert_eq!(mem.load_u64(0x1000), 0x1122_3344_5566_7788);
+/// // Individual bytes are addressable (little-endian).
+/// assert_eq!(mem.load_bytes(0x1003, 1), 0x55);
 /// // Unwritten locations read a deterministic address-derived value.
 /// assert_eq!(mem.load_u64(0x2000), mem.load_u64(0x2000));
 /// ```
 #[derive(Debug, Clone)]
 pub struct FuncMem {
-    /// Page number → index into `page_data`.
+    /// Page number → index into `pages`.
     page_index: HashMap<u64, u32>,
     /// Page payloads (arena; indices are stable because pages are never
     /// removed).
-    page_data: Vec<Box<[u64]>>,
-    stored_words: u64,
+    pages: Vec<Page>,
+    stored_bytes: u64,
     /// One-entry cache of the most recently touched `(page, arena index)`.
-    /// Interior mutability keeps `load_u64` a `&self` operation.
+    /// Interior mutability keeps loads `&self` operations.
     last_page: Cell<(u64, u32)>,
 }
 
@@ -73,17 +149,14 @@ impl FuncMem {
     pub fn new() -> Self {
         FuncMem {
             page_index: HashMap::new(),
-            page_data: Vec::new(),
-            stored_words: 0,
+            pages: Vec::new(),
+            stored_bytes: 0,
             last_page: Cell::new((0, NO_PAGE)),
         }
     }
 
     fn split(addr: u64) -> (u64, usize) {
-        let word = addr / 8;
-        let page = word / PAGE_WORDS as u64;
-        let offset = (word % PAGE_WORDS as u64) as usize;
-        (page, offset)
+        (addr / PAGE_BYTES, (addr % PAGE_BYTES) as usize)
     }
 
     /// Arena index of `page`, consulting the last-page cache first.
@@ -97,74 +170,110 @@ impl FuncMem {
         Some(idx)
     }
 
-    /// Reads the 64-bit word containing `addr`.
-    ///
-    /// Never allocates: reads of unwritten memory return a deterministic
-    /// value derived from the (word-aligned) address.
-    pub fn load_u64(&self, addr: u64) -> u64 {
-        let (page, offset) = Self::split(addr);
+    fn ensure_page(&mut self, page: u64) -> u32 {
         match self.lookup_page(page) {
-            Some(idx) => {
-                let v = self.page_data[idx as usize][offset];
-                if v == UNWRITTEN_MARKER {
-                    hash_addr(addr & !7)
-                } else {
-                    v
-                }
-            }
-            None => hash_addr(addr & !7),
-        }
-    }
-
-    /// Writes the 64-bit word containing `addr`.
-    pub fn store_u64(&mut self, addr: u64, value: u64) {
-        let (page, offset) = Self::split(addr);
-        let idx = match self.lookup_page(page) {
             Some(idx) => idx,
             None => {
-                let idx = u32::try_from(self.page_data.len()).expect("fewer than 2^32 pages");
-                self.page_data
-                    .push(vec![UNWRITTEN_MARKER; PAGE_WORDS].into_boxed_slice());
+                let idx = u32::try_from(self.pages.len()).expect("fewer than 2^32 pages");
+                self.pages.push(Page::new(page));
                 self.page_index.insert(page, idx);
                 self.last_page.set((page, idx));
                 idx
             }
-        };
-        let words = &mut self.page_data[idx as usize];
-        if words[offset] == UNWRITTEN_MARKER {
-            self.stored_words += 1;
         }
-        // A stored value equal to the marker is remapped to a neighbouring
-        // bit pattern; the marker is reserved to distinguish unwritten words.
-        words[offset] = if value == UNWRITTEN_MARKER {
-            UNWRITTEN_MARKER ^ 1
-        } else {
-            value
-        };
     }
 
-    /// Number of distinct 64-bit words ever written.
-    pub fn written_words(&self) -> u64 {
-        self.stored_words
+    /// Reads `len` (1–8) bytes at `addr`, little-endian, zero-extended into
+    /// a `u64`.
+    ///
+    /// Never allocates: reads of unwritten memory return a deterministic
+    /// per-byte value derived from the address.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) when `len` is outside `1..=8`.
+    pub fn load_bytes(&self, addr: u64, len: u64) -> u64 {
+        debug_assert!((1..=8).contains(&len), "access length {len} out of range");
+        let len = len as usize;
+        let (page, offset) = Self::split(addr);
+        if offset + len <= PAGE_BYTES as usize {
+            match self.lookup_page(page) {
+                Some(idx) => {
+                    let bytes = &self.pages[idx as usize].data[offset..offset + len];
+                    let mut buf = [0u8; 8];
+                    buf[..len].copy_from_slice(bytes);
+                    u64::from_le_bytes(buf)
+                }
+                None => hash_init_bytes(addr, len),
+            }
+        } else {
+            // Page-crossing access: assemble byte by byte.
+            let mut value = 0u64;
+            for i in (0..len).rev() {
+                value = (value << 8) | self.load_bytes(addr.wrapping_add(i as u64), 1);
+            }
+            value
+        }
+    }
+
+    /// Writes the low `len` (1–8) bytes of `value` at `addr`, little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) when `len` is outside `1..=8`.
+    pub fn store_bytes(&mut self, addr: u64, len: u64, value: u64) {
+        debug_assert!((1..=8).contains(&len), "access length {len} out of range");
+        let len = len as usize;
+        let (page, offset) = Self::split(addr);
+        if offset + len <= PAGE_BYTES as usize {
+            let idx = self.ensure_page(page);
+            let page = &mut self.pages[idx as usize];
+            page.data[offset..offset + len].copy_from_slice(&value.to_le_bytes()[..len]);
+            self.stored_bytes += u64::from(page.mark_written(offset, len));
+        } else {
+            for i in 0..len {
+                self.store_bytes(addr.wrapping_add(i as u64), 1, value >> (8 * i));
+            }
+        }
+    }
+
+    /// Reads the 8 bytes at `addr` (convenience for [`FuncMem::load_bytes`]
+    /// with `len == 8`; callers are responsible for alignment — the pipeline
+    /// naturally aligns effective addresses per access width).
+    pub fn load_u64(&self, addr: u64) -> u64 {
+        self.load_bytes(addr, 8)
+    }
+
+    /// Writes 8 bytes at `addr` ([`FuncMem::store_bytes`] with `len == 8`).
+    pub fn store_u64(&mut self, addr: u64, value: u64) {
+        self.store_bytes(addr, 8, value);
+    }
+
+    /// Number of distinct bytes ever written.
+    pub fn written_bytes(&self) -> u64 {
+        self.stored_bytes
     }
 
     /// Number of resident pages.
     pub fn resident_pages(&self) -> usize {
-        self.page_data.len()
+        self.pages.len()
     }
 
-    /// Bulk-initializes memory from `(address, value)` pairs.
+    /// Bulk-initializes memory from `(address, 8-byte value)` pairs.
     pub fn init_from<I: IntoIterator<Item = (u64, u64)>>(&mut self, pairs: I) {
         for (addr, value) in pairs {
             self.store_u64(addr, value);
         }
     }
-}
 
-/// Sentinel for "this word was never written". The probability of a program
-/// legitimately storing this exact value is negligible and such stores are
-/// remapped (see [`FuncMem::store_u64`]).
-const UNWRITTEN_MARKER: u64 = 0xDEAD_BEEF_DEAD_BEEF;
+    /// Bulk-initializes memory from `(address, byte)` pairs (assembler
+    /// `.byte`/`.half` images).
+    pub fn init_bytes_from<I: IntoIterator<Item = (u64, u8)>>(&mut self, pairs: I) {
+        for (addr, value) in pairs {
+            self.store_bytes(addr, 1, u64::from(value));
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -180,10 +289,30 @@ mod tests {
     }
 
     #[test]
-    fn loads_align_to_words() {
+    fn every_width_roundtrips_at_any_alignment() {
         let mut mem = FuncMem::new();
-        mem.store_u64(0x1000, 7);
-        assert_eq!(mem.load_u64(0x1003), 7);
+        for (len, addr, value) in [
+            (1, 0x1003, 0xAB),
+            (2, 0x1001, 0xBEEF),
+            (4, 0x1005, 0xDEAD_BEEF),
+            (8, 0x1013, 0x0123_4567_89AB_CDEF),
+        ] {
+            mem.store_bytes(addr, len, value);
+            assert_eq!(mem.load_bytes(addr, len), value, "len {len} @ {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn bytes_are_independent_and_little_endian() {
+        let mut mem = FuncMem::new();
+        mem.store_u64(0x2000, 0x1122_3344_5566_7788);
+        assert_eq!(mem.load_bytes(0x2000, 1), 0x88);
+        assert_eq!(mem.load_bytes(0x2007, 1), 0x11);
+        assert_eq!(mem.load_bytes(0x2002, 2), 0x5566);
+        assert_eq!(mem.load_bytes(0x2004, 4), 0x1122_3344);
+        // Overwrite one interior byte; its neighbours are untouched.
+        mem.store_bytes(0x2003, 1, 0xFF);
+        assert_eq!(mem.load_u64(0x2000), 0x1122_3344_FF66_7788);
     }
 
     #[test]
@@ -196,27 +325,74 @@ mod tests {
     }
 
     #[test]
+    fn unwritten_bytes_reassemble_the_word_hash() {
+        // The per-byte hash init must agree with the historical word-granular
+        // hash: an aligned 8-byte read of unwritten memory returns
+        // hash_addr(addr), byte reads return its little-endian bytes — with
+        // or without a resident page.
+        let addr = 0x7_3000u64;
+        let expected = hash_addr(addr);
+        let mem = FuncMem::new();
+        assert_eq!(mem.load_u64(addr), expected);
+        for i in 0..8 {
+            assert_eq!(
+                mem.load_bytes(addr + i, 1),
+                u64::from(expected.to_le_bytes()[i as usize])
+            );
+        }
+        let mut resident = FuncMem::new();
+        resident.store_u64(addr + 512, 1); // same page, different word
+        assert_eq!(resident.load_u64(addr), expected);
+        assert_eq!(resident.load_bytes(addr + 3, 2), (expected >> 24) & 0xFFFF);
+    }
+
+    #[test]
+    fn partial_writes_mix_with_hash_init_bytes() {
+        let addr = 0x9_1000u64;
+        let mut mem = FuncMem::new();
+        mem.store_bytes(addr, 1, 0x5A);
+        let hash = hash_addr(addr);
+        let expected = (hash & !0xFF) | 0x5A;
+        assert_eq!(mem.load_u64(addr), expected);
+    }
+
+    #[test]
     fn different_unwritten_addresses_read_different_values() {
         let mem = FuncMem::new();
         assert_ne!(mem.load_u64(0x1000), mem.load_u64(0x1008));
     }
 
     #[test]
-    fn written_word_count_tracks_unique_words() {
+    fn written_byte_count_tracks_unique_bytes() {
         let mut mem = FuncMem::new();
         mem.store_u64(0x1000, 1);
         mem.store_u64(0x1000, 2);
         mem.store_u64(0x2000, 3);
-        assert_eq!(mem.written_words(), 2);
+        assert_eq!(mem.written_bytes(), 16);
+        mem.store_bytes(0x1004, 2, 9); // inside the first word: no new bytes
+        assert_eq!(mem.written_bytes(), 16);
+        mem.store_bytes(0x3000, 1, 9);
+        assert_eq!(mem.written_bytes(), 17);
     }
 
     #[test]
-    fn storing_the_marker_value_still_reads_back_written() {
+    fn page_crossing_accesses_work() {
         let mut mem = FuncMem::new();
-        mem.store_u64(0x42, UNWRITTEN_MARKER);
-        // The exact value is remapped but the location must not read as the
-        // address hash of an unwritten word.
-        assert_ne!(mem.load_u64(0x42), hash_addr(0x40));
+        let addr = PAGE_BYTES - 3; // 3 bytes in one page, 5 in the next
+        mem.store_bytes(addr, 8, 0x1122_3344_5566_7788);
+        assert_eq!(mem.load_bytes(addr, 8), 0x1122_3344_5566_7788);
+        assert_eq!(mem.resident_pages(), 2);
+        assert_eq!(mem.load_bytes(PAGE_BYTES, 1), 0x55);
+    }
+
+    #[test]
+    fn former_sentinel_value_roundtrips_exactly() {
+        // The word-granular model reserved 0xDEAD_BEEF_DEAD_BEEF as an
+        // unwritten marker and remapped stores of it; the byte-granular
+        // model stores it faithfully.
+        let mut mem = FuncMem::new();
+        mem.store_u64(0x40, 0xDEAD_BEEF_DEAD_BEEF);
+        assert_eq!(mem.load_u64(0x40), 0xDEAD_BEEF_DEAD_BEEF);
     }
 
     #[test]
@@ -224,7 +400,9 @@ mod tests {
         let mut mem = FuncMem::new();
         mem.init_from([(0x10, 1), (0x18, 2), (0x20, 3)]);
         assert_eq!(mem.load_u64(0x18), 2);
-        assert_eq!(mem.written_words(), 3);
+        assert_eq!(mem.written_bytes(), 24);
+        mem.init_bytes_from([(0x30, 0xAA), (0x31, 0xBB)]);
+        assert_eq!(mem.load_bytes(0x30, 2), 0xBBAA);
     }
 
     #[test]

@@ -23,8 +23,11 @@ pub struct Program {
     pub insts: Vec<StaticInst>,
     /// Entry PC.
     pub entry: u32,
-    /// Initial memory image as `(byte address, value)` pairs.
+    /// Initial memory image as `(byte address, 8-byte value)` pairs.
     pub initial_mem: Vec<(u64, u64)>,
+    /// Byte-granular initial memory image as `(byte address, byte)` pairs
+    /// (`.byte`/`.half` assembler data), applied after `initial_mem`.
+    pub initial_mem_bytes: Vec<(u64, u8)>,
     /// Initial architectural register values.
     pub initial_regs: Vec<(ArchReg, u64)>,
 }
@@ -137,6 +140,7 @@ impl Program {
     pub fn build_memory(&self) -> FuncMem {
         let mut mem = FuncMem::new();
         mem.init_from(self.initial_mem.iter().copied());
+        mem.init_bytes_from(self.initial_mem_bytes.iter().copied());
         mem
     }
 
@@ -263,9 +267,10 @@ impl Interpreter {
         };
         let src1 = inst.src1.map(|r| self.regs[r.flat_index()]).unwrap_or(0);
         let src2 = inst.src2.map(|r| self.regs[r.flat_index()]).unwrap_or(0);
-        let loaded = if inst.opcode.is_load() {
+        let loaded = if let Some(access) = inst.opcode.load_access() {
             self.loads += 1;
-            Some(self.mem.load_u64(inst.effective_address(src1)))
+            let addr = inst.effective_address(src1);
+            Some(self.mem.load_bytes(addr, access.width.bytes()))
         } else {
             None
         };
@@ -274,10 +279,11 @@ impl Interpreter {
             self.regs[dest.flat_index()] = result;
         }
         if let (Some(addr), Some(value)) = (out.mem_addr, out.store_value) {
+            let width = inst.opcode.store_width().expect("store has a width");
             self.stores += 1;
             self.store_checksum =
                 fold_store_checksum(self.store_checksum, addr, value, self.stores);
-            self.mem.store_u64(addr, value);
+            self.mem.store_bytes(addr, width.bytes(), value);
         }
         if inst.opcode.is_cond_branch() {
             self.branches += 1;

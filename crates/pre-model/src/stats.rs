@@ -287,6 +287,13 @@ pub struct SimStats {
     pub rob_reads: u64,
     /// Load/store-queue associative searches.
     pub lsq_searches: u64,
+    /// Loads satisfied by store-to-load forwarding (the forwarding store's
+    /// byte range contained the load's).
+    pub lsq_forwards: u64,
+    /// Loads blocked because an older store's byte range only **partially**
+    /// overlapped the load's (cannot forward, must wait for the store to
+    /// commit and write memory).
+    pub forward_blocked_partial: u64,
     /// Integer ALU operations executed.
     pub int_alu_ops: u64,
     /// Integer multiply operations executed.

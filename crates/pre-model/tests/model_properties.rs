@@ -12,35 +12,76 @@ use pre_model::reg::ArchReg;
 use pre_model::rng::SmallRng;
 use pre_model::stats::Histogram;
 
-/// Functional memory behaves like a map from word-aligned addresses to the
-/// last value stored there.
+/// Byte-granular functional memory behaves exactly like a naive
+/// `BTreeMap<u64, u8>` of written bytes, under mixed-width **overlapping**
+/// loads and stores at arbitrary alignments — including reads of bytes that
+/// were never written, which must return the deterministic per-byte
+/// hash-init value (byte `a % 8` of the hash of `a`'s aligned word, so the
+/// reference model can predict it from the first observation of each byte).
 #[test]
-fn funcmem_matches_a_reference_map() {
+fn funcmem_byte_granular_matches_reference_model() {
     let mut rng = SmallRng::seed_from_u64(0x40DE_0001);
-    for _case in 0..64 {
-        let len = rng.gen_range_usize(1..200);
+    // The hash-init value of byte `addr`, learned through an 8-byte aligned
+    // read of a fresh memory (the model under test must agree with itself,
+    // and all widths must agree with the byte view).
+    let init_byte = |addr: u64| -> u8 {
+        let probe = FuncMem::new();
+        probe.load_bytes(addr, 1) as u8
+    };
+    for case in 0..48 {
+        let ops = rng.gen_range_usize(1..200);
         let mut mem = FuncMem::new();
-        let mut reference = std::collections::HashMap::new();
-        for _ in 0..len {
-            let addr = rng.gen_range_u64(0..4096);
+        let mut reference: std::collections::BTreeMap<u64, u8> = std::collections::BTreeMap::new();
+        // A small address window forces heavy overlap between accesses;
+        // occasionally straddle a 4 KB page boundary.
+        let window_base = if case % 4 == 0 { 4096 - 16 } else { 0x1000 };
+        for _ in 0..ops {
+            let len = [1u64, 2, 4, 8][rng.gen_range_usize(0..4)];
+            let addr = window_base + rng.gen_range_u64(0..96);
             let value = rng.next_u64();
-            let is_store = rng.gen_bool(0.5);
-            let word = (addr * 8) & !7;
-            if is_store {
-                mem.store_u64(word, value);
-                reference.insert(word, value);
-            } else if let Some(&expected) = reference.get(&word) {
-                // The sentinel value is remapped on store; skip comparing it.
-                if expected != 0xDEAD_BEEF_DEAD_BEEF {
-                    assert_eq!(mem.load_u64(word), expected);
+            if rng.gen_bool(0.5) {
+                mem.store_bytes(addr, len, value);
+                for i in 0..len {
+                    reference.insert(addr + i, (value >> (8 * i)) as u8);
                 }
             } else {
-                // Unwritten reads are deterministic.
-                assert_eq!(mem.load_u64(word), mem.load_u64(word));
+                let got = mem.load_bytes(addr, len);
+                let mut expected = 0u64;
+                for i in (0..len).rev() {
+                    let byte = reference
+                        .get(&(addr + i))
+                        .copied()
+                        .unwrap_or_else(|| init_byte(addr + i));
+                    expected = (expected << 8) | u64::from(byte);
+                }
+                assert_eq!(
+                    got, expected,
+                    "case {case}: load_bytes({addr:#x}, {len}) diverged from the reference"
+                );
             }
         }
-        assert!(mem.written_words() as usize <= reference.len());
+        assert_eq!(mem.written_bytes() as usize, reference.len());
     }
+}
+
+/// An aligned 8-byte read of fully unwritten memory reassembles the same
+/// word hash the historical word-granular model returned (bit-compatible
+/// hash-init), and unwritten reads never allocate pages.
+#[test]
+fn funcmem_hash_init_is_deterministic_and_allocation_free() {
+    let mut rng = SmallRng::seed_from_u64(0x40DE_0007);
+    let mem = FuncMem::new();
+    for _ in 0..256 {
+        let addr = rng.next_u64() & !7;
+        let word = mem.load_u64(addr);
+        assert_eq!(word, mem.load_u64(addr));
+        // The byte view decomposes the word little-endian.
+        for i in 0..8 {
+            assert_eq!(mem.load_bytes(addr + i, 1), (word >> (8 * i)) & 0xFF);
+        }
+    }
+    assert_eq!(mem.resident_pages(), 0);
+    assert_eq!(mem.written_bytes(), 0);
 }
 
 /// ALU operations agree with their obvious reference semantics.

@@ -21,7 +21,7 @@
 //!   hardware would.
 
 use pre_mem::{AccessKind, HitLevel, MemoryHierarchy};
-use pre_model::isa::{OpClass, StaticInst};
+use pre_model::isa::{extract_forwarded_bytes, range_contains, OpClass, StaticInst};
 use pre_model::reg::{ArchReg, NUM_ARCH_REGS};
 use std::collections::VecDeque;
 
@@ -189,9 +189,9 @@ pub struct ChainReplayEngine {
     loads_executed: u64,
     prefetches_issued: u64,
     inv_loads: u64,
-    /// Pending store-forwarding values produced by chain stores (rarely
-    /// used; chains are address-generation slices).
-    store_buffer: VecDeque<(u64, u64)>,
+    /// Pending store-forwarding `(addr, len, value)` byte ranges produced by
+    /// chain stores (rarely used; chains are address-generation slices).
+    store_buffer: VecDeque<(u64, u64, u64)>,
 }
 
 impl ChainReplayEngine {
@@ -245,17 +245,18 @@ impl ChainReplayEngine {
     /// cycle, exactly like an in-order dispatch of the buffered chain.
     ///
     /// `latency_of` supplies the execution latency per operation class.
-    /// `read_mem` supplies the value a (non-binding, speculative) chain load
-    /// observes — the pipeline wires this to its functional memory so chains
-    /// that traverse loaded values (pointer chases, indexed gathers) compute
-    /// real future addresses.
+    /// `read_mem` supplies the raw bytes a (non-binding, speculative) chain
+    /// load of the given `(address, length)` observes — the pipeline wires
+    /// this to its functional memory so chains that traverse loaded values
+    /// (pointer chases, indexed gathers) compute real future addresses; the
+    /// engine applies the load's sign/zero extension itself.
     pub fn step(
         &mut self,
         now: u64,
         width: usize,
         mem: &mut MemoryHierarchy,
         latency_of: impl Fn(OpClass) -> u64,
-        read_mem: impl Fn(u64) -> u64,
+        read_mem: impl Fn(u64, u64) -> u64,
     ) {
         if self.chain.is_empty() {
             return;
@@ -282,12 +283,13 @@ impl ChainReplayEngine {
                 .map(|r| self.regs[r.flat_index()].value)
                 .unwrap_or(0);
 
-            let (result, ready_at) = if inst.opcode.is_load() {
+            let (result, ready_at) = if let Some(load_access) = inst.opcode.load_access() {
                 self.loads_executed += 1;
                 if inv {
                     self.inv_loads += 1;
                     (0, now + 1)
                 } else {
+                    let len = load_access.width.bytes();
                     let addr = inst.effective_address(src1);
                     // The replay shares the core's MSHRs: when no miss slot
                     // is free the chain stalls for this cycle, which bounds
@@ -296,17 +298,20 @@ impl ChainReplayEngine {
                         self.loads_executed -= 1;
                         return;
                     }
+                    // Youngest chain store whose byte range contains the
+                    // load's forwards its overlapping bytes.
                     let forwarded = self
                         .store_buffer
                         .iter()
                         .rev()
-                        .find(|&&(a, _)| a & !7 == addr & !7)
-                        .map(|&(_, v)| v);
-                    let access = mem.load(addr, now, AccessKind::Prefetch);
+                        .find(|&&(a, l, _)| range_contains(a, l, addr, len))
+                        .map(|&(a, _, v)| extract_forwarded_bytes(a, v, addr, len));
+                    let access = mem.load_range(addr, len, now, AccessKind::Prefetch);
                     if access.initiated_dram_fill || access.level == HitLevel::L3 {
                         self.prefetches_issued += 1;
                     }
-                    let value = forwarded.unwrap_or_else(|| read_mem(addr));
+                    let raw = forwarded.unwrap_or_else(|| read_mem(addr, len));
+                    let value = load_access.extend(raw);
                     if access.completion_cycle.saturating_sub(now) > REPLAY_INV_THRESHOLD {
                         // Off-chip access: it has served its purpose as a
                         // prefetch; invalidate the destination and keep the
@@ -317,10 +322,14 @@ impl ChainReplayEngine {
                         (value, access.completion_cycle)
                     }
                 }
-            } else if inst.opcode.is_store() {
+            } else if let Some(store_width) = inst.opcode.store_width() {
                 if !inv {
                     let addr = inst.effective_address(src1);
-                    self.store_buffer.push_back((addr, src2));
+                    self.store_buffer.push_back((
+                        addr,
+                        store_width.bytes(),
+                        src2 & store_width.mask(),
+                    ));
                     if self.store_buffer.len() > 64 {
                         self.store_buffer.pop_front();
                     }
@@ -460,7 +469,7 @@ mod tests {
                 4,
                 &mut mem,
                 |_| 1,
-                |a| a.wrapping_mul(0x9E3779B97F4A7C15),
+                |a, _len| a.wrapping_mul(0x9E3779B97F4A7C15),
             );
         }
         assert!(engine.iterations() >= 2, "chain should loop");
@@ -487,7 +496,7 @@ mod tests {
                 4,
                 &mut mem,
                 |_| 1,
-                |a| a.wrapping_mul(0x9E3779B97F4A7C15),
+                |a, _len| a.wrapping_mul(0x9E3779B97F4A7C15),
             );
         }
         assert_eq!(engine.prefetches_issued(), 0);
@@ -513,7 +522,7 @@ mod tests {
                 8,
                 &mut mem,
                 |_| 1,
-                |a| a.wrapping_mul(0x9E3779B97F4A7C15),
+                |a, _len| a.wrapping_mul(0x9E3779B97F4A7C15),
             );
         }
         assert_eq!(
@@ -529,7 +538,7 @@ mod tests {
         let cfg = SimConfig::haswell_like();
         let mut mem = MemoryHierarchy::new(&cfg);
         let mut engine = ChainReplayEngine::new(Vec::new(), &vec![0; NUM_ARCH_REGS], &[], 0);
-        engine.step(0, 4, &mut mem, |_| 1, |a| a);
+        engine.step(0, 4, &mut mem, |_| 1, |a, _len| a);
         assert_eq!(engine.uops_executed(), 0);
     }
 }

@@ -59,6 +59,10 @@ fn main() {
     println!("l1d acc {} miss {}  l2 acc {} miss {}  l3 acc {} miss {}  dram rd {} wr {} rowhit {} rowmiss {}",
         s.l1d_accesses, s.l1d_misses, s.l2_accesses, s.l2_misses, s.l3_accesses, s.l3_misses,
         s.dram_reads, s.dram_writes, s.dram_row_hits, s.dram_row_misses);
+    println!(
+        "lsq searches {}  forwards {}  fwd-blk (partial overlap) {}",
+        s.lsq_searches, s.lsq_forwards, s.forward_blocked_partial
+    );
     println!("--- runahead ---");
     println!("entries {}  exits {}  cycles {}  uops {}  loads {}  inv-loads {}  prefetches {}  useful {}",
         s.runahead_entries, s.runahead_exits, s.runahead_cycles, s.runahead_uops_executed,

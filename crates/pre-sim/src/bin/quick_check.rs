@@ -33,7 +33,7 @@ fn main() {
         }
     };
     println!(
-        "{:<18} {:<10} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8}",
+        "{:<18} {:<10} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>8}",
         "workload",
         "technique",
         "ipc",
@@ -43,6 +43,8 @@ fn main() {
         "prefetches",
         "useful",
         "prdq",
+        "fwd",
+        "fwd-blk",
         "mJ"
     );
     let mut failed = false;
@@ -64,7 +66,7 @@ fn main() {
                     };
                     failed |= result.deadlocked;
                     println!(
-                        "{:<18} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8.2}{}",
+                        "{:<18} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>8.2}{}",
                         workload.name(),
                         technique.label(),
                         result.ipc(),
@@ -74,6 +76,8 @@ fn main() {
                         result.stats.runahead_prefetches_issued,
                         result.stats.runahead_prefetches_useful,
                         result.stats.prdq_allocations,
+                        result.stats.lsq_forwards,
+                        result.stats.forward_blocked_partial,
                         result.energy_mj(),
                         if result.deadlocked { "  DEADLOCK" } else { "" },
                     );

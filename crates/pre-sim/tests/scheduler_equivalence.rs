@@ -81,6 +81,10 @@ fn long_runs_stay_in_lockstep() {
         .iter()
         .find(|w| w.name() == "asm-box-blur")
         .expect("box-blur kernel present");
+    let asm_struct_chase = *Workload::ASM_SUITE
+        .iter()
+        .find(|w| w.name() == "asm-struct-chase")
+        .expect("struct-chase kernel present");
     let cells = [
         (Workload::McfLike, Technique::Pre),
         (Workload::LbmLike, Technique::Runahead),
@@ -89,6 +93,8 @@ fn long_runs_stay_in_lockstep() {
         (Workload::ComputeBound, Technique::OutOfOrder),
         (asm_chase_large, Technique::OutOfOrder),
         (asm_box_blur, Technique::Pre),
+        // Sub-word dependent chains (byte-granular LSQ + FuncMem path).
+        (asm_struct_chase, Technique::Pre),
     ];
     for (workload, technique) in cells {
         let run_with = |reference: bool| {

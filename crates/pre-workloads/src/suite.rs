@@ -131,7 +131,7 @@ impl Workload {
     ];
 
     /// The assembled RISC-V kernel suite (real programs, `--suite asm`).
-    pub const ASM_SUITE: [Workload; 7] = [
+    pub const ASM_SUITE: [Workload; 9] = [
         Workload::Asm(AsmKernel::Matmul),
         Workload::Asm(AsmKernel::Quicksort),
         Workload::Asm(AsmKernel::PointerChase),
@@ -139,10 +139,12 @@ impl Workload {
         Workload::Asm(AsmKernel::PrimeSieve),
         Workload::Asm(AsmKernel::BinarySearch),
         Workload::Asm(AsmKernel::ChaseLarge),
+        Workload::Asm(AsmKernel::ByteHisto),
+        Workload::Asm(AsmKernel::StructChase),
     ];
 
     /// Every workload: the synthetic suite followed by the asm suite.
-    pub const ALL: [Workload; 21] = [
+    pub const ALL: [Workload; 23] = [
         Workload::McfLike,
         Workload::LbmLike,
         Workload::MilcLike,
@@ -164,6 +166,8 @@ impl Workload {
         Workload::Asm(AsmKernel::PrimeSieve),
         Workload::Asm(AsmKernel::BinarySearch),
         Workload::Asm(AsmKernel::ChaseLarge),
+        Workload::Asm(AsmKernel::ByteHisto),
+        Workload::Asm(AsmKernel::StructChase),
     ];
 
     /// Short name used in figures and on the command line.
@@ -191,6 +195,8 @@ impl Workload {
                 AsmKernel::PrimeSieve => "asm-prime-sieve",
                 AsmKernel::BinarySearch => "asm-binary-search",
                 AsmKernel::ChaseLarge => "asm-chase-large",
+                AsmKernel::ByteHisto => "asm-byte-histo",
+                AsmKernel::StructChase => "asm-struct-chase",
             },
         }
     }
@@ -224,13 +230,15 @@ impl Workload {
             Workload::ComputeBound => SliceProfile::ComputeBound,
             Workload::Asm(k) => match k {
                 // One serial dependence chain / one dominant load slice.
-                AsmKernel::PointerChase | AsmKernel::BinarySearch | AsmKernel::ChaseLarge => {
-                    SliceProfile::Single
-                }
+                AsmKernel::PointerChase
+                | AsmKernel::BinarySearch
+                | AsmKernel::ChaseLarge
+                | AsmKernel::StructChase => SliceProfile::Single,
                 // A handful of strided streams.
-                AsmKernel::BoxBlur | AsmKernel::PrimeSieve | AsmKernel::Quicksort => {
-                    SliceProfile::Few
-                }
+                AsmKernel::BoxBlur
+                | AsmKernel::PrimeSieve
+                | AsmKernel::Quicksort
+                | AsmKernel::ByteHisto => SliceProfile::Few,
                 // Small matrices stay cache-resident.
                 AsmKernel::Matmul => SliceProfile::ComputeBound,
             },

@@ -31,6 +31,11 @@ fn iterations(kernel: AsmKernel) -> u64 {
         // Every hop is a serial LLC miss (~250 cycles), so one round of
         // 512 hops is already a long run in debug builds.
         AsmKernel::ChaseLarge => 1,
+        // Sub-word kernels: enough rounds to re-walk their byte-granular
+        // structures (and re-hit the histogram/accumulator stores) several
+        // times.
+        AsmKernel::ByteHisto => 2,
+        AsmKernel::StructChase => 4,
     }
 }
 
@@ -114,6 +119,24 @@ fn pre_emq_matches_interpreter_on_every_asm_kernel() {
     for kernel in AsmKernel::ALL {
         check(kernel, Technique::PreEmq);
     }
+}
+
+/// The struct-chase kernel's tag write-then-read (a byte store partially
+/// overlapped by an 8-byte load) must exercise the LSQ's partial-overlap
+/// path: the load may not forward and the block is counted.
+#[test]
+fn struct_chase_exercises_partial_overlap_blocking() {
+    let workload = Workload::Asm(AsmKernel::StructChase);
+    let program = workload.build(&WorkloadParams::short(2));
+    let cfg = SimConfig::haswell_like();
+    let mut core = OooCore::new(&cfg, &program, Technique::OutOfOrder).expect("core builds");
+    core.run(u64::MAX, 50_000_000);
+    assert!(core.halted() && !core.deadlocked());
+    let stats = core.stats();
+    assert!(
+        stats.forward_blocked_partial > 0,
+        "tag write-then-read should hit forward_blocked_partial"
+    );
 }
 
 #[test]

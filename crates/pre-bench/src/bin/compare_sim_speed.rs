@@ -1,0 +1,227 @@
+//! Perf-smoke gate: compare a fresh `BENCH_sim_speed.json` against a
+//! committed baseline and fail on aggregate regressions.
+//!
+//! Usage: `compare_sim_speed <baseline.json> <current.json>`
+//!
+//! Both files are the aggregate JSON written by the `sim_speed` bench with
+//! `PRE_BENCH_JSON` set. Only cells present in **both** files (matched on
+//! `workload` + `technique`) enter the comparison, so the gate tolerates
+//! adding or dropping cells; the aggregate simulated-uops-per-second rate
+//! over the common cells must not drop by more than the allowed fraction.
+//!
+//! Environment:
+//!
+//! * `PRE_PERF_MAX_REGRESSION` — allowed fractional aggregate slowdown
+//!   before the gate fails (default `0.15`, i.e. 15%). CI runners vary in
+//!   speed between runs of the *same* runner class, which this slack
+//!   absorbs; cross-machine comparisons need a locally regenerated
+//!   baseline (`PRE_BENCH_JSON=1 cargo bench -p pre-bench --bench
+//!   sim_speed`).
+
+use std::process::ExitCode;
+
+/// One benchmark cell as read back from the aggregate JSON.
+#[derive(Debug, Clone, PartialEq)]
+struct Cell {
+    workload: String,
+    technique: String,
+    uops: u64,
+    median_ns: u128,
+}
+
+impl Cell {
+    fn uops_per_sec(&self) -> f64 {
+        self.uops as f64 / (self.median_ns as f64 / 1e9).max(1e-12)
+    }
+}
+
+/// Extracts the string value of `"field": "..."` from one JSON object.
+fn field_str(object: &str, field: &str) -> Option<String> {
+    let key = format!("\"{field}\": \"");
+    let start = object.find(&key)? + key.len();
+    let end = object[start..].find('"')?;
+    Some(object[start..start + end].to_string())
+}
+
+/// Extracts the integer value of `"field": N` from one JSON object.
+fn field_u128(object: &str, field: &str) -> Option<u128> {
+    let key = format!("\"{field}\": ");
+    let start = object.find(&key)? + key.len();
+    let digits: String = object[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Parses the cells of a `BENCH_sim_speed.json` aggregate report. The format
+/// is the one `benches/sim_speed.rs` writes: a `"cells"` array of flat
+/// objects whose only nested value is a numeric `samples_ns` array, so
+/// objects can be split on brace pairs without tracking nesting.
+fn parse_cells(text: &str) -> Result<Vec<Cell>, String> {
+    let cells_at = text
+        .find("\"cells\"")
+        .ok_or_else(|| "no \"cells\" array found".to_string())?;
+    let mut cells = Vec::new();
+    let mut rest = &text[cells_at..];
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..]
+            .find('}')
+            .ok_or_else(|| "unterminated cell object".to_string())?;
+        let object = &rest[open..open + close + 1];
+        let cell = Cell {
+            workload: field_str(object, "workload")
+                .ok_or_else(|| format!("cell without workload: {object}"))?,
+            technique: field_str(object, "technique")
+                .ok_or_else(|| format!("cell without technique: {object}"))?,
+            uops: field_u128(object, "uops")
+                .ok_or_else(|| format!("cell without uops: {object}"))? as u64,
+            median_ns: field_u128(object, "median_ns")
+                .ok_or_else(|| format!("cell without median_ns: {object}"))?,
+        };
+        cells.push(cell);
+        rest = &rest[open + close + 1..];
+    }
+    if cells.is_empty() {
+        return Err("no cells parsed".to_string());
+    }
+    Ok(cells)
+}
+
+/// Aggregate simulated-uops-per-second over a set of cells: total simulated
+/// work divided by total median wall time (the same statistic the bench
+/// prints as its `aggregate:` line, restricted to the matched cells).
+fn aggregate_uops_per_sec(cells: &[&Cell]) -> f64 {
+    let uops: u64 = cells.iter().map(|c| c.uops).sum();
+    let secs: f64 = cells.iter().map(|c| c.median_ns as f64 / 1e9).sum();
+    uops as f64 / secs.max(1e-12)
+}
+
+fn env_fraction(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|f: &f64| (0.0..1.0).contains(f))
+        .unwrap_or(default)
+}
+
+fn load(path: &str) -> Result<Vec<Cell>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    parse_cells(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: compare_sim_speed <baseline.json> <current.json>");
+        return ExitCode::from(2);
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut matched: Vec<(&Cell, &Cell)> = Vec::new();
+    for b in &baseline {
+        match current
+            .iter()
+            .find(|c| c.workload == b.workload && c.technique == b.technique)
+        {
+            Some(c) => matched.push((b, c)),
+            None => println!(
+                "note: baseline cell {}:{} missing from current run, skipping",
+                b.workload, b.technique
+            ),
+        }
+    }
+    if matched.is_empty() {
+        eprintln!("error: no cells in common between baseline and current run");
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "{:<18} {:<10} {:>14} {:>14} {:>8}",
+        "workload", "technique", "base uops/s", "now uops/s", "ratio"
+    );
+    for (b, c) in &matched {
+        println!(
+            "{:<18} {:<10} {:>14.0} {:>14.0} {:>8.3}",
+            b.workload,
+            b.technique,
+            b.uops_per_sec(),
+            c.uops_per_sec(),
+            c.uops_per_sec() / b.uops_per_sec().max(1e-12),
+        );
+    }
+
+    let base = aggregate_uops_per_sec(&matched.iter().map(|(b, _)| *b).collect::<Vec<_>>());
+    let now = aggregate_uops_per_sec(&matched.iter().map(|(_, c)| *c).collect::<Vec<_>>());
+    let ratio = now / base.max(1e-12);
+    let max_regression = env_fraction("PRE_PERF_MAX_REGRESSION", 0.15);
+    println!(
+        "aggregate over {} common cells: baseline {base:.0} uops/s, current {now:.0} uops/s (ratio {ratio:.3}, floor {:.3})",
+        matched.len(),
+        1.0 - max_regression,
+    );
+    if ratio < 1.0 - max_regression {
+        eprintln!(
+            "PERF REGRESSION: aggregate sim_speed dropped {:.1}% (allowed {:.1}%)",
+            (1.0 - ratio) * 100.0,
+            max_regression * 100.0,
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf smoke OK");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature report in exactly the format `benches/sim_speed.rs`
+    /// writes.
+    const SAMPLE: &str = concat!(
+        "{\n  \"name\": \"sim_speed\",\n  \"budget_uops\": 20000,\n",
+        "  \"scheduler\": \"event\",\n  \"cells\": [\n",
+        "    {\"workload\": \"asm-chase-large\", \"technique\": \"OoO\", ",
+        "\"uops\": 20001, \"cycles\": 1537994, \"median_ns\": 39123000, ",
+        "\"uops_per_sec\": 511233.9, \"cycles_per_sec\": 39312028.0, ",
+        "\"samples_ns\": [39123000, 39500000, 39000000]},\n",
+        "    {\"workload\": \"lbm-like\", \"technique\": \"PRE\", ",
+        "\"uops\": 20000, \"cycles\": 100000, \"median_ns\": 10000000, ",
+        "\"uops_per_sec\": 2000000.0, \"cycles_per_sec\": 10000000.0, ",
+        "\"samples_ns\": [10000000]}\n",
+        "  ]\n}\n"
+    );
+
+    #[test]
+    fn parses_the_writer_format() {
+        let cells = parse_cells(SAMPLE).expect("parses");
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].workload, "asm-chase-large");
+        assert_eq!(cells[0].technique, "OoO");
+        assert_eq!(cells[0].uops, 20001);
+        assert_eq!(cells[0].median_ns, 39123000);
+        assert_eq!(cells[1].technique, "PRE");
+    }
+
+    #[test]
+    fn aggregate_is_total_work_over_total_time() {
+        let cells = parse_cells(SAMPLE).expect("parses");
+        let refs: Vec<&Cell> = cells.iter().collect();
+        let expected = (20001.0 + 20000.0) / ((39123000.0 + 10000000.0) / 1e9);
+        assert!((aggregate_uops_per_sec(&refs) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_reports_without_cells() {
+        assert!(parse_cells("{\"name\": \"sim_speed\"}").is_err());
+        assert!(parse_cells("{\"cells\": []}").is_err());
+    }
+}

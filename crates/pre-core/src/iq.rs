@@ -118,6 +118,10 @@ pub struct IqEntry {
     /// Micro-op identifier (shared with the ROB for normal micro-ops).
     /// Monotonically increasing, so it doubles as the age for select.
     pub id: u64,
+    /// ROB slot handle for normal micro-ops ([`crate::rob::INVALID_SLOT`]
+    /// for runahead micro-ops, which have no ROB entry); lets writeback
+    /// address the ROB without a search, validated against `id`.
+    pub rob_slot: u32,
     /// Program counter (needed for SST learning of runahead micro-ops).
     pub pc: u32,
     /// The static instruction.
@@ -176,6 +180,9 @@ struct Slot {
     gen: u32,
     /// Unready source-operand occurrences remaining (event mode only).
     unready: u8,
+    /// A live [`ReadyKey`] for this slot sits in a ready queue. Freeing the
+    /// slot while set leaves a stale key behind (see `stale_ready_keys`).
+    ready_queued: bool,
     entry: Option<IqEntry>,
 }
 
@@ -207,6 +214,14 @@ pub struct IssueQueue {
     /// Stores whose base operand became ready and whose address generation
     /// has not run yet.
     agen: VecDeque<(u32, u32)>,
+    /// Number of stale keys left in the ready queues by squashed entries.
+    /// While zero — the common case — select can trust every queue head
+    /// without validating it against its slot, which removes a random
+    /// memory access per class from the per-issue-slot select loop.
+    stale_ready_keys: usize,
+    /// Bit `c` set ⇔ `ready[c]` is non-empty. Select iterates set bits
+    /// instead of probing all `OpClass::COUNT` queues per issue slot.
+    ready_mask: u16,
 }
 
 impl IssueQueue {
@@ -228,6 +243,8 @@ impl IssueQueue {
             wakeup: [Vec::new(), Vec::new()],
             ready: std::array::from_fn(|_| BinaryHeap::new()),
             agen: VecDeque::new(),
+            stale_ready_keys: 0,
+            ready_mask: 0,
         }
     }
 
@@ -307,6 +324,7 @@ impl IssueQueue {
                 }
             }
             if unready == 0 {
+                self.ready_mask |= 1 << entry.class.index();
                 self.ready[entry.class.index()].push(Reverse(ReadyKey {
                     id: entry.id,
                     slot: slot_idx as u32,
@@ -316,6 +334,7 @@ impl IssueQueue {
         }
         let slot = &mut self.slots[slot_idx];
         slot.unready = unready;
+        slot.ready_queued = !self.reference && unready == 0;
         slot.entry = Some(entry);
         self.len += 1;
         self.peak_occupancy = self.peak_occupancy.max(self.len);
@@ -375,8 +394,12 @@ impl IssueQueue {
                 self.agen.push_back((tok.slot, tok.gen));
             }
             if tok.counts && slot.unready == 0 {
-                self.ready[entry.class.index()].push(Reverse(ReadyKey {
-                    id: entry.id,
+                let class = entry.class;
+                let id = entry.id;
+                slot.ready_queued = true;
+                self.ready_mask |= 1 << class.index();
+                self.ready[class.index()].push(Reverse(ReadyKey {
+                    id,
                     slot: tok.slot,
                     gen: tok.gen,
                 }));
@@ -434,38 +457,72 @@ impl IssueQueue {
     /// ready) are discarded on the way.
     pub fn pop_ready(&mut self, ports: &[usize; OpClass::COUNT]) -> Option<(ReadyKey, IqEntry)> {
         let mut best: Option<(u64, usize)> = None;
-        for (ci, heap) in self.ready.iter_mut().enumerate() {
-            if ports[ci] == 0 {
-                continue;
-            }
-            while let Some(&Reverse(key)) = heap.peek() {
-                let slot = &self.slots[key.slot as usize];
-                if slot.gen == key.gen && slot.entry.is_some() {
-                    let older = match best {
-                        None => true,
-                        Some((best_id, _)) => key.id < best_id,
-                    };
-                    if older {
-                        best = Some((key.id, ci));
-                    }
-                    break;
+        let mut mask = self.ready_mask;
+        if self.stale_ready_keys == 0 {
+            // Every queued key is live: compare queue heads by id alone,
+            // without validating each against its slot.
+            while mask != 0 {
+                let ci = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if ports[ci] == 0 {
+                    continue;
                 }
-                heap.pop();
+                let Some(&Reverse(key)) = self.ready[ci].peek() else {
+                    unreachable!("ready_mask bit set for an empty queue")
+                };
+                if best.map_or(true, |(best_id, _)| key.id < best_id) {
+                    best = Some((key.id, ci));
+                }
+            }
+        } else {
+            while mask != 0 {
+                let ci = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if ports[ci] == 0 {
+                    continue;
+                }
+                let heap = &mut self.ready[ci];
+                while let Some(&Reverse(key)) = heap.peek() {
+                    let slot = &self.slots[key.slot as usize];
+                    if slot.gen == key.gen && slot.entry.is_some() {
+                        let older = match best {
+                            None => true,
+                            Some((best_id, _)) => key.id < best_id,
+                        };
+                        if older {
+                            best = Some((key.id, ci));
+                        }
+                        break;
+                    }
+                    heap.pop();
+                    self.stale_ready_keys -= 1;
+                }
+                if heap.is_empty() {
+                    self.ready_mask &= !(1 << ci);
+                }
             }
         }
         let (_, ci) = best?;
         let Reverse(key) = self.ready[ci].pop().expect("validated head");
-        let entry = self.slots[key.slot as usize].entry.expect("validated head");
-        debug_assert_eq!(self.slots[key.slot as usize].unready, 0);
+        if self.ready[ci].is_empty() {
+            self.ready_mask &= !(1 << ci);
+        }
+        let slot = &mut self.slots[key.slot as usize];
+        debug_assert_eq!(slot.gen, key.gen, "popped a stale ready key");
+        slot.ready_queued = false;
+        let entry = slot.entry.expect("validated head");
+        debug_assert_eq!(slot.unready, 0);
         Some((key, entry))
     }
 
     /// Puts a key popped by [`IssueQueue::pop_ready`] back (the entry stays
     /// ready but could not issue this cycle).
     pub fn requeue_ready(&mut self, key: ReadyKey) {
-        let slot = &self.slots[key.slot as usize];
+        let slot = &mut self.slots[key.slot as usize];
         debug_assert_eq!(slot.gen, key.gen, "requeue of a stale ready key");
         let class = slot.entry.as_ref().expect("requeue of a freed slot").class;
+        slot.ready_queued = true;
+        self.ready_mask |= 1 << class.index();
         self.ready[class.index()].push(Reverse(key));
     }
 
@@ -504,14 +561,21 @@ impl IssueQueue {
             }
             self.agen.pop_front();
         }
-        for heap in &mut self.ready {
+        let mut mask = self.ready_mask;
+        while mask != 0 {
+            let ci = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let heap = &mut self.ready[ci];
             while let Some(&Reverse(key)) = heap.peek() {
                 let slot = &self.slots[key.slot as usize];
                 if slot.gen == key.gen && slot.entry.is_some() {
                     return false;
                 }
                 heap.pop();
+                self.stale_ready_keys -= 1;
             }
+            // Only stale keys were queued; the class is empty after all.
+            self.ready_mask &= !(1 << ci);
         }
         true
     }
@@ -534,6 +598,12 @@ impl IssueQueue {
         let entry = slot.entry.take().expect("freeing an empty slot");
         slot.gen = slot.gen.wrapping_add(1);
         slot.unready = 0;
+        if slot.ready_queued {
+            // Its key stays behind in a ready queue; select must validate
+            // heads until the stragglers are popped and discarded.
+            slot.ready_queued = false;
+            self.stale_ready_keys += 1;
+        }
         self.free.push(slot_idx as u32);
         self.len -= 1;
         entry
@@ -586,6 +656,8 @@ impl IssueQueue {
             heap.clear();
         }
         self.agen.clear();
+        self.stale_ready_keys = 0;
+        self.ready_mask = 0;
         n
     }
 
@@ -608,6 +680,7 @@ mod tests {
     fn entry(id: u64, runahead: bool) -> IqEntry {
         IqEntry {
             id,
+            rob_slot: crate::rob::INVALID_SLOT,
             pc: id as u32,
             inst: StaticInst::nop(),
             srcs: SrcList::new(),

@@ -51,6 +51,7 @@ pub mod rat;
 pub mod regfile;
 pub mod rename;
 pub mod rob;
+pub mod runahead_store_buffer;
 mod sorted_deque;
 pub mod uop;
 

@@ -20,6 +20,7 @@ use crate::lsq::LoadStoreQueue;
 use crate::regfile::PhysRegFile;
 use crate::rename::{RenameCheckpoint, RenameSubsystem};
 use crate::rob::ReorderBuffer;
+use crate::runahead_store_buffer::RunaheadStoreBuffer;
 use crate::uop::DynUop;
 use pre_frontend::{BranchPredictorUnit, DelayPipe, UopQueue};
 use pre_mem::{HitLevel, MemoryHierarchy};
@@ -33,10 +34,11 @@ use pre_runahead::{
     ChainReplayEngine, EntryDecision, EntryPolicy, ExtendedMicroOpQueue, RunaheadBuffer,
     StallingSliceTable, Technique,
 };
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
+
+mod event_queue;
+use event_queue::EventQueue;
 
 /// Cycles without a commit after which the run is declared deadlocked (a
 /// modelling-bug safety net, not an architectural feature).
@@ -71,6 +73,10 @@ pub(crate) enum FlushKind {
 pub(crate) struct InFlight {
     pub completion: u64,
     pub id: u64,
+    /// ROB slot of the issuing micro-op ([`crate::rob::INVALID_SLOT`] for
+    /// runahead micro-ops); validated against `id` at completion, so stale
+    /// events after a squash fail safely.
+    pub rob_slot: u32,
     pub is_runahead: bool,
     pub interval_seq: u64,
     pub dest: Option<(RegClass, PhysReg)>,
@@ -169,7 +175,7 @@ pub struct OooCore {
     pub(crate) rob: ReorderBuffer,
     pub(crate) iq: IssueQueue,
     pub(crate) lsq: LoadStoreQueue,
-    pub(crate) in_flight: BinaryHeap<Reverse<InFlight>>,
+    pub(crate) in_flight: EventQueue,
     pub(crate) next_id: u64,
     pub(crate) dispatch_blocked: bool,
     pub(crate) pending_recovery: Option<(u64, u32)>,
@@ -182,9 +188,9 @@ pub struct OooCore {
     pub(crate) emq: ExtendedMicroOpQueue<DynUop>,
     pub(crate) runahead_buffer: RunaheadBuffer,
     pub(crate) chain_engine: Option<ChainReplayEngine>,
-    /// Byte-granular runahead store buffer: byte address → speculatively
-    /// stored byte (runahead stores never reach memory).
-    pub(crate) runahead_store_buffer: HashMap<u64, u8>,
+    /// Line-granular runahead store buffer (runahead stores never reach
+    /// memory; their bytes are forwarded to younger runahead loads).
+    pub(crate) runahead_store_buffer: RunaheadStoreBuffer,
     pub(crate) interval: Option<RunaheadInterval>,
     pub(crate) interval_seq: u64,
     pub(crate) last_stall_head_id: Option<u64>,
@@ -260,7 +266,7 @@ impl OooCore {
             rob: ReorderBuffer::new(core_cfg.rob_entries),
             iq,
             lsq: LoadStoreQueue::new(core_cfg.lq_entries, core_cfg.sq_entries),
-            in_flight: BinaryHeap::new(),
+            in_flight: EventQueue::new(),
             next_id: 1,
             dispatch_blocked: false,
             pending_recovery: None,
@@ -271,7 +277,7 @@ impl OooCore {
             emq: ExtendedMicroOpQueue::new(cfg.runahead.emq_entries),
             runahead_buffer: RunaheadBuffer::new(),
             chain_engine: None,
-            runahead_store_buffer: HashMap::new(),
+            runahead_store_buffer: RunaheadStoreBuffer::new(),
             interval: None,
             interval_seq: 0,
             last_stall_head_id: None,
@@ -354,7 +360,7 @@ impl OooCore {
             next_pc: self
                 .rob
                 .head()
-                .map(|h| h.uop.pc)
+                .map(|h| h.pc)
                 .unwrap_or(self.next_dispatch_pc),
         }
     }
@@ -443,11 +449,7 @@ impl OooCore {
     // ---------------------------------------------------------------------
 
     pub(crate) fn process_completions(&mut self, now: u64) {
-        while let Some(&Reverse(head)) = self.in_flight.peek() {
-            if head.completion > now {
-                break;
-            }
-            self.in_flight.pop();
+        while let Some(head) = self.in_flight.pop_due(now) {
             if head.is_runahead {
                 // Runahead micro-ops are only meaningful while their interval
                 // is still the active PRE interval.
@@ -461,16 +463,15 @@ impl OooCore {
                 continue;
             }
             // Normal micro-op: it may have been squashed (branch recovery or
-            // flush-style runahead) in the meantime.
-            if !self.rob.contains(head.id) {
+            // flush-style runahead) in the meantime, which kills its slot
+            // handle.
+            if !self.rob.slot_matches(head.rob_slot, head.id) {
                 continue;
             }
             if let Some((class, reg)) = head.dest {
                 self.set_ready_and_wake(class, reg);
             }
-            if let Some(entry) = self.rob.get_mut(head.id) {
-                entry.executed = true;
-            }
+            self.rob.set_executed(head.rob_slot);
             if self.mode == Mode::RunaheadPre {
                 // A window producer completed: previous mappings whose last
                 // consumer already issued may now be eager-drain candidates.
@@ -499,10 +500,12 @@ impl OooCore {
             Mode::Normal => {}
         }
 
+        // Batch retire: drain every commit-ready head (up to the commit
+        // width) with one fused probe-and-pop per retired entry.
         let mut committed = 0;
         while committed < self.cfg.core.commit_width {
-            let ready = match self.rob.head() {
-                None => {
+            let Some(entry) = self.rob.pop_head_if_executed() else {
+                if self.rob.is_empty() {
                     if self.fetch_done
                         && self.uop_queue.is_empty()
                         && self.delay_pipe.is_empty()
@@ -510,15 +513,11 @@ impl OooCore {
                     {
                         self.halted = true;
                     }
-                    return;
+                } else {
+                    self.detect_full_window_stall(now);
                 }
-                Some(head) => head.executed,
-            };
-            if !ready {
-                self.detect_full_window_stall(now);
                 return;
-            }
-            let entry = self.rob.pop_head().expect("head exists");
+            };
             let inst = entry.uop.inst;
             if let (Some(dest), Some(result)) = (inst.dest, entry.result) {
                 self.arf[dest.flat_index()] = result;
@@ -561,11 +560,9 @@ impl OooCore {
     fn pseudo_retire(&mut self, now: u64) {
         let mut retired = 0;
         while retired < self.cfg.core.commit_width {
-            match self.rob.head() {
-                Some(head) if head.executed => {}
-                _ => return,
-            }
-            let entry = self.rob.pop_head().expect("head exists");
+            let Some(entry) = self.rob.pop_head_if_executed() else {
+                return;
+            };
             if entry.uop.inst.opcode.is_store() {
                 self.lsq.release_store(entry.id);
             }
@@ -628,13 +625,28 @@ impl OooCore {
     /// Jumps the clock over cycles during which every pipeline stage is
     /// provably a no-op, bulk-accumulating the per-cycle stall statistics so
     /// the resulting [`SimStats`] are bit-identical to ticking cycle by
+    /// cycle. Dispatches to a per-mode fast-forward path; the runahead-buffer
+    /// mode never fast-forwards because its chain replay does real work every
     /// cycle.
+    pub(crate) fn fast_forward_quiescent(&mut self, max_cycles: u64) {
+        if self.halted || self.deadlocked {
+            return;
+        }
+        match self.mode {
+            Mode::Normal => self.fast_forward_normal(max_cycles),
+            Mode::RunaheadFlush(FlushKind::Traditional) => {
+                self.fast_forward_runahead_flush(max_cycles);
+            }
+            Mode::RunaheadPre => self.fast_forward_runahead_pre(max_cycles),
+            Mode::RunaheadFlush(FlushKind::Buffer) => {}
+        }
+    }
+
+    /// Normal-mode fast-forward.
     ///
     /// The quiescence conditions (all must hold; anything else falls back to
     /// normal ticking):
     ///
-    /// * normal mode — every runahead flavour does per-cycle work in its
-    ///   cycle hook;
     /// * nothing ready or pending in the issue stage (select and store
     ///   address generation idle);
     /// * the ROB head exists and has not executed (commit blocked; an empty
@@ -652,10 +664,7 @@ impl OooCore {
     /// next `in_flight` completion, additionally capped by the deadlock
     /// watchdog and the caller's cycle limit so aborted runs stop at the
     /// same cycle as the reference scheduler.
-    pub(crate) fn fast_forward_quiescent(&mut self, max_cycles: u64) {
-        if self.halted || self.deadlocked || self.mode != Mode::Normal {
-            return;
-        }
+    fn fast_forward_normal(&mut self, max_cycles: u64) {
         debug_assert!(self.pending_recovery.is_none());
         debug_assert!(self.interval.is_none());
         if !self.iq.select_idle() {
@@ -669,9 +678,7 @@ impl OooCore {
         }
         let head_id = head.id;
         let head_completion = head.completion_cycle;
-        let head_blocking = head.uop.inst.opcode.is_load()
-            && head.issued
-            && head.mem_level == Some(HitLevel::Memory);
+        let head_blocking = head.is_load && head.issued && head.mem_level == Some(HitLevel::Memory);
         let front = if !self.emq.is_empty() {
             self.emq.peek().copied()
         } else {
@@ -689,9 +696,9 @@ impl OooCore {
         // capped so deadlocked and budget-bounded runs stop exactly where
         // the cycle-by-cycle reference stops.
         let mut target = (self.last_progress_cycle + DEADLOCK_WINDOW + 1).min(max_cycles);
-        if let Some(&Reverse(next)) = self.in_flight.peek() {
-            debug_assert!(next.completion > now, "unprocessed completion event");
-            target = target.min(next.completion);
+        if let Some(next_completion) = self.in_flight.next_completion() {
+            debug_assert!(next_completion > now, "unprocessed completion event");
+            target = target.min(next_completion);
         }
         if !self.fetch_done && !self.delay_pipe.is_full() {
             // Fetch resumes (or discovers the end of the program) once the
@@ -798,6 +805,190 @@ impl OooCore {
             let stalled_until = end.min(self.fetch_stall_until.saturating_sub(1));
             self.stats.frontend_stall_cycles += stalled_until.saturating_sub(now);
         }
+        self.stats.ff_cycles.normal += end - now;
+        self.cycle = end;
+    }
+
+    /// Fast-forward for traditional (flush-style) runahead.
+    ///
+    /// In this mode the pipeline stays fully active — the front end keeps
+    /// fetching, dispatch renames into the preserved structures and the
+    /// window drains through pseudo-retirement — so quiescence means every
+    /// stage is blocked waiting on an in-flight completion, exactly as in
+    /// normal mode with two differences: commit is quiescent when the ROB
+    /// head has not executed *or* the ROB is empty (pseudo-retirement never
+    /// halts the run or detects full-window stalls), and each skipped cycle
+    /// counts as a runahead cycle that marks progress, so no entry-skip or
+    /// stall counters can advance. The jump target is additionally capped at
+    /// the interval's expected return so the tick at the target performs the
+    /// exit check itself.
+    fn fast_forward_runahead_flush(&mut self, max_cycles: u64) {
+        debug_assert!(self.pending_recovery.is_none());
+        if !self.iq.select_idle() {
+            return;
+        }
+        // Pseudo-retirement makes progress on an executed head.
+        if self.rob.head().is_some_and(|h| h.executed) {
+            return;
+        }
+        // Flush-style techniques never use the EMQ, so dispatch peeks the
+        // micro-op queue only.
+        debug_assert!(self.emq.is_empty());
+        let mut dispatch_would_block = false;
+        if let Some(uop) = self.uop_queue.front().copied() {
+            if self.dispatch_resources_available(&uop) {
+                return;
+            }
+            dispatch_would_block = true;
+        }
+        let now = self.cycle;
+        let expected_return = self
+            .interval
+            .as_ref()
+            .expect("runahead mode has an active interval")
+            .expected_return;
+        let mut target = expected_return.min(max_cycles);
+        if let Some(next_completion) = self.in_flight.next_completion() {
+            debug_assert!(next_completion > now, "unprocessed completion event");
+            target = target.min(next_completion);
+        }
+        if !self.fetch_done && !self.delay_pipe.is_full() {
+            if self.fetch_stall_until <= now + 1 {
+                return;
+            }
+            target = target.min(self.fetch_stall_until);
+        }
+        if !self.uop_queue.is_full() {
+            if let Some(ready_at) = self.delay_pipe.next_ready_at() {
+                if ready_at <= now + 1 {
+                    return;
+                }
+                target = target.min(ready_at);
+            }
+        }
+        if target <= now + 1 {
+            return;
+        }
+        let end = target - 1;
+        let skipped = end - now;
+        // The cycle hook counts every skipped cycle as runahead progress
+        // (runahead mode never trips the deadlock watchdog).
+        self.stats.runahead_cycles += skipped;
+        self.last_progress_cycle = end;
+        self.dispatch_blocked = dispatch_would_block;
+        if !self.fetch_done {
+            let stalled_until = end.min(self.fetch_stall_until.saturating_sub(1));
+            self.stats.frontend_stall_cycles += stalled_until.saturating_sub(now);
+        }
+        self.stats.ff_cycles.runahead += skipped;
+        self.cycle = end;
+    }
+
+    /// Fast-forward for precise runahead.
+    ///
+    /// Commit is architecturally paused in this mode, so quiescence reduces
+    /// to:
+    ///
+    /// * the issue stage idle (select and store address generation);
+    /// * the eager-drain machinery settled — the rescan flag clear (the
+    ///   per-cycle seed scan is skipped) and the PRDQ head not drainable,
+    ///   which the cycle hook that just ran guarantees until the next
+    ///   completion event;
+    /// * the PRE decode filter blocked: the micro-op queue empty, or the EMQ
+    ///   full (zero SST lookups either way), or the head micro-op an SST hit
+    ///   waiting for back-end resources — that head performs exactly one
+    ///   mutating SST lookup per skipped cycle, replayed in bulk through
+    ///   [`StallingSliceTable::record_bulk_hits`];
+    /// * fetch and decode unable to act before the jump target (with a full
+    ///   EMQ the fetch stage instead counts one EMQ-full stall cycle per
+    ///   cycle, accumulated in bulk).
+    ///
+    /// The jump target is capped at the next in-flight completion and the
+    /// interval's expected return, so runahead wake-ups and the exit check
+    /// both happen on real ticks.
+    fn fast_forward_runahead_pre(&mut self, max_cycles: u64) {
+        debug_assert!(self.pending_recovery.is_none());
+        debug_assert!(!self.dispatch_blocked);
+        if self.pre_eager_rescan {
+            // The hook re-runs the eager-drain scan every cycle until it
+            // completes with PRDQ room; its effects cannot be bulk-replayed.
+            return;
+        }
+        if !self.iq.select_idle() {
+            return;
+        }
+        // The hook's PRDQ drain just ran: anything drainable was drained,
+        // so the per-cycle drain stays a no-op until the next completion.
+        debug_assert!(
+            self.rename
+                .prdq()
+                .iter()
+                .next()
+                .map_or(true, |e| !e.executed),
+            "drainable PRDQ head at fast-forward"
+        );
+        let emq_blocked = self.use_emq && self.emq.is_full();
+        let mut blocked_hit_pc = None;
+        if !emq_blocked {
+            if let Some(&uop) = self.uop_queue.front() {
+                // An SST miss at the queue head pops every cycle; a hit with
+                // free resources executes. Both are real per-cycle work.
+                if !self.sst.contains(uop.pc) {
+                    return;
+                }
+                if self.pre_runahead_resources_available(&uop) {
+                    return;
+                }
+                blocked_hit_pc = Some(uop.pc);
+            }
+        }
+        let now = self.cycle;
+        let expected_return = self
+            .interval
+            .as_ref()
+            .expect("runahead mode has an active interval")
+            .expected_return;
+        let mut target = expected_return.min(max_cycles);
+        if let Some(next_completion) = self.in_flight.next_completion() {
+            debug_assert!(next_completion > now, "unprocessed completion event");
+            target = target.min(next_completion);
+        }
+        // With a full EMQ the fetch stage stalls before its instruction
+        // cache check, so the fetch-resume cap only applies otherwise.
+        // Decode drains the delay pipe regardless of the EMQ.
+        if !emq_blocked && !self.fetch_done && !self.delay_pipe.is_full() {
+            if self.fetch_stall_until <= now + 1 {
+                return;
+            }
+            target = target.min(self.fetch_stall_until);
+        }
+        if !self.uop_queue.is_full() {
+            if let Some(ready_at) = self.delay_pipe.next_ready_at() {
+                if ready_at <= now + 1 {
+                    return;
+                }
+                target = target.min(ready_at);
+            }
+        }
+        if target <= now + 1 {
+            return;
+        }
+        let end = target - 1;
+        let skipped = end - now;
+        if let Some(pc) = blocked_hit_pc {
+            // The filter re-looks-up the blocked head once per skipped
+            // cycle; replay those hitting lookups in bulk.
+            self.sst.record_bulk_hits(pc, skipped);
+        }
+        if emq_blocked && !self.fetch_done {
+            self.stats.emq_full_stall_cycles += skipped;
+        } else if !self.fetch_done {
+            let stalled_until = end.min(self.fetch_stall_until.saturating_sub(1));
+            self.stats.frontend_stall_cycles += stalled_until.saturating_sub(now);
+        }
+        self.stats.runahead_cycles += skipped;
+        self.last_progress_cycle = end;
+        self.stats.ff_cycles.runahead += skipped;
         self.cycle = end;
     }
 }

@@ -27,7 +27,7 @@ impl OooCore {
         let (head_id, head_pc, head_completion, blocking) = match self.rob.head() {
             Some(head) => (
                 head.id,
-                head.uop.pc,
+                head.pc,
                 head.completion_cycle,
                 head.is_blocking_long_latency_load(now),
             ),
@@ -155,23 +155,20 @@ impl OooCore {
         let now = self.cycle;
         let long_latency_threshold = self.cfg.l3.latency;
         let mut to_invalidate: Vec<(
-            u64,
+            u32,
             Option<(pre_model::reg::RegClass, pre_model::reg::PhysReg)>,
         )> = Vec::new();
-        for entry in self.rob.iter() {
+        for (slot, entry) in self.rob.iter_slots() {
             let pending_off_chip = entry.issued
                 && !entry.executed
-                && entry.uop.inst.opcode.is_load()
+                && entry.is_load
                 && entry.completion_cycle.saturating_sub(now) > long_latency_threshold;
             if entry.id == head_id || pending_off_chip {
-                to_invalidate.push((entry.id, entry.dest));
+                to_invalidate.push((slot, entry.dest));
             }
         }
-        for (id, dest) in to_invalidate {
-            if let Some(entry) = self.rob.get_mut(id) {
-                entry.executed = true;
-                entry.result = Some(0);
-            }
+        for (slot, dest) in to_invalidate {
+            self.rob.force_execute(slot);
             if let Some((class, reg)) = dest {
                 let prf = self.prf_mut(class);
                 prf.write(reg, 0);
@@ -189,10 +186,10 @@ impl OooCore {
     fn begin_buffer_runahead(&mut self, now: u64, head_id: u64, head_pc: u32) -> FlushKind {
         let window: Vec<WindowUop> = self
             .rob
-            .iter()
-            .map(|e| WindowUop {
-                pc: e.uop.pc,
-                inst: e.uop.inst,
+            .iter_uops()
+            .map(|u| WindowUop {
+                pc: u.pc,
+                inst: u.inst,
             })
             .collect();
         let found = self.runahead_buffer.fill_from_window(
@@ -209,10 +206,14 @@ impl OooCore {
         for (flat, reg) in regs.iter_mut().enumerate() {
             *reg = self.speculative_arch_value(ArchReg::from_flat_index(flat));
         }
+        debug_assert!(
+            self.rob.head().is_some_and(|h| h.id == head_id),
+            "runahead entry is triggered by the ROB head"
+        );
         let inv_regs: Vec<ArchReg> = self
             .rob
-            .get(head_id)
-            .and_then(|e| e.uop.inst.dest)
+            .head_uop()
+            .and_then(|u| u.inst.dest)
             .into_iter()
             .collect();
         self.chain_engine = Some(ChainReplayEngine::new(
@@ -223,7 +224,7 @@ impl OooCore {
         ));
         // The window is discarded, as in traditional runahead; the back-end
         // resources are then used exclusively by the chain replay.
-        let squashed = self.rob.drain_all().len() + self.iq.clear();
+        let squashed = self.rob.clear() + self.iq.clear();
         self.stats.squashed_uops += squashed as u64;
         self.lsq.clear();
         FlushKind::Buffer
@@ -330,7 +331,7 @@ impl OooCore {
         }
     }
 
-    fn pre_runahead_resources_available(&self, uop: &crate::uop::DynUop) -> bool {
+    pub(crate) fn pre_runahead_resources_available(&self, uop: &crate::uop::DynUop) -> bool {
         if self.iq.is_full() || self.rename.prdq().is_full() {
             return false;
         }
@@ -364,6 +365,7 @@ impl OooCore {
         self.iq.insert(
             IqEntry {
                 id,
+                rob_slot: crate::rob::INVALID_SLOT,
                 pc: uop.pc,
                 inst,
                 srcs,
@@ -423,7 +425,7 @@ impl OooCore {
             self.stats.runahead_buffer_replays += engine.uops_executed();
         }
 
-        let squashed = self.rob.drain_all().len() + self.iq.clear();
+        let squashed = self.rob.clear() + self.iq.clear();
         self.stats.squashed_uops += squashed as u64;
         self.lsq.clear();
         self.in_flight.clear();

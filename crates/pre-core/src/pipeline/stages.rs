@@ -7,7 +7,6 @@ use crate::rob::RobEntry;
 use crate::uop::DynUop;
 use pre_mem::{AccessKind, HitLevel};
 use pre_model::isa::OpClass;
-use std::cmp::Reverse;
 
 /// Outcome of attempting to execute one issue-queue entry.
 enum IssueOutcome {
@@ -208,12 +207,13 @@ impl OooCore {
         let mut rob_entry = RobEntry::new(id, uop);
         rob_entry.dest = dest;
         rob_entry.old_dest = old_dest;
-        self.rob.push(rob_entry);
+        let rob_slot = self.rob.push(rob_entry);
 
         let rename = &self.rename;
         self.iq.insert(
             IqEntry {
                 id,
+                rob_slot,
                 pc: uop.pc,
                 inst,
                 srcs,
@@ -564,10 +564,7 @@ impl OooCore {
                 self.lsq.set_store_value(entry.id, value);
             }
             if runahead_exec && !src_inv {
-                for i in 0..width.bytes() {
-                    self.runahead_store_buffer
-                        .insert(addr + i, (value >> (8 * i)) as u8);
-                }
+                self.runahead_store_buffer.store(addr, width.bytes(), value);
             }
         } else if inst.opcode.is_control() {
             let outcome = inst.execute(entry.pc, src1, src2, None);
@@ -576,8 +573,7 @@ impl OooCore {
                 if inst.opcode.is_cond_branch() {
                     let predicted_next = self
                         .rob
-                        .get(entry.id)
-                        .map(|e| e.uop.predicted_next_pc)
+                        .predicted_next_pc(entry.rob_slot, entry.id)
                         .unwrap_or(outcome.next_pc);
                     mispredicted = outcome.next_pc != predicted_next;
                     self.predictor.update(
@@ -602,27 +598,31 @@ impl OooCore {
             self.prf_mut(class).set_inv(reg, dest_inv);
         }
 
-        self.in_flight.push(Reverse(InFlight {
+        self.in_flight.push(InFlight {
             completion,
             id: entry.id,
+            rob_slot: entry.rob_slot,
             is_runahead: entry.is_runahead,
             interval_seq: self.interval_seq,
             dest: entry.dest,
-        }));
+        });
 
         if entry.is_runahead {
             self.stats.runahead_uops_executed += 1;
-        } else if let Some(rob_entry) = self.rob.get_mut(entry.id) {
-            rob_entry.issued = true;
-            rob_entry.completion_cycle = completion;
-            rob_entry.result = result;
-            rob_entry.mem_addr = mem_addr;
-            rob_entry.mem_level = mem_level;
-            rob_entry.store_value = store_value;
-            rob_entry.mispredicted = mispredicted;
-            if let Some(next) = actual_next_pc {
-                rob_entry.actual_next_pc = next;
-            }
+        } else {
+            self.rob.writeback(
+                entry.rob_slot,
+                entry.id,
+                crate::rob::Writeback {
+                    completion_cycle: completion,
+                    result,
+                    mem_addr,
+                    mem_level,
+                    store_value,
+                    mispredicted,
+                    actual_next_pc,
+                },
+            );
         }
         IssueOutcome::Issued
     }
@@ -638,16 +638,10 @@ impl OooCore {
         access: pre_model::isa::MemAccess,
     ) -> u64 {
         let len = access.width.bytes();
-        let buffered = (0..len)
-            .filter(|i| self.runahead_store_buffer.contains_key(&(addr + i)))
-            .count() as u64;
-        let raw = if buffered == len {
+        let buffered = self.runahead_store_buffer.read(addr, len);
+        let raw = if buffered.is_complete(len) {
             // Fully buffered: no LSQ search needed.
-            let mut value = 0u64;
-            for i in (0..len).rev() {
-                value = (value << 8) | u64::from(self.runahead_store_buffer[&(addr + i)]);
-            }
-            value
+            buffered.value
         } else {
             let underlying = if let crate::lsq::LoadCheck::Forward(v) =
                 self.lsq.check_load_speculative(load_id, addr, len as u8)
@@ -656,22 +650,10 @@ impl OooCore {
             } else {
                 self.func_mem.load_bytes(addr, len)
             };
-            if buffered == 0 {
-                underlying
-            } else {
-                // Partially buffered (only reachable with sub-word runahead
-                // stores): overlay the buffered bytes on the underlying
-                // LSQ-or-memory value.
-                let mut value = 0u64;
-                for i in (0..len).rev() {
-                    let byte = match self.runahead_store_buffer.get(&(addr + i)) {
-                        Some(&b) => b,
-                        None => (underlying >> (8 * i)) as u8,
-                    };
-                    value = (value << 8) | u64::from(byte);
-                }
-                value
-            }
+            // Partially buffered (only reachable with sub-word runahead
+            // stores): overlay the buffered bytes on the underlying
+            // LSQ-or-memory value.
+            buffered.overlay(underlying)
         };
         access.extend(raw)
     }

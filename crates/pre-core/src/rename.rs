@@ -56,7 +56,60 @@ use crate::rob::ReorderBuffer;
 use pre_model::isa::StaticInst;
 use pre_model::reg::{ArchReg, PhysReg, RegClass, NUM_ARCH_REGS};
 use pre_runahead::PreciseRegisterDeallocationQueue;
-use std::collections::HashSet;
+
+/// Per-class membership flags over physical-register indices.
+///
+/// The eager drain runs on every stalled normal-mode cycle (the entry gate)
+/// and on every precise-runahead rescan cycle, so its membership sets sit on
+/// the simulator's hottest path; SipHash-backed `HashSet`s here dominated
+/// whole-run profiles. Physical registers are densely numbered below the
+/// per-class file capacity, so a flat flag vector makes membership a single
+/// indexed load and `clear` a pair of short memsets.
+#[derive(Debug)]
+struct PhysFlagSet {
+    int: Vec<bool>,
+    fp: Vec<bool>,
+}
+
+impl PhysFlagSet {
+    fn new(int_capacity: usize, fp_capacity: usize) -> Self {
+        PhysFlagSet {
+            int: vec![false; int_capacity],
+            fp: vec![false; fp_capacity],
+        }
+    }
+
+    #[inline]
+    fn flags_mut(&mut self, class: RegClass) -> &mut [bool] {
+        match class {
+            RegClass::Int => &mut self.int,
+            RegClass::Fp => &mut self.fp,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, class: RegClass, reg: PhysReg) -> bool {
+        match class {
+            RegClass::Int => self.int[reg.index()],
+            RegClass::Fp => self.fp[reg.index()],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, class: RegClass, reg: PhysReg) {
+        self.flags_mut(class)[reg.index()] = true;
+    }
+
+    #[inline]
+    fn remove(&mut self, class: RegClass, reg: PhysReg) {
+        self.flags_mut(class)[reg.index()] = false;
+    }
+
+    fn clear(&mut self) {
+        self.int.fill(false);
+        self.fp.fill(false);
+    }
+}
 
 /// A joint snapshot of the RAT and both free lists, captured at runahead
 /// entry and restored at exit. Restoring the free lists subsumes undoing
@@ -91,16 +144,18 @@ pub struct RenameSubsystem {
     prdq: PreciseRegisterDeallocationQueue,
     /// Registers allocated by runahead renaming in the current interval;
     /// only these may be reclaimed through regular PRDQ deallocation.
-    runahead_allocated: HashSet<(RegClass, PhysReg)>,
+    runahead_allocated: PhysFlagSet,
     /// ROB entry ids whose previous mapping the eager drain already seeded
-    /// in the current interval.
-    eager_seeded: HashSet<u64>,
+    /// in the current interval. Kept sorted for binary search; bounded by
+    /// the ROB capacity because the window is frozen during an interval.
+    eager_seeded: Vec<u64>,
     int_capacity: usize,
     fp_capacity: usize,
-    /// Reusable scratch for [`RenameSubsystem::eager_candidates`], so the
-    /// per-runahead-cycle rescan allocates nothing in steady state.
-    scratch_live: HashSet<(RegClass, PhysReg)>,
-    scratch_mapped: HashSet<(RegClass, PhysReg)>,
+    /// Reusable scratch for [`RenameSubsystem::collect_eager_candidates`]:
+    /// registers pinned by a waiting consumer or a live RAT mapping. Reused
+    /// across calls so the per-runahead-cycle rescan allocates nothing in
+    /// steady state.
+    scratch_pinned: PhysFlagSet,
     scratch_candidates: Vec<(u64, RegClass, PhysReg)>,
 }
 
@@ -121,12 +176,11 @@ impl RenameSubsystem {
             int_prf: PhysRegFile::new(int_phys, pre_model::reg::NUM_INT_ARCH_REGS),
             fp_prf: PhysRegFile::new(fp_phys, pre_model::reg::NUM_FP_ARCH_REGS),
             prdq: PreciseRegisterDeallocationQueue::new(prdq_entries),
-            runahead_allocated: HashSet::new(),
-            eager_seeded: HashSet::new(),
+            runahead_allocated: PhysFlagSet::new(int_phys, fp_phys),
+            eager_seeded: Vec::new(),
             int_capacity: int_phys,
             fp_capacity: fp_phys,
-            scratch_live: HashSet::new(),
-            scratch_mapped: HashSet::new(),
+            scratch_pinned: PhysFlagSet::new(int_phys, fp_phys),
             scratch_candidates: Vec::new(),
         };
         subsystem.seed_arch_values(arch_values);
@@ -248,10 +302,10 @@ impl RenameSubsystem {
             let rename = self
                 .rename_dest(d, pc)
                 .expect("caller checked for a free register");
-            let reclaimable = self.runahead_allocated.contains(&(class, rename.old));
+            let reclaimable = self.runahead_allocated.contains(class, rename.old);
             self.prdq
                 .allocate(uop_id, Some((class, rename.old)), reclaimable);
-            self.runahead_allocated.insert((class, rename.new));
+            self.runahead_allocated.insert(class, rename.new);
             dest = Some((class, rename.new));
         } else {
             self.prdq.allocate(uop_id, None, false);
@@ -297,7 +351,7 @@ impl RenameSubsystem {
         let mut counts = (0usize, 0usize);
         for (class, reg) in freed {
             self.free_list_mut(class).free(reg);
-            self.runahead_allocated.remove(&(class, reg));
+            self.runahead_allocated.remove(class, reg);
             match class {
                 RegClass::Int => counts.0 += 1,
                 RegClass::Fp => counts.1 += 1,
@@ -322,7 +376,9 @@ impl RenameSubsystem {
             if !self.prdq.seed_executed(id, (class, old)) {
                 break;
             }
-            self.eager_seeded.insert(id);
+            if let Err(pos) = self.eager_seeded.binary_search(&id) {
+                self.eager_seeded.insert(pos, id);
+            }
             seeded += 1;
         }
         candidates.clear();
@@ -355,25 +411,26 @@ impl RenameSubsystem {
     /// `self.scratch_candidates` (reused across calls; no steady-state
     /// allocation).
     fn collect_eager_candidates(&mut self, rob: &ReorderBuffer, iq: &IssueQueue) {
-        // Registers still wanted by waiting (un-issued) micro-ops.
-        self.scratch_live.clear();
+        // A register is pinned if a waiting (un-issued) micro-op still reads
+        // it, or if it is a live RAT mapping (defensive: `old_dest` registers
+        // are mapped out by construction). Both conditions feed the same
+        // `!pinned` check, so one flag set covers them.
+        self.scratch_pinned.clear();
         for entry in iq.iter() {
-            self.scratch_live.extend(entry.srcs.iter().copied());
+            for &(class, reg) in entry.srcs.iter() {
+                self.scratch_pinned.insert(class, reg);
+            }
         }
-        // Live RAT mappings (defensive: `old_dest` registers are mapped out
-        // by construction).
-        self.scratch_mapped.clear();
         for (arch, phys) in self.rat.iter() {
-            self.scratch_mapped.insert((arch.class(), phys));
+            self.scratch_pinned.insert(arch.class(), phys);
         }
         self.scratch_candidates.clear();
         for entry in rob.iter() {
             if let Some((arch, old, _)) = entry.old_dest {
                 let class = arch.class();
-                let dead = !self.eager_seeded.contains(&entry.id)
+                let dead = self.eager_seeded.binary_search(&entry.id).is_err()
                     && self.prf(class).is_ready(old)
-                    && !self.scratch_live.contains(&(class, old))
-                    && !self.scratch_mapped.contains(&(class, old))
+                    && !self.scratch_pinned.contains(class, old)
                     && !self.free_list(class).is_free(old);
                 if dead {
                     self.scratch_candidates.push((entry.id, class, old));
@@ -382,7 +439,7 @@ impl RenameSubsystem {
             // Entries younger than an unresolved conditional branch may be
             // squashed, which would roll the RAT back to their previous
             // mappings — stop here. (Branches resolve at issue.)
-            if entry.uop.inst.opcode.is_cond_branch() && !entry.issued {
+            if entry.is_cond_branch && !entry.issued {
                 break;
             }
         }
@@ -559,6 +616,7 @@ mod tests {
         iq.insert(
             crate::iq::IqEntry {
                 id: 4,
+                rob_slot: crate::rob::INVALID_SLOT,
                 pc: 4,
                 inst: StaticInst::int_alu_imm(AluOp::Add, a, a, 1),
                 srcs: SrcList::from_slice(&[(RegClass::Int, first_new)]),

@@ -1,14 +1,32 @@
 //! The reorder buffer (ROB).
+//!
+//! The buffer is a fixed-capacity ring with the per-entry state split
+//! between a **hot** array ([`RobHotEntry`]: the status bits, age, program
+//! counter and rename mappings that the per-cycle commit, full-window-stall
+//! and eager-reclaim scans touch) and a **cold** array (the micro-op payload
+//! needed only when an entry writes back, commits or is squashed). Entries
+//! never move: a micro-op keeps its physical slot index from dispatch to
+//! removal, so the issue queue and the in-flight completion events carry a
+//! slot handle and write back in O(1) — validated against the stored
+//! micro-op id, which makes handles that outlive their entry (squash,
+//! pseudo-retire during flush-style runahead) fail safely.
 
 use crate::uop::DynUop;
 use pre_mem::HitLevel;
+use pre_model::isa::StaticInst;
 use pre_model::reg::{ArchReg, PhysReg, RegClass};
-use std::collections::VecDeque;
 
-/// One ROB entry.
+/// Slot handle carried by issue-queue entries that have no ROB entry
+/// (runahead micro-ops). Never validates against a live slot.
+pub const INVALID_SLOT: u32 = u32::MAX;
+
+/// One ROB entry, fully assembled. This is the dispatch-side input to
+/// [`ReorderBuffer::push`] and the commit/squash-side output; while resident
+/// the fields live split across the hot and cold arrays.
 #[derive(Debug, Clone)]
 pub struct RobEntry {
     /// Unique, monotonically increasing micro-op identifier (program order).
+    /// Always non-zero; zero marks a free slot internally.
     pub id: u64,
     /// The dynamic micro-op.
     pub uop: DynUop,
@@ -58,22 +76,173 @@ impl RobEntry {
             actual_next_pc: uop.predicted_next_pc,
         }
     }
+}
 
+/// The hot per-entry state: everything the per-cycle scans (commit-head
+/// probe, full-window-stall detection, fast-forward gating, the PRE eager
+/// reclaim walk) read, so those scans never touch the cold payload.
+#[derive(Debug, Clone, Copy)]
+pub struct RobHotEntry {
+    /// Micro-op identifier; `0` marks a free slot.
+    pub id: u64,
+    /// Program counter of the micro-op.
+    pub pc: u32,
+    /// The micro-op is a load (decoded once at push).
+    pub is_load: bool,
+    /// The micro-op is a conditional branch (decoded once at push).
+    pub is_cond_branch: bool,
+    /// The micro-op has been issued to a functional unit.
+    pub issued: bool,
+    /// The micro-op has finished execution.
+    pub executed: bool,
+    /// Cycle at which execution completes (valid once issued).
+    pub completion_cycle: u64,
+    /// For loads: the hierarchy level that supplied the data.
+    pub mem_level: Option<HitLevel>,
+    /// Destination mapping allocated at rename.
+    pub dest: Option<(RegClass, PhysReg)>,
+    /// Previous mapping of the destination architectural register.
+    pub old_dest: Option<(ArchReg, PhysReg, Option<u32>)>,
+}
+
+impl RobHotEntry {
     /// `true` when this entry is a load still waiting on an off-chip access.
     pub fn is_blocking_long_latency_load(&self, now: u64) -> bool {
-        self.uop.inst.opcode.is_load()
+        self.is_load
             && self.issued
             && !self.executed
             && self.mem_level == Some(HitLevel::Memory)
             && self.completion_cycle > now
     }
+
+    fn free() -> Self {
+        RobHotEntry {
+            id: 0,
+            pc: 0,
+            is_load: false,
+            is_cond_branch: false,
+            issued: false,
+            executed: false,
+            completion_cycle: 0,
+            mem_level: None,
+            dest: None,
+            old_dest: None,
+        }
+    }
 }
 
-/// The reorder buffer: a bounded FIFO of [`RobEntry`] in program order.
+/// The cold payload: touched only at writeback, commit and squash.
+#[derive(Debug, Clone, Copy)]
+struct RobColdEntry {
+    uop: DynUop,
+    mem_addr: Option<u64>,
+    store_value: Option<u64>,
+    result: Option<u64>,
+    mispredicted: bool,
+    actual_next_pc: u32,
+}
+
+impl RobColdEntry {
+    fn free() -> Self {
+        RobColdEntry {
+            uop: DynUop::sequential(0, StaticInst::nop(), 0),
+            mem_addr: None,
+            store_value: None,
+            result: None,
+            mispredicted: false,
+            actual_next_pc: 0,
+        }
+    }
+}
+
+fn split(entry: RobEntry) -> (RobHotEntry, RobColdEntry) {
+    let RobEntry {
+        id,
+        uop,
+        dest,
+        old_dest,
+        issued,
+        executed,
+        completion_cycle,
+        mem_level,
+        mem_addr,
+        store_value,
+        result,
+        mispredicted,
+        actual_next_pc,
+    } = entry;
+    (
+        RobHotEntry {
+            id,
+            pc: uop.pc,
+            is_load: uop.inst.opcode.is_load(),
+            is_cond_branch: uop.inst.opcode.is_cond_branch(),
+            issued,
+            executed,
+            completion_cycle,
+            mem_level,
+            dest,
+            old_dest,
+        },
+        RobColdEntry {
+            uop,
+            mem_addr,
+            store_value,
+            result,
+            mispredicted,
+            actual_next_pc,
+        },
+    )
+}
+
+fn assemble(hot: RobHotEntry, cold: RobColdEntry) -> RobEntry {
+    RobEntry {
+        id: hot.id,
+        uop: cold.uop,
+        dest: hot.dest,
+        old_dest: hot.old_dest,
+        issued: hot.issued,
+        executed: hot.executed,
+        completion_cycle: hot.completion_cycle,
+        mem_level: hot.mem_level,
+        mem_addr: cold.mem_addr,
+        store_value: cold.store_value,
+        result: cold.result,
+        mispredicted: cold.mispredicted,
+        actual_next_pc: cold.actual_next_pc,
+    }
+}
+
+/// The execute-stage writeback payload published into a ROB slot when a
+/// micro-op issues (see [`ReorderBuffer::writeback`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Writeback {
+    /// Cycle at which execution completes.
+    pub completion_cycle: u64,
+    /// The destination value, if the micro-op produces one.
+    pub result: Option<u64>,
+    /// For loads/stores: the effective address.
+    pub mem_addr: Option<u64>,
+    /// For loads: the hierarchy level that supplied the data.
+    pub mem_level: Option<HitLevel>,
+    /// For stores: the value to write at commit.
+    pub store_value: Option<u64>,
+    /// For conditional branches: whether the branch was mispredicted.
+    pub mispredicted: bool,
+    /// For control instructions: the resolved next PC (`None` leaves the
+    /// predicted fall-through in place).
+    pub actual_next_pc: Option<u32>,
+}
+
+/// The reorder buffer: a bounded ring of entries in program order (see the
+/// module documentation for the hot/cold layout and slot-handle contract).
 #[derive(Debug, Clone)]
 pub struct ReorderBuffer {
-    entries: VecDeque<RobEntry>,
-    capacity: usize,
+    hot: Box<[RobHotEntry]>,
+    cold: Box<[RobColdEntry]>,
+    /// Physical index of the oldest entry.
+    head: usize,
+    len: usize,
     writes: u64,
     reads: u64,
 }
@@ -87,8 +256,10 @@ impl ReorderBuffer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ROB capacity must be non-zero");
         ReorderBuffer {
-            entries: VecDeque::with_capacity(capacity),
-            capacity,
+            hot: vec![RobHotEntry::free(); capacity].into_boxed_slice(),
+            cold: vec![RobColdEntry::free(); capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
             writes: 0,
             reads: 0,
         }
@@ -96,104 +267,226 @@ impl ReorderBuffer {
 
     /// `true` when no entry can be dispatched.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.len >= self.hot.len()
     }
 
     /// `true` when the ROB holds no instructions.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Configured capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.hot.len()
     }
 
-    /// Pushes a dispatched entry at the tail.
+    /// Physical slot of the `logical`-th oldest entry.
+    fn phys(&self, logical: usize) -> usize {
+        let p = self.head + logical;
+        if p >= self.hot.len() {
+            p - self.hot.len()
+        } else {
+            p
+        }
+    }
+
+    /// Pushes a dispatched entry at the tail and returns its (stable) slot
+    /// handle.
     ///
     /// # Panics
     ///
     /// Panics if the ROB is full; the dispatch stage must check
     /// [`ReorderBuffer::is_full`] first.
-    pub fn push(&mut self, entry: RobEntry) {
+    pub fn push(&mut self, entry: RobEntry) -> u32 {
         assert!(!self.is_full(), "dispatch into a full ROB");
+        debug_assert!(entry.id != 0, "id 0 is reserved for free slots");
         self.writes += 1;
-        self.entries.push_back(entry);
+        let slot = self.phys(self.len);
+        let (hot, cold) = split(entry);
+        self.hot[slot] = hot;
+        self.cold[slot] = cold;
+        self.len += 1;
+        slot as u32
     }
 
-    /// The oldest entry, if any.
-    pub fn head(&self) -> Option<&RobEntry> {
-        self.entries.front()
+    /// The hot state of the oldest entry, if any.
+    pub fn head(&self) -> Option<&RobHotEntry> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.hot[self.head])
+        }
     }
 
-    /// Mutable access to the oldest entry.
-    pub fn head_mut(&mut self) -> Option<&mut RobEntry> {
-        self.entries.front_mut()
+    /// The micro-op of the oldest entry, if any.
+    pub fn head_uop(&self) -> Option<&DynUop> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.cold[self.head].uop)
+        }
     }
 
     /// Removes and returns the oldest entry (commit / pseudo-retire).
     pub fn pop_head(&mut self) -> Option<RobEntry> {
-        let e = self.entries.pop_front();
-        if e.is_some() {
-            self.reads += 1;
+        if self.len == 0 {
+            return None;
         }
-        e
+        self.reads += 1;
+        let slot = self.head;
+        let entry = assemble(self.hot[slot], self.cold[slot]);
+        self.hot[slot].id = 0;
+        self.head = self.phys(1);
+        self.len -= 1;
+        Some(entry)
     }
 
-    /// Index of the entry with micro-op `id`, if present. Ids are assigned
-    /// in dispatch order, so the deque is always sorted by id and a binary
+    /// Removes and returns the oldest entry iff it has finished execution:
+    /// the fused head-probe-and-pop that lets commit and pseudo-retire drain
+    /// every commit-ready head in one pass per cycle.
+    pub fn pop_head_if_executed(&mut self) -> Option<RobEntry> {
+        if self.len == 0 || !self.hot[self.head].executed {
+            return None;
+        }
+        self.pop_head()
+    }
+
+    /// `true` when `slot` currently holds the micro-op `id`. Handles from
+    /// removed entries fail: freed slots clear their id and reused slots
+    /// hold a different (younger, unique) id.
+    pub fn slot_matches(&self, slot: u32, id: u64) -> bool {
+        (slot as usize) < self.hot.len() && self.hot[slot as usize].id == id
+    }
+
+    /// Marks the micro-op in `slot` as having finished execution (a memory
+    /// completion event). The caller validates the handle with
+    /// [`ReorderBuffer::slot_matches`] first.
+    pub fn set_executed(&mut self, slot: u32) {
+        debug_assert!(
+            self.hot[slot as usize].id != 0,
+            "completion for a free slot"
+        );
+        self.hot[slot as usize].executed = true;
+    }
+
+    /// Force-executes the entry in `slot` with a zero result (flush-style
+    /// runahead INV semantics: the window drains through pseudo-retirement
+    /// instead of waiting for data that will be discarded).
+    pub fn force_execute(&mut self, slot: u32) {
+        debug_assert!(self.hot[slot as usize].id != 0, "invalidating a free slot");
+        self.hot[slot as usize].executed = true;
+        self.cold[slot as usize].result = Some(0);
+    }
+
+    /// Publishes the execute-stage results of micro-op `id` into `slot` and
+    /// marks it issued. Returns `false` (and does nothing) when the entry is
+    /// gone — an INV-forced entry can pseudo-retire while its issue-queue
+    /// copy is still waiting, then issue later against a recycled slot.
+    pub fn writeback(&mut self, slot: u32, id: u64, wb: Writeback) -> bool {
+        if !self.slot_matches(slot, id) {
+            return false;
+        }
+        let hot = &mut self.hot[slot as usize];
+        hot.issued = true;
+        hot.completion_cycle = wb.completion_cycle;
+        hot.mem_level = wb.mem_level;
+        let cold = &mut self.cold[slot as usize];
+        cold.result = wb.result;
+        cold.mem_addr = wb.mem_addr;
+        cold.store_value = wb.store_value;
+        cold.mispredicted = wb.mispredicted;
+        if let Some(next) = wb.actual_next_pc {
+            cold.actual_next_pc = next;
+        }
+        true
+    }
+
+    /// The predicted next PC of micro-op `id` in `slot`, if still resident
+    /// (branch resolution compares it against the computed next PC).
+    pub fn predicted_next_pc(&self, slot: u32, id: u64) -> Option<u32> {
+        if self.slot_matches(slot, id) {
+            Some(self.cold[slot as usize].uop.predicted_next_pc)
+        } else {
+            None
+        }
+    }
+
+    /// Logical (oldest-first) index of the entry with micro-op `id`. Ids are
+    /// assigned in dispatch order, so the ring is sorted by id and a binary
     /// search suffices.
-    fn index_of(&self, id: u64) -> Option<usize> {
-        crate::sorted_deque::index_by_key(&self.entries, id, |e| e.id)
+    fn find_logical(&self, id: u64) -> Option<usize> {
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let mid_id = self.hot[self.phys(mid)].id;
+            if mid_id == id {
+                return Some(mid);
+            } else if mid_id < id {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        None
     }
 
-    /// Finds an entry by micro-op id.
-    pub fn get_mut(&mut self, id: u64) -> Option<&mut RobEntry> {
-        let idx = self.index_of(id)?;
-        self.entries.get_mut(idx)
-    }
-
-    /// Finds an entry by micro-op id (immutable).
-    pub fn get(&self, id: u64) -> Option<&RobEntry> {
-        let idx = self.index_of(id)?;
-        self.entries.get(idx)
-    }
-
-    /// `true` when the ROB still holds the micro-op `id` (used to drop stale
-    /// in-flight completions after a squash).
+    /// `true` when the ROB still holds the micro-op `id`.
     pub fn contains(&self, id: u64) -> bool {
-        self.index_of(id).is_some()
+        self.find_logical(id).is_some()
     }
 
-    /// Iterates over entries from oldest to youngest.
-    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
-        self.entries.iter()
+    /// Iterates over the hot state from oldest to youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RobHotEntry> + '_ {
+        (0..self.len).map(move |i| &self.hot[self.phys(i)])
+    }
+
+    /// Iterates over `(slot handle, hot state)` from oldest to youngest.
+    pub fn iter_slots(&self) -> impl Iterator<Item = (u32, &RobHotEntry)> + '_ {
+        (0..self.len).map(move |i| {
+            let slot = self.phys(i);
+            (slot as u32, &self.hot[slot])
+        })
+    }
+
+    /// Iterates over the micro-ops from oldest to youngest (runahead-buffer
+    /// window extraction).
+    pub fn iter_uops(&self) -> impl Iterator<Item = &DynUop> + '_ {
+        (0..self.len).map(move |i| &self.cold[self.phys(i)].uop)
     }
 
     /// Removes every entry strictly younger than `id` and returns them
     /// youngest-first (the order needed to roll back the RAT).
     pub fn squash_younger_than(&mut self, id: u64) -> Vec<RobEntry> {
         let mut squashed = Vec::new();
-        while let Some(back) = self.entries.back() {
-            if back.id > id {
-                squashed.push(self.entries.pop_back().expect("back exists"));
-            } else {
+        while self.len > 0 {
+            let tail = self.phys(self.len - 1);
+            if self.hot[tail].id <= id {
                 break;
             }
+            squashed.push(assemble(self.hot[tail], self.cold[tail]));
+            self.hot[tail].id = 0;
+            self.len -= 1;
         }
         squashed
     }
 
-    /// Removes all entries (flush) and returns them youngest-first.
-    pub fn drain_all(&mut self) -> Vec<RobEntry> {
-        let mut all: Vec<RobEntry> = self.entries.drain(..).collect();
-        all.reverse();
-        all
+    /// Removes all entries (flush-style runahead discards the window) and
+    /// returns how many there were. Unlike commit, nothing reads the
+    /// payloads, so this only clears the hot ids.
+    pub fn clear(&mut self) -> usize {
+        let n = self.len;
+        for i in 0..self.len {
+            let slot = self.phys(i);
+            self.hot[slot].id = 0;
+        }
+        self.head = 0;
+        self.len = 0;
+        n
     }
 
     /// Number of entries pushed (ROB write-port accesses).
@@ -228,6 +521,24 @@ mod tests {
     }
 
     #[test]
+    fn ring_wraps_and_slots_stay_stable() {
+        let mut rob = ReorderBuffer::new(3);
+        let s1 = rob.push(entry(1));
+        let s2 = rob.push(entry(2));
+        assert_eq!(rob.pop_head().unwrap().id, 1);
+        // Push past the physical end: the ring wraps into slot 0.
+        let s3 = rob.push(entry(3));
+        let s4 = rob.push(entry(4));
+        assert_eq!(s4, s1, "freed slot is reused after a wrap");
+        assert!(!rob.slot_matches(s1, 1), "stale handle must not match");
+        assert!(rob.slot_matches(s2, 2));
+        assert!(rob.slot_matches(s3, 3));
+        assert!(rob.slot_matches(s4, 4));
+        let ids: Vec<u64> = rob.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
     fn full_detection() {
         let mut rob = ReorderBuffer::new(2);
         rob.push(entry(1));
@@ -259,30 +570,69 @@ mod tests {
     }
 
     #[test]
-    fn drain_all_is_youngest_first_and_empties() {
+    fn clear_empties_and_counts() {
         let mut rob = ReorderBuffer::new(8);
         for id in 1..=3 {
-            rob.push(entry(id));
+            let slot = rob.push(entry(id));
+            assert!(rob.slot_matches(slot, id));
         }
-        let drained = rob.drain_all();
-        let ids: Vec<_> = drained.iter().map(|e| e.id).collect();
-        assert_eq!(ids, vec![3, 2, 1]);
+        assert_eq!(rob.clear(), 3);
         assert!(rob.is_empty());
+        assert!(!rob.contains(2));
+        // Handles into the cleared window are dead.
+        for slot in 0..3 {
+            assert!(!rob.slot_matches(slot, (slot + 1) as u64));
+        }
     }
 
     #[test]
-    fn get_and_contains_by_id() {
+    fn writeback_is_slot_validated() {
         let mut rob = ReorderBuffer::new(4);
-        rob.push(entry(7));
-        assert!(rob.contains(7));
-        assert!(rob.get(7).is_some());
-        rob.get_mut(7).unwrap().executed = true;
-        assert!(rob.get(7).unwrap().executed);
-        assert!(!rob.contains(8));
+        let slot = rob.push(entry(9));
+        let wb = Writeback {
+            completion_cycle: 42,
+            result: Some(7),
+            mem_addr: None,
+            mem_level: None,
+            store_value: None,
+            mispredicted: false,
+            actual_next_pc: None,
+        };
+        assert!(rob.writeback(slot, 9, wb));
+        let head = rob.head().unwrap();
+        assert!(head.issued);
+        assert_eq!(head.completion_cycle, 42);
+        let popped = rob.pop_head().unwrap();
+        assert_eq!(popped.result, Some(7));
+        // The handle is dead after the pop.
+        assert!(!rob.writeback(slot, 9, wb));
+    }
+
+    #[test]
+    fn pop_head_if_executed_drains_ready_prefix_only() {
+        let mut rob = ReorderBuffer::new(4);
+        let s1 = rob.push(entry(1));
+        rob.push(entry(2));
+        assert!(rob.pop_head_if_executed().is_none(), "head not executed");
+        rob.set_executed(s1);
+        assert_eq!(rob.pop_head_if_executed().unwrap().id, 1);
+        assert!(rob.pop_head_if_executed().is_none(), "next head not ready");
+        assert_eq!(rob.len(), 1);
+    }
+
+    #[test]
+    fn force_execute_sets_zero_result() {
+        let mut rob = ReorderBuffer::new(2);
+        let slot = rob.push(entry(5));
+        rob.force_execute(slot);
+        let popped = rob.pop_head_if_executed().unwrap();
+        assert_eq!(popped.result, Some(0));
+        assert!(popped.executed);
     }
 
     #[test]
     fn long_latency_detection_requires_memory_level() {
+        let mut rob = ReorderBuffer::new(2);
         let mut e = entry(1);
         e.uop.inst = StaticInst::load(
             pre_model::reg::ArchReg::int(1),
@@ -292,11 +642,14 @@ mod tests {
         e.issued = true;
         e.completion_cycle = 500;
         e.mem_level = Some(HitLevel::L2);
-        assert!(!e.is_blocking_long_latency_load(100));
-        e.mem_level = Some(HitLevel::Memory);
-        assert!(e.is_blocking_long_latency_load(100));
-        assert!(!e.is_blocking_long_latency_load(600));
-        e.executed = true;
-        assert!(!e.is_blocking_long_latency_load(100));
+        rob.push(e);
+        let head = *rob.head().unwrap();
+        assert!(!head.is_blocking_long_latency_load(100));
+        let mut head = head;
+        head.mem_level = Some(HitLevel::Memory);
+        assert!(head.is_blocking_long_latency_load(100));
+        assert!(!head.is_blocking_long_latency_load(600));
+        head.executed = true;
+        assert!(!head.is_blocking_long_latency_load(100));
     }
 }

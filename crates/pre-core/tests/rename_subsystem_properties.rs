@@ -140,6 +140,7 @@ fn build_window(
             iq.insert(
                 IqEntry {
                     id,
+                    rob_slot: pre_core::rob::INVALID_SLOT,
                     pc: id as u32,
                     inst,
                     srcs: SrcList::from_slice(&[(RegClass::Int, src_phys)]),

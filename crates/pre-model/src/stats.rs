@@ -166,6 +166,32 @@ impl Default for PercentHistogram {
     }
 }
 
+/// Cycles the event-driven scheduler skipped in bulk (quiescent-cycle
+/// fast-forward) instead of ticking one by one, split by pipeline mode.
+///
+/// This is *simulator performance* accounting, not an architectural
+/// statistic: a fast-forwarded run models exactly the same machine as the
+/// cycle-by-cycle reference, it merely spends less host time doing so. To
+/// keep that guarantee checkable — [`SimStats`] equality between a
+/// fast-forwarded run and the `--reference-scheduler` oracle — `PartialEq`
+/// deliberately treats any two values as equal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FfCycles {
+    /// Normal-mode cycles skipped in bulk (full-window stalls).
+    pub normal: u64,
+    /// Runahead-mode cycles skipped in bulk (quiescent stretches of
+    /// traditional-runahead and precise-runahead intervals).
+    pub runahead: u64,
+}
+
+impl PartialEq for FfCycles {
+    /// Always `true`: how many cycles were fast-forwarded is a property of
+    /// the scheduler, not of the simulated machine (see the type docs).
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
 /// What kind of runahead event a [`RunaheadEvent`] records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunaheadEventKind {
@@ -241,6 +267,10 @@ pub struct SimStats {
     // ---- time -------------------------------------------------------------
     /// Total simulated core cycles.
     pub cycles: u64,
+    /// Cycles the event scheduler fast-forwarded in bulk rather than ticking
+    /// (simulator-performance accounting; excluded from equality — see
+    /// [`FfCycles`]).
+    pub ff_cycles: FfCycles,
 
     // ---- committed work ----------------------------------------------------
     /// Micro-ops committed (architecturally retired).
@@ -506,6 +536,29 @@ impl SimStats {
         self.runahead_interval_hist.mean()
     }
 
+    /// Normal-mode cycles the scheduler actually ticked one by one (total
+    /// normal-mode cycles minus the bulk fast-forwarded ones).
+    pub fn normal_cycles_simulated(&self) -> u64 {
+        self.cycles
+            .saturating_sub(self.runahead_cycles)
+            .saturating_sub(self.ff_cycles.normal)
+    }
+
+    /// Runahead-mode cycles the scheduler actually ticked one by one.
+    pub fn runahead_cycles_simulated(&self) -> u64 {
+        self.runahead_cycles.saturating_sub(self.ff_cycles.runahead)
+    }
+
+    /// Fraction of all simulated cycles covered by the quiescent
+    /// fast-forward (0 when the run had no cycles).
+    pub fn ff_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.ff_cycles.normal + self.ff_cycles.runahead) as f64 / self.cycles as f64
+        }
+    }
+
     /// Records a runahead entry/exit event, honouring the
     /// [`MAX_RUNAHEAD_EVENTS`] cap (overflow is counted instead of stored).
     pub fn record_runahead_event(&mut self, event: RunaheadEvent) {
@@ -646,6 +699,37 @@ mod tests {
         }
         assert_eq!(s.runahead_events.len(), MAX_RUNAHEAD_EVENTS);
         assert_eq!(s.runahead_events_dropped, 3);
+    }
+
+    #[test]
+    fn ff_cycles_never_break_equality() {
+        let mut a = SimStats::new();
+        let mut b = SimStats::new();
+        a.cycles = 1000;
+        b.cycles = 1000;
+        a.ff_cycles.normal = 700;
+        a.ff_cycles.runahead = 100;
+        assert_eq!(a, b, "fast-forward accounting must not affect equality");
+    }
+
+    #[test]
+    fn per_mode_cycle_split_is_consistent() {
+        let mut s = SimStats::new();
+        s.cycles = 1000;
+        s.runahead_cycles = 400;
+        s.ff_cycles.normal = 500;
+        s.ff_cycles.runahead = 150;
+        assert_eq!(s.normal_cycles_simulated(), 100);
+        assert_eq!(s.runahead_cycles_simulated(), 250);
+        assert!((s.ff_fraction() - 0.65).abs() < 1e-12);
+        assert_eq!(
+            s.normal_cycles_simulated()
+                + s.runahead_cycles_simulated()
+                + s.ff_cycles.normal
+                + s.ff_cycles.runahead,
+            s.cycles,
+            "four-way split covers every cycle"
+        );
     }
 
     #[test]

@@ -66,6 +66,32 @@ impl StallingSliceTable {
         self.entries.iter().any(|(p, _)| *p == pc)
     }
 
+    /// Records `n` consecutive hitting lookups of `pc` in one call, exactly
+    /// as `n` [`StallingSliceTable::lookup`] calls would: the lookup, hit and
+    /// LRU clocks each advance by `n` and the entry's last-use stamp lands on
+    /// the final clock value. Used by the pipeline's quiescent fast-forward,
+    /// which skips cycles during which the PRE decode filter re-looks-up the
+    /// same resource-blocked micro-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is not resident (a bulk hit must really be a hit).
+    pub fn record_bulk_hits(&mut self, pc: u32, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.lookups += n;
+        self.hits += n;
+        self.clock += n;
+        let clock = self.clock;
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|(p, _)| *p == pc)
+            .expect("bulk-hit PC must be resident");
+        entry.1 = clock;
+    }
+
     /// Inserts `pc`, evicting the least-recently-used entry if the table is
     /// full. Returns `true` if the PC was newly inserted (`false` if it was
     /// already present, in which case its LRU position is refreshed).
@@ -209,6 +235,57 @@ mod tests {
         let before = sst.lookups();
         assert!(sst.contains(1));
         assert_eq!(sst.lookups(), before);
+    }
+
+    /// Randomized: `record_bulk_hits(pc, n)` is indistinguishable from `n`
+    /// sequential `lookup(pc)` calls — counters, LRU victim selection and
+    /// later behaviour all match.
+    #[test]
+    fn prop_bulk_hits_equal_sequential_lookups() {
+        let mut rng = SmallRng::seed_from_u64(0x557_0003);
+        for _case in 0..64 {
+            let cap = rng.gen_range_usize(2..8);
+            let mut bulk = StallingSliceTable::new(cap);
+            let mut seq = StallingSliceTable::new(cap);
+            for _ in 0..rng.gen_range_usize(1..60) {
+                let pc = rng.gen_range_u64(0..12) as u32;
+                match rng.gen_below(3) {
+                    0 => {
+                        bulk.insert(pc);
+                        seq.insert(pc);
+                    }
+                    1 => {
+                        assert_eq!(bulk.lookup(pc), seq.lookup(pc));
+                    }
+                    _ => {
+                        if bulk.contains(pc) {
+                            let n = rng.gen_range_u64(1..5);
+                            bulk.record_bulk_hits(pc, n);
+                            for _ in 0..n {
+                                assert!(seq.lookup(pc));
+                            }
+                        }
+                    }
+                }
+                assert_eq!(bulk.lookups(), seq.lookups());
+                assert_eq!(bulk.hits(), seq.hits());
+                assert_eq!(bulk.evictions(), seq.evictions());
+                let mut b: Vec<_> = bulk.entries.clone();
+                let mut s: Vec<_> = seq.entries.clone();
+                b.sort_unstable();
+                s.sort_unstable();
+                assert_eq!(b, s, "entry/LRU state diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_hits_of_zero_is_a_no_op() {
+        let mut sst = StallingSliceTable::new(4);
+        sst.insert(1);
+        let before = (sst.lookups(), sst.hits());
+        sst.record_bulk_hits(1, 0);
+        assert_eq!((sst.lookups(), sst.hits()), before);
     }
 
     /// Randomized: the SST never exceeds its capacity and the most recently

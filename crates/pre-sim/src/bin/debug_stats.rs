@@ -55,6 +55,15 @@ fn main() {
         "frontend stall cycles {}  fw-stall cycles {}  fw-stalls {}",
         s.frontend_stall_cycles, s.full_window_stall_cycles, s.full_window_stalls
     );
+    println!(
+        "scheduler: normal cycles {} simulated + {} fast-forwarded, \
+         runahead cycles {} simulated + {} fast-forwarded (ff fraction {:.3})",
+        s.normal_cycles_simulated(),
+        s.ff_cycles.normal,
+        s.runahead_cycles_simulated(),
+        s.ff_cycles.runahead,
+        s.ff_fraction()
+    );
     println!("--- memory ---");
     println!("l1d acc {} miss {}  l2 acc {} miss {}  l3 acc {} miss {}  dram rd {} wr {} rowhit {} rowmiss {}",
         s.l1d_accesses, s.l1d_misses, s.l2_accesses, s.l2_misses, s.l3_accesses, s.l3_misses,

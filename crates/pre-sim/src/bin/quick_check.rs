@@ -33,7 +33,7 @@ fn main() {
         }
     };
     println!(
-        "{:<18} {:<10} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>8}",
+        "{:<18} {:<10} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>6} {:>8}",
         "workload",
         "technique",
         "ipc",
@@ -45,6 +45,7 @@ fn main() {
         "prdq",
         "fwd",
         "fwd-blk",
+        "ff",
         "mJ"
     );
     let mut failed = false;
@@ -66,7 +67,7 @@ fn main() {
                     };
                     failed |= result.deadlocked;
                     println!(
-                        "{:<18} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>8.2}{}",
+                        "{:<18} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>6.3} {:>8.2}{}",
                         workload.name(),
                         technique.label(),
                         result.ipc(),
@@ -78,6 +79,7 @@ fn main() {
                         result.stats.prdq_allocations,
                         result.stats.lsq_forwards,
                         result.stats.forward_blocked_partial,
+                        result.stats.ff_fraction(),
                         result.energy_mj(),
                         if result.deadlocked { "  DEADLOCK" } else { "" },
                     );

@@ -115,3 +115,73 @@ fn long_runs_stay_in_lockstep() {
         );
     }
 }
+
+/// Runahead-mode fast-forward: a long-horizon `asm-chase-large` run under
+/// every runahead technique produces bit-identical stats with the reference
+/// scheduler, and the per-mode cycle split proves where fast-forward
+/// engaged. PRE intervals go quiescent once the decode filter blocks on an
+/// SST hit (and, with the EMQ, once the queue fills), so their runahead
+/// fast-forward counters must be non-zero. Traditional runahead on a
+/// pointer chase executes an INV load every single runahead cycle and the
+/// buffer variant replays its chain every cycle, so both are legitimately
+/// never quiescent — their runahead cycles must all be simulated.
+#[test]
+fn runahead_fastforward_equivalence() {
+    use pre_sim::runner::{run_one, RunSpec};
+    use pre_workloads::Workload;
+    let chase_large = *Workload::ASM_SUITE
+        .iter()
+        .find(|w| w.name() == "asm-chase-large")
+        .expect("chase-large kernel present");
+    let cells = [
+        (Technique::Runahead, false),
+        (Technique::RunaheadBuffer, false),
+        (Technique::Pre, true),
+        (Technique::PreEmq, true),
+    ];
+    for (technique, expect_runahead_ff) in cells {
+        let run_with = |reference: bool| {
+            let mut config = SimConfig::haswell_like();
+            config.core.reference_scheduler = reference;
+            run_one(
+                &RunSpec::new(chase_large, technique)
+                    .with_budget(20_000)
+                    .with_config(config),
+            )
+            .expect("cell runs")
+        };
+        let e = run_with(false);
+        let r = run_with(true);
+        assert_eq!(
+            e.stats, r.stats,
+            "asm-chase-large/{technique:?} diverged with runahead fast-forward"
+        );
+        // The reference scheduler never fast-forwards; the equality above
+        // deliberately ignores `ff_cycles`, so pin the split down explicitly.
+        assert_eq!(r.stats.ff_cycles.normal, 0, "reference never fast-forwards");
+        assert_eq!(
+            r.stats.ff_cycles.runahead, 0,
+            "reference never fast-forwards"
+        );
+        let s = &e.stats;
+        assert_eq!(
+            s.normal_cycles_simulated()
+                + s.ff_cycles.normal
+                + s.runahead_cycles_simulated()
+                + s.ff_cycles.runahead,
+            s.cycles,
+            "asm-chase-large/{technique:?}: per-mode cycle split must cover the run"
+        );
+        if expect_runahead_ff {
+            assert!(
+                s.ff_cycles.runahead > 0,
+                "asm-chase-large/{technique:?}: PRE intervals must reach a quiescent state"
+            );
+        } else {
+            assert_eq!(
+                s.ff_cycles.runahead, 0,
+                "asm-chase-large/{technique:?}: every runahead cycle does work, none may be skipped"
+            );
+        }
+    }
+}

@@ -166,13 +166,9 @@ fn main() {
     let reference_scheduler = std::env::var("PRE_SIM_SPEED_REFERENCE")
         .map(|v| !v.trim().is_empty() && v.trim() != "0")
         .unwrap_or(false);
-    let cells = cell_filter().unwrap_or_else(|| {
-        Suite::Mixed
-            .workloads()
-            .into_iter()
-            .flat_map(|w| Technique::ALL.into_iter().map(move |t| (w, t)))
-            .collect()
-    });
+    // Default cells come from the canonical matrix iterator shared with
+    // `quick_check` and the stat binaries, so cell orderings agree.
+    let cells = cell_filter().unwrap_or_else(|| Suite::Mixed.cells().collect());
     let mut config = SimConfig::haswell_like();
     config.core.reference_scheduler = reference_scheduler;
 

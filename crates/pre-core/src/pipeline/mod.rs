@@ -34,6 +34,7 @@ use pre_runahead::{
     ChainReplayEngine, EntryDecision, EntryPolicy, ExtendedMicroOpQueue, RunaheadBuffer,
     StallingSliceTable, Technique,
 };
+use pre_trace::{CommittedUop, FfMode, Sample, Tracer};
 use std::error::Error;
 use std::fmt;
 
@@ -117,6 +118,9 @@ pub enum BuildError {
     Config(ConfigError),
     /// The program is malformed.
     Program(ProgramError),
+    /// A requested trace output could not be created (I/O failure when
+    /// opening the trace files).
+    Trace(String),
 }
 
 impl fmt::Display for BuildError {
@@ -124,6 +128,7 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::Config(e) => write!(f, "invalid configuration: {e}"),
             BuildError::Program(e) => write!(f, "invalid program: {e}"),
+            BuildError::Trace(e) => write!(f, "cannot create trace output: {e}"),
         }
     }
 }
@@ -210,6 +215,11 @@ pub struct OooCore {
     /// Developer aid: print prefetch/demand-miss addresses when the
     /// `PRE_TRACE_PREFETCH` environment variable is set.
     pub(crate) trace_prefetches: bool,
+    /// Attached observation hooks (`None` in normal runs: every hook site
+    /// pays one untaken branch and nothing else). Tracers observe committed
+    /// pipeline decisions and never steer them — the `trace_golden` suite
+    /// asserts [`SimStats`] stay bit-identical with and without a tracer.
+    pub(crate) tracer: Option<Box<dyn Tracer>>,
 
     // Reusable scratch buffers so the steady-state tick performs no heap
     // allocation (the event path) and the reference path reuses capacity.
@@ -289,6 +299,7 @@ impl OooCore {
             deadlocked: false,
             last_progress_cycle: 0,
             trace_prefetches: std::env::var_os("PRE_TRACE_PREFETCH").is_some(),
+            tracer: None,
             issue_retry: Vec::new(),
             ref_candidates: Vec::new(),
             ref_issued: Vec::new(),
@@ -346,6 +357,19 @@ impl OooCore {
     /// structure counters are folded in.
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// Attaches a [`Tracer`] whose hooks the pipeline drives from the next
+    /// cycle on. Tracers observe and never steer: attaching one leaves the
+    /// simulated outcome (and [`SimStats`]) bit-identical.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches and returns the attached tracer, if any. Call after the run
+    /// (the run loop already invoked [`Tracer::finish`]).
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
     }
 
     /// Snapshot of the committed architectural state, comparable against
@@ -410,9 +434,63 @@ impl OooCore {
             if fast_forward && self.stats.committed_uops < max_uops && self.cycle < max_cycles {
                 self.fast_forward_quiescent(max_cycles);
             }
+            if self.tracer.is_some() {
+                self.trace_sample_tick();
+            }
+        }
+        if self.tracer.is_some() {
+            // Close the time series with a final (partial-window) sample so
+            // even runs shorter than one window produce a data point.
+            self.trace_sample_now();
         }
         self.finalize_stats();
+        let final_cycle = self.cycle;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.finish(final_cycle);
+        }
         &self.stats
+    }
+
+    /// Delivers a time-series [`Sample`] to the tracer when one is due. The
+    /// snapshot only reads occupancy/counter state (the MSHR read expires
+    /// already-completed fills, which every access path does anyway), so
+    /// sampling never perturbs the simulation.
+    fn trace_sample_tick(&mut self) {
+        let now = self.cycle;
+        let due = match self.tracer.as_deref_mut() {
+            Some(t) => t.sample_due(now),
+            None => false,
+        };
+        if !due {
+            return;
+        }
+        self.trace_sample_now();
+    }
+
+    /// Delivers one time-series [`Sample`] unconditionally.
+    fn trace_sample_now(&mut self) {
+        let now = self.cycle;
+        let sample = Sample {
+            cycle: now,
+            committed_uops: self.stats.committed_uops,
+            rob: self.rob.len(),
+            rob_cap: self.rob.capacity(),
+            iq: self.iq.len(),
+            iq_cap: self.iq.capacity(),
+            lq: self.lsq.lq_len(),
+            sq: self.lsq.sq_len(),
+            emq: self.emq.len(),
+            emq_cap: self.emq.capacity(),
+            free_int_frac: self.rename.free_fraction(RegClass::Int),
+            free_fp_frac: self.rename.free_fraction(RegClass::Fp),
+            mshr_occupancy: self.mem_hier.l1d_mshr_occupancy(now),
+            l2_misses: self.mem_hier.l2_miss_count(),
+            l3_misses: self.mem_hier.l3_miss_count(),
+            in_runahead: self.mode != Mode::Normal,
+        };
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.sample(&sample);
+        }
     }
 
     /// Folds memory-hierarchy and structure counters into the statistics.
@@ -472,6 +550,9 @@ impl OooCore {
                 self.set_ready_and_wake(class, reg);
             }
             self.rob.set_executed(head.rob_slot);
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.uop_completed(head.id, head.completion);
+            }
             if self.mode == Mode::RunaheadPre {
                 // A window producer completed: previous mappings whose last
                 // consumer already issued may now be eager-drain candidates.
@@ -551,6 +632,18 @@ impl OooCore {
             }
             self.stats.committed_uops += 1;
             self.last_progress_cycle = now;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.uop_committed(
+                    &CommittedUop {
+                        id: entry.id,
+                        pc: entry.uop.pc,
+                        class: inst.opcode.class(),
+                        addr: entry.mem_addr,
+                        width: inst.opcode.mem_width().map_or(0, |w| w.bytes() as u8),
+                    },
+                    now,
+                );
+            }
             committed += 1;
         }
     }
@@ -574,6 +667,9 @@ impl OooCore {
             }
             self.stats.runahead_uops_executed += 1;
             self.last_progress_cycle = now;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.uop_squashed(entry.id, now);
+            }
             retired += 1;
         }
     }
@@ -780,6 +876,9 @@ impl OooCore {
                     }
                 }
                 self.stats.full_window_stall_cycles += 1;
+                if let Some(tr) = self.tracer.as_deref_mut() {
+                    tr.window_stall_cycles(t, 1);
+                }
                 if self.last_stall_head_id != Some(head_id) {
                     self.last_stall_head_id = Some(head_id);
                     self.stats.full_window_stalls += 1;
@@ -806,6 +905,9 @@ impl OooCore {
             self.stats.frontend_stall_cycles += stalled_until.saturating_sub(now);
         }
         self.stats.ff_cycles.normal += end - now;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.fast_forward(now, end, FfMode::Normal);
+        }
         self.cycle = end;
     }
 
@@ -881,6 +983,9 @@ impl OooCore {
             self.stats.frontend_stall_cycles += stalled_until.saturating_sub(now);
         }
         self.stats.ff_cycles.runahead += skipped;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.fast_forward(now, end, FfMode::Runahead);
+        }
         self.cycle = end;
     }
 
@@ -982,6 +1087,9 @@ impl OooCore {
         }
         if emq_blocked && !self.fetch_done {
             self.stats.emq_full_stall_cycles += skipped;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.emq_full_cycles(now + 1, skipped);
+            }
         } else if !self.fetch_done {
             let stalled_until = end.min(self.fetch_stall_until.saturating_sub(1));
             self.stats.frontend_stall_cycles += stalled_until.saturating_sub(now);
@@ -989,6 +1097,9 @@ impl OooCore {
         self.stats.runahead_cycles += skipped;
         self.last_progress_cycle = end;
         self.stats.ff_cycles.runahead += skipped;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.fast_forward(now, end, FfMode::Runahead);
+        }
         self.cycle = end;
     }
 }

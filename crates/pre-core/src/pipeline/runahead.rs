@@ -37,6 +37,9 @@ impl OooCore {
             return;
         }
         self.stats.full_window_stall_cycles += 1;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.window_stall_cycles(now, 1);
+        }
         if self.last_stall_head_id != Some(head_id) {
             self.last_stall_head_id = Some(head_id);
             self.stats.full_window_stalls += 1;
@@ -135,7 +138,7 @@ impl OooCore {
             }
             Technique::OutOfOrder => unreachable!("baseline never enters runahead"),
         }
-        self.stats.record_runahead_event(RunaheadEvent {
+        let ev = RunaheadEvent {
             cycle: now,
             kind: RunaheadEventKind::Entry,
             int_free: self.rename.num_free(RegClass::Int),
@@ -143,7 +146,10 @@ impl OooCore {
             int_eager_freed: eager_freed.0,
             fp_eager_freed: eager_freed.1,
             prdq_allocated: 0,
-        });
+        };
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.runahead_entry(&ev, head_pc);
+        }
         self.interval = Some(interval);
     }
 
@@ -224,6 +230,14 @@ impl OooCore {
         ));
         // The window is discarded, as in traditional runahead; the back-end
         // resources are then used exclusively by the chain replay.
+        if self.tracer.is_some() {
+            let ids: Vec<u64> = self.rob.iter_slots().map(|(_, e)| e.id).collect();
+            if let Some(t) = self.tracer.as_deref_mut() {
+                for id in ids {
+                    t.uop_squashed(id, now);
+                }
+            }
+        }
         let squashed = self.rob.clear() + self.iq.clear();
         self.stats.squashed_uops += squashed as u64;
         self.lsq.clear();
@@ -322,6 +336,9 @@ impl OooCore {
                 break;
             }
             let uop = self.uop_queue.pop().expect("front checked above");
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.uop_filtered(now, self.use_emq, hit);
+            }
             if self.use_emq {
                 self.emq.capture(uop).expect("EMQ fullness checked above");
             }
@@ -425,6 +442,14 @@ impl OooCore {
             self.stats.runahead_buffer_replays += engine.uops_executed();
         }
 
+        if self.tracer.is_some() {
+            let ids: Vec<u64> = self.rob.iter_slots().map(|(_, e)| e.id).collect();
+            if let Some(t) = self.tracer.as_deref_mut() {
+                for id in ids {
+                    t.uop_squashed(id, now);
+                }
+            }
+        }
         let squashed = self.rob.clear() + self.iq.clear();
         self.stats.squashed_uops += squashed as u64;
         self.lsq.clear();
@@ -432,6 +457,9 @@ impl OooCore {
         self.delay_pipe.flush();
         self.uop_queue.clear();
         self.runahead_store_buffer.clear();
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.frontend_flushed(now);
+        }
 
         let arch = interval
             .arch_checkpoint
@@ -439,7 +467,12 @@ impl OooCore {
         self.rename.reset_from_arch(&arch);
         self.predictor.restore_history(interval.history);
         self.predictor.ras_restore(interval.ras);
-        self.record_exit_event(now, interval.prdq_allocs_at_entry);
+        self.record_exit_event(
+            now,
+            interval.entered_at,
+            interval.stalling_pc,
+            interval.prdq_allocs_at_entry,
+        );
 
         self.fetch_pc = interval.stalling_pc;
         self.next_dispatch_pc = interval.stalling_pc;
@@ -481,7 +514,12 @@ impl OooCore {
         );
         self.predictor.restore_history(interval.history);
         self.predictor.ras_restore(interval.ras);
-        self.record_exit_event(now, interval.prdq_allocs_at_entry);
+        self.record_exit_event(
+            now,
+            interval.entered_at,
+            interval.stalling_pc,
+            interval.prdq_allocs_at_entry,
+        );
 
         if !self.use_emq || aborted {
             // Without the EMQ the micro-ops fetched during runahead are
@@ -490,6 +528,9 @@ impl OooCore {
             self.uop_queue.clear();
             self.delay_pipe.flush();
             self.emq.clear();
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.frontend_flushed(now);
+            }
             self.fetch_pc = interval.resume_fetch_pc;
             self.next_dispatch_pc = interval.resume_fetch_pc;
             self.fetch_stall_until = now + 1;
@@ -501,10 +542,19 @@ impl OooCore {
         self.last_progress_cycle = now;
     }
 
-    /// Records a runahead exit event with the post-restore free-register
-    /// occupancy and the PRDQ entries this interval allocated.
-    fn record_exit_event(&mut self, now: u64, prdq_allocs_at_entry: u64) {
-        self.stats.record_runahead_event(RunaheadEvent {
+    /// Reports the runahead exit to the tracer with the post-restore
+    /// free-register occupancy and the PRDQ entries this interval allocated.
+    fn record_exit_event(
+        &mut self,
+        now: u64,
+        entered_at: u64,
+        stalling_pc: u32,
+        prdq_allocs_at_entry: u64,
+    ) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let ev = RunaheadEvent {
             cycle: now,
             kind: RunaheadEventKind::Exit,
             int_free: self.rename.num_free(RegClass::Int),
@@ -516,6 +566,9 @@ impl OooCore {
                 .prdq()
                 .allocations()
                 .saturating_sub(prdq_allocs_at_entry),
-        });
+        };
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.runahead_exit(&ev, entered_at, stalling_pc);
+        }
     }
 }

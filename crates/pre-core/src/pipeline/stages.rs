@@ -7,6 +7,7 @@ use crate::rob::RobEntry;
 use crate::uop::DynUop;
 use pre_mem::{AccessKind, HitLevel};
 use pre_model::isa::OpClass;
+use pre_trace::{MemEvent, MissLevel};
 
 /// Outcome of attempting to execute one issue-queue entry.
 enum IssueOutcome {
@@ -33,6 +34,9 @@ impl OooCore {
         // stalling load returns (Section 3.3).
         if self.mode == Mode::RunaheadPre && self.use_emq && self.emq.is_full() {
             self.stats.emq_full_stall_cycles += 1;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.emq_full_cycles(now, 1);
+            }
             return;
         }
         if now < self.fetch_stall_until {
@@ -85,6 +89,9 @@ impl OooCore {
                 break;
             }
             self.stats.fetched_uops += 1;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.uop_fetched(uop.pc, &uop.inst, now);
+            }
             self.fetch_pc = next_pc;
             if inst.opcode.is_control() && predicted_taken {
                 // Taken control flow ends the fetch group.
@@ -110,6 +117,9 @@ impl OooCore {
                 None => break,
             };
             self.stats.decoded_uops += 1;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.uop_decoded(now);
+            }
             self.uop_queue
                 .push(uop)
                 .expect("uop queue fullness checked above");
@@ -152,7 +162,10 @@ impl OooCore {
             } else {
                 self.uop_queue.pop();
             }
-            self.rename_and_dispatch(uop, now);
+            let id = self.rename_and_dispatch(uop, now);
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.uop_dispatched(id, uop.pc, now, from_emq);
+            }
         }
     }
 
@@ -517,6 +530,7 @@ impl OooCore {
                         );
                     }
                     mem_level = Some(access.level);
+                    self.trace_mem_event(entry.pc, addr, &access, true, now);
                     if access.initiated_dram_fill {
                         self.stats.runahead_prefetches_issued += 1;
                     }
@@ -548,6 +562,7 @@ impl OooCore {
                         if self.trace_prefetches && access.level == HitLevel::Memory {
                             eprintln!("DM cycle={now} pc={} addr={addr:#x}", entry.pc);
                         }
+                        self.trace_mem_event(entry.pc, addr, &access, false, now);
                         result = Some(load_access.extend(raw));
                         completion = access.completion_cycle;
                         mem_level = Some(access.level);
@@ -607,6 +622,10 @@ impl OooCore {
             dest: entry.dest,
         });
 
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.uop_issued(entry.id, now);
+        }
+
         if entry.is_runahead {
             self.stats.runahead_uops_executed += 1;
         } else {
@@ -625,6 +644,38 @@ impl OooCore {
             );
         }
         IssueOutcome::Issued
+    }
+
+    /// Reports a data access that left the core (missed L2 or the LLC) to
+    /// the tracer, tagging it with the instantaneous MSHR occupancy.
+    fn trace_mem_event(
+        &mut self,
+        pc: u32,
+        addr: u64,
+        access: &pre_mem::MemAccess,
+        prefetch: bool,
+        now: u64,
+    ) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let level = match access.level {
+            HitLevel::L3 => MissLevel::L2Miss,
+            HitLevel::Memory => MissLevel::LlcMiss,
+            _ => return,
+        };
+        let ev = MemEvent {
+            cycle: now,
+            pc,
+            addr,
+            level,
+            prefetch,
+            completes: access.completion_cycle,
+            mshr_occupancy: self.mem_hier.l1d_mshr_occupancy(now),
+        };
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.mem_event(&ev);
+        }
     }
 
     /// The value a runahead load observes, byte-wise in priority order:
@@ -683,6 +734,12 @@ impl OooCore {
         self.uop_queue.clear();
         self.delay_pipe.flush();
         self.emq.clear();
+        if let Some(t) = self.tracer.as_deref_mut() {
+            for &id in &ids {
+                t.uop_squashed(id, now);
+            }
+            t.frontend_flushed(now);
+        }
 
         self.fetch_pc = target;
         self.next_dispatch_pc = target;

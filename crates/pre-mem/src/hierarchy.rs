@@ -369,6 +369,29 @@ impl MemoryHierarchy {
             l1d.useful_prefetches + l2.useful_prefetches + l3.useful_prefetches;
     }
 
+    /// Number of outstanding misses currently tracked by the L1D MSHR file.
+    /// Takes `&mut self` only to expire already-completed fills, which every
+    /// other MSHR accessor also does — observing the occupancy never changes
+    /// simulation outcomes.
+    pub fn l1d_mshr_occupancy(&mut self, now: u64) -> usize {
+        self.l1d_mshr.occupancy(now)
+    }
+
+    /// Capacity of the L1D MSHR file.
+    pub fn l1d_mshr_capacity(&self) -> usize {
+        self.l1d_mshr.capacity()
+    }
+
+    /// Cumulative L2 miss count (for time-series sampling).
+    pub fn l2_miss_count(&self) -> u64 {
+        self.l2.stats().misses
+    }
+
+    /// Cumulative L3 miss count (for time-series sampling).
+    pub fn l3_miss_count(&self) -> u64 {
+        self.l3.stats().misses
+    }
+
     /// Number of prefetch requests that reached the hierarchy.
     pub fn prefetches_issued(&self) -> u64 {
         self.prefetches_issued

@@ -202,8 +202,9 @@ pub enum RunaheadEventKind {
 }
 
 /// One runahead entry or exit event with the rename-resource occupancy
-/// observed at that moment, recorded so tools like `debug_stats` can show
-/// per-interval behaviour without re-instrumenting the pipeline.
+/// observed at that moment. The pipeline reports these through the
+/// `pre-trace` tracer hooks (tools like `debug_stats` attach an in-memory
+/// collector); `SimStats` itself carries only aggregates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunaheadEvent {
     /// Cycle at which the event occurred.
@@ -224,8 +225,8 @@ pub struct RunaheadEvent {
     pub prdq_allocated: u64,
 }
 
-/// Cap on the number of [`RunaheadEvent`]s kept per run; long evaluations
-/// record the overflow in [`SimStats::runahead_events_dropped`] instead of
+/// Cap on the number of [`RunaheadEvent`]s kept per run by collectors (the
+/// `pre-trace` interval log); long evaluations count the overflow instead of
 /// growing without bound.
 pub const MAX_RUNAHEAD_EVENTS: usize = 4096;
 
@@ -414,11 +415,6 @@ pub struct SimStats {
     /// Runahead entries refused because the free-register entry gate
     /// (`min_free_int_regs`/`min_free_fp_regs`) was not met.
     pub runahead_entries_skipped_no_regs: u64,
-    /// Per-interval runahead entry/exit events with rename-resource
-    /// occupancy (capped at [`MAX_RUNAHEAD_EVENTS`]).
-    pub runahead_events: Vec<RunaheadEvent>,
-    /// Events not recorded because the cap was reached.
-    pub runahead_events_dropped: u64,
 
     // ---- PRE structures ------------------------------------------------------
     /// SST lookups.
@@ -558,16 +554,6 @@ impl SimStats {
             (self.ff_cycles.normal + self.ff_cycles.runahead) as f64 / self.cycles as f64
         }
     }
-
-    /// Records a runahead entry/exit event, honouring the
-    /// [`MAX_RUNAHEAD_EVENTS`] cap (overflow is counted instead of stored).
-    pub fn record_runahead_event(&mut self, event: RunaheadEvent) {
-        if self.runahead_events.len() < MAX_RUNAHEAD_EVENTS {
-            self.runahead_events.push(event);
-        } else {
-            self.runahead_events_dropped += 1;
-        }
-    }
 }
 
 impl fmt::Display for SimStats {
@@ -680,25 +666,6 @@ mod tests {
         assert!((h.fraction_below(1) - 0.25).abs() < 1e-9);
         assert!((h.fraction_below(5) - 0.5).abs() < 1e-9);
         assert!(h.mean() <= 100.0);
-    }
-
-    #[test]
-    fn runahead_event_log_caps_and_counts_overflow() {
-        let mut s = SimStats::new();
-        let event = RunaheadEvent {
-            cycle: 1,
-            kind: RunaheadEventKind::Entry,
-            int_free: 10,
-            fp_free: 20,
-            int_eager_freed: 5,
-            fp_eager_freed: 0,
-            prdq_allocated: 0,
-        };
-        for _ in 0..MAX_RUNAHEAD_EVENTS + 3 {
-            s.record_runahead_event(event);
-        }
-        assert_eq!(s.runahead_events.len(), MAX_RUNAHEAD_EVENTS);
-        assert_eq!(s.runahead_events_dropped, 3);
     }
 
     #[test]

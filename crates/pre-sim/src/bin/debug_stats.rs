@@ -1,39 +1,92 @@
 //! Development aid: dump detailed statistics for one workload under one
 //! technique.
 //!
-//! Usage: `debug_stats [--suite synthetic|asm|mixed] [workload] [technique]
-//! [max_uops]`. Workload names include the asm kernels (`asm-matmul`,
-//! `quicksort`, ...); when only `--suite` is given, the suite's first
-//! workload is dumped.
+//! Usage: `debug_stats [--suite synthetic|asm|mixed] [--trace <spec>]
+//! [workload] [technique] [max_uops]`. Workload names include the asm
+//! kernels (`asm-matmul`, `quicksort`, ...); when only `--suite` is given,
+//! the suite's first workload is dumped. Run with `--help` for the
+//! environment variables the tools honour.
 
 use pre_runahead::Technique;
 use pre_sim::experiments::split_suite_flag;
-use pre_sim::runner::{run_one, RunSpec};
+use pre_sim::runner::{run_one_traced, RunSpec};
+use pre_trace::collect::IntervalLog;
+use pre_trace::{IntervalCollector, TraceSession, TraceSpec, Tracer};
 use pre_workloads::Workload;
+
+const HELP: &str = "\
+usage: debug_stats [--suite synthetic|asm|mixed] [--trace <spec>] [workload] [technique] [max_uops]
+
+Dumps every statistic of one (workload, technique) run, including the
+runahead interval entry/exit event log collected through the tracer.
+
+  --suite <name>   pick the default workload from this suite
+  --trace <spec>   also write trace files; <spec> is a comma-separated list
+                   of dir=PATH, pipeview, chrome, timeseries[=csv|json],
+                   commit, all, window=K, ring=N (see the README)
+  --help           this message
+
+environment variables:
+  PRE_DEBUG_ALL_EVENTS  print every interval event instead of the first 200
+  PRE_THREADS           cap the worker pool used by the matrix binaries
+  PRE_BENCH_JSON        write bench results as JSON (pre-bench harness)
+  PRE_SIM_SPEED_CELLS   cells measured by the sim-speed bench
+  PRE_SIM_SPEED_UOPS    per-cell budget of the sim-speed bench
+  PRE_SIM_SPEED_REFERENCE  also time the reference scheduler
+";
 
 fn main() {
     let (suite, positional) = match split_suite_flag(std::env::args().skip(1)) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!("usage: debug_stats [--suite synthetic|asm|mixed] [workload] [technique] [max_uops]");
+            eprint!("{HELP}");
             std::process::exit(2);
         }
     };
-    let workload: Workload = positional
+    let mut trace: Option<TraceSpec> = None;
+    let mut rest = Vec::new();
+    let mut args = positional.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--help" || arg == "-h" {
+            print!("{HELP}");
+            return;
+        }
+        if arg == "--trace" {
+            let value = args.next().unwrap_or_else(|| {
+                eprintln!("--trace requires a value");
+                std::process::exit(2);
+            });
+            trace = Some(value.parse().expect("valid --trace spec"));
+            continue;
+        }
+        if let Some(value) = arg.strip_prefix("--trace=") {
+            trace = Some(value.parse().expect("valid --trace spec"));
+            continue;
+        }
+        rest.push(arg);
+    }
+    let workload: Workload = rest
         .first()
         .map(|s| s.parse().expect("workload"))
         .unwrap_or_else(|| suite.workloads()[0]);
-    let technique: Technique = positional
+    let technique: Technique = rest
         .get(1)
         .map(|s| s.parse().expect("technique"))
         .unwrap_or(Technique::OutOfOrder);
-    let budget: u64 = positional
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60_000);
+    let budget: u64 = rest.get(2).and_then(|s| s.parse().ok()).unwrap_or(60_000);
 
-    let result = run_one(&RunSpec::new(workload, technique).with_budget(budget)).expect("run");
+    let spec = RunSpec::new(workload, technique).with_budget(budget);
+    // The interval event log rides on the tracer: a full TraceSession when
+    // `--trace` asks for files, the lightweight IntervalCollector otherwise.
+    let tracer: Box<dyn Tracer> = match &trace {
+        Some(ts) => Box::new(
+            TraceSession::create(ts, &spec.cell_name()).expect("trace files can be created"),
+        ),
+        None => Box::new(IntervalCollector::new()),
+    };
+    let (result, tracer) = run_one_traced(&spec, tracer).expect("run");
+    let (events, trace_files) = recover_log(tracer, trace.is_some());
     let s = &result.stats;
     println!(
         "workload {workload}  technique {technique}  deadlocked {}",
@@ -133,16 +186,16 @@ fn main() {
         );
     }
     println!("--- runahead entry/exit events (free regs per class) ---");
-    if s.runahead_events.is_empty() {
+    if events.events().is_empty() {
         println!("(no runahead events)");
     }
     // Keep the dump usable on big budgets; PRE_DEBUG_ALL_EVENTS lifts the cap.
     let shown = if std::env::var_os("PRE_DEBUG_ALL_EVENTS").is_some() {
-        s.runahead_events.len()
+        events.events().len()
     } else {
-        s.runahead_events.len().min(200)
+        events.events().len().min(200)
     };
-    for event in &s.runahead_events[..shown] {
+    for event in &events.events()[..shown] {
         match event.kind {
             pre_model::stats::RunaheadEventKind::Entry => println!(
                 "cycle {:>9}  ENTER  int free {:>3} (eager +{})  fp free {:>3} (eager +{})",
@@ -158,12 +211,12 @@ fn main() {
             ),
         }
     }
-    let hidden = s.runahead_events.len() - shown;
+    let hidden = events.events().len() - shown;
     if hidden > 0 {
         println!("({hidden} further events hidden; set PRE_DEBUG_ALL_EVENTS=1 to print all)");
     }
-    if s.runahead_events_dropped > 0 {
-        println!("({} further events dropped)", s.runahead_events_dropped);
+    if events.dropped() > 0 {
+        println!("({} further events dropped)", events.dropped());
     }
     println!("--- energy ---");
     println!(
@@ -171,4 +224,36 @@ fn main() {
         result.energy.total_mj(),
         result.energy.static_fraction()
     );
+    if let Some(files) = trace_files {
+        println!("--- trace files ---");
+        for f in files {
+            println!("{}", f.display());
+        }
+    }
+}
+
+/// Downcasts the returned tracer back to whichever concrete type was
+/// attached, extracting the interval event log (and, for a trace session,
+/// the list of files written).
+fn recover_log(
+    tracer: Box<dyn Tracer>,
+    traced_to_files: bool,
+) -> (IntervalLog, Option<Vec<std::path::PathBuf>>) {
+    if traced_to_files {
+        let session = tracer
+            .into_any()
+            .downcast::<TraceSession>()
+            .expect("tracer is the session attached above");
+        if let Some(e) = session.io_error() {
+            eprintln!("warning: trace output incomplete: {e}");
+        }
+        let files = session.files().to_vec();
+        (session.interval_log().clone(), Some(files))
+    } else {
+        let collector = tracer
+            .into_any()
+            .downcast::<IntervalCollector>()
+            .expect("tracer is the collector attached above");
+        (collector.log, None)
+    }
 }

@@ -4,13 +4,15 @@
 //! paper's headline numbers because the matrix is simulated only once.
 //!
 //! Usage: `full_eval [--suite synthetic|asm|mixed] [--reference-scheduler]
-//! [max_uops_per_run]` (defaults: the synthetic memory-intensive suite,
-//! 300 000 uops, event-driven scheduler). `--reference-scheduler` selects
-//! the scan-based escape-hatch scheduler — bit-identical statistics, much
-//! slower wall clock; useful for timing comparisons and debugging.
+//! [--trace <spec>] [max_uops_per_run]` (defaults: the synthetic
+//! memory-intensive suite, 300 000 uops, event-driven scheduler).
+//! `--reference-scheduler` selects the scan-based escape-hatch scheduler —
+//! bit-identical statistics, much slower wall clock; useful for timing
+//! comparisons and debugging. `--trace dir=traces,all` additionally writes
+//! per-cell trace files (pipeview/Chrome/time-series/commit streams).
 
 use pre_sim::experiments::{
-    cli_from_args, fig2_summary, fig2_table, fig3_summary, fig3_table, run_suite_matrix_with,
+    cli_from_args, fig2_summary, fig2_table, fig3_summary, fig3_table, run_suite_matrix_cli,
     stat_invocations, Suite, DEFAULT_EVAL_UOPS,
 };
 
@@ -26,8 +28,11 @@ fn main() {
             ""
         }
     );
+    if let Some(trace) = &cli.trace {
+        eprintln!("writing per-cell traces under {}", trace.dir.display());
+    }
     let start = std::time::Instant::now();
-    let matrix = run_suite_matrix_with(cli.suite, &cli.config(), cli.budget, |r| {
+    let matrix = run_suite_matrix_cli(&cli, |r| {
         eprintln!(
             "  [{:>6.1}s] {:<18} {:<10} ipc {:.3}",
             start.elapsed().as_secs_f64(),

@@ -4,34 +4,15 @@
 //! behave sensibly" smoke test; the real figures come from the
 //! `fig2_performance` / `fig3_energy` binaries.
 //!
-//! Usage: `quick_check [--suite synthetic|asm|mixed] [max_uops]`
-//! (`--suite asm` smoke-tests every assembled RISC-V kernel).
+//! Usage: `quick_check [--suite synthetic|asm|mixed] [--trace <spec>]
+//! [max_uops]` (`--suite asm` smoke-tests every assembled RISC-V kernel).
 
 use pre_runahead::Technique;
-use pre_sim::experiments::{cli_from_args, Suite};
+use pre_sim::experiments::cli_from_args;
 use pre_sim::runner::{run_one, RunSpec};
-use pre_workloads::Workload;
 
 fn main() {
     let cli = cli_from_args(60_000);
-    // The synthetic suite is large, so the quick check runs a representative
-    // subset; the asm suite is small enough to run whole.
-    let representative = vec![
-        Workload::LibquantumLike,
-        Workload::LbmLike,
-        Workload::MilcLike,
-        Workload::McfLike,
-        Workload::ComputeBound,
-    ];
-    let workloads = match cli.suite {
-        Suite::Synthetic => representative,
-        Suite::Asm => Workload::ASM_SUITE.to_vec(),
-        Suite::Mixed => {
-            let mut all = representative;
-            all.extend(Workload::ASM_SUITE);
-            all
-        }
-    };
     println!(
         "{:<18} {:<10} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>6} {:>8}",
         "workload",
@@ -49,45 +30,47 @@ fn main() {
         "mJ"
     );
     let mut failed = false;
-    for workload in workloads {
-        let mut base_ipc = 0.0;
-        for technique in Technique::ALL {
-            let spec = RunSpec::new(workload, technique)
-                .with_budget(cli.budget)
-                .with_config(cli.config());
-            match run_one(&spec) {
-                Ok(result) => {
-                    if technique == Technique::OutOfOrder {
-                        base_ipc = result.ipc();
-                    }
-                    let speedup = if base_ipc > 0.0 {
-                        result.ipc() / base_ipc
-                    } else {
-                        0.0
-                    };
-                    failed |= result.deadlocked;
-                    println!(
-                        "{:<18} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>6.3} {:>8.2}{}",
-                        workload.name(),
-                        technique.label(),
-                        result.ipc(),
-                        speedup,
-                        result.stats.runahead_entries,
-                        result.stats.runahead_cycles,
-                        result.stats.runahead_prefetches_issued,
-                        result.stats.runahead_prefetches_useful,
-                        result.stats.prdq_allocations,
-                        result.stats.lsq_forwards,
-                        result.stats.forward_blocked_partial,
-                        result.stats.ff_fraction(),
-                        result.energy_mj(),
-                        if result.deadlocked { "  DEADLOCK" } else { "" },
-                    );
+    let mut base_ipc = 0.0;
+    // The synthetic suite is large, so the quick check runs the reduced
+    // representative matrix; the cell order is the canonical
+    // `Suite::quick_cells` order shared with the other binaries.
+    for (workload, technique) in cli.suite.quick_cells() {
+        let mut spec = RunSpec::new(workload, technique)
+            .with_budget(cli.budget)
+            .with_config(cli.config());
+        spec.trace.clone_from(&cli.trace);
+        match run_one(&spec) {
+            Ok(result) => {
+                if technique == Technique::OutOfOrder {
+                    base_ipc = result.ipc();
                 }
-                Err(e) => {
-                    failed = true;
-                    println!("{workload} / {technique}: build error: {e}");
-                }
+                let speedup = if base_ipc > 0.0 {
+                    result.ipc() / base_ipc
+                } else {
+                    0.0
+                };
+                failed |= result.deadlocked;
+                println!(
+                    "{:<18} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>6.3} {:>8.2}{}",
+                    workload.name(),
+                    technique.label(),
+                    result.ipc(),
+                    speedup,
+                    result.stats.runahead_entries,
+                    result.stats.runahead_cycles,
+                    result.stats.runahead_prefetches_issued,
+                    result.stats.runahead_prefetches_useful,
+                    result.stats.prdq_allocations,
+                    result.stats.lsq_forwards,
+                    result.stats.forward_blocked_partial,
+                    result.stats.ff_fraction(),
+                    result.energy_mj(),
+                    if result.deadlocked { "  DEADLOCK" } else { "" },
+                );
+            }
+            Err(e) => {
+                failed = true;
+                println!("{workload} / {technique}: build error: {e}");
             }
         }
     }

@@ -7,6 +7,7 @@ use crate::runner::{run_one, RunResult, RunSpec};
 use pre_core::pipeline::BuildError;
 use pre_model::config::{SimConfig, SimConfigBuilder};
 use pre_runahead::Technique;
+use pre_trace::TraceSpec;
 use pre_workloads::{Workload, WorkloadParams};
 use std::fmt;
 use std::str::FromStr;
@@ -48,6 +49,48 @@ impl Suite {
                 all
             }
         }
+    }
+
+    /// A reduced, representative workload subset for smoke binaries
+    /// (`quick_check`) and quick statistics: the synthetic suite keeps the
+    /// five behaviourally distinct workloads; the asm suite is small enough
+    /// to run whole.
+    pub fn quick_workloads(&self) -> Vec<Workload> {
+        match self {
+            Suite::Synthetic => vec![
+                Workload::LibquantumLike,
+                Workload::LbmLike,
+                Workload::MilcLike,
+                Workload::McfLike,
+                Workload::ComputeBound,
+            ],
+            Suite::Asm => Workload::ASM_SUITE.to_vec(),
+            Suite::Mixed => {
+                let mut all = Suite::Synthetic.quick_workloads();
+                all.extend(Workload::ASM_SUITE);
+                all
+            }
+        }
+    }
+
+    /// Every (workload, technique) cell of this suite's full matrix in
+    /// canonical order: workload-major, techniques in [`Technique::ALL`]
+    /// order. All binaries iterating the matrix share this iterator so
+    /// their cell orderings agree.
+    pub fn cells(&self) -> impl Iterator<Item = (Workload, Technique)> {
+        Self::cells_of(self.workloads())
+    }
+
+    /// The cells of the reduced [`Suite::quick_workloads`] matrix, in the
+    /// same canonical order.
+    pub fn quick_cells(&self) -> impl Iterator<Item = (Workload, Technique)> {
+        Self::cells_of(self.quick_workloads())
+    }
+
+    fn cells_of(workloads: Vec<Workload>) -> impl Iterator<Item = (Workload, Technique)> {
+        workloads
+            .into_iter()
+            .flat_map(|w| Technique::ALL.iter().map(move |&t| (w, t)))
     }
 
     /// Short name used on the command line.
@@ -96,8 +139,9 @@ impl FromStr for Suite {
 }
 
 /// Common command-line arguments of the experiment binaries:
-/// `<binary> [--suite synthetic|asm|mixed] [--reference-scheduler] [max_uops]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `<binary> [--suite synthetic|asm|mixed] [--reference-scheduler]
+/// [--trace <spec>] [max_uops]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliArgs {
     /// Which workload suite to run.
     pub suite: Suite,
@@ -107,6 +151,9 @@ pub struct CliArgs {
     /// scheduler instead of the event-driven one. Statistics are
     /// bit-identical; only wall-clock time differs.
     pub reference_scheduler: bool,
+    /// Trace outputs requested with `--trace <spec>` (see
+    /// [`TraceSpec`] for the spec grammar). `None` when tracing is off.
+    pub trace: Option<TraceSpec>,
 }
 
 impl CliArgs {
@@ -147,8 +194,8 @@ pub fn split_suite_flag<I: IntoIterator<Item = String>>(
     Ok((suite, positional))
 }
 
-/// Parses `[--suite <name>] [--reference-scheduler] [max_uops]` from an
-/// argument iterator.
+/// Parses `[--suite <name>] [--reference-scheduler] [--trace <spec>]
+/// [max_uops]` from an argument iterator.
 ///
 /// # Errors
 ///
@@ -162,10 +209,21 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(
         suite,
         budget: default_budget,
         reference_scheduler: false,
+        trace: None,
     };
-    for arg in positional {
+    let mut positional = positional.into_iter();
+    while let Some(arg) = positional.next() {
         if arg == "--reference-scheduler" {
             cli.reference_scheduler = true;
+            continue;
+        }
+        if arg == "--trace" {
+            let value = positional.next().ok_or("--trace requires a value")?;
+            cli.trace = Some(value.parse().map_err(|e| format!("{e}"))?);
+            continue;
+        }
+        if let Some(value) = arg.strip_prefix("--trace=") {
+            cli.trace = Some(value.parse().map_err(|e| format!("{e}"))?);
             continue;
         }
         match arg.parse() {
@@ -177,15 +235,16 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(
 }
 
 /// Parses the process command line
-/// (`[--suite <name>] [--reference-scheduler] [max_uops]`), exiting with a
-/// usage message on malformed input.
+/// (`[--suite <name>] [--reference-scheduler] [--trace <spec>] [max_uops]`),
+/// exiting with a usage message on malformed input.
 pub fn cli_from_args(default_budget: u64) -> CliArgs {
     match parse_cli(std::env::args().skip(1), default_budget) {
         Ok(cli) => cli,
         Err(msg) => {
             eprintln!("{msg}");
             eprintln!(
-                "usage: <binary> [--suite synthetic|asm|mixed] [--reference-scheduler] [max_uops]"
+                "usage: <binary> [--suite synthetic|asm|mixed] [--reference-scheduler] \
+                 [--trace <spec>] [max_uops]"
             );
             std::process::exit(2);
         }
@@ -259,6 +318,34 @@ pub fn run_suite_matrix_with(
         max_uops,
         progress,
     )
+}
+
+/// Runs the evaluation matrix described by parsed [`CliArgs`], honouring
+/// `--suite`, `--reference-scheduler` and `--trace` (the trace spec, when
+/// present, is applied to every cell; each cell writes its own files named
+/// after [`crate::runner::cell_name`]).
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] from the simulator, including trace-file I/O
+/// failures.
+pub fn run_suite_matrix_cli(
+    cli: &CliArgs,
+    progress: impl FnMut(&RunResult) + Send,
+) -> Result<EvaluationMatrix, BuildError> {
+    let config = cli.config();
+    let specs: Vec<RunSpec> = cli
+        .suite
+        .cells()
+        .map(|(workload, technique)| {
+            let mut spec = RunSpec::new(workload, technique)
+                .with_budget(cli.budget)
+                .with_config(config.clone());
+            spec.trace.clone_from(&cli.trace);
+            spec
+        })
+        .collect();
+    EvaluationMatrix::run_specs(&specs, progress)
 }
 
 /// Builds the Figure 2 table (performance normalized to the out-of-order
@@ -549,9 +636,12 @@ pub fn stat_free_resources_with(
             "eager frees",
         ],
     );
-    for workload in suite.workloads() {
+    // Walk the canonical `Suite::cells` matrix (shared with `quick_check`
+    // and the benches) restricted to the PRE column, so cell orderings
+    // agree across binaries.
+    for (workload, technique) in suite.cells().filter(|&(_, t)| t == Technique::Pre) {
         let result = run_one(
-            &RunSpec::new(workload, Technique::Pre)
+            &RunSpec::new(workload, technique)
                 .with_budget(max_uops)
                 .with_config(config.clone()),
         )?;

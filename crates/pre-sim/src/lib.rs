@@ -27,4 +27,4 @@ pub mod report;
 pub mod runner;
 
 pub use matrix::EvaluationMatrix;
-pub use runner::{run_one, RunResult, RunSpec};
+pub use runner::{cell_name, run_one, run_one_traced, RunResult, RunSpec};

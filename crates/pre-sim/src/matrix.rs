@@ -44,8 +44,22 @@ impl EvaluationMatrix {
         progress: impl FnMut(&RunResult) + Send,
     ) -> Result<Self, BuildError> {
         let specs = Self::specs(workloads, techniques, config, params, max_uops);
+        Self::run_specs(&specs, progress)
+    }
+
+    /// Runs an explicit list of cells (in the given order) over the worker
+    /// pool. This is the core of [`EvaluationMatrix::run`]; use it directly
+    /// when the specs need per-cell overrides (e.g. trace outputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BuildError`] in spec order.
+    pub fn run_specs(
+        specs: &[RunSpec],
+        progress: impl FnMut(&RunResult) + Send,
+    ) -> Result<Self, BuildError> {
         let progress = Mutex::new(progress);
-        let outcomes = pre_par::par_map(&specs, |spec| {
+        let outcomes = pre_par::par_map(specs, |spec| {
             let outcome = run_one(spec);
             if let Ok(result) = &outcome {
                 let mut report = progress.lock().expect("progress callback poisoned");

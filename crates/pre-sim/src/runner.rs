@@ -6,6 +6,7 @@ use pre_energy::{EnergyBreakdown, EnergyModel};
 use pre_model::config::SimConfig;
 use pre_model::stats::SimStats;
 use pre_runahead::Technique;
+use pre_trace::{TraceSession, TraceSpec, Tracer};
 use pre_workloads::{Workload, WorkloadParams};
 
 /// Specification of one simulation run.
@@ -23,6 +24,9 @@ pub struct RunSpec {
     pub max_uops: u64,
     /// Hard cycle limit (safety net).
     pub max_cycles: u64,
+    /// Optional trace outputs: when set, [`run_one`] attaches a
+    /// [`TraceSession`] writing the requested streams for this cell.
+    pub trace: Option<TraceSpec>,
 }
 
 impl RunSpec {
@@ -36,6 +40,7 @@ impl RunSpec {
             params: WorkloadParams::default(),
             max_uops: 300_000,
             max_cycles: 60_000_000,
+            trace: None,
         }
     }
 
@@ -58,6 +63,28 @@ impl RunSpec {
         self.params = params;
         self
     }
+
+    /// Requests trace outputs for this run (see [`TraceSpec`]).
+    pub fn with_trace(mut self, trace: TraceSpec) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The canonical file-name stem for this run's cell, e.g.
+    /// `lbm-like_pre-emq`.
+    pub fn cell_name(&self) -> String {
+        cell_name(self.workload, self.technique)
+    }
+}
+
+/// The canonical `<workload>_<technique>` cell name used for trace files
+/// and progress output, e.g. `asm-chase-large_pre-emq`.
+pub fn cell_name(workload: Workload, technique: Technique) -> String {
+    format!(
+        "{}_{}",
+        workload.name(),
+        technique.label().to_lowercase().replace('+', "-")
+    )
 }
 
 /// The outcome of one simulation run.
@@ -94,6 +121,54 @@ impl RunResult {
 /// Returns [`BuildError`] if the configuration or the generated program is
 /// invalid.
 pub fn run_one(spec: &RunSpec) -> Result<RunResult, BuildError> {
+    let Some(ts) = &spec.trace else {
+        return run_one_plain(spec);
+    };
+    let session = TraceSession::create(ts, &spec.cell_name())
+        .map_err(|e| BuildError::Trace(e.to_string()))?;
+    let (result, tracer) = run_one_traced(spec, Box::new(session))?;
+    let session = tracer
+        .into_any()
+        .downcast::<TraceSession>()
+        .expect("tracer is the session attached above");
+    if let Some(e) = session.io_error() {
+        return Err(BuildError::Trace(e.to_string()));
+    }
+    Ok(result)
+}
+
+/// Runs one simulation with an explicit tracer attached, returning the
+/// tracer afterwards so the caller can inspect what it collected (downcast
+/// via [`Tracer::into_any`]).
+///
+/// # Errors
+///
+/// Returns [`BuildError`] if the configuration or the generated program is
+/// invalid.
+pub fn run_one_traced(
+    spec: &RunSpec,
+    tracer: Box<dyn Tracer>,
+) -> Result<(RunResult, Box<dyn Tracer>), BuildError> {
+    let program = spec.workload.build(&spec.params);
+    let mut core = OooCore::new(&spec.config, &program, spec.technique)?;
+    core.set_tracer(tracer);
+    core.run(spec.max_uops, spec.max_cycles);
+    let tracer = core.take_tracer().expect("tracer survives the run");
+    let stats = core.stats().clone();
+    let energy = EnergyModel::default().evaluate(&stats, &spec.config);
+    Ok((
+        RunResult {
+            workload: spec.workload,
+            technique: spec.technique,
+            stats,
+            energy,
+            deadlocked: core.deadlocked(),
+        },
+        tracer,
+    ))
+}
+
+fn run_one_plain(spec: &RunSpec) -> Result<RunResult, BuildError> {
     let program = spec.workload.build(&spec.params);
     let mut core = OooCore::new(&spec.config, &program, spec.technique)?;
     core.run(spec.max_uops, spec.max_cycles);

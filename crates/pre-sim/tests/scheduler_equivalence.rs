@@ -1,10 +1,11 @@
 //! Golden equivalence: the event-driven wakeup/select scheduler with
 //! quiescent-cycle fast-forward must produce **bit-identical** `SimStats` to
 //! the reference (scan-based, cycle-by-cycle) scheduler on every
-//! (workload, technique) cell of the mixed matrix — including `iq_wakeups`,
-//! the PRDQ/eager-drain counters and the per-interval runahead event log.
-//! The event path may only change how fast the simulator runs, never what
-//! it simulates.
+//! (workload, technique) cell of the mixed matrix — including `iq_wakeups`
+//! and the PRDQ/eager-drain counters. The event path may only change how
+//! fast the simulator runs, never what it simulates. (The per-interval
+//! runahead event log is tracer-routed and covered by `trace_golden`, which
+//! re-checks stats identity traced-vs-untraced on both scheduler paths.)
 
 use pre_model::config::SimConfig;
 use pre_runahead::Technique;

@@ -1,0 +1,191 @@
+//! The `--trace <spec>` flag: which streams to record and where.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::str::FromStr;
+
+/// Output format of the time-series stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeSeriesFormat {
+    /// One CSV row per window (default).
+    #[default]
+    Csv,
+    /// One JSON object per window, in a top-level array.
+    Json,
+}
+
+/// Parsed form of a `--trace` specification.
+///
+/// The spec is a comma-separated list of keys:
+///
+/// | key | meaning |
+/// |---|---|
+/// | `dir=PATH` | output directory (default `traces`) |
+/// | `pipeview` | per-uop O3PipeView/Konata text |
+/// | `chrome` | Chrome `chrome://tracing` JSON spans/events |
+/// | `timeseries[=csv\|json]` | windowed samples |
+/// | `commit` | committed-stream binary log |
+/// | `all` | every stream (the default when none is named) |
+/// | `window=K` | time-series window in cycles (default 10000) |
+/// | `ring=N` | pipeview ring-buffer mode: keep only the last N uops |
+///
+/// Example: `--trace dir=traces,pipeview,chrome,window=5000`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Output directory; files are named `<cell>.<ext>` inside it.
+    pub dir: PathBuf,
+    /// Emit the O3PipeView per-uop stream.
+    pub pipeview: bool,
+    /// Emit the Chrome tracing JSON stream.
+    pub chrome: bool,
+    /// Emit the windowed time-series stream.
+    pub timeseries: Option<TimeSeriesFormat>,
+    /// Emit the committed-stream binary log.
+    pub commit: bool,
+    /// Time-series window in cycles.
+    pub window: u64,
+    /// Pipeview ring-buffer depth (`None` = unbounded streaming).
+    pub ring: Option<usize>,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            dir: PathBuf::from("traces"),
+            pipeview: true,
+            chrome: true,
+            timeseries: Some(TimeSeriesFormat::Csv),
+            commit: true,
+            window: 10_000,
+            ring: None,
+        }
+    }
+}
+
+/// Error parsing a `--trace` specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpecError(String);
+
+impl fmt::Display for TraceSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid --trace spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceSpecError {}
+
+impl FromStr for TraceSpec {
+    type Err = TraceSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut spec = TraceSpec {
+            pipeview: false,
+            chrome: false,
+            timeseries: None,
+            commit: false,
+            ..TraceSpec::default()
+        };
+        let mut any_stream = false;
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = match part.split_once('=') {
+                Some((k, v)) => (k.trim(), Some(v.trim())),
+                None => (part, None),
+            };
+            match (key, value) {
+                ("dir", Some(v)) if !v.is_empty() => spec.dir = PathBuf::from(v),
+                ("pipeview", None) => {
+                    spec.pipeview = true;
+                    any_stream = true;
+                }
+                ("chrome", None) => {
+                    spec.chrome = true;
+                    any_stream = true;
+                }
+                ("timeseries", fmt) => {
+                    spec.timeseries = Some(match fmt {
+                        None | Some("csv") => TimeSeriesFormat::Csv,
+                        Some("json") => TimeSeriesFormat::Json,
+                        Some(other) => {
+                            return Err(TraceSpecError(format!(
+                                "unknown timeseries format `{other}` (expected csv or json)"
+                            )))
+                        }
+                    });
+                    any_stream = true;
+                }
+                ("commit", None) => {
+                    spec.commit = true;
+                    any_stream = true;
+                }
+                ("all", None) => {
+                    spec.pipeview = true;
+                    spec.chrome = true;
+                    spec.timeseries.get_or_insert(TimeSeriesFormat::Csv);
+                    spec.commit = true;
+                    any_stream = true;
+                }
+                ("window", Some(v)) => {
+                    spec.window = v
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&w| w > 0)
+                        .ok_or_else(|| TraceSpecError(format!("bad window `{v}`")))?;
+                }
+                ("ring", Some(v)) => {
+                    let n = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| TraceSpecError(format!("bad ring size `{v}`")))?;
+                    spec.ring = Some(n);
+                }
+                _ => return Err(TraceSpecError(format!("unknown key `{part}`"))),
+            }
+        }
+        if !any_stream {
+            // A spec that only sets dir/window/ring records everything.
+            spec.pipeview = true;
+            spec.chrome = true;
+            spec.timeseries.get_or_insert(TimeSeriesFormat::Csv);
+            spec.commit = true;
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_dir_spec_records_everything() {
+        let spec: TraceSpec = "dir=/tmp/t".parse().unwrap();
+        assert_eq!(spec.dir, PathBuf::from("/tmp/t"));
+        assert!(spec.pipeview && spec.chrome && spec.commit);
+        assert_eq!(spec.timeseries, Some(TimeSeriesFormat::Csv));
+        assert_eq!(spec.window, 10_000);
+        assert_eq!(spec.ring, None);
+    }
+
+    #[test]
+    fn explicit_streams_disable_the_rest() {
+        let spec: TraceSpec = "pipeview,ring=64".parse().unwrap();
+        assert!(spec.pipeview && !spec.chrome && !spec.commit);
+        assert_eq!(spec.timeseries, None);
+        assert_eq!(spec.ring, Some(64));
+    }
+
+    #[test]
+    fn timeseries_format_and_window_parse() {
+        let spec: TraceSpec = "timeseries=json,window=500".parse().unwrap();
+        assert_eq!(spec.timeseries, Some(TimeSeriesFormat::Json));
+        assert_eq!(spec.window, 500);
+    }
+
+    #[test]
+    fn bad_keys_are_rejected() {
+        assert!("bogus".parse::<TraceSpec>().is_err());
+        assert!("window=0".parse::<TraceSpec>().is_err());
+        assert!("timeseries=xml".parse::<TraceSpec>().is_err());
+    }
+}

@@ -12,6 +12,8 @@
 //!   runahead modes.
 //! * [`runahead`] — the paper's contribution: SST, PRDQ, EMQ, runahead
 //!   buffer, entry policies and the [`runahead::Technique`] selector.
+//! * [`trace`] — the zero-cost-when-off tracing and metrics subsystem
+//!   (pipeview, Chrome spans, time-series, committed-stream capture).
 //! * [`workloads`] — the SPEC-CPU2006-like synthetic kernel suite.
 //! * [`energy`] — the McPAT/CACTI-style energy and area model.
 //! * [`sim`] — the experiment runner that regenerates the paper's figures.
@@ -41,4 +43,5 @@ pub use pre_mem as mem;
 pub use pre_model as model;
 pub use pre_runahead as runahead;
 pub use pre_sim as sim;
+pub use pre_trace as trace;
 pub use pre_workloads as workloads;

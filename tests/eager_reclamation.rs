@@ -9,18 +9,31 @@ use precise_runahead::core::OooCore;
 use precise_runahead::model::config::SimConfig;
 use precise_runahead::model::stats::SimStats;
 use precise_runahead::runahead::Technique;
+use precise_runahead::trace::collect::IntervalLog;
+use precise_runahead::trace::IntervalCollector;
 use precise_runahead::workloads::{Workload, WorkloadParams};
 
 fn run(workload: Workload, technique: Technique, uops: u64) -> SimStats {
+    run_with_events(workload, technique, uops).0
+}
+
+fn run_with_events(workload: Workload, technique: Technique, uops: u64) -> (SimStats, IntervalLog) {
     let program = workload.build(&WorkloadParams::default());
     let cfg = SimConfig::haswell_like();
     let mut core = OooCore::new(&cfg, &program, technique).expect("core builds");
+    core.set_tracer(Box::new(IntervalCollector::new()));
     core.run(uops, 50_000_000);
     assert!(
         !core.deadlocked(),
         "{workload} under {technique} deadlocked"
     );
-    core.stats().clone()
+    let collector = core
+        .take_tracer()
+        .expect("tracer survives the run")
+        .into_any()
+        .downcast::<IntervalCollector>()
+        .expect("tracer is the collector attached above");
+    (core.stats().clone(), collector.log)
 }
 
 #[test]
@@ -116,10 +129,10 @@ fn exit_restores_the_free_lists_so_normal_mode_is_unaffected() {
     // observes, and the run retires to completion with identical
     // architectural state to the interpreter (covered exhaustively by
     // asm_vs_interpreter; this checks the event plumbing).
-    let stats = run(Workload::ASM_SUITE[3], Technique::Pre, 10_000);
+    let (stats, events) = run_with_events(Workload::ASM_SUITE[3], Technique::Pre, 10_000);
     assert_eq!(stats.runahead_entries, stats.runahead_exits);
-    let entries = stats
-        .runahead_events
+    let entries = events
+        .events()
         .iter()
         .filter(|e| {
             matches!(
@@ -129,13 +142,14 @@ fn exit_restores_the_free_lists_so_normal_mode_is_unaffected() {
         })
         .count() as u64;
     assert_eq!(
-        stats.runahead_events_dropped, 0,
+        events.dropped(),
+        0,
         "budget small enough to keep all events"
     );
     assert_eq!(entries, stats.runahead_entries);
     assert!(
-        stats
-            .runahead_events
+        events
+            .events()
             .iter()
             .any(|e| e.int_eager_freed > 0 || e.fp_eager_freed > 0),
         "entry events must show the eager drain at work"

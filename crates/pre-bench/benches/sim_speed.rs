@@ -19,11 +19,15 @@
 //!   `BENCH_sim_speed.json` (one record per cell with median time and
 //!   derived rates) into the given directory (`1`/`true` = current
 //!   directory), next to the per-bench JSON the other benches emit.
+//! * `PRE_SIM_SPEED_SWEEP` — set to `0`/`false` to skip the sweep-mode
+//!   section (cold vs warm-forked vs cache-hit points per second).
 
 use pre_model::config::SimConfig;
 use pre_runahead::Technique;
 use pre_sim::experiments::Suite;
 use pre_sim::runner::{run_one, RunResult, RunSpec};
+use pre_sim::stores::clear_stores;
+use pre_sim::sweep::{cache_hit_rate, GridDim, Sweep};
 use pre_workloads::Workload;
 use std::time::{Duration, Instant};
 
@@ -93,6 +97,108 @@ fn bench_cell(spec: &RunSpec, samples: usize) -> (RunResult, Vec<Duration>) {
     (reference, times)
 }
 
+/// Sweep-mode throughput: the three ways a parameter sweep can answer one
+/// point, each as points per second over a real grid.
+struct SweepReport {
+    /// Points in the snapshot-forking grid.
+    fork_points: usize,
+    fork_warmup_uops: u64,
+    fork_budget_uops: u64,
+    /// Per-point cold simulation (warm-up simulated in detail every point).
+    cold_secs: f64,
+    /// One shared functional warm-up snapshot, forked per point.
+    forked_secs: f64,
+    /// Points in the memoization grid.
+    memo_points: usize,
+    memo_budget_uops: u64,
+    /// First (cache-populating) run of the memoization grid.
+    memo_cold_secs: f64,
+    /// Repeated run answered from the result cache.
+    memo_hit_secs: f64,
+    /// Cache hit rate of the repeated run (expected 1.0).
+    memo_hit_rate: f64,
+}
+
+impl SweepReport {
+    fn forked_speedup(&self) -> f64 {
+        self.cold_secs / self.forked_secs.max(1e-12)
+    }
+
+    fn memo_speedup(&self) -> f64 {
+        self.memo_cold_secs / self.memo_hit_secs.max(1e-12)
+    }
+}
+
+/// Benchmarks the sweep engine: a 20-point grid run per-point-cold vs from
+/// one shared warm-up snapshot, and a 100-point grid run cold vs answered
+/// from the result cache.
+fn bench_sweeps() -> SweepReport {
+    let fork_warmup = 40_000;
+    let fork_budget = 4_000;
+    // 4 × 5 = 20 points; EMQ/ROB sizing shares one warmed state per
+    // memory-hierarchy config, so the whole grid forks a single snapshot.
+    let grid_emq: GridDim = "emq=192,384,768,1536".parse().expect("grid");
+    let grid_rob: GridDim = "rob=128,160,192,224,256".parse().expect("grid");
+    let mut fork_sweep = Sweep::new(Workload::LbmLike, Technique::PreEmq)
+        .with_dim(grid_emq.clone())
+        .with_dim(grid_rob.clone());
+
+    // Per-point cold: no snapshot, every point simulates warm-up + budget in
+    // the detailed model.
+    fork_sweep.budget = fork_warmup + fork_budget;
+    fork_sweep.warmup_uops = 0;
+    clear_stores();
+    let start = Instant::now();
+    let cold_points = fork_sweep.run(|_| {}).expect("cold sweep runs");
+    let cold_secs = start.elapsed().as_secs_f64();
+
+    // Warm-forked: the warm-up runs once on the functional interpreter and
+    // every point forks the snapshot, simulating only the budget in detail.
+    fork_sweep.budget = fork_budget;
+    fork_sweep.warmup_uops = fork_warmup;
+    clear_stores();
+    let start = Instant::now();
+    let forked_points = fork_sweep.run(|_| {}).expect("forked sweep runs");
+    let forked_secs = start.elapsed().as_secs_f64();
+    assert!(
+        cold_points
+            .iter()
+            .chain(&forked_points)
+            .all(|p| !p.result.deadlocked),
+        "sweep benchmark cells must not deadlock"
+    );
+
+    // Memoization: 4 × 5 × 5 = 100 points, run twice; the second run must
+    // answer (almost) entirely from the in-memory result cache.
+    let grid_sst: GridDim = "sst=4,8,16,64,256".parse().expect("grid");
+    let mut memo_sweep = Sweep::new(Workload::LbmLike, Technique::PreEmq)
+        .with_dim(grid_emq)
+        .with_dim(grid_rob)
+        .with_dim(grid_sst);
+    memo_sweep.budget = 3_000;
+    memo_sweep.use_result_cache = true;
+    clear_stores();
+    let start = Instant::now();
+    memo_sweep.run(|_| {}).expect("memo sweep runs");
+    let memo_cold_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let hits = memo_sweep.run(|_| {}).expect("memo sweep re-runs");
+    let memo_hit_secs = start.elapsed().as_secs_f64();
+
+    SweepReport {
+        fork_points: cold_points.len(),
+        fork_warmup_uops: fork_warmup,
+        fork_budget_uops: fork_budget,
+        cold_secs,
+        forked_secs,
+        memo_points: hits.len(),
+        memo_budget_uops: memo_sweep.budget,
+        memo_cold_secs,
+        memo_hit_secs,
+        memo_hit_rate: cache_hit_rate(&hits),
+    }
+}
+
 fn json_escape_free(s: &str) -> &str {
     debug_assert!(s
         .chars()
@@ -100,7 +206,12 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
-fn write_aggregate_json(reports: &[CellReport], budget: u64, reference_scheduler: bool) {
+fn write_aggregate_json(
+    reports: &[CellReport],
+    budget: u64,
+    reference_scheduler: bool,
+    sweep: Option<&SweepReport>,
+) {
     let dir = match std::env::var("PRE_BENCH_JSON")
         .ok()
         .as_deref()
@@ -114,13 +225,42 @@ fn write_aggregate_json(reports: &[CellReport], budget: u64, reference_scheduler
     body.push_str("{\n  \"name\": \"sim_speed\",\n");
     body.push_str(&format!("  \"budget_uops\": {budget},\n"));
     body.push_str(&format!(
-        "  \"scheduler\": \"{}\",\n  \"cells\": [\n",
+        "  \"scheduler\": \"{}\",\n",
         if reference_scheduler {
             "reference"
         } else {
             "event"
         }
     ));
+    // The sweep section goes *before* the "cells" key: `compare_sim_speed`
+    // brace-splits everything after the first "cells" occurrence, so earlier
+    // keys (none of which contain the substring "cells") are invisible to it.
+    if let Some(s) = sweep {
+        body.push_str(&format!(
+            concat!(
+                "  \"sweep\": {{\n",
+                "    \"fork_grid_points\": {}, \"fork_warmup_uops\": {}, \"fork_budget_uops\": {},\n",
+                "    \"cold_points_per_sec\": {:.3}, \"forked_points_per_sec\": {:.3}, \"forked_speedup\": {:.3},\n",
+                "    \"memo_grid_points\": {}, \"memo_budget_uops\": {},\n",
+                "    \"memo_cold_points_per_sec\": {:.3}, \"memo_hit_points_per_sec\": {:.3},\n",
+                "    \"memo_speedup\": {:.3}, \"memo_hit_rate\": {:.4}\n",
+                "  }},\n"
+            ),
+            s.fork_points,
+            s.fork_warmup_uops,
+            s.fork_budget_uops,
+            s.fork_points as f64 / s.cold_secs.max(1e-12),
+            s.fork_points as f64 / s.forked_secs.max(1e-12),
+            s.forked_speedup(),
+            s.memo_points,
+            s.memo_budget_uops,
+            s.memo_points as f64 / s.memo_cold_secs.max(1e-12),
+            s.memo_points as f64 / s.memo_hit_secs.max(1e-12),
+            s.memo_speedup(),
+            s.memo_hit_rate,
+        ));
+    }
+    body.push_str("  \"cells\": [\n");
     for (i, r) in reports.iter().enumerate() {
         let samples: Vec<String> = r.samples_ns.iter().map(u128::to_string).collect();
         body.push_str(&format!(
@@ -221,5 +361,34 @@ fn main() {
         total_uops,
         human_rate(total_uops as f64 / total_time.max(1e-12)),
     );
-    write_aggregate_json(&reports, budget, reference_scheduler);
+    let run_sweeps = std::env::var("PRE_SIM_SPEED_SWEEP")
+        .map(|v| !matches!(v.trim(), "0" | "false"))
+        .unwrap_or(true);
+    let sweep = if run_sweeps {
+        let s = bench_sweeps();
+        println!(
+            "sweep (fork, {} points, warmup {} + budget {}): cold {:.1} points/s, \
+             warm-forked {:.1} points/s ({:.2}x)",
+            s.fork_points,
+            s.fork_warmup_uops,
+            s.fork_budget_uops,
+            s.fork_points as f64 / s.cold_secs.max(1e-12),
+            s.fork_points as f64 / s.forked_secs.max(1e-12),
+            s.forked_speedup(),
+        );
+        println!(
+            "sweep (memo, {} points, budget {}): cold {:.1} points/s, \
+             cache-hit {:.1} points/s ({:.0}x, hit rate {:.1}%)",
+            s.memo_points,
+            s.memo_budget_uops,
+            s.memo_points as f64 / s.memo_cold_secs.max(1e-12),
+            s.memo_points as f64 / s.memo_hit_secs.max(1e-12),
+            s.memo_speedup(),
+            s.memo_hit_rate * 100.0,
+        );
+        Some(s)
+    } else {
+        None
+    };
+    write_aggregate_json(&reports, budget, reference_scheduler, sweep.as_ref());
 }

@@ -224,4 +224,31 @@ mod tests {
         assert!(parse_cells("{\"name\": \"sim_speed\"}").is_err());
         assert!(parse_cells("{\"cells\": []}").is_err());
     }
+
+    #[test]
+    fn tolerates_a_sweep_section_before_the_cells() {
+        // The writer places the sweep-mode metrics object *before* the
+        // "cells" key and keeps the substring "cells" out of its keys, so
+        // this brace-splitting parser must see exactly the same cells.
+        let sweep_section = concat!(
+            "  \"sweep\": {\n",
+            "    \"fork_grid_points\": 20, \"fork_warmup_uops\": 40000, ",
+            "\"fork_budget_uops\": 4000,\n",
+            "    \"cold_points_per_sec\": 18.914, ",
+            "\"forked_points_per_sec\": 199.945, \"forked_speedup\": 10.571,\n",
+            "    \"memo_grid_points\": 100, \"memo_budget_uops\": 3000,\n",
+            "    \"memo_cold_points_per_sec\": 271.030, ",
+            "\"memo_hit_points_per_sec\": 39529.692,\n",
+            "    \"memo_speedup\": 145.850, \"memo_hit_rate\": 1.0000\n",
+            "  },\n"
+        );
+        let with_sweep = SAMPLE.replace(
+            "  \"cells\": [\n",
+            &format!("{sweep_section}  \"cells\": [\n"),
+        );
+        assert_ne!(with_sweep, SAMPLE, "sweep section was inserted");
+        let plain = parse_cells(SAMPLE).expect("parses");
+        let swept = parse_cells(&with_sweep).expect("parses with sweep section");
+        assert_eq!(plain, swept);
+    }
 }

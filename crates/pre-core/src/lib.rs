@@ -54,7 +54,9 @@ pub mod rob;
 pub mod runahead_store_buffer;
 mod sorted_deque;
 pub mod uop;
+pub mod warm;
 
 pub use pipeline::OooCore;
 pub use rename::{DestRename, RenameCheckpoint, RenameSubsystem};
 pub use uop::DynUop;
+pub use warm::WarmedState;

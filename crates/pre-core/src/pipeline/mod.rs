@@ -310,6 +310,51 @@ impl OooCore {
         })
     }
 
+    /// Builds a core resuming from a warm-up snapshot instead of a cold
+    /// start: architectural registers, PC and functional memory come from
+    /// `snap`; caches and branch predictor are cloned from `warmed` (built
+    /// once per memory-hierarchy configuration via
+    /// [`crate::WarmedState::build`] and shared across every core forked
+    /// from the same snapshot).
+    ///
+    /// The core starts at cycle 0 with empty statistics: a snapshot run
+    /// reports only the work performed after the snapshot point, and two
+    /// cores forked from the same `(snap, warmed)` pair are bit-identical by
+    /// construction — there is no separate "restore" code path that could
+    /// drift from this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when the configuration or the program fails
+    /// validation.
+    pub fn from_snapshot(
+        cfg: &SimConfig,
+        program: &Program,
+        technique: Technique,
+        snap: &pre_model::snapshot::SimSnapshot,
+        warmed: &crate::WarmedState,
+    ) -> Result<Self, BuildError> {
+        let mut core = OooCore::new(cfg, program, technique)?;
+        core.arf = snap.regs;
+        // The rename subsystem seeds its initial mappings from the ARF, so
+        // rebuild it over the snapshot's register values.
+        core.rename = RenameSubsystem::new(
+            cfg.core.int_phys_regs,
+            cfg.core.fp_phys_regs,
+            cfg.runahead.prdq_entries,
+            &core.arf,
+        );
+        core.func_mem = snap.mem.clone();
+        core.mem_hier = warmed.mem_hier.clone();
+        core.predictor = warmed.predictor.clone();
+        // Resume fetch at the snapshot PC. `fetch_done` stays false even
+        // when warm-up consumed the whole program: the fetch stage discovers
+        // the end itself when no instruction exists at the PC.
+        core.fetch_pc = snap.pc;
+        core.next_dispatch_pc = snap.pc;
+        Ok(core)
+    }
+
     /// The technique this core is configured with.
     pub fn technique(&self) -> Technique {
         self.technique

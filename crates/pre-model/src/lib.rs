@@ -26,17 +26,21 @@
 
 pub mod config;
 pub mod error;
+pub mod hash;
 pub mod isa;
 pub mod mem;
 pub mod program;
 pub mod reg;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 
 pub use config::SimConfig;
 pub use error::ConfigError;
+pub use hash::{stable_hash_of_debug, StableHasher};
 pub use isa::{AluOp, BranchCond, Opcode, StaticInst};
 pub use mem::FuncMem;
 pub use program::Program;
 pub use reg::{ArchReg, PhysReg, RegClass};
+pub use snapshot::{SimSnapshot, WarmBranch, WarmEvent, WarmTrace};
 pub use stats::SimStats;

@@ -25,8 +25,8 @@
 //! the load path never consults a written-byte bitmap — the bitmap exists
 //! only to account [`FuncMem::written_bytes`].
 
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Bytes per functional-memory page.
 const PAGE_BYTES: u64 = 4096;
@@ -68,6 +68,7 @@ fn hash_init_bytes(addr: u64, len: usize) -> u64 {
 /// to count distinct written bytes).
 #[derive(Debug, Clone)]
 struct Page {
+    page_no: u64,
     data: Box<[u8]>,
     written: Box<[u64]>,
 }
@@ -80,6 +81,7 @@ impl Page {
             chunk.copy_from_slice(&hash_addr(base + w as u64 * 8).to_le_bytes());
         }
         Page {
+            page_no,
             data,
             written: vec![0u64; BITMAP_WORDS].into_boxed_slice(),
         }
@@ -125,7 +127,7 @@ impl Page {
 /// // Unwritten locations read a deterministic address-derived value.
 /// assert_eq!(mem.load_u64(0x2000), mem.load_u64(0x2000));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FuncMem {
     /// Page number → index into `pages`.
     page_index: HashMap<u64, u32>,
@@ -133,14 +135,45 @@ pub struct FuncMem {
     /// removed).
     pages: Vec<Page>,
     stored_bytes: u64,
-    /// One-entry cache of the most recently touched `(page, arena index)`.
-    /// Interior mutability keeps loads `&self` operations.
-    last_page: Cell<(u64, u32)>,
+    /// One-entry cache: arena index of the most recently touched page.
+    /// Every hit is validated against the page's own number, so a relaxed
+    /// atomic keeps loads `&self` operations while leaving the type `Sync`
+    /// (snapshots holding a `FuncMem` are shared across worker threads).
+    last_page: AtomicU32,
 }
 
 impl Default for FuncMem {
     fn default() -> Self {
         FuncMem::new()
+    }
+}
+
+impl Clone for FuncMem {
+    fn clone(&self) -> Self {
+        FuncMem {
+            page_index: self.page_index.clone(),
+            pages: self.pages.clone(),
+            stored_bytes: self.stored_bytes,
+            last_page: AtomicU32::new(self.last_page.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Semantic equality: the same set of pages with the same contents and
+/// written-byte bitmaps. Arena order and the last-page cache are
+/// representation details and do not participate.
+impl PartialEq for FuncMem {
+    fn eq(&self, other: &Self) -> bool {
+        self.stored_bytes == other.stored_bytes
+            && self.page_index.len() == other.page_index.len()
+            && self.page_index.iter().all(|(&page_no, &idx)| {
+                let Some(&other_idx) = other.page_index.get(&page_no) else {
+                    return false;
+                };
+                let a = &self.pages[idx as usize];
+                let b = &other.pages[other_idx as usize];
+                a.data == b.data && a.written == b.written
+            })
     }
 }
 
@@ -151,7 +184,7 @@ impl FuncMem {
             page_index: HashMap::new(),
             pages: Vec::new(),
             stored_bytes: 0,
-            last_page: Cell::new((0, NO_PAGE)),
+            last_page: AtomicU32::new(NO_PAGE),
         }
     }
 
@@ -161,12 +194,14 @@ impl FuncMem {
 
     /// Arena index of `page`, consulting the last-page cache first.
     fn lookup_page(&self, page: u64) -> Option<u32> {
-        let (cached_page, cached_idx) = self.last_page.get();
-        if cached_idx != NO_PAGE && cached_page == page {
-            return Some(cached_idx);
+        let cached_idx = self.last_page.load(Ordering::Relaxed);
+        if let Some(cached) = self.pages.get(cached_idx as usize) {
+            if cached.page_no == page {
+                return Some(cached_idx);
+            }
         }
         let idx = *self.page_index.get(&page)?;
-        self.last_page.set((page, idx));
+        self.last_page.store(idx, Ordering::Relaxed);
         Some(idx)
     }
 
@@ -177,7 +212,7 @@ impl FuncMem {
                 let idx = u32::try_from(self.pages.len()).expect("fewer than 2^32 pages");
                 self.pages.push(Page::new(page));
                 self.page_index.insert(page, idx);
-                self.last_page.set((page, idx));
+                self.last_page.store(idx, Ordering::Relaxed);
                 idx
             }
         }
@@ -273,6 +308,46 @@ impl FuncMem {
             self.store_bytes(addr, 1, u64::from(value));
         }
     }
+
+    /// Iterates the resident pages in ascending page-number order as
+    /// `(page_number, payload, written_bitmap)` triples. This is the
+    /// snapshot serializer's view of the image: the payload already carries
+    /// the deterministic hash-init values for unwritten bytes, so a page
+    /// dump reproduces the image exactly.
+    pub fn page_images(&self) -> impl Iterator<Item = (u64, &[u8], &[u64])> {
+        let mut numbered: Vec<(u64, u32)> = self.page_index.iter().map(|(&p, &i)| (p, i)).collect();
+        numbered.sort_unstable_by_key(|&(p, _)| p);
+        numbered.into_iter().map(|(page_no, idx)| {
+            let page = &self.pages[idx as usize];
+            (page_no, &page.data[..], &page.written[..])
+        })
+    }
+
+    /// Installs one page wholesale (payload plus written-byte bitmap),
+    /// replacing any resident page with the same number. The written-byte
+    /// accounting is recomputed from the bitmaps, so installing the pages of
+    /// [`FuncMem::page_images`] into a fresh memory reproduces
+    /// [`FuncMem::written_bytes`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` is not [`FuncMem::PAGE_BYTES`] long or `written`
+    /// does not cover one bit per byte.
+    pub fn install_page(&mut self, page_no: u64, data: &[u8], written: &[u64]) {
+        assert_eq!(data.len(), PAGE_BYTES as usize, "page payload size");
+        assert_eq!(written.len(), BITMAP_WORDS, "written-bitmap size");
+        let idx = self.ensure_page(page_no);
+        let page = &mut self.pages[idx as usize];
+        let old_written: u64 = page.written.iter().map(|w| u64::from(w.count_ones())).sum();
+        page.data.copy_from_slice(data);
+        page.written.copy_from_slice(written);
+        let new_written: u64 = written.iter().map(|w| u64::from(w.count_ones())).sum();
+        self.stored_bytes = self.stored_bytes - old_written + new_written;
+    }
+
+    /// Bytes per page, the granularity of [`FuncMem::page_images`] /
+    /// [`FuncMem::install_page`].
+    pub const PAGE_BYTES: usize = PAGE_BYTES as usize;
 }
 
 #[cfg(test)]

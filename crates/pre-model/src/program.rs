@@ -13,6 +13,7 @@ use crate::error::ProgramError;
 use crate::isa::StaticInst;
 use crate::mem::FuncMem;
 use crate::reg::{ArchReg, NUM_ARCH_REGS};
+use crate::snapshot::WarmTrace;
 
 /// A static program for the synthetic ISA.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -136,6 +137,36 @@ impl Program {
         loads as f64 / self.insts.len() as f64
     }
 
+    /// Stable content hash of the whole program: instructions, entry point,
+    /// initial memory image and initial registers all enter the hash, so two
+    /// programs hash equal exactly when they simulate identically. Backs the
+    /// result-cache and snapshot keys (`pre-sim`).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::hash::StableHasher::new();
+        h.write_str(&self.name);
+        h.write_u64(u64::from(self.entry));
+        h.write_u64(self.insts.len() as u64);
+        for inst in &self.insts {
+            h.write_u64(crate::hash::stable_hash_of_debug(inst));
+        }
+        h.write_u64(self.initial_mem.len() as u64);
+        for &(addr, value) in &self.initial_mem {
+            h.write_u64(addr);
+            h.write_u64(value);
+        }
+        h.write_u64(self.initial_mem_bytes.len() as u64);
+        for &(addr, byte) in &self.initial_mem_bytes {
+            h.write_u64(addr);
+            h.write_u64(u64::from(byte));
+        }
+        h.write_u64(self.initial_regs.len() as u64);
+        for &(reg, value) in &self.initial_regs {
+            h.write_u64(reg.flat_index() as u64);
+            h.write_u64(value);
+        }
+        h.finish()
+    }
+
     /// Builds a fresh functional memory initialized with the program's image.
     pub fn build_memory(&self) -> FuncMem {
         let mut mem = FuncMem::new();
@@ -252,9 +283,29 @@ impl Interpreter {
         &self.mem
     }
 
+    /// Read-only view of the whole architectural register file.
+    pub fn regs(&self) -> &[u64; NUM_ARCH_REGS] {
+        &self.regs
+    }
+
+    /// Consumes the interpreter, yielding its functional memory (avoids
+    /// cloning the full image when capturing a snapshot).
+    pub fn into_memory(self) -> FuncMem {
+        self.mem
+    }
+
     /// Executes one instruction. Returns `false` when the interpreter is
     /// halted (PC outside the program) and nothing was executed.
     pub fn step(&mut self) -> bool {
+        self.step_traced(None)
+    }
+
+    /// Executes one instruction, optionally recording its cache-relevant
+    /// events (instruction fetch, load/store addresses, branch outcome)
+    /// into `trace`. This is the single execution path — [`Interpreter::step`]
+    /// is this with no trace — so traced warm-up and untraced golden runs
+    /// cannot diverge.
+    pub fn step_traced(&mut self, trace: Option<&mut WarmTrace>) -> bool {
         if self.halted {
             return false;
         }
@@ -265,11 +316,14 @@ impl Interpreter {
                 return false;
             }
         };
+        let pc = self.pc;
         let src1 = inst.src1.map(|r| self.regs[r.flat_index()]).unwrap_or(0);
         let src2 = inst.src2.map(|r| self.regs[r.flat_index()]).unwrap_or(0);
+        let mut load_addr = None;
         let loaded = if let Some(access) = inst.opcode.load_access() {
             self.loads += 1;
             let addr = inst.effective_address(src1);
+            load_addr = Some(addr);
             Some(self.mem.load_bytes(addr, access.width.bytes()))
         } else {
             None
@@ -278,17 +332,31 @@ impl Interpreter {
         if let (Some(dest), Some(result)) = (inst.dest, out.result) {
             self.regs[dest.flat_index()] = result;
         }
+        let mut store_addr = None;
         if let (Some(addr), Some(value)) = (out.mem_addr, out.store_value) {
             let width = inst.opcode.store_width().expect("store has a width");
             self.stores += 1;
             self.store_checksum =
                 fold_store_checksum(self.store_checksum, addr, value, self.stores);
             self.mem.store_bytes(addr, width.bytes(), value);
+            store_addr = Some(addr);
         }
         if inst.opcode.is_cond_branch() {
             self.branches += 1;
             if out.taken == Some(true) {
                 self.taken_branches += 1;
+            }
+        }
+        if let Some(trace) = trace {
+            trace.record_ifetch(pc);
+            if let Some(addr) = load_addr {
+                trace.record_load(addr);
+            }
+            if let Some(addr) = store_addr {
+                trace.record_store(addr);
+            }
+            if inst.opcode.is_cond_branch() {
+                trace.record_branch(pc, out.taken == Some(true), out.next_pc);
             }
         }
         self.pc = out.next_pc;
@@ -303,6 +371,16 @@ impl Interpreter {
     pub fn run(&mut self, n: u64) -> u64 {
         let mut executed = 0;
         while executed < n && self.step() {
+            executed += 1;
+        }
+        executed
+    }
+
+    /// Executes up to `n` instructions recording the warm-up trace; returns
+    /// how many actually executed.
+    pub fn run_warm(&mut self, n: u64, trace: &mut WarmTrace) -> u64 {
+        let mut executed = 0;
+        while executed < n && self.step_traced(Some(trace)) {
             executed += 1;
         }
         executed
@@ -427,5 +505,45 @@ mod tests {
     fn static_load_fraction_counts_loads() {
         let p = sum_loop();
         assert!((p.static_load_fraction() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn content_hash_tracks_program_contents() {
+        let p = sum_loop();
+        assert_eq!(p.content_hash(), sum_loop().content_hash());
+        let mut edited = sum_loop();
+        edited.insts[7].imm += 8;
+        assert_ne!(p.content_hash(), edited.content_hash());
+        let mut remem = sum_loop();
+        remem.initial_mem[0].1 ^= 1;
+        assert_ne!(p.content_hash(), remem.content_hash());
+    }
+
+    #[test]
+    fn traced_and_untraced_execution_are_identical() {
+        let p = sum_loop();
+        let mut traced = Interpreter::new(&p);
+        let mut plain = Interpreter::new(&p);
+        let mut trace = crate::snapshot::WarmTrace::new();
+        while traced.step_traced(Some(&mut trace)) {
+            plain.step();
+        }
+        assert!(!plain.step());
+        assert_eq!(traced.snapshot(), plain.snapshot());
+        // Every load and store of the run appears in the trace.
+        let loads = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, crate::snapshot::WarmEvent::Load(_)))
+            .count() as u64;
+        let stores = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, crate::snapshot::WarmEvent::Store(_)))
+            .count() as u64;
+        assert_eq!(loads, traced.loads());
+        assert_eq!(stores, traced.snapshot().stores);
+        let (branches, _) = traced.branch_profile();
+        assert_eq!(trace.branches.len() as u64, branches);
     }
 }

@@ -8,6 +8,7 @@
 //! statistics.
 
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A fixed-bucket histogram over `u64` samples.
 ///
@@ -556,6 +557,259 @@ impl SimStats {
     }
 }
 
+/// Every plain `u64` counter of [`SimStats`], listed once; the kv
+/// serialization below derives both directions from this list so a new
+/// counter only has to be added here (forgetting it entirely still fails the
+/// roundtrip test).
+macro_rules! with_u64_stats_fields {
+    ($mac:ident) => {
+        $mac!(
+            cycles,
+            committed_uops,
+            committed_loads,
+            committed_stores,
+            committed_branches,
+            mispredicted_branches,
+            fetched_uops,
+            decoded_uops,
+            renamed_uops,
+            dispatched_uops,
+            issued_uops,
+            executed_uops,
+            squashed_uops,
+            rat_reads,
+            rat_writes,
+            prf_reads,
+            prf_writes,
+            iq_writes,
+            iq_wakeups,
+            rob_writes,
+            rob_reads,
+            lsq_searches,
+            lsq_forwards,
+            forward_blocked_partial,
+            int_alu_ops,
+            int_mul_ops,
+            fp_ops,
+            branch_ops,
+            full_window_stall_cycles,
+            full_window_stalls,
+            frontend_stall_cycles,
+            l1i_accesses,
+            l1i_misses,
+            l1d_accesses,
+            l1d_misses,
+            l2_accesses,
+            l2_misses,
+            l3_accesses,
+            l3_misses,
+            dram_reads,
+            dram_writes,
+            dram_row_hits,
+            dram_row_misses,
+            runahead_entries,
+            runahead_exits,
+            runahead_cycles,
+            runahead_uops_executed,
+            runahead_loads_executed,
+            runahead_inv_loads,
+            runahead_prefetches_issued,
+            runahead_prefetches_useful,
+            runahead_entries_skipped_short,
+            runahead_entries_skipped_overlap,
+            flush_refill_cycles,
+            emq_full_stall_cycles,
+            runahead_entries_skipped_no_regs,
+            sst_lookups,
+            sst_hits,
+            sst_inserts,
+            sst_evictions,
+            prdq_allocations,
+            prdq_reclaims,
+            prdq_eager_seeds,
+            prdq_eager_reclaims,
+            emq_writes,
+            emq_reads,
+            runahead_buffer_walks,
+            runahead_buffer_replays,
+            store_checksum,
+        )
+    };
+}
+
+fn parse_kv_u64(name: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("bad u64 for `{name}`: {value}"))
+}
+
+fn parse_kv_u64_list(name: &str, value: &str) -> Result<Vec<u64>, String> {
+    if value.is_empty() {
+        return Ok(Vec::new());
+    }
+    value
+        .split(',')
+        .map(|v| v.parse::<u64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("bad u64 list for `{name}`: {value}"))
+}
+
+fn write_kv_u64_list(out: &mut String, name: &str, values: &[u64]) {
+    let _ = write!(out, "{name} ");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push('\n');
+}
+
+impl Histogram {
+    /// Writes the histogram as `prefix.field value` lines.
+    fn write_kv(&self, out: &mut String, prefix: &str) {
+        write_kv_u64_list(out, &format!("{prefix}.bounds"), &self.bounds);
+        write_kv_u64_list(out, &format!("{prefix}.counts"), &self.counts);
+        let _ = writeln!(out, "{prefix}.total {}", self.total);
+        let _ = writeln!(out, "{prefix}.sum {}", self.sum);
+        let _ = writeln!(out, "{prefix}.max {}", self.max);
+    }
+
+    /// Applies one `field value` pair produced by [`Histogram::write_kv`];
+    /// returns `false` when `field` is not a histogram field.
+    fn apply_kv(&mut self, field: &str, value: &str) -> Result<bool, String> {
+        match field {
+            "bounds" => self.bounds = parse_kv_u64_list(field, value)?,
+            "counts" => self.counts = parse_kv_u64_list(field, value)?,
+            "total" => self.total = parse_kv_u64(field, value)?,
+            "sum" => self.sum = parse_kv_u64(field, value)?,
+            "max" => self.max = parse_kv_u64(field, value)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+impl RunningAverage {
+    /// Writes the average as `prefix.field value` lines. The `f64` sum is
+    /// written as raw IEEE-754 bits so the roundtrip is exact.
+    fn write_kv(&self, out: &mut String, prefix: &str) {
+        let _ = writeln!(out, "{prefix}.sum_bits {:016x}", self.sum.to_bits());
+        let _ = writeln!(out, "{prefix}.samples {}", self.samples);
+    }
+
+    /// Applies one `field value` pair produced by [`RunningAverage::write_kv`].
+    fn apply_kv(&mut self, field: &str, value: &str) -> Result<bool, String> {
+        match field {
+            "sum_bits" => {
+                let bits = u64::from_str_radix(value, 16)
+                    .map_err(|_| format!("bad f64 bits for `{field}`: {value}"))?;
+                self.sum = f64::from_bits(bits);
+            }
+            "samples" => self.samples = parse_kv_u64(field, value)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+impl SimStats {
+    /// Serializes every field (including the histograms, running averages
+    /// and fast-forward accounting) as `name value` lines. The counterpart
+    /// of [`SimStats::from_kv`]; the roundtrip is exact, which is what lets
+    /// the on-disk result cache return bit-identical statistics.
+    pub fn to_kv(&self) -> String {
+        let mut out = String::new();
+        macro_rules! emit {
+            ($($field:ident),* $(,)?) => {
+                $( let _ = writeln!(out, concat!(stringify!($field), " {}"), self.$field); )*
+            };
+        }
+        with_u64_stats_fields!(emit);
+        let _ = writeln!(out, "ff_cycles.normal {}", self.ff_cycles.normal);
+        let _ = writeln!(out, "ff_cycles.runahead {}", self.ff_cycles.runahead);
+        self.runahead_interval_hist
+            .write_kv(&mut out, "runahead_interval_hist");
+        self.iq_free_at_entry.write_kv(&mut out, "iq_free_at_entry");
+        self.int_regs_free_at_entry
+            .write_kv(&mut out, "int_regs_free_at_entry");
+        self.fp_regs_free_at_entry
+            .write_kv(&mut out, "fp_regs_free_at_entry");
+        self.int_free_at_stall_hist
+            .0
+            .write_kv(&mut out, "int_free_at_stall_hist");
+        self.fp_free_at_stall_hist
+            .0
+            .write_kv(&mut out, "fp_free_at_stall_hist");
+        out
+    }
+
+    /// Parses the `name value` lines written by [`SimStats::to_kv`].
+    /// Unknown names are an error (they indicate a version mismatch, and a
+    /// stale cache entry must not half-apply).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or unknown line.
+    pub fn from_kv(text: &str) -> Result<SimStats, String> {
+        let mut stats = SimStats::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed stats line: {line}"))?;
+            macro_rules! assign {
+                ($($field:ident),* $(,)?) => {
+                    match name {
+                        $( stringify!($field) => {
+                            stats.$field = parse_kv_u64(name, value)?;
+                            continue;
+                        } )*
+                        _ => {}
+                    }
+                };
+            }
+            with_u64_stats_fields!(assign);
+            let applied = match name.split_once('.') {
+                Some(("ff_cycles", "normal")) => {
+                    stats.ff_cycles.normal = parse_kv_u64(name, value)?;
+                    true
+                }
+                Some(("ff_cycles", "runahead")) => {
+                    stats.ff_cycles.runahead = parse_kv_u64(name, value)?;
+                    true
+                }
+                Some(("runahead_interval_hist", field)) => {
+                    stats.runahead_interval_hist.apply_kv(field, value)?
+                }
+                Some(("iq_free_at_entry", field)) => {
+                    stats.iq_free_at_entry.apply_kv(field, value)?
+                }
+                Some(("int_regs_free_at_entry", field)) => {
+                    stats.int_regs_free_at_entry.apply_kv(field, value)?
+                }
+                Some(("fp_regs_free_at_entry", field)) => {
+                    stats.fp_regs_free_at_entry.apply_kv(field, value)?
+                }
+                Some(("int_free_at_stall_hist", field)) => {
+                    stats.int_free_at_stall_hist.0.apply_kv(field, value)?
+                }
+                Some(("fp_free_at_stall_hist", field)) => {
+                    stats.fp_free_at_stall_hist.0.apply_kv(field, value)?
+                }
+                _ => false,
+            };
+            if !applied {
+                return Err(format!("unknown stats field `{name}`"));
+            }
+        }
+        Ok(stats)
+    }
+}
+
 impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "cycles               : {}", self.cycles)?;
@@ -697,6 +951,48 @@ mod tests {
             s.cycles,
             "four-way split covers every cycle"
         );
+    }
+
+    #[test]
+    fn kv_roundtrip_is_exact() {
+        let mut s = SimStats::new();
+        // Give every u64 counter a distinct value so a field dropped from
+        // either direction of the kv serialization fails the comparison.
+        let mut next = 1u64;
+        macro_rules! fill {
+            ($($field:ident),* $(,)?) => {
+                $( s.$field = next; next += 7; )*
+            };
+        }
+        with_u64_stats_fields!(fill);
+        s.ff_cycles.normal = next;
+        s.ff_cycles.runahead = next + 1;
+        s.runahead_interval_hist.record(15);
+        s.runahead_interval_hist.record(480);
+        s.iq_free_at_entry.record(0.37);
+        s.int_regs_free_at_entry.record(0.5121);
+        s.fp_regs_free_at_entry.record(0.999);
+        s.int_free_at_stall_hist.record(3);
+        s.fp_free_at_stall_hist.record(97);
+        let kv = s.to_kv();
+        let back = SimStats::from_kv(&kv).expect("parses");
+        assert_eq!(back, s);
+        // `PartialEq` ignores ff_cycles by design; the serialized text must
+        // not, so compare it too for full bit-exactness.
+        assert_eq!(back.to_kv(), kv);
+        assert_eq!(back.ff_cycles.normal, s.ff_cycles.normal);
+        assert_eq!(back.ff_cycles.runahead, s.ff_cycles.runahead);
+        assert_eq!(back.mean_runahead_interval(), s.mean_runahead_interval());
+        assert_eq!(back.iq_free_at_entry.mean(), s.iq_free_at_entry.mean());
+    }
+
+    #[test]
+    fn kv_rejects_unknown_and_malformed_fields() {
+        assert!(SimStats::from_kv("not_a_field 3").is_err());
+        assert!(SimStats::from_kv("cycles abc").is_err());
+        assert!(SimStats::from_kv("cycles").is_err());
+        // Empty input is a valid (default) stats block.
+        assert_eq!(SimStats::from_kv("").unwrap(), SimStats::new());
     }
 
     #[test]

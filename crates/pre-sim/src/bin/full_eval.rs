@@ -4,12 +4,16 @@
 //! paper's headline numbers because the matrix is simulated only once.
 //!
 //! Usage: `full_eval [--suite synthetic|asm|mixed] [--reference-scheduler]
-//! [--trace <spec>] [max_uops_per_run]` (defaults: the synthetic
-//! memory-intensive suite, 300 000 uops, event-driven scheduler).
+//! [--warmup <uops>] [--trace <spec>] [max_uops_per_run]` (defaults: the
+//! synthetic memory-intensive suite, 300 000 uops, event-driven scheduler).
 //! `--reference-scheduler` selects the scan-based escape-hatch scheduler —
 //! bit-identical statistics, much slower wall clock; useful for timing
-//! comparisons and debugging. `--trace dir=traces,all` additionally writes
-//! per-cell trace files (pipeview/Chrome/time-series/commit streams).
+//! comparisons and debugging. `--warmup` shares one functional warm-up
+//! snapshot per workload across its cells. `--trace dir=traces,all`
+//! additionally writes per-cell trace files (pipeview/Chrome/time-series/
+//! commit streams). Cells consult the result cache (persisted when
+//! `PRE_CACHE_DIR` names a directory), so a repeated invocation answers
+//! unchanged cells in milliseconds; the progress log marks those `(cached)`.
 
 use pre_sim::experiments::{
     cli_from_args, fig2_summary, fig2_table, fig3_summary, fig3_table, run_suite_matrix_cli,
@@ -34,11 +38,12 @@ fn main() {
     let start = std::time::Instant::now();
     let matrix = run_suite_matrix_cli(&cli, |r| {
         eprintln!(
-            "  [{:>6.1}s] {:<18} {:<10} ipc {:.3}",
+            "  [{:>6.1}s] {:<18} {:<10} ipc {:.3}{}",
             start.elapsed().as_secs_f64(),
             r.workload.name(),
             r.technique.label(),
-            r.ipc()
+            r.ipc(),
+            if r.cache_hit { "  (cached)" } else { "" }
         );
     })
     .expect("evaluation matrix");

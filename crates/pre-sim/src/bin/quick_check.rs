@@ -4,8 +4,11 @@
 //! behave sensibly" smoke test; the real figures come from the
 //! `fig2_performance` / `fig3_energy` binaries.
 //!
-//! Usage: `quick_check [--suite synthetic|asm|mixed] [--trace <spec>]
-//! [max_uops]` (`--suite asm` smoke-tests every assembled RISC-V kernel).
+//! Usage: `quick_check [--suite synthetic|asm|mixed] [--warmup <uops>]
+//! [--trace <spec>] [max_uops]` (`--suite asm` smoke-tests every assembled
+//! RISC-V kernel). Cells consult the result cache (persisted when
+//! `PRE_CACHE_DIR` is set); the `cache` column shows `hit` for cells
+//! answered from it and `sim` for cells actually simulated.
 
 use pre_runahead::Technique;
 use pre_sim::experiments::cli_from_args;
@@ -14,7 +17,7 @@ use pre_sim::runner::{run_one, RunSpec};
 fn main() {
     let cli = cli_from_args(60_000);
     println!(
-        "{:<18} {:<10} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>6} {:>8}",
+        "{:<18} {:<10} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>6} {:>8} {:>6}",
         "workload",
         "technique",
         "ipc",
@@ -27,7 +30,8 @@ fn main() {
         "fwd",
         "fwd-blk",
         "ff",
-        "mJ"
+        "mJ",
+        "cache"
     );
     let mut failed = false;
     let mut base_ipc = 0.0;
@@ -37,7 +41,9 @@ fn main() {
     for (workload, technique) in cli.suite.quick_cells() {
         let mut spec = RunSpec::new(workload, technique)
             .with_budget(cli.budget)
-            .with_config(cli.config());
+            .with_config(cli.config())
+            .with_warmup(cli.warmup)
+            .with_result_cache(true);
         spec.trace.clone_from(&cli.trace);
         match run_one(&spec) {
             Ok(result) => {
@@ -51,7 +57,7 @@ fn main() {
                 };
                 failed |= result.deadlocked;
                 println!(
-                    "{:<18} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>6.3} {:>8.2}{}",
+                    "{:<18} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>6.3} {:>8.2} {:>6}{}",
                     workload.name(),
                     technique.label(),
                     result.ipc(),
@@ -65,6 +71,7 @@ fn main() {
                     result.stats.forward_blocked_partial,
                     result.stats.ff_fraction(),
                     result.energy_mj(),
+                    if result.cache_hit { "hit" } else { "sim" },
                     if result.deadlocked { "  DEADLOCK" } else { "" },
                 );
             }

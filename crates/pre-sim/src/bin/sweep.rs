@@ -1,0 +1,197 @@
+//! Declarative parameter sweeps over one (workload, technique) pair.
+//!
+//! Expands a grid (`--grid dim=v1,v2,... --grid dim=...`) into its Cartesian
+//! product, runs every point over the worker pool, and prints a table plus
+//! an optional JSON/CSV dump. Points share one warm-up snapshot per workload
+//! (`--warmup`) and answer from the result cache when they have run before
+//! (in-memory within one invocation; across invocations when `PRE_CACHE_DIR`
+//! names a directory).
+//!
+//! Usage:
+//!
+//! ```text
+//! sweep [--workload <name>] [--technique <name>] [--budget <uops>]
+//!       [--warmup <uops>] [--grid dim=v1,v2,...]... [--json <path>]
+//!       [--csv <path>] [--no-cache] [--expect-min-hit-rate <pct>]
+//!       [--reference-scheduler]
+//! ```
+//!
+//! Dimensions: `emq`, `sst`, `rob`, `iq`, `prdq`, `min-free-int`,
+//! `min-free-fp`, `l3-kb`, `min-ra-cycles`.
+
+use pre_runahead::Technique;
+use pre_sim::sweep::{cache_hit_rate, sweep_csv, sweep_json, GridDim, Sweep, ALL_DIMS};
+use pre_workloads::Workload;
+use std::str::FromStr;
+use std::time::Instant;
+
+struct Args {
+    sweep: Sweep,
+    json: Option<String>,
+    csv: Option<String>,
+    expect_min_hit_rate: Option<f64>,
+}
+
+fn usage() -> ! {
+    let dims: Vec<_> = ALL_DIMS.iter().map(|d| d.name()).collect();
+    eprintln!(
+        "usage: sweep [--workload <name>] [--technique <name>] [--budget <uops>] \
+         [--warmup <uops>] [--grid dim=v1,v2,...]... [--json <path>] [--csv <path>] \
+         [--no-cache] [--expect-min-hit-rate <pct>] [--reference-scheduler]"
+    );
+    eprintln!("dimensions: {}", dims.join(", "));
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    // Defaults mirror the EMQ ablation: lbm-like under PRE+EMQ.
+    let mut sweep = Sweep::new(Workload::LbmLike, Technique::PreEmq);
+    sweep.budget = 150_000;
+    sweep.use_result_cache = true;
+    let mut json = None;
+    let mut csv = None;
+    let mut expect_min_hit_rate = None;
+    let mut args = std::env::args().skip(1);
+    let bail = |msg: String| -> ! {
+        eprintln!("{msg}");
+        usage();
+    };
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| -> String {
+            match args.next() {
+                Some(v) => v,
+                None => bail(format!("{flag} requires a value")),
+            }
+        };
+        match arg.as_str() {
+            "--workload" => {
+                let v = value_of("--workload");
+                match Workload::from_str(&v) {
+                    Ok(w) => sweep.workload = w,
+                    Err(e) => bail(format!("{e}")),
+                }
+            }
+            "--technique" => {
+                let v = value_of("--technique");
+                match Technique::from_str(&v.to_ascii_lowercase()) {
+                    Ok(t) => sweep.technique = t,
+                    Err(e) => bail(format!("{e}")),
+                }
+            }
+            "--budget" => match value_of("--budget").parse() {
+                Ok(b) => sweep.budget = b,
+                Err(_) => bail("bad --budget value".to_string()),
+            },
+            "--warmup" => match value_of("--warmup").parse() {
+                Ok(w) => sweep.warmup_uops = w,
+                Err(_) => bail("bad --warmup value".to_string()),
+            },
+            "--grid" => match value_of("--grid").parse::<GridDim>() {
+                Ok(g) => sweep.dims.push(g),
+                Err(e) => bail(format!("{e}")),
+            },
+            "--json" => json = Some(value_of("--json")),
+            "--csv" => csv = Some(value_of("--csv")),
+            "--no-cache" => sweep.use_result_cache = false,
+            "--expect-min-hit-rate" => match value_of("--expect-min-hit-rate").parse::<f64>() {
+                Ok(p) => expect_min_hit_rate = Some(p / 100.0),
+                Err(_) => bail("bad --expect-min-hit-rate value".to_string()),
+            },
+            "--reference-scheduler" => sweep.base_config.core.reference_scheduler = true,
+            _ => bail(format!("unrecognized argument `{arg}`")),
+        }
+    }
+    Args {
+        sweep,
+        json,
+        csv,
+        expect_min_hit_rate,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let sweep = &args.sweep;
+    eprintln!(
+        "sweep: {} / {} — {} points, budget {} uops, warmup {} uops, cache {}",
+        sweep.workload.name(),
+        sweep.technique.label(),
+        sweep.num_points(),
+        sweep.budget,
+        sweep.warmup_uops,
+        if sweep.use_result_cache { "on" } else { "off" },
+    );
+    let start = Instant::now();
+    let points = match sweep.run(|p| {
+        eprintln!(
+            "  [{:>7.2}s] {:<28} ipc {:.3}{}",
+            start.elapsed().as_secs_f64(),
+            p.label(),
+            p.result.ipc(),
+            if p.result.cache_hit { "  (cached)" } else { "" },
+        );
+    }) {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+
+    println!(
+        "{:<28} {:>8} {:>12} {:>10} {:>7} {:>9}",
+        "point", "ipc", "cycles", "energy-mJ", "cache", "deadlock"
+    );
+    for p in &points {
+        println!(
+            "{:<28} {:>8.3} {:>12} {:>10.2} {:>7} {:>9}",
+            p.label(),
+            p.result.ipc(),
+            p.result.stats.cycles,
+            p.result.energy_mj(),
+            if p.result.cache_hit { "hit" } else { "sim" },
+            if p.result.deadlocked { "YES" } else { "-" },
+        );
+    }
+    let hit_rate = cache_hit_rate(&points);
+    println!(
+        "{} points in {:.2}s ({:.1} points/s), cache hit rate {:.1}%",
+        points.len(),
+        elapsed,
+        points.len() as f64 / elapsed.max(1e-9),
+        hit_rate * 100.0,
+    );
+
+    if let Some(path) = &args.json {
+        let text = sweep_json(sweep, &points, elapsed);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.csv {
+        let text = sweep_csv(sweep, &points);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+
+    let mut failed = points.iter().any(|p| p.result.deadlocked);
+    if let Some(min) = args.expect_min_hit_rate {
+        if hit_rate < min {
+            eprintln!(
+                "cache hit rate {:.1}% below required {:.1}%",
+                hit_rate * 100.0,
+                min * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

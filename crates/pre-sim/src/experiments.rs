@@ -4,8 +4,9 @@
 use crate::matrix::EvaluationMatrix;
 use crate::report::{pct, pct_improvement, Table};
 use crate::runner::{run_one, RunResult, RunSpec};
+use crate::sweep::{GridDim, Sweep, SweepDim};
 use pre_core::pipeline::BuildError;
-use pre_model::config::{SimConfig, SimConfigBuilder};
+use pre_model::config::SimConfig;
 use pre_runahead::Technique;
 use pre_trace::TraceSpec;
 use pre_workloads::{Workload, WorkloadParams};
@@ -140,7 +141,7 @@ impl FromStr for Suite {
 
 /// Common command-line arguments of the experiment binaries:
 /// `<binary> [--suite synthetic|asm|mixed] [--reference-scheduler]
-/// [--trace <spec>] [max_uops]`.
+/// [--warmup <uops>] [--trace <spec>] [max_uops]`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliArgs {
     /// Which workload suite to run.
@@ -151,6 +152,11 @@ pub struct CliArgs {
     /// scheduler instead of the event-driven one. Statistics are
     /// bit-identical; only wall-clock time differs.
     pub reference_scheduler: bool,
+    /// Micro-ops of functional warm-up before detailed simulation
+    /// (`--warmup <uops>`; 0 = cold start). Warm-up snapshots are shared
+    /// across the cells of one invocation, so the warm-up executes once per
+    /// workload.
+    pub warmup: u64,
     /// Trace outputs requested with `--trace <spec>` (see
     /// [`TraceSpec`] for the spec grammar). `None` when tracing is off.
     pub trace: Option<TraceSpec>,
@@ -194,8 +200,8 @@ pub fn split_suite_flag<I: IntoIterator<Item = String>>(
     Ok((suite, positional))
 }
 
-/// Parses `[--suite <name>] [--reference-scheduler] [--trace <spec>]
-/// [max_uops]` from an argument iterator.
+/// Parses `[--suite <name>] [--reference-scheduler] [--warmup <uops>]
+/// [--trace <spec>] [max_uops]` from an argument iterator.
 ///
 /// # Errors
 ///
@@ -209,12 +215,26 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(
         suite,
         budget: default_budget,
         reference_scheduler: false,
+        warmup: 0,
         trace: None,
     };
     let mut positional = positional.into_iter();
     while let Some(arg) = positional.next() {
         if arg == "--reference-scheduler" {
             cli.reference_scheduler = true;
+            continue;
+        }
+        if arg == "--warmup" {
+            let value = positional.next().ok_or("--warmup requires a value")?;
+            cli.warmup = value
+                .parse()
+                .map_err(|_| format!("bad --warmup value `{value}`"))?;
+            continue;
+        }
+        if let Some(value) = arg.strip_prefix("--warmup=") {
+            cli.warmup = value
+                .parse()
+                .map_err(|_| format!("bad --warmup value `{value}`"))?;
             continue;
         }
         if arg == "--trace" {
@@ -235,8 +255,9 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(
 }
 
 /// Parses the process command line
-/// (`[--suite <name>] [--reference-scheduler] [--trace <spec>] [max_uops]`),
-/// exiting with a usage message on malformed input.
+/// (`[--suite <name>] [--reference-scheduler] [--warmup <uops>]
+/// [--trace <spec>] [max_uops]`), exiting with a usage message on malformed
+/// input.
 pub fn cli_from_args(default_budget: u64) -> CliArgs {
     match parse_cli(std::env::args().skip(1), default_budget) {
         Ok(cli) => cli,
@@ -244,7 +265,7 @@ pub fn cli_from_args(default_budget: u64) -> CliArgs {
             eprintln!("{msg}");
             eprintln!(
                 "usage: <binary> [--suite synthetic|asm|mixed] [--reference-scheduler] \
-                 [--trace <spec>] [max_uops]"
+                 [--warmup <uops>] [--trace <spec>] [max_uops]"
             );
             std::process::exit(2);
         }
@@ -321,9 +342,12 @@ pub fn run_suite_matrix_with(
 }
 
 /// Runs the evaluation matrix described by parsed [`CliArgs`], honouring
-/// `--suite`, `--reference-scheduler` and `--trace` (the trace spec, when
-/// present, is applied to every cell; each cell writes its own files named
-/// after [`crate::runner::cell_name`]).
+/// `--suite`, `--reference-scheduler`, `--warmup` and `--trace` (the trace
+/// spec, when present, is applied to every cell; each cell writes its own
+/// files named after [`crate::runner::cell_name`]). Cells consult the result
+/// cache, so a repeated invocation (with `PRE_CACHE_DIR` set, or within one
+/// process) answers unchanged cells without simulating; traced cells always
+/// simulate.
 ///
 /// # Errors
 ///
@@ -340,7 +364,9 @@ pub fn run_suite_matrix_cli(
         .map(|(workload, technique)| {
             let mut spec = RunSpec::new(workload, technique)
                 .with_budget(cli.budget)
-                .with_config(config.clone());
+                .with_config(config.clone())
+                .with_warmup(cli.warmup)
+                .with_result_cache(true);
             spec.trace.clone_from(&cli.trace);
             spec
         })
@@ -683,32 +709,47 @@ pub fn stat_invocations(matrix: &EvaluationMatrix) -> Table {
     table
 }
 
+/// Runs a one-dimensional capacity sweep of `workload` under `technique`
+/// (sharing the sweep engine with the `sweep` binary) and returns the points
+/// in grid order plus the out-of-order baseline IPC the rows normalize to.
+fn capacity_sweep(
+    workload: Workload,
+    technique: Technique,
+    dim: SweepDim,
+    sizes: &[usize],
+    max_uops: u64,
+) -> Result<(Vec<crate::sweep::SweepPoint>, f64), BuildError> {
+    let baseline = run_one(&RunSpec::new(workload, Technique::OutOfOrder).with_budget(max_uops))?;
+    let mut sweep = Sweep::new(workload, technique).with_dim(GridDim {
+        dim,
+        values: sizes.iter().map(|&s| s as u64).collect(),
+    });
+    sweep.budget = max_uops;
+    let points = sweep.run(|_| {})?;
+    Ok((points, baseline.ipc()))
+}
+
 /// Stat F / ablation (§3.6): SST-capacity sensitivity. Returns
 /// `(entries, speedup over OoO, SST hit rate)` rows for one representative
 /// multi-slice workload.
 pub fn sst_sensitivity(max_uops: u64, sizes: &[usize]) -> Result<Table, BuildError> {
-    let workload = Workload::LbmLike;
-    let baseline = run_one(&RunSpec::new(workload, Technique::OutOfOrder).with_budget(max_uops))?;
-    let base_ipc = baseline.ipc();
+    let (points, base_ipc) = capacity_sweep(
+        Workload::LbmLike,
+        Technique::Pre,
+        SweepDim::Sst,
+        sizes,
+        max_uops,
+    )?;
     let mut table = Table::new(
         "Stat F — SST capacity sensitivity (lbm-like, PRE)",
         &["SST entries", "speedup vs OoO", "SST hit rate", "evictions"],
     );
-    for &entries in sizes {
-        let config = SimConfigBuilder::haswell_like()
-            .sst_entries(entries)
-            .build()
-            .expect("valid configuration");
-        let result = run_one(
-            &RunSpec::new(workload, Technique::Pre)
-                .with_budget(max_uops)
-                .with_config(config),
-        )?;
+    for p in points {
         table.add_row(vec![
-            entries.to_string(),
-            format!("{:.3}", result.ipc() / base_ipc),
-            format!("{:.3}", result.stats.sst_hit_rate()),
-            result.stats.sst_evictions.to_string(),
+            p.settings[0].1.to_string(),
+            format!("{:.3}", p.result.ipc() / base_ipc),
+            format!("{:.3}", p.result.stats.sst_hit_rate()),
+            p.result.stats.sst_evictions.to_string(),
         ]);
     }
     Ok(table)
@@ -716,27 +757,22 @@ pub fn sst_sensitivity(max_uops: u64, sizes: &[usize]) -> Result<Table, BuildErr
 
 /// EMQ-capacity ablation: how the EMQ size bounds PRE+EMQ's benefit.
 pub fn emq_sensitivity(max_uops: u64, sizes: &[usize]) -> Result<Table, BuildError> {
-    let workload = Workload::LbmLike;
-    let baseline = run_one(&RunSpec::new(workload, Technique::OutOfOrder).with_budget(max_uops))?;
-    let base_ipc = baseline.ipc();
+    let (points, base_ipc) = capacity_sweep(
+        Workload::LbmLike,
+        Technique::PreEmq,
+        SweepDim::Emq,
+        sizes,
+        max_uops,
+    )?;
     let mut table = Table::new(
         "Ablation — EMQ capacity sensitivity (lbm-like, PRE+EMQ)",
         &["EMQ entries", "speedup vs OoO", "EMQ-full stall cycles"],
     );
-    for &entries in sizes {
-        let config = SimConfigBuilder::haswell_like()
-            .emq_entries(entries)
-            .build()
-            .expect("valid configuration");
-        let result = run_one(
-            &RunSpec::new(workload, Technique::PreEmq)
-                .with_budget(max_uops)
-                .with_config(config),
-        )?;
+    for p in points {
         table.add_row(vec![
-            entries.to_string(),
-            format!("{:.3}", result.ipc() / base_ipc),
-            result.stats.emq_full_stall_cycles.to_string(),
+            p.settings[0].1.to_string(),
+            format!("{:.3}", p.result.ipc() / base_ipc),
+            p.result.stats.emq_full_stall_cycles.to_string(),
         ]);
     }
     Ok(table)

@@ -16,6 +16,10 @@
 //! * [`experiments`] — the per-figure/per-stat experiment definitions,
 //!   including the reduced default budgets that keep runs tractable on a
 //!   laptop.
+//! * [`stores`] — warm-up snapshot sharing and the content-addressed result
+//!   cache (in-memory always, on disk under `PRE_CACHE_DIR`).
+//! * [`sweep`] — declarative parameter-grid sweeps expanded over the worker
+//!   pool, cache-aware, with JSON/CSV emission (the `sweep` binary).
 //! * [`report`] — plain-text table and CSV rendering.
 
 #![warn(missing_docs)]
@@ -25,6 +29,9 @@ pub mod experiments;
 pub mod matrix;
 pub mod report;
 pub mod runner;
+pub mod stores;
+pub mod sweep;
 
 pub use matrix::EvaluationMatrix;
 pub use runner::{cell_name, run_one, run_one_traced, RunResult, RunSpec};
+pub use sweep::{Sweep, SweepPoint};

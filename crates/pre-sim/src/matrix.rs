@@ -5,12 +5,18 @@ use pre_core::pipeline::BuildError;
 use pre_model::config::SimConfig;
 use pre_runahead::Technique;
 use pre_workloads::{Workload, WorkloadParams};
+use std::collections::HashMap;
 use std::sync::Mutex;
 
 /// Results of running a set of workloads under a set of techniques.
 #[derive(Debug, Clone, Default)]
 pub struct EvaluationMatrix {
     results: Vec<RunResult>,
+    /// (workload, technique) → index of the *first* result for that cell,
+    /// maintained by [`EvaluationMatrix::push`]. Keeps the aggregate queries
+    /// (`gmean_speedup`, `mean_energy_savings`, …) O(cells) instead of
+    /// O(cells²) — they call [`EvaluationMatrix::get`] per workload.
+    index: HashMap<(Workload, Technique), usize>,
 }
 
 impl EvaluationMatrix {
@@ -89,7 +95,7 @@ impl EvaluationMatrix {
         for spec in Self::specs(workloads, techniques, config, params, max_uops) {
             let result = run_one(&spec)?;
             progress(&result);
-            matrix.results.push(result);
+            matrix.push(result);
         }
         Ok(matrix)
     }
@@ -124,14 +130,19 @@ impl EvaluationMatrix {
     fn from_outcomes(outcomes: Vec<Result<RunResult, BuildError>>) -> Result<Self, BuildError> {
         let mut matrix = EvaluationMatrix::new();
         for outcome in outcomes {
-            matrix.results.push(outcome?);
+            matrix.push(outcome?);
         }
         Ok(matrix)
     }
 
-    /// Adds a result (used by custom sweeps).
+    /// Adds a result (used by custom sweeps). The first result for a
+    /// (workload, technique) cell is the one [`EvaluationMatrix::get`]
+    /// returns, matching the original linear-scan semantics.
     pub fn push(&mut self, result: RunResult) {
+        let key = (result.workload, result.technique);
+        let idx = self.results.len();
         self.results.push(result);
+        self.index.entry(key).or_insert(idx);
     }
 
     /// All results.
@@ -139,11 +150,12 @@ impl EvaluationMatrix {
         &self.results
     }
 
-    /// The result for one (workload, technique) cell, if present.
+    /// The result for one (workload, technique) cell, if present (the first
+    /// pushed, when a sweep pushed several). O(1) via the cell index.
     pub fn get(&self, workload: Workload, technique: Technique) -> Option<&RunResult> {
-        self.results
-            .iter()
-            .find(|r| r.workload == workload && r.technique == technique)
+        self.index
+            .get(&(workload, technique))
+            .map(|&idx| &self.results[idx])
     }
 
     /// The workloads present in the matrix, in first-seen order.
@@ -259,7 +271,19 @@ mod tests {
             stats,
             energy,
             deadlocked: false,
+            cache_hit: false,
         }
+    }
+
+    #[test]
+    fn get_returns_first_pushed_result_per_cell() {
+        let mut m = EvaluationMatrix::new();
+        m.push(fake_result(Workload::LbmLike, Technique::Pre, 0.5, 1));
+        m.push(fake_result(Workload::LbmLike, Technique::Pre, 0.9, 2));
+        let got = m.get(Workload::LbmLike, Technique::Pre).unwrap();
+        assert_eq!(got.stats.runahead_entries, 1);
+        assert_eq!(m.results().len(), 2);
+        assert!(m.get(Workload::LbmLike, Technique::Runahead).is_none());
     }
 
     #[test]

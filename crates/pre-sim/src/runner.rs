@@ -27,6 +27,16 @@ pub struct RunSpec {
     /// Optional trace outputs: when set, [`run_one`] attaches a
     /// [`TraceSession`] writing the requested streams for this cell.
     pub trace: Option<TraceSpec>,
+    /// Micro-ops of functional warm-up before detailed simulation. `0` is a
+    /// cold start; anything else builds the core from a shared warm-up
+    /// snapshot ([`crate::stores::snapshot_for`]), so every spec with the
+    /// same (workload, params, warm-up) amortizes one warm-up execution.
+    /// The committed-uop budget counts post-warm-up commits only.
+    pub warmup_uops: u64,
+    /// Consult the result cache ([`crate::stores`]) before simulating and
+    /// store the outcome after. Off by default so timing harnesses measure
+    /// real simulations unless they opt in.
+    pub use_result_cache: bool,
 }
 
 impl RunSpec {
@@ -41,6 +51,8 @@ impl RunSpec {
             max_uops: 300_000,
             max_cycles: 60_000_000,
             trace: None,
+            warmup_uops: 0,
+            use_result_cache: false,
         }
     }
 
@@ -67,6 +79,19 @@ impl RunSpec {
     /// Requests trace outputs for this run (see [`TraceSpec`]).
     pub fn with_trace(mut self, trace: TraceSpec) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Requests `uops` of functional warm-up (snapshot-based) before
+    /// detailed simulation.
+    pub fn with_warmup(mut self, uops: u64) -> Self {
+        self.warmup_uops = uops;
+        self
+    }
+
+    /// Opts this run into the result cache.
+    pub fn with_result_cache(mut self, on: bool) -> Self {
+        self.use_result_cache = on;
         self
     }
 
@@ -100,6 +125,10 @@ pub struct RunResult {
     pub energy: EnergyBreakdown,
     /// Whether the run hit the deadlock watchdog (indicates a modelling bug).
     pub deadlocked: bool,
+    /// `true` when this result came out of the result cache rather than a
+    /// simulation (never serialized; a cached copy of a run is bit-identical
+    /// to the run in every other field).
+    pub cache_hit: bool,
 }
 
 impl RunResult {
@@ -150,7 +179,7 @@ pub fn run_one_traced(
     tracer: Box<dyn Tracer>,
 ) -> Result<(RunResult, Box<dyn Tracer>), BuildError> {
     let program = spec.workload.build(&spec.params);
-    let mut core = OooCore::new(&spec.config, &program, spec.technique)?;
+    let mut core = build_core(spec, &program)?;
     core.set_tracer(tracer);
     core.run(spec.max_uops, spec.max_cycles);
     let tracer = core.take_tracer().expect("tracer survives the run");
@@ -163,14 +192,27 @@ pub fn run_one_traced(
             stats,
             energy,
             deadlocked: core.deadlocked(),
+            cache_hit: false,
         },
         tracer,
     ))
 }
 
-fn run_one_plain(spec: &RunSpec) -> Result<RunResult, BuildError> {
-    let program = spec.workload.build(&spec.params);
-    let mut core = OooCore::new(&spec.config, &program, spec.technique)?;
+/// Builds the core for `spec`: cold when `warmup_uops` is 0, otherwise from
+/// the shared warm-up snapshot and warmed state. Cold-with-warmup and
+/// snapshot-forked runs go through this one path, so they are bit-identical
+/// by construction.
+fn build_core(spec: &RunSpec, program: &pre_model::Program) -> Result<OooCore, BuildError> {
+    if spec.warmup_uops == 0 {
+        return OooCore::new(&spec.config, program, spec.technique);
+    }
+    let snap = crate::stores::snapshot_for(program, spec.warmup_uops);
+    let warmed = crate::stores::warmed_for(&spec.config, program, spec.warmup_uops, &snap);
+    OooCore::from_snapshot(&spec.config, program, spec.technique, &snap, &warmed)
+}
+
+fn simulate(spec: &RunSpec, program: &pre_model::Program) -> Result<RunResult, BuildError> {
+    let mut core = build_core(spec, program)?;
     core.run(spec.max_uops, spec.max_cycles);
     let stats = core.stats().clone();
     let energy = EnergyModel::default().evaluate(&stats, &spec.config);
@@ -180,7 +222,23 @@ fn run_one_plain(spec: &RunSpec) -> Result<RunResult, BuildError> {
         stats,
         energy,
         deadlocked: core.deadlocked(),
+        cache_hit: false,
     })
+}
+
+fn run_one_plain(spec: &RunSpec) -> Result<RunResult, BuildError> {
+    let program = spec.workload.build(&spec.params);
+    if !spec.use_result_cache {
+        return simulate(spec, &program);
+    }
+    let (key, desc) = crate::stores::result_key(spec, &program);
+    let disk = crate::stores::env_cache_dir();
+    if let Some(hit) = crate::stores::result_lookup(key, &desc, disk.as_deref()) {
+        return Ok(hit);
+    }
+    let result = simulate(spec, &program)?;
+    crate::stores::result_store(key, &desc, &result, disk.as_deref());
+    Ok(result)
 }
 
 #[cfg(test)]

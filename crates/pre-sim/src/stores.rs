@@ -1,0 +1,470 @@
+//! Global snapshot stores and the content-addressed result cache.
+//!
+//! Three stores, all keyed by stable FNV-1a hashes
+//! ([`pre_model::hash::StableHasher`]) so keys survive across processes:
+//!
+//! 1. **Snapshot store** — configuration-*independent* warm-up snapshots
+//!    ([`SimSnapshot`]), keyed by (program content hash, warm-up budget).
+//!    Captured once per workload and shared by every sweep point.
+//! 2. **Warmed-state store** — configuration-*dependent* warmed caches and
+//!    predictor ([`WarmedState`]), keyed additionally by the memory-hierarchy
+//!    and frontend configuration. A ROB/IQ/EMQ/SST sweep shares one entry.
+//! 3. **Result cache** — finished [`RunResult`]s keyed by the full run
+//!    specification (config + technique + program + budget + warm-up),
+//!    in-memory always, and persisted as text files under a directory
+//!    (`PRE_CACHE_DIR`) when one is configured.
+//!
+//! Every entry stores its full human-readable key description alongside the
+//! 64-bit hash and verifies it on lookup, so a hash collision degrades to a
+//! cache miss, never to a wrong answer. Cached results are byte-identical to
+//! the run that produced them (the stats serialization round-trips exactly),
+//! which the golden tests assert.
+
+use crate::runner::{RunResult, RunSpec};
+use pre_core::WarmedState;
+use pre_energy::EnergyBreakdown;
+use pre_model::config::SimConfig;
+use pre_model::hash::{stable_hash_of_debug, StableHasher};
+use pre_model::program::Program;
+use pre_model::snapshot::SimSnapshot;
+use pre_model::stats::SimStats;
+use pre_runahead::Technique;
+use pre_workloads::Workload;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A stored value plus the full key description it was stored under.
+#[derive(Debug, Clone)]
+struct Keyed<T> {
+    desc: String,
+    value: T,
+}
+
+type Store<T> = OnceLock<Mutex<HashMap<u64, Keyed<T>>>>;
+
+static SNAPSHOTS: Store<Arc<SimSnapshot>> = OnceLock::new();
+static WARMED: Store<Arc<WarmedState>> = OnceLock::new();
+static RESULTS: Store<RunResult> = OnceLock::new();
+
+fn store<T>(cell: &Store<T>) -> &Mutex<HashMap<u64, Keyed<T>>> {
+    cell.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lookup<T: Clone>(cell: &Store<T>, key: u64, desc: &str) -> Option<T> {
+    let map = store(cell).lock().expect("store poisoned");
+    let entry = map.get(&key)?;
+    // Collision safety: the description must match, not just the hash.
+    (entry.desc == desc).then(|| entry.value.clone())
+}
+
+fn insert_or_get<T: Clone>(cell: &Store<T>, key: u64, desc: &str, value: T) -> T {
+    use std::collections::hash_map::Entry;
+    let mut map = store(cell).lock().expect("store poisoned");
+    match map.entry(key) {
+        Entry::Occupied(entry) => {
+            if entry.get().desc == desc {
+                // A concurrent builder got here first; both values are
+                // deterministic, so serve the incumbent (sharing the Arc).
+                entry.get().value.clone()
+            } else {
+                // A 64-bit collision between two live keys: keep the
+                // incumbent, serve the caller its own value. Safe, merely
+                // uncached.
+                value
+            }
+        }
+        Entry::Vacant(slot) => {
+            slot.insert(Keyed {
+                desc: desc.to_string(),
+                value: value.clone(),
+            });
+            value
+        }
+    }
+}
+
+/// Empties every in-process store. Benches and golden tests call this to
+/// force cold paths; the on-disk result cache is untouched.
+pub fn clear_stores() {
+    if let Some(m) = SNAPSHOTS.get() {
+        m.lock().expect("store poisoned").clear();
+    }
+    if let Some(m) = WARMED.get() {
+        m.lock().expect("store poisoned").clear();
+    }
+    if let Some(m) = RESULTS.get() {
+        m.lock().expect("store poisoned").clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + warmed-state stores
+// ---------------------------------------------------------------------------
+
+fn snapshot_key(program: &Program, warmup_uops: u64) -> (u64, String) {
+    let desc = format!(
+        "snapshot v1 program={:016x} warmup={}",
+        program.content_hash(),
+        warmup_uops
+    );
+    let mut h = StableHasher::new();
+    h.write_str(&desc);
+    (h.finish(), desc)
+}
+
+/// The warm-up snapshot for (`program`, `warmup_uops`), captured on first
+/// request and shared (via `Arc`) afterwards. Capture happens outside the
+/// store lock, so concurrent first requests may both capture; the result is
+/// deterministic, so whichever insertion wins is correct for both.
+pub fn snapshot_for(program: &Program, warmup_uops: u64) -> Arc<SimSnapshot> {
+    let (key, desc) = snapshot_key(program, warmup_uops);
+    if let Some(snap) = lookup(&SNAPSHOTS, key, &desc) {
+        return snap;
+    }
+    let snap = Arc::new(SimSnapshot::capture(program, warmup_uops));
+    insert_or_get(&SNAPSHOTS, key, &desc, snap)
+}
+
+fn warmed_key(cfg: &SimConfig, program: &Program, warmup_uops: u64) -> (u64, String) {
+    // Everything MemoryHierarchy::new and BranchPredictorUnit::new read:
+    // the four cache geometries, DRAM timing, the core frequency (DRAM
+    // latency conversion), the prefetch-fill-L1 policy bit carried by the
+    // hierarchy, and the frontend (predictor) configuration. Core and
+    // runahead sizing parameters are deliberately absent so a ROB/IQ/EMQ/SST
+    // sweep shares one warmed state.
+    let desc = format!(
+        "warmed v1 program={:016x} warmup={} mem={:016x} freq={:016x} fill_l1={} frontend={:016x}",
+        program.content_hash(),
+        warmup_uops,
+        stable_hash_of_debug(&(&cfg.l1i, &cfg.l1d, &cfg.l2, &cfg.l3, &cfg.dram)),
+        cfg.core.freq_ghz.to_bits(),
+        cfg.runahead.prefetch_fill_l1,
+        stable_hash_of_debug(&cfg.frontend),
+    );
+    let mut h = StableHasher::new();
+    h.write_str(&desc);
+    (h.finish(), desc)
+}
+
+/// The warmed caches + predictor for `cfg`'s memory hierarchy and frontend,
+/// derived from `snap`'s trace on first request and shared afterwards.
+pub fn warmed_for(
+    cfg: &SimConfig,
+    program: &Program,
+    warmup_uops: u64,
+    snap: &SimSnapshot,
+) -> Arc<WarmedState> {
+    let (key, desc) = warmed_key(cfg, program, warmup_uops);
+    if let Some(warmed) = lookup(&WARMED, key, &desc) {
+        return warmed;
+    }
+    let warmed = Arc::new(WarmedState::build(cfg, &snap.trace));
+    insert_or_get(&WARMED, key, &desc, warmed)
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+/// The stable key (hash + full description) of one run specification.
+/// Everything that can change the outcome enters the description: the
+/// complete configuration, the technique, the *content* of the program the
+/// workload builds (so editing a generator invalidates its entries), the
+/// budget and the warm-up.
+pub fn result_key(spec: &RunSpec, program: &Program) -> (u64, String) {
+    let desc = format!(
+        "result v1 workload={} program={:016x} technique={} budget={} cycles={} warmup={} config={:?}",
+        spec.workload.name(),
+        program.content_hash(),
+        spec.technique.label(),
+        spec.max_uops,
+        spec.max_cycles,
+        spec.warmup_uops,
+        spec.config,
+    );
+    let mut h = StableHasher::new();
+    h.write_str(&desc);
+    (h.finish(), desc)
+}
+
+/// The on-disk cache directory, if the `PRE_CACHE_DIR` environment variable
+/// names one.
+pub fn env_cache_dir() -> Option<PathBuf> {
+    std::env::var_os("PRE_CACHE_DIR").map(PathBuf::from)
+}
+
+fn disk_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("result_{key:016x}.txt"))
+}
+
+/// Looks up a finished result, consulting the in-memory store first and then
+/// `disk_dir` (if given). Disk hits are promoted into the in-memory store.
+/// The returned result has `cache_hit` set.
+pub fn result_lookup(key: u64, desc: &str, disk_dir: Option<&Path>) -> Option<RunResult> {
+    if let Some(mut hit) = lookup(&RESULTS, key, desc) {
+        hit.cache_hit = true;
+        return Some(hit);
+    }
+    let dir = disk_dir?;
+    let text = std::fs::read_to_string(disk_path(dir, key)).ok()?;
+    let (stored_desc, result) = result_from_text(&text).ok()?;
+    if stored_desc != desc {
+        return None;
+    }
+    let mut promoted = insert_or_get(&RESULTS, key, desc, result);
+    promoted.cache_hit = true;
+    Some(promoted)
+}
+
+/// Stores a finished result in the in-memory store and, when `disk_dir` is
+/// given, as a text file under it (best-effort: I/O failures leave only the
+/// in-memory entry).
+pub fn result_store(key: u64, desc: &str, result: &RunResult, disk_dir: Option<&Path>) {
+    let mut stored = result.clone();
+    stored.cache_hit = false;
+    insert_or_get(&RESULTS, key, desc, stored);
+    if let Some(dir) = disk_dir {
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(disk_path(dir, key), result_to_text(desc, result));
+    }
+}
+
+fn energy_field_names() -> [&'static str; 6] {
+    [
+        "core_dynamic_nj",
+        "runahead_structures_nj",
+        "cache_dynamic_nj",
+        "dram_dynamic_nj",
+        "core_static_nj",
+        "dram_static_nj",
+    ]
+}
+
+fn energy_fields(e: &EnergyBreakdown) -> [f64; 6] {
+    [
+        e.core_dynamic_nj,
+        e.runahead_structures_nj,
+        e.cache_dynamic_nj,
+        e.dram_dynamic_nj,
+        e.core_static_nj,
+        e.dram_static_nj,
+    ]
+}
+
+/// Serializes a result (with its key description) to the line-oriented cache
+/// file format. Exact roundtrip: energies are written as raw IEEE-754 bits.
+pub fn result_to_text(desc: &str, result: &RunResult) -> String {
+    let mut out = String::new();
+    out.push_str("pre-result v1\n");
+    let _ = writeln!(out, "keydesc {desc}");
+    let _ = writeln!(out, "workload {}", result.workload.name());
+    let _ = writeln!(out, "technique {}", result.technique.label());
+    let _ = writeln!(out, "deadlocked {}", u8::from(result.deadlocked));
+    for (name, value) in energy_field_names()
+        .iter()
+        .zip(energy_fields(&result.energy))
+    {
+        let _ = writeln!(out, "energy.{name} {:016x}", value.to_bits());
+    }
+    out.push_str("stats\n");
+    out.push_str(&result.stats.to_kv());
+    out.push_str("end\n");
+    out
+}
+
+/// Parses the format written by [`result_to_text`], returning the stored key
+/// description and the result (with `cache_hit` false).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn result_from_text(text: &str) -> Result<(String, RunResult), String> {
+    let mut lines = text.lines();
+    if lines.next() != Some("pre-result v1") {
+        return Err("not a pre-result v1 file".to_string());
+    }
+    let mut desc = None;
+    let mut workload = None;
+    let mut technique = None;
+    let mut deadlocked = false;
+    let mut energy = [0f64; 6];
+    let mut stats_text = String::new();
+    let mut in_stats = false;
+    let mut saw_end = false;
+    for line in lines {
+        if in_stats {
+            if line == "end" {
+                saw_end = true;
+                break;
+            }
+            stats_text.push_str(line);
+            stats_text.push('\n');
+            continue;
+        }
+        if line == "stats" {
+            in_stats = true;
+            continue;
+        }
+        let (tag, value) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("malformed result line: {line}"))?;
+        match tag {
+            "keydesc" => desc = Some(value.to_string()),
+            "workload" => {
+                workload =
+                    Some(Workload::from_str(value).map_err(|_| format!("bad workload: {value}"))?);
+            }
+            "technique" => {
+                technique = Some(
+                    Technique::from_str(&value.to_ascii_lowercase())
+                        .map_err(|_| format!("bad technique: {value}"))?,
+                );
+            }
+            "deadlocked" => deadlocked = value == "1",
+            _ => {
+                if let Some(field) = tag.strip_prefix("energy.") {
+                    let idx = energy_field_names()
+                        .iter()
+                        .position(|n| *n == field)
+                        .ok_or_else(|| format!("unknown energy field `{field}`"))?;
+                    let bits = u64::from_str_radix(value, 16)
+                        .map_err(|_| format!("bad energy bits: {value}"))?;
+                    energy[idx] = f64::from_bits(bits);
+                } else {
+                    return Err(format!("unknown result line tag `{tag}`"));
+                }
+            }
+        }
+    }
+    if !saw_end {
+        return Err("truncated result (no end marker)".to_string());
+    }
+    let stats = SimStats::from_kv(&stats_text)?;
+    Ok((
+        desc.ok_or("missing keydesc")?,
+        RunResult {
+            workload: workload.ok_or("missing workload")?,
+            technique: technique.ok_or("missing technique")?,
+            stats,
+            energy: EnergyBreakdown {
+                core_dynamic_nj: energy[0],
+                runahead_structures_nj: energy[1],
+                cache_dynamic_nj: energy[2],
+                dram_dynamic_nj: energy[3],
+                core_static_nj: energy[4],
+                dram_static_nj: energy[5],
+            },
+            deadlocked,
+            cache_hit: false,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_one;
+    use pre_workloads::WorkloadParams;
+
+    fn small_result() -> (RunSpec, RunResult) {
+        let spec = RunSpec::new(Workload::ComputeBound, Technique::Pre)
+            .with_budget(2_000)
+            .with_config(SimConfig::small_for_tests())
+            .with_params(WorkloadParams::short(50));
+        let result = run_one(&spec).expect("valid run");
+        (spec, result)
+    }
+
+    #[test]
+    fn result_text_roundtrip_is_exact() {
+        let (spec, result) = small_result();
+        let program = spec.workload.build(&spec.params);
+        let (_, desc) = result_key(&spec, &program);
+        let text = result_to_text(&desc, &result);
+        let (back_desc, back) = result_from_text(&text).expect("parses");
+        assert_eq!(back_desc, desc);
+        assert_eq!(back.workload, result.workload);
+        assert_eq!(back.technique, result.technique);
+        assert_eq!(back.stats, result.stats);
+        assert_eq!(back.stats.to_kv(), result.stats.to_kv());
+        assert_eq!(back.energy, result.energy);
+        assert_eq!(back.deadlocked, result.deadlocked);
+        // Re-serialization is byte-identical (cache hit == miss, bytewise).
+        assert_eq!(result_to_text(&desc, &back), text);
+    }
+
+    #[test]
+    fn disk_cache_roundtrips_and_verifies_keydesc() {
+        let (spec, result) = small_result();
+        let program = spec.workload.build(&spec.params);
+        let (key, desc) = result_key(&spec, &program);
+        let dir = std::env::temp_dir().join(format!("pre-cache-test-{key:016x}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        clear_stores();
+        assert!(result_lookup(key, &desc, Some(&dir)).is_none());
+        result_store(key, &desc, &result, Some(&dir));
+        clear_stores(); // force the disk path
+        let hit = result_lookup(key, &desc, Some(&dir)).expect("disk hit");
+        assert!(hit.cache_hit);
+        assert_eq!(hit.stats, result.stats);
+        assert_eq!(hit.stats.to_kv(), result.stats.to_kv());
+        // A different description under the same hash is a miss, not a wrong
+        // answer.
+        clear_stores();
+        assert!(result_lookup(key, "some other spec", Some(&dir)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn result_key_is_sensitive_to_spec_changes() {
+        let spec = RunSpec::new(Workload::ComputeBound, Technique::Pre).with_budget(2_000);
+        let program = spec.workload.build(&spec.params);
+        let (k1, _) = result_key(&spec, &program);
+        let (k2, _) = result_key(&spec.clone().with_budget(3_000), &program);
+        let (k3, _) = result_key(&spec.clone().with_warmup(1_000), &program);
+        let mut cfg_spec = spec.clone();
+        cfg_spec.config.runahead.sst_entries = 16;
+        let (k4, _) = result_key(&cfg_spec, &program);
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        assert_ne!(k1, k4);
+    }
+
+    #[test]
+    fn snapshot_store_shares_one_capture() {
+        clear_stores();
+        let program = Workload::ComputeBound.build(&WorkloadParams::short(200));
+        let a = snapshot_for(&program, 500);
+        let b = snapshot_for(&program, 500);
+        assert!(Arc::ptr_eq(&a, &b), "second request reuses the capture");
+        let c = snapshot_for(&program, 600);
+        assert!(!Arc::ptr_eq(&a, &c), "different warm-up is a different key");
+    }
+
+    #[test]
+    fn warmed_store_shares_across_core_sizing() {
+        clear_stores();
+        let program = Workload::ComputeBound.build(&WorkloadParams::short(200));
+        let snap = snapshot_for(&program, 500);
+        let base = SimConfig::haswell_like();
+        let mut resized = base.clone();
+        resized.core.rob_entries = 128;
+        resized.runahead.sst_entries = 16;
+        let a = warmed_for(&base, &program, 500, &snap);
+        let b = warmed_for(&resized, &program, 500, &snap);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "ROB/SST sizing shares the warmed state"
+        );
+        let mut l3_grown = base.clone();
+        l3_grown.l3.size_bytes *= 2;
+        let c = warmed_for(&l3_grown, &program, 500, &snap);
+        assert!(
+            !Arc::ptr_eq(&a, &c),
+            "cache geometry forks the warmed state"
+        );
+    }
+}

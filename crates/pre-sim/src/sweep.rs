@@ -1,0 +1,476 @@
+//! Declarative parameter-grid sweeps.
+//!
+//! A [`Sweep`] names a base run (workload, technique, budget, warm-up) plus
+//! a list of [`GridDim`]s — parameter dimensions with value lists, parsed
+//! from the `dim=v1,v2,...` grammar the `sweep` binary accepts. The
+//! Cartesian product of the dimensions expands into one [`RunSpec`] per
+//! point; points run over the `pre-par` worker pool, share warm-up
+//! snapshots ([`crate::stores`]) and consult the result cache, so a repeated
+//! sweep answers from cache and a cold sweep pays warm-up once instead of
+//! once per point.
+//!
+//! The EMQ/SST sensitivity experiments (`emq_sensitivity`,
+//! `sst_sensitivity`) are one-dimensional sweeps over this engine.
+
+use crate::runner::{run_one, RunResult, RunSpec};
+use pre_core::pipeline::BuildError;
+use pre_model::config::SimConfig;
+use pre_runahead::Technique;
+use pre_workloads::{Workload, WorkloadParams};
+use std::fmt;
+use std::fmt::Write as _;
+use std::str::FromStr;
+use std::sync::Mutex;
+
+/// One sweepable configuration parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepDim {
+    /// `emq` — extended micro-op queue entries (`runahead.emq_entries`).
+    Emq,
+    /// `sst` — stalling slice table entries (`runahead.sst_entries`).
+    Sst,
+    /// `rob` — reorder-buffer entries (`core.rob_entries`).
+    Rob,
+    /// `iq` — issue-queue entries (`core.iq_entries`).
+    Iq,
+    /// `prdq` — precise register deallocation queue entries
+    /// (`runahead.prdq_entries`).
+    Prdq,
+    /// `min-free-int` — runahead entry gate on free integer registers
+    /// (`runahead.min_free_int_regs`).
+    MinFreeInt,
+    /// `min-free-fp` — runahead entry gate on free FP registers
+    /// (`runahead.min_free_fp_regs`).
+    MinFreeFp,
+    /// `l3-kb` — L3 capacity in KiB (`l3.size_bytes`; geometry change, forks
+    /// the warmed cache state).
+    L3Kb,
+    /// `min-ra-cycles` — minimum expected runahead interval
+    /// (`runahead.min_expected_runahead_cycles`).
+    MinRaCycles,
+}
+
+/// All sweepable dimensions (for usage messages).
+pub const ALL_DIMS: [SweepDim; 9] = [
+    SweepDim::Emq,
+    SweepDim::Sst,
+    SweepDim::Rob,
+    SweepDim::Iq,
+    SweepDim::Prdq,
+    SweepDim::MinFreeInt,
+    SweepDim::MinFreeFp,
+    SweepDim::L3Kb,
+    SweepDim::MinRaCycles,
+];
+
+impl SweepDim {
+    /// The grammar name of the dimension (`emq`, `sst`, `rob`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepDim::Emq => "emq",
+            SweepDim::Sst => "sst",
+            SweepDim::Rob => "rob",
+            SweepDim::Iq => "iq",
+            SweepDim::Prdq => "prdq",
+            SweepDim::MinFreeInt => "min-free-int",
+            SweepDim::MinFreeFp => "min-free-fp",
+            SweepDim::L3Kb => "l3-kb",
+            SweepDim::MinRaCycles => "min-ra-cycles",
+        }
+    }
+
+    /// Applies `value` to `cfg`.
+    pub fn apply(&self, cfg: &mut SimConfig, value: u64) {
+        match self {
+            SweepDim::Emq => cfg.runahead.emq_entries = value as usize,
+            SweepDim::Sst => cfg.runahead.sst_entries = value as usize,
+            SweepDim::Rob => cfg.core.rob_entries = value as usize,
+            SweepDim::Iq => cfg.core.iq_entries = value as usize,
+            SweepDim::Prdq => cfg.runahead.prdq_entries = value as usize,
+            SweepDim::MinFreeInt => cfg.runahead.min_free_int_regs = value as usize,
+            SweepDim::MinFreeFp => cfg.runahead.min_free_fp_regs = value as usize,
+            SweepDim::L3Kb => cfg.l3.size_bytes = value as usize * 1024,
+            SweepDim::MinRaCycles => cfg.runahead.min_expected_runahead_cycles = value,
+        }
+    }
+}
+
+impl fmt::Display for SweepDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a sweep dimension or grid specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGridError(String);
+
+impl fmt::Display for ParseGridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseGridError {}
+
+impl FromStr for SweepDim {
+    type Err = ParseGridError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ALL_DIMS
+            .iter()
+            .copied()
+            .find(|d| d.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<_> = ALL_DIMS.iter().map(|d| d.name()).collect();
+                ParseGridError(format!(
+                    "unknown sweep dimension `{s}` (expected one of {})",
+                    names.join(", ")
+                ))
+            })
+    }
+}
+
+/// One sweep dimension with its value list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridDim {
+    /// The parameter being swept.
+    pub dim: SweepDim,
+    /// The values it takes (one sweep point per combination across
+    /// dimensions).
+    pub values: Vec<u64>,
+}
+
+impl FromStr for GridDim {
+    type Err = ParseGridError;
+
+    /// Parses `dim=v1,v2,...` (e.g. `emq=192,384,768`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, list) = s
+            .split_once('=')
+            .ok_or_else(|| ParseGridError(format!("grid entry `{s}` is not `dim=v1,v2,...`")))?;
+        let dim = SweepDim::from_str(name.trim())?;
+        let values: Vec<u64> = list
+            .split(',')
+            .map(|v| v.trim().parse::<u64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| ParseGridError(format!("bad value list in `{s}`")))?;
+        if values.is_empty() {
+            return Err(ParseGridError(format!("empty value list in `{s}`")));
+        }
+        Ok(GridDim { dim, values })
+    }
+}
+
+/// One point of an expanded sweep: the dimension settings, the spec they
+/// produce, and (after running) the result.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// `(dimension, value)` pairs, in grid order.
+    pub settings: Vec<(SweepDim, u64)>,
+    /// The fully-resolved run specification.
+    pub spec: RunSpec,
+    /// The run's outcome.
+    pub result: RunResult,
+}
+
+impl SweepPoint {
+    /// A compact `dim=value dim=value` label for tables and progress output.
+    pub fn label(&self) -> String {
+        if self.settings.is_empty() {
+            return "base".to_string();
+        }
+        let mut out = String::new();
+        for (i, (dim, value)) in self.settings.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{dim}={value}");
+        }
+        out
+    }
+}
+
+/// A declarative parameter sweep: one base run expanded over the Cartesian
+/// product of its grid dimensions.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// The workload every point simulates.
+    pub workload: Workload,
+    /// The technique every point simulates.
+    pub technique: Technique,
+    /// The base configuration the grid perturbs.
+    pub base_config: SimConfig,
+    /// Workload build parameters.
+    pub params: WorkloadParams,
+    /// Committed-uop budget per point (post-warm-up).
+    pub budget: u64,
+    /// Warm-up micro-ops shared across all points (0 = cold).
+    pub warmup_uops: u64,
+    /// Whether points consult/populate the result cache.
+    pub use_result_cache: bool,
+    /// The grid dimensions.
+    pub dims: Vec<GridDim>,
+}
+
+impl Sweep {
+    /// A sweep of `workload` under `technique` from the paper's Table 1
+    /// configuration, with no grid (one base point) until dimensions are
+    /// added.
+    pub fn new(workload: Workload, technique: Technique) -> Self {
+        Sweep {
+            workload,
+            technique,
+            base_config: SimConfig::haswell_like(),
+            params: WorkloadParams::default(),
+            budget: 300_000,
+            warmup_uops: 0,
+            use_result_cache: false,
+            dims: Vec::new(),
+        }
+    }
+
+    /// Adds a grid dimension.
+    pub fn with_dim(mut self, dim: GridDim) -> Self {
+        self.dims.push(dim);
+        self
+    }
+
+    /// Number of points the grid expands to.
+    pub fn num_points(&self) -> usize {
+        self.dims.iter().map(|d| d.values.len()).product()
+    }
+
+    /// Expands the Cartesian product into per-point specs (grid order:
+    /// first dimension slowest, last fastest).
+    pub fn specs(&self) -> Vec<(Vec<(SweepDim, u64)>, RunSpec)> {
+        let mut points: Vec<Vec<(SweepDim, u64)>> = vec![Vec::new()];
+        for grid_dim in &self.dims {
+            points = points
+                .into_iter()
+                .flat_map(|prefix| {
+                    grid_dim.values.iter().map(move |&v| {
+                        let mut settings = prefix.clone();
+                        settings.push((grid_dim.dim, v));
+                        settings
+                    })
+                })
+                .collect();
+        }
+        points
+            .into_iter()
+            .map(|settings| {
+                let mut config = self.base_config.clone();
+                for &(dim, value) in &settings {
+                    dim.apply(&mut config, value);
+                }
+                let spec = RunSpec::new(self.workload, self.technique)
+                    .with_budget(self.budget)
+                    .with_config(config)
+                    .with_params(self.params)
+                    .with_warmup(self.warmup_uops)
+                    .with_result_cache(self.use_result_cache);
+                (settings, spec)
+            })
+            .collect()
+    }
+
+    /// Runs every point over the worker pool, invoking `progress` as points
+    /// complete. Points are returned in grid order regardless of completion
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BuildError`] in grid order.
+    pub fn run(
+        &self,
+        progress: impl FnMut(&SweepPoint) + Send,
+    ) -> Result<Vec<SweepPoint>, BuildError> {
+        let specs = self.specs();
+        let progress = Mutex::new(progress);
+        let outcomes = pre_par::par_map(&specs, |(settings, spec)| {
+            let outcome = run_one(spec);
+            match outcome {
+                Ok(result) => {
+                    let point = SweepPoint {
+                        settings: settings.clone(),
+                        spec: spec.clone(),
+                        result,
+                    };
+                    let mut report = progress.lock().expect("progress callback poisoned");
+                    (*report)(&point);
+                    Ok(point)
+                }
+                Err(e) => Err(e),
+            }
+        });
+        outcomes.into_iter().collect()
+    }
+}
+
+/// Fraction of points answered from the result cache.
+pub fn cache_hit_rate(points: &[SweepPoint]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let hits = points.iter().filter(|p| p.result.cache_hit).count();
+    hits as f64 / points.len() as f64
+}
+
+/// Renders sweep results as JSON. Top-level keys deliberately avoid the
+/// `cells` key used by the bench aggregate format, so tooling that scans for
+/// it is unaffected.
+pub fn sweep_json(sweep: &Sweep, points: &[SweepPoint], elapsed_secs: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"workload\": \"{}\",", sweep.workload.name());
+    let _ = writeln!(out, "  \"technique\": \"{}\",", sweep.technique.label());
+    let _ = writeln!(out, "  \"budget\": {},", sweep.budget);
+    let _ = writeln!(out, "  \"warmup\": {},", sweep.warmup_uops);
+    let _ = writeln!(out, "  \"elapsed_secs\": {elapsed_secs:.6},");
+    let _ = writeln!(out, "  \"num_points\": {},", points.len());
+    let hits = points.iter().filter(|p| p.result.cache_hit).count();
+    let _ = writeln!(out, "  \"cache_hits\": {hits},");
+    let _ = writeln!(out, "  \"cache_hit_rate\": {:.6},", cache_hit_rate(points));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str("    {");
+        for (dim, value) in &p.settings {
+            let _ = write!(out, "\"{dim}\": {value}, ");
+        }
+        let _ = write!(
+            out,
+            "\"ipc\": {:.6}, \"sim_cycles\": {}, \"committed_uops\": {}, \"energy_mj\": {:.6}, \"cache_hit\": {}, \"deadlocked\": {}",
+            p.result.ipc(),
+            p.result.stats.cycles,
+            p.result.stats.committed_uops,
+            p.result.energy_mj(),
+            p.result.cache_hit,
+            p.result.deadlocked
+        );
+        out.push('}');
+        if i + 1 < points.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders sweep results as CSV (one row per point, one column per
+/// dimension plus the headline metrics).
+pub fn sweep_csv(sweep: &Sweep, points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    for grid_dim in &sweep.dims {
+        let _ = write!(out, "{},", grid_dim.dim);
+    }
+    out.push_str("ipc,sim_cycles,committed_uops,energy_mj,cache_hit,deadlocked\n");
+    for p in points {
+        for (_, value) in &p.settings {
+            let _ = write!(out, "{value},");
+        }
+        let _ = writeln!(
+            out,
+            "{:.6},{},{},{:.6},{},{}",
+            p.result.ipc(),
+            p.result.stats.cycles,
+            p.result.stats.committed_uops,
+            p.result.energy_mj(),
+            p.result.cache_hit,
+            p.result.deadlocked
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_parsing_and_errors() {
+        let g: GridDim = "emq=192,384,768".parse().expect("parses");
+        assert_eq!(g.dim, SweepDim::Emq);
+        assert_eq!(g.values, vec![192, 384, 768]);
+        assert!("emq".parse::<GridDim>().is_err());
+        assert!("emq=".parse::<GridDim>().is_err());
+        assert!("emq=a,b".parse::<GridDim>().is_err());
+        assert!("nope=1,2".parse::<GridDim>().is_err());
+        let spaced: GridDim = " sst = 4 , 8 ".parse().expect("tolerates spaces");
+        assert_eq!(spaced.values, vec![4, 8]);
+    }
+
+    #[test]
+    fn cartesian_expansion_applies_settings() {
+        let sweep = Sweep::new(Workload::LbmLike, Technique::PreEmq)
+            .with_dim("emq=192,768".parse().unwrap())
+            .with_dim("rob=128,192,256".parse().unwrap());
+        assert_eq!(sweep.num_points(), 6);
+        let specs = sweep.specs();
+        assert_eq!(specs.len(), 6);
+        // First dimension slowest: the first three points share emq=192.
+        for (settings, spec) in &specs[..3] {
+            assert_eq!(settings[0], (SweepDim::Emq, 192));
+            assert_eq!(spec.config.runahead.emq_entries, 192);
+        }
+        let (settings, spec) = &specs[5];
+        assert_eq!(settings[1], (SweepDim::Rob, 256));
+        assert_eq!(spec.config.core.rob_entries, 256);
+        assert_eq!(spec.config.runahead.emq_entries, 768);
+        // Un-swept parameters keep the base value.
+        assert_eq!(
+            spec.config.runahead.sst_entries,
+            SimConfig::haswell_like().runahead.sst_entries
+        );
+    }
+
+    #[test]
+    fn every_dim_applies_to_its_field() {
+        let mut cfg = SimConfig::haswell_like();
+        for dim in ALL_DIMS {
+            dim.apply(&mut cfg, 64);
+        }
+        assert_eq!(cfg.runahead.emq_entries, 64);
+        assert_eq!(cfg.runahead.sst_entries, 64);
+        assert_eq!(cfg.core.rob_entries, 64);
+        assert_eq!(cfg.core.iq_entries, 64);
+        assert_eq!(cfg.runahead.prdq_entries, 64);
+        assert_eq!(cfg.runahead.min_free_int_regs, 64);
+        assert_eq!(cfg.runahead.min_free_fp_regs, 64);
+        assert_eq!(cfg.l3.size_bytes, 64 * 1024);
+        assert_eq!(cfg.runahead.min_expected_runahead_cycles, 64);
+    }
+
+    #[test]
+    fn empty_grid_is_one_base_point() {
+        let sweep = Sweep::new(Workload::ComputeBound, Technique::OutOfOrder);
+        assert_eq!(sweep.num_points(), 1);
+        let specs = sweep.specs();
+        assert_eq!(specs.len(), 1);
+        assert!(specs[0].0.is_empty());
+    }
+
+    #[test]
+    fn json_and_csv_shapes() {
+        let mut sweep = Sweep::new(Workload::ComputeBound, Technique::OutOfOrder)
+            .with_dim("rob=128,192".parse().unwrap());
+        sweep.budget = 2_000;
+        sweep.params = WorkloadParams::short(50);
+        sweep.base_config = SimConfig::small_for_tests();
+        let points = sweep.run(|_| {}).expect("runs");
+        assert_eq!(points.len(), 2);
+        let json = sweep_json(&sweep, &points, 1.25);
+        assert!(json.contains("\"num_points\": 2"));
+        assert!(json.contains("\"rob\": 128"));
+        assert!(!json.contains("\"cells\""));
+        let csv = sweep_csv(&sweep, &points);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "rob,ipc,sim_cycles,committed_uops,energy_mj,cache_hit,deadlocked"
+        );
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(points[0].label(), "rob=128");
+    }
+}

@@ -252,6 +252,15 @@ impl Workload {
         matches!(self, Workload::Asm(_))
     }
 
+    /// Stable content hash of the program this workload builds under
+    /// `params` (see [`Program::content_hash`]). Cache and snapshot keys use
+    /// this rather than the workload *name*, so editing a generator or
+    /// kernel source automatically invalidates every cached result derived
+    /// from it.
+    pub fn content_hash(&self, params: &WorkloadParams) -> u64 {
+        self.build(params).content_hash()
+    }
+
     /// Builds the workload's program.
     pub fn build(&self, params: &WorkloadParams) -> Program {
         let iters = params.iterations;

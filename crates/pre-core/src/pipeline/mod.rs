@@ -25,16 +25,16 @@ use crate::uop::DynUop;
 use pre_frontend::{BranchPredictorUnit, DelayPipe, UopQueue};
 use pre_mem::{HitLevel, MemoryHierarchy};
 use pre_model::config::SimConfig;
-use pre_model::error::{ConfigError, ProgramError};
+use pre_model::error::{ConfigError, ProgramError, SimError, WatchdogDiag};
 use pre_model::mem::FuncMem;
 use pre_model::program::{fold_store_checksum, ArchSnapshot, Program};
 use pre_model::reg::{ArchReg, PhysReg, RegClass, NUM_ARCH_REGS};
-use pre_model::stats::SimStats;
+use pre_model::stats::{SimStats, TerminationKind};
 use pre_runahead::{
     ChainReplayEngine, EntryDecision, EntryPolicy, ExtendedMicroOpQueue, RunaheadBuffer,
     StallingSliceTable, Technique,
 };
-use pre_trace::{CommittedUop, FfMode, Sample, Tracer};
+use pre_trace::{CommitRing, CommittedUop, FfMode, Sample, Tracer};
 use std::error::Error;
 use std::fmt;
 
@@ -44,6 +44,10 @@ use event_queue::EventQueue;
 /// Cycles without a commit after which the run is declared deadlocked (a
 /// modelling-bug safety net, not an architectural feature).
 pub(crate) const DEADLOCK_WINDOW: u64 = 200_000;
+
+/// Commits retained by the always-on [`CommitRing`] for watchdog
+/// diagnostics.
+pub(crate) const COMMIT_RING_CAPACITY: usize = 8;
 
 /// Execution mode of the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,6 +151,16 @@ impl From<ProgramError> for BuildError {
     }
 }
 
+impl From<BuildError> for SimError {
+    fn from(e: BuildError) -> Self {
+        match e {
+            BuildError::Config(e) => SimError::Config(e),
+            BuildError::Program(e) => SimError::Program(e),
+            BuildError::Trace(detail) => SimError::Trace(detail),
+        }
+    }
+}
+
 /// The out-of-order core simulator.
 ///
 /// See the crate-level documentation for an example.
@@ -212,6 +226,11 @@ pub struct OooCore {
     pub(crate) halted: bool,
     pub(crate) deadlocked: bool,
     pub(crate) last_progress_cycle: u64,
+    /// Always-on ring of the last few committed `(cycle, pc)` pairs, so a
+    /// watchdog abort can report where the machine last made progress even
+    /// when no tracer was attached. Two stores per commit; covered by the
+    /// `compare_sim_speed` gate.
+    pub(crate) commit_ring: CommitRing,
     /// Developer aid: print prefetch/demand-miss addresses when the
     /// `PRE_TRACE_PREFETCH` environment variable is set.
     pub(crate) trace_prefetches: bool,
@@ -298,6 +317,7 @@ impl OooCore {
             halted: false,
             deadlocked: false,
             last_progress_cycle: 0,
+            commit_ring: CommitRing::new(COMMIT_RING_CAPACITY),
             trace_prefetches: std::env::var_os("PRE_TRACE_PREFETCH").is_some(),
             tracer: None,
             issue_retry: Vec::new(),
@@ -380,6 +400,24 @@ impl OooCore {
     /// tests).
     pub fn deadlocked(&self) -> bool {
         self.deadlocked
+    }
+
+    /// Diagnostic dump for a watchdog abort: where the machine was when it
+    /// wedged (cycle, ROB/IQ occupancy, and the last committed PCs from the
+    /// always-on commit ring). `None` unless the run [`deadlocked`](Self::deadlocked).
+    pub fn watchdog_diag(&self) -> Option<WatchdogDiag> {
+        if !self.deadlocked {
+            return None;
+        }
+        Some(WatchdogDiag {
+            cycle: self.cycle,
+            committed_uops: self.stats.committed_uops,
+            rob_occupancy: self.rob.len(),
+            rob_capacity: self.rob.capacity(),
+            iq_occupancy: self.iq.len(),
+            iq_capacity: self.iq.capacity(),
+            last_commits: self.commit_ring.entries(),
+        })
     }
 
     /// The committed (architectural) value of `reg`.
@@ -488,6 +526,16 @@ impl OooCore {
             // even runs shorter than one window produce a data point.
             self.trace_sample_now();
         }
+        // Record how the run ended. Purely a function of simulated machine
+        // state and the budget, so it is bit-identical across the event and
+        // reference schedulers (and across cached vs recomputed results).
+        self.stats.terminated = if self.deadlocked {
+            TerminationKind::Watchdog
+        } else if self.halted || self.stats.committed_uops >= max_uops {
+            TerminationKind::Completed
+        } else {
+            TerminationKind::MaxCycles
+        };
         self.finalize_stats();
         let final_cycle = self.cycle;
         if let Some(t) = self.tracer.as_deref_mut() {
@@ -677,6 +725,7 @@ impl OooCore {
             }
             self.stats.committed_uops += 1;
             self.last_progress_cycle = now;
+            self.commit_ring.push(now, entry.uop.pc);
             if let Some(t) = self.tracer.as_deref_mut() {
                 t.uop_committed(
                     &CommittedUop {

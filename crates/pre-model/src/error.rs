@@ -135,6 +135,133 @@ impl fmt::Display for ProgramError {
 
 impl Error for ProgramError {}
 
+/// Diagnostic snapshot attached to a watchdog abort.
+///
+/// When the deadlock watchdog fires (no commit for a whole watchdog window)
+/// the run is capped rather than left spinning; this dump captures where the
+/// machine was wedged so the failure is actionable instead of silent.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WatchdogDiag {
+    /// Cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Micro-ops committed before the machine wedged.
+    pub committed_uops: u64,
+    /// ROB entries occupied when the watchdog fired.
+    pub rob_occupancy: usize,
+    /// Configured ROB capacity.
+    pub rob_capacity: usize,
+    /// Issue-queue entries occupied when the watchdog fired.
+    pub iq_occupancy: usize,
+    /// Configured issue-queue capacity.
+    pub iq_capacity: usize,
+    /// Most recent committed uops as `(cycle, pc)`, oldest first, from the
+    /// pre-trace commit ring.
+    pub last_commits: Vec<(u64, u32)>,
+}
+
+impl fmt::Display for WatchdogDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "watchdog fired at cycle {} after {} committed uops (rob {}/{}, iq {}/{})",
+            self.cycle,
+            self.committed_uops,
+            self.rob_occupancy,
+            self.rob_capacity,
+            self.iq_occupancy,
+            self.iq_capacity,
+        )?;
+        if self.last_commits.is_empty() {
+            write!(f, "; no commits recorded")
+        } else {
+            write!(f, "; last commits (cycle:pc):")?;
+            for (cycle, pc) in &self.last_commits {
+                write!(f, " {cycle}:{pc:#x}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Unified error taxonomy for a full simulation run.
+///
+/// Everything that can go wrong between "here is a run spec" and "here are
+/// its stats" — configuration and program validation, tracer setup, snapshot
+/// capture/restore, disk-cache decode, watchdog aborts, and panics captured
+/// by the supervised pool — is one of these variants, so matrix and sweep
+/// reports can carry failures as data instead of tearing the process down.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The simulator configuration failed validation.
+    Config(ConfigError),
+    /// The workload program failed validation.
+    Program(ProgramError),
+    /// A tracer could not be constructed or attached.
+    Trace(String),
+    /// A warm-up snapshot could not be captured, serialized, or restored.
+    Snapshot {
+        /// Explanation of the failure.
+        detail: String,
+    },
+    /// A disk-cache entry could not be read, decoded, or written.
+    Cache {
+        /// Path of the offending cache file.
+        path: String,
+        /// Explanation of the failure.
+        detail: String,
+    },
+    /// The deadlock watchdog aborted the run; diagnostics attached.
+    Watchdog(Box<WatchdogDiag>),
+    /// A worker panicked while running this cell; payload captured by the
+    /// supervised pool.
+    Panic {
+        /// Stringified panic payload.
+        detail: String,
+    },
+    /// The cell was never attempted because a `--fail-fast` run aborted the
+    /// grid after an earlier failure.
+    Skipped,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "config error: {e}"),
+            SimError::Program(e) => write!(f, "program error: {e}"),
+            SimError::Trace(detail) => write!(f, "trace error: {detail}"),
+            SimError::Snapshot { detail } => write!(f, "snapshot error: {detail}"),
+            SimError::Cache { path, detail } => {
+                write!(f, "cache error at {path}: {detail}")
+            }
+            SimError::Watchdog(diag) => write!(f, "{diag}"),
+            SimError::Panic { detail } => write!(f, "cell panicked: {detail}"),
+            SimError::Skipped => write!(f, "skipped after earlier failure (fail-fast)"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Program(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<ProgramError> for SimError {
+    fn from(e: ProgramError) -> Self {
+        SimError::Program(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +281,37 @@ mod tests {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<ConfigError>();
         assert_err::<ProgramError>();
+        assert_err::<SimError>();
+    }
+
+    #[test]
+    fn sim_error_wraps_validation_errors() {
+        let config_err = ConfigError::ZeroCapacity {
+            field: "rob_entries",
+        };
+        let wrapped: SimError = config_err.clone().into();
+        assert_eq!(wrapped, SimError::Config(config_err));
+        assert!(wrapped.to_string().starts_with("config error:"));
+        assert!(wrapped.source().is_some());
+
+        let program_err: SimError = ProgramError::Empty.into();
+        assert!(program_err.to_string().contains("no instructions"));
+    }
+
+    #[test]
+    fn watchdog_diag_display_includes_occupancy_and_commits() {
+        let diag = WatchdogDiag {
+            cycle: 123_456,
+            committed_uops: 789,
+            rob_occupancy: 192,
+            rob_capacity: 192,
+            iq_occupancy: 10,
+            iq_capacity: 60,
+            last_commits: vec![(100, 0x40), (101, 0x44)],
+        };
+        let text = SimError::Watchdog(Box::new(diag)).to_string();
+        assert!(text.contains("cycle 123456"), "{text}");
+        assert!(text.contains("rob 192/192"), "{text}");
+        assert!(text.contains("101:0x44"), "{text}");
     }
 }

@@ -21,6 +21,10 @@
 //! / [`SimSnapshot::from_text`]) that round-trips exactly, so a warmed image
 //! can be stored and restored across processes.
 
+// Decode paths here feed the fault-tolerant stores: a failure must surface as
+// a typed error (and degrade to a cold run), never unwind.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::mem::FuncMem;
 use crate::program::{Interpreter, Program};
 use crate::reg::NUM_ARCH_REGS;
@@ -293,6 +297,7 @@ impl SimSnapshot {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::isa::{AluOp, BranchCond, StaticInst};

@@ -193,6 +193,52 @@ impl PartialEq for FfCycles {
     }
 }
 
+/// How a simulation run ended.
+///
+/// Unlike [`FfCycles`] this participates in real [`SimStats`] equality: how a
+/// run terminates is a property of the simulated machine and its budget, not
+/// of the scheduler, so it must be bit-identical across the event-driven and
+/// reference paths (and across cached vs recomputed results).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TerminationKind {
+    /// The run finished its work: the program halted or the uop budget was
+    /// reached.
+    #[default]
+    Completed,
+    /// The run hit the `max_cycles` safety cap before finishing its work.
+    MaxCycles,
+    /// The deadlock watchdog fired: a full watchdog window elapsed with no
+    /// commit, and the run was aborted.
+    Watchdog,
+}
+
+impl TerminationKind {
+    /// Stable text name used by the kv serialization.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TerminationKind::Completed => "completed",
+            TerminationKind::MaxCycles => "max-cycles",
+            TerminationKind::Watchdog => "watchdog",
+        }
+    }
+
+    /// Parses a name written by [`TerminationKind::as_str`].
+    pub fn parse(text: &str) -> Result<TerminationKind, String> {
+        match text {
+            "completed" => Ok(TerminationKind::Completed),
+            "max-cycles" => Ok(TerminationKind::MaxCycles),
+            "watchdog" => Ok(TerminationKind::Watchdog),
+            other => Err(format!("unknown termination kind `{other}`")),
+        }
+    }
+}
+
+impl fmt::Display for TerminationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// What kind of runahead event a [`RunaheadEvent`] records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunaheadEventKind {
@@ -448,6 +494,10 @@ pub struct SimStats {
     /// Order-sensitive checksum of committed stores (compare against the
     /// reference interpreter).
     pub store_checksum: u64,
+
+    // ---- termination ---------------------------------------------------------
+    /// How the run ended (completed / max-cycles cap / watchdog abort).
+    pub terminated: TerminationKind,
 }
 
 impl SimStats {
@@ -726,6 +776,7 @@ impl SimStats {
             };
         }
         with_u64_stats_fields!(emit);
+        let _ = writeln!(out, "terminated {}", self.terminated.as_str());
         let _ = writeln!(out, "ff_cycles.normal {}", self.ff_cycles.normal);
         let _ = writeln!(out, "ff_cycles.runahead {}", self.ff_cycles.runahead);
         self.runahead_interval_hist
@@ -773,6 +824,10 @@ impl SimStats {
                 };
             }
             with_u64_stats_fields!(assign);
+            if name == "terminated" {
+                stats.terminated = TerminationKind::parse(value)?;
+                continue;
+            }
             let applied = match name.split_once('.') {
                 Some(("ff_cycles", "normal")) => {
                     stats.ff_cycles.normal = parse_kv_u64(name, value)?;
@@ -965,6 +1020,7 @@ mod tests {
             };
         }
         with_u64_stats_fields!(fill);
+        s.terminated = TerminationKind::Watchdog;
         s.ff_cycles.normal = next;
         s.ff_cycles.runahead = next + 1;
         s.runahead_interval_hist.record(15);
@@ -984,6 +1040,24 @@ mod tests {
         assert_eq!(back.ff_cycles.runahead, s.ff_cycles.runahead);
         assert_eq!(back.mean_runahead_interval(), s.mean_runahead_interval());
         assert_eq!(back.iq_free_at_entry.mean(), s.iq_free_at_entry.mean());
+    }
+
+    #[test]
+    fn termination_kind_roundtrips_and_affects_equality() {
+        for kind in [
+            TerminationKind::Completed,
+            TerminationKind::MaxCycles,
+            TerminationKind::Watchdog,
+        ] {
+            assert_eq!(TerminationKind::parse(kind.as_str()).unwrap(), kind);
+        }
+        assert!(TerminationKind::parse("exploded").is_err());
+        assert!(SimStats::from_kv("terminated exploded").is_err());
+
+        let mut a = SimStats::new();
+        let b = SimStats::new();
+        a.terminated = TerminationKind::Watchdog;
+        assert_ne!(a, b, "termination kind is a real, comparable statistic");
     }
 
     #[test]

@@ -24,8 +24,9 @@
 #![warn(missing_debug_implementations)]
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Environment variable overriding the worker count (`0` or unset = one
 /// worker per available core).
@@ -93,6 +94,112 @@ where
         .collect()
 }
 
+/// A captured panic from one work item of a [`try_par_map`] call.
+///
+/// The pool converts the opaque panic payload into a string eagerly (panic
+/// payloads are `Box<dyn Any>` and rarely more structured than a `&str` or
+/// `String`), so the error is `Send + Sync` and can cross further channel /
+/// store boundaries without dragging `dyn Any` along.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Index of the input item whose closure panicked.
+    pub index: usize,
+    /// Stringified panic payload (`&str` / `String` payloads verbatim,
+    /// anything else a placeholder).
+    pub payload: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "work item {} panicked: {}", self.index, self.payload)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Best-effort conversion of a panic payload into a human-readable string.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Supervised sibling of [`par_map`]: maps `f` over `items` in parallel,
+/// capturing a panic in any single item as a [`JobError`] instead of tearing
+/// down the pool.
+///
+/// Results come back in input order, one `Result` per item. A worker whose
+/// current item panics catches the unwind, records `Err(JobError)` for that
+/// slot, and moves on to the next item — so one poisoned cell cannot take the
+/// rest of the grid down with it, and every non-panicking item still produces
+/// its `Ok` value.
+///
+/// `f` is wrapped in [`AssertUnwindSafe`]: if it panics halfway through
+/// mutating shared state it is the caller's responsibility that survivors can
+/// still make sense of that state (the simulation stores recover poisoned
+/// mutexes for exactly this reason).
+pub fn try_par_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, JobError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let run_one = |idx: usize, item: &T| -> Result<R, JobError> {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| JobError {
+            index: idx,
+            payload: panic_message(payload.as_ref()),
+        })
+    };
+
+    let workers = num_threads(items.len());
+    if workers <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(idx, item)| run_one(idx, item))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<R, JobError>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(idx) else { break };
+                let result = run_one(idx, item);
+                // A panic inside `f` was already caught above; the slot lock
+                // is only ever held for this assignment, so recover rather
+                // than cascade a poisoned-mutex panic through the pool.
+                *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+            }));
+        }
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                // Workers only unwind on bugs outside `f` (e.g. allocation
+                // failure); that is not an isolatable per-item fault.
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("worker pool completed without filling every slot")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +235,99 @@ mod tests {
         assert_eq!(num_threads(0), 1);
         assert_eq!(num_threads(1), 1);
         assert!(num_threads(1024) >= 1);
+    }
+
+    /// Runs `f` with the default panic hook silenced, so tests that
+    /// deliberately panic inside workers do not spam the test log. Serialized
+    /// because the hook is process-global.
+    fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        static HOOK_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = HOOK_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = f();
+        std::panic::set_hook(prev);
+        result
+    }
+
+    #[test]
+    fn try_par_map_matches_par_map_when_nothing_panics() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 7 + 3).collect();
+        let supervised = try_par_map(&items, |&x| x * 7 + 3);
+        assert_eq!(supervised.len(), serial.len());
+        for (got, want) in supervised.into_iter().zip(serial) {
+            assert_eq!(got.unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn try_par_map_isolates_a_single_panic() {
+        with_quiet_panics(|| {
+            let items: Vec<u64> = (0..64).collect();
+            let results = try_par_map(&items, |&x| {
+                if x == 13 {
+                    panic!("injected fault in item {x}");
+                }
+                x * 2
+            });
+            for (i, result) in results.iter().enumerate() {
+                if i == 13 {
+                    let err = result.as_ref().unwrap_err();
+                    assert_eq!(err.index, 13);
+                    assert!(err.payload.contains("injected fault"), "{}", err.payload);
+                } else {
+                    assert_eq!(*result.as_ref().unwrap(), i as u64 * 2);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn try_par_map_survives_many_panics_and_keeps_indices_straight() {
+        with_quiet_panics(|| {
+            let items: Vec<u64> = (0..97).collect();
+            let results = try_par_map(&items, |&x| {
+                if x % 3 == 0 {
+                    panic!("boom {x}");
+                }
+                x
+            });
+            for (i, result) in results.iter().enumerate() {
+                if i % 3 == 0 {
+                    let err = result.as_ref().unwrap_err();
+                    assert_eq!(err.index, i);
+                    assert_eq!(err.payload, format!("boom {i}"));
+                } else {
+                    assert_eq!(*result.as_ref().unwrap(), i as u64);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn try_par_map_stringifies_non_string_payloads() {
+        with_quiet_panics(|| {
+            let results = try_par_map(&[0u64], |_| -> u64 {
+                std::panic::panic_any(1234u32);
+            });
+            let err = results[0].as_ref().unwrap_err();
+            assert_eq!(err.payload, "<non-string panic payload>");
+        });
+    }
+
+    #[test]
+    fn par_map_still_propagates_panics() {
+        with_quiet_panics(|| {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                par_map(&[1u64, 2, 3], |&x| {
+                    if x == 2 {
+                        panic!("unsupervised");
+                    }
+                    x
+                })
+            }));
+            assert!(outcome.is_err());
+        });
     }
 }

@@ -15,10 +15,12 @@
 //! `PRE_CACHE_DIR` names a directory), so a repeated invocation answers
 //! unchanged cells in milliseconds; the progress log marks those `(cached)`.
 
+use pre_model::stats::TerminationKind;
 use pre_sim::experiments::{
-    cli_from_args, fig2_summary, fig2_table, fig3_summary, fig3_table, run_suite_matrix_cli,
-    stat_invocations, Suite, DEFAULT_EVAL_UOPS,
+    cli_from_args, fig2_summary, fig2_table, fig3_summary, fig3_table,
+    run_suite_matrix_cli_isolated, stat_invocations, Suite, DEFAULT_EVAL_UOPS,
 };
+use pre_sim::runner::cell_name;
 
 fn main() {
     let cli = cli_from_args(DEFAULT_EVAL_UOPS);
@@ -36,17 +38,24 @@ fn main() {
         eprintln!("writing per-cell traces under {}", trace.dir.display());
     }
     let start = std::time::Instant::now();
-    let matrix = run_suite_matrix_cli(&cli, |r| {
+    // Failure-isolated: a cell that errors or panics degrades the report
+    // (and the exit code) instead of aborting the other cells.
+    let run = run_suite_matrix_cli_isolated(&cli, |r| {
         eprintln!(
-            "  [{:>6.1}s] {:<18} {:<10} ipc {:.3}{}",
+            "  [{:>6.1}s] {:<18} {:<10} ipc {:.3}{}{}",
             start.elapsed().as_secs_f64(),
             r.workload.name(),
             r.technique.label(),
             r.ipc(),
-            if r.cache_hit { "  (cached)" } else { "" }
+            if r.cache_hit { "  (cached)" } else { "" },
+            match r.terminated() {
+                TerminationKind::Completed => "",
+                TerminationKind::MaxCycles => "  ! hit cycle budget",
+                TerminationKind::Watchdog => "  ! WATCHDOG",
+            },
         );
-    })
-    .expect("evaluation matrix");
+    });
+    let matrix = run.matrix;
 
     let fig2 = fig2_table(&matrix);
     println!("{}", fig2.render());
@@ -64,8 +73,40 @@ fn main() {
         "total wall-clock time: {:.1}s",
         start.elapsed().as_secs_f64()
     );
-    if matrix.any_deadlocked() {
-        eprintln!("WARNING: at least one run hit the deadlock watchdog");
+
+    let mut failed = false;
+    for r in matrix.results() {
+        match r.terminated() {
+            TerminationKind::Completed => {}
+            TerminationKind::MaxCycles => eprintln!(
+                "WARNING: {} stopped at the cycle budget before committing its uop budget",
+                cell_name(r.workload, r.technique)
+            ),
+            TerminationKind::Watchdog => {
+                match r.watchdog_error() {
+                    Some(e) => eprintln!("WARNING: {}: {e}", cell_name(r.workload, r.technique)),
+                    None => eprintln!(
+                        "WARNING: {} hit the deadlock watchdog",
+                        cell_name(r.workload, r.technique)
+                    ),
+                }
+                failed = true;
+            }
+        }
+    }
+    for f in &run.failures {
+        eprintln!("FAILED: {f}");
+        failed = true;
+    }
+    if !run.failures.is_empty() {
+        eprintln!(
+            "{} of {} cells failed; the tables above cover the {} that completed",
+            run.failures.len(),
+            run.cells,
+            matrix.results().len()
+        );
+    }
+    if failed {
         std::process::exit(1);
     }
 }

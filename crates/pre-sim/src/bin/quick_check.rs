@@ -9,10 +9,17 @@
 //! RISC-V kernel). Cells consult the result cache (persisted when
 //! `PRE_CACHE_DIR` is set); the `cache` column shows `hit` for cells
 //! answered from it and `sim` for cells actually simulated.
+//!
+//! Cells are failure-isolated: a cell that errors or panics prints its
+//! failure and the remaining cells still run; the exit code is then 1. A
+//! watchdog-terminated cell additionally dumps its diagnostics (cycle,
+//! occupancies, last committed PCs).
 
+use pre_model::stats::TerminationKind;
 use pre_runahead::Technique;
 use pre_sim::experiments::cli_from_args;
 use pre_sim::runner::{run_one, RunSpec};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 fn main() {
     let cli = cli_from_args(60_000);
@@ -38,15 +45,21 @@ fn main() {
     // The synthetic suite is large, so the quick check runs the reduced
     // representative matrix; the cell order is the canonical
     // `Suite::quick_cells` order shared with the other binaries.
-    for (workload, technique) in cli.suite.quick_cells() {
+    for (index, (workload, technique)) in cli.suite.quick_cells().enumerate() {
         let mut spec = RunSpec::new(workload, technique)
             .with_budget(cli.budget)
             .with_config(cli.config())
             .with_warmup(cli.warmup)
             .with_result_cache(true);
         spec.trace.clone_from(&cli.trace);
-        match run_one(&spec) {
-            Ok(result) => {
+        // Contain cell panics (including PRE_FAULT-injected ones) so one
+        // broken cell doesn't hide the others' results.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pre_sim::fault::panic_if_cell_faulted(index);
+            run_one(&spec)
+        }));
+        match outcome {
+            Ok(Ok(result)) => {
                 if technique == Technique::OutOfOrder {
                     base_ipc = result.ipc();
                 }
@@ -55,7 +68,12 @@ fn main() {
                 } else {
                     0.0
                 };
-                failed |= result.deadlocked;
+                let marker = match result.terminated() {
+                    TerminationKind::Completed => "",
+                    TerminationKind::MaxCycles => "  ! MAX-CYCLES",
+                    TerminationKind::Watchdog => "  ! WATCHDOG",
+                };
+                failed |= result.terminated() == TerminationKind::Watchdog;
                 println!(
                     "{:<18} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>6.3} {:>8.2} {:>6}{}",
                     workload.name(),
@@ -72,12 +90,22 @@ fn main() {
                     result.stats.ff_fraction(),
                     result.energy_mj(),
                     if result.cache_hit { "hit" } else { "sim" },
-                    if result.deadlocked { "  DEADLOCK" } else { "" },
+                    marker,
                 );
+                if let Some(e) = result.watchdog_error() {
+                    eprintln!("  {e}");
+                }
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 failed = true;
-                println!("{workload} / {technique}: build error: {e}");
+                println!("{workload} / {technique}: FAILED: {e}");
+            }
+            Err(payload) => {
+                failed = true;
+                println!(
+                    "{workload} / {technique}: FAILED: cell panicked: {}",
+                    pre_par::panic_message(payload.as_ref())
+                );
             }
         }
     }

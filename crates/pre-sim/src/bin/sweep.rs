@@ -13,11 +13,16 @@
 //! sweep [--workload <name>] [--technique <name>] [--budget <uops>]
 //!       [--warmup <uops>] [--grid dim=v1,v2,...]... [--json <path>]
 //!       [--csv <path>] [--no-cache] [--expect-min-hit-rate <pct>]
-//!       [--reference-scheduler]
+//!       [--reference-scheduler] [--fail-fast] [--max-retries <n>]
 //! ```
 //!
 //! Dimensions: `emq`, `sst`, `rob`, `iq`, `prdq`, `min-free-int`,
 //! `min-free-fp`, `l3-kb`, `min-ra-cycles`.
+//!
+//! Failures are isolated: a point that errors or panics is reported (and
+//! retried `--max-retries` times) while the rest of the grid completes; the
+//! exit code is then 1 and the JSON report lists the failed points.
+//! `--fail-fast` stops launching new points after the first failure.
 
 use pre_runahead::Technique;
 use pre_sim::sweep::{cache_hit_rate, sweep_csv, sweep_json, GridDim, Sweep, ALL_DIMS};
@@ -37,7 +42,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: sweep [--workload <name>] [--technique <name>] [--budget <uops>] \
          [--warmup <uops>] [--grid dim=v1,v2,...]... [--json <path>] [--csv <path>] \
-         [--no-cache] [--expect-min-hit-rate <pct>] [--reference-scheduler]"
+         [--no-cache] [--expect-min-hit-rate <pct>] [--reference-scheduler] \
+         [--fail-fast] [--max-retries <n>]"
     );
     eprintln!("dimensions: {}", dims.join(", "));
     std::process::exit(2);
@@ -98,6 +104,11 @@ fn parse_args() -> Args {
                 Err(_) => bail("bad --expect-min-hit-rate value".to_string()),
             },
             "--reference-scheduler" => sweep.base_config.core.reference_scheduler = true,
+            "--fail-fast" => sweep.fail_fast = true,
+            "--max-retries" => match value_of("--max-retries").parse() {
+                Ok(n) => sweep.max_retries = n,
+                Err(_) => bail("bad --max-retries value".to_string()),
+            },
             _ => bail(format!("unrecognized argument `{arg}`")),
         }
     }
@@ -122,7 +133,7 @@ fn main() {
         if sweep.use_result_cache { "on" } else { "off" },
     );
     let start = Instant::now();
-    let points = match sweep.run(|p| {
+    let run = sweep.run_isolated(|p| {
         eprintln!(
             "  [{:>7.2}s] {:<28} ipc {:.3}{}",
             start.elapsed().as_secs_f64(),
@@ -130,20 +141,15 @@ fn main() {
             p.result.ipc(),
             if p.result.cache_hit { "  (cached)" } else { "" },
         );
-    }) {
-        Ok(points) => points,
-        Err(e) => {
-            eprintln!("sweep failed: {e}");
-            std::process::exit(1);
-        }
-    };
+    });
     let elapsed = start.elapsed().as_secs_f64();
+    let points = &run.points;
 
     println!(
         "{:<28} {:>8} {:>12} {:>10} {:>7} {:>9}",
         "point", "ipc", "cycles", "energy-mJ", "cache", "deadlock"
     );
-    for p in &points {
+    for p in points {
         println!(
             "{:<28} {:>8.3} {:>12} {:>10.2} {:>7} {:>9}",
             p.label(),
@@ -154,17 +160,31 @@ fn main() {
             if p.result.deadlocked { "YES" } else { "-" },
         );
     }
-    let hit_rate = cache_hit_rate(&points);
+    for f in &run.failures {
+        println!(
+            "{:<28} FAILED ({} attempts): {}",
+            f.label(),
+            f.attempts,
+            f.error
+        );
+    }
+    let hit_rate = cache_hit_rate(points);
     println!(
-        "{} points in {:.2}s ({:.1} points/s), cache hit rate {:.1}%",
+        "{} of {} points in {:.2}s ({:.1} points/s), cache hit rate {:.1}%{}",
         points.len(),
+        run.total,
         elapsed,
         points.len() as f64 / elapsed.max(1e-9),
         hit_rate * 100.0,
+        if run.failures.is_empty() {
+            String::new()
+        } else {
+            format!(", {} FAILED", run.failures.len())
+        },
     );
 
     if let Some(path) = &args.json {
-        let text = sweep_json(sweep, &points, elapsed);
+        let text = sweep_json(sweep, points, &run.failures, elapsed);
         if let Err(e) = std::fs::write(path, text) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
@@ -172,7 +192,7 @@ fn main() {
         println!("wrote {path}");
     }
     if let Some(path) = &args.csv {
-        let text = sweep_csv(sweep, &points);
+        let text = sweep_csv(sweep, points);
         if let Err(e) = std::fs::write(path, text) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
@@ -180,7 +200,7 @@ fn main() {
         println!("wrote {path}");
     }
 
-    let mut failed = points.iter().any(|p| p.result.deadlocked);
+    let mut failed = points.iter().any(|p| p.result.deadlocked) || !run.failures.is_empty();
     if let Some(min) = args.expect_min_hit_rate {
         if hit_rate < min {
             eprintln!(

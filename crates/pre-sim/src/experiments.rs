@@ -1,12 +1,12 @@
 //! Experiment definitions: one function per figure/table/statistic of the
 //! paper, shared by the `pre-sim` binaries and the Criterion benches.
 
-use crate::matrix::EvaluationMatrix;
+use crate::matrix::{EvaluationMatrix, MatrixRun};
 use crate::report::{pct, pct_improvement, Table};
 use crate::runner::{run_one, RunResult, RunSpec};
 use crate::sweep::{GridDim, Sweep, SweepDim};
-use pre_core::pipeline::BuildError;
 use pre_model::config::SimConfig;
+use pre_model::error::SimError;
 use pre_runahead::Technique;
 use pre_trace::TraceSpec;
 use pre_workloads::{Workload, WorkloadParams};
@@ -297,11 +297,11 @@ pub fn budget_from_args(default: u64) -> u64 {
 ///
 /// # Errors
 ///
-/// Propagates [`BuildError`] from the simulator.
+/// Propagates [`SimError`] from the simulator.
 pub fn run_evaluation_matrix(
     max_uops: u64,
     progress: impl FnMut(&RunResult) + Send,
-) -> Result<EvaluationMatrix, BuildError> {
+) -> Result<EvaluationMatrix, SimError> {
     run_suite_matrix(Suite::Synthetic, max_uops, progress)
 }
 
@@ -310,12 +310,12 @@ pub fn run_evaluation_matrix(
 ///
 /// # Errors
 ///
-/// Propagates [`BuildError`] from the simulator.
+/// Propagates [`SimError`] from the simulator.
 pub fn run_suite_matrix(
     suite: Suite,
     max_uops: u64,
     progress: impl FnMut(&RunResult) + Send,
-) -> Result<EvaluationMatrix, BuildError> {
+) -> Result<EvaluationMatrix, SimError> {
     run_suite_matrix_with(suite, &SimConfig::haswell_like(), max_uops, progress)
 }
 
@@ -324,13 +324,13 @@ pub fn run_suite_matrix(
 ///
 /// # Errors
 ///
-/// Propagates [`BuildError`] from the simulator.
+/// Propagates [`SimError`] from the simulator.
 pub fn run_suite_matrix_with(
     suite: Suite,
     config: &SimConfig,
     max_uops: u64,
     progress: impl FnMut(&RunResult) + Send,
-) -> Result<EvaluationMatrix, BuildError> {
+) -> Result<EvaluationMatrix, SimError> {
     EvaluationMatrix::run(
         &suite.workloads(),
         &Technique::ALL,
@@ -351,15 +351,30 @@ pub fn run_suite_matrix_with(
 ///
 /// # Errors
 ///
-/// Propagates [`BuildError`] from the simulator, including trace-file I/O
+/// Propagates [`SimError`] from the simulator, including trace-file I/O
 /// failures.
 pub fn run_suite_matrix_cli(
     cli: &CliArgs,
     progress: impl FnMut(&RunResult) + Send,
-) -> Result<EvaluationMatrix, BuildError> {
+) -> Result<EvaluationMatrix, SimError> {
+    EvaluationMatrix::run_specs(&suite_matrix_specs(cli), progress)
+}
+
+/// The failure-isolated sibling of [`run_suite_matrix_cli`]: a cell that
+/// errors or panics is reported in [`MatrixRun::failures`] while every other
+/// cell still contributes its result, so one broken cell degrades the report
+/// instead of aborting the evaluation.
+pub fn run_suite_matrix_cli_isolated(
+    cli: &CliArgs,
+    progress: impl FnMut(&RunResult) + Send,
+) -> MatrixRun {
+    EvaluationMatrix::run_specs_isolated(&suite_matrix_specs(cli), progress)
+}
+
+/// The per-cell specs behind [`run_suite_matrix_cli`], in matrix order.
+fn suite_matrix_specs(cli: &CliArgs) -> Vec<RunSpec> {
     let config = cli.config();
-    let specs: Vec<RunSpec> = cli
-        .suite
+    cli.suite
         .cells()
         .map(|(workload, technique)| {
             let mut spec = RunSpec::new(workload, technique)
@@ -370,8 +385,7 @@ pub fn run_suite_matrix_cli(
             spec.trace.clone_from(&cli.trace);
             spec
         })
-        .collect();
-    EvaluationMatrix::run_specs(&specs, progress)
+        .collect()
 }
 
 /// Builds the Figure 2 table (performance normalized to the out-of-order
@@ -578,7 +592,7 @@ pub fn table1() -> Table {
 /// Stat A (§2.4): the per-invocation flush/refill penalty of flush-style
 /// runahead: the analytic 8 + 192/4 = 56 cycles, plus the measured average
 /// from a traditional-runahead run.
-pub fn stat_flush_overhead(max_uops: u64) -> Result<Table, BuildError> {
+pub fn stat_flush_overhead(max_uops: u64) -> Result<Table, SimError> {
     let cfg = SimConfig::haswell_like();
     let analytic =
         cfg.core.frontend_depth as u64 + (cfg.core.rob_entries / cfg.core.dispatch_width) as u64;
@@ -613,7 +627,7 @@ pub fn stat_flush_overhead(max_uops: u64) -> Result<Table, BuildError> {
 
 /// Stat B (§2.4): the distribution of runahead-interval lengths and the
 /// fraction below 20 cycles (the paper reports 27 % on average).
-pub fn stat_intervals(max_uops: u64) -> Result<Table, BuildError> {
+pub fn stat_intervals(max_uops: u64) -> Result<Table, SimError> {
     let mut table = Table::new(
         "Stat B — runahead interval lengths (PRE, unrestricted entry)",
         &["workload", "intervals", "mean (cycles)", "< 20 cycles"],
@@ -636,7 +650,7 @@ pub fn stat_intervals(max_uops: u64) -> Result<Table, BuildError> {
 /// floating-point registers free), plus the per-class free-register
 /// occupancy histograms at full-window stalls and the eager-drain volume —
 /// the counters behind the `asm-box-blur` reproduction finding.
-pub fn stat_free_resources(suite: Suite, max_uops: u64) -> Result<Table, BuildError> {
+pub fn stat_free_resources(suite: Suite, max_uops: u64) -> Result<Table, SimError> {
     stat_free_resources_with(suite, &SimConfig::haswell_like(), max_uops)
 }
 
@@ -645,12 +659,12 @@ pub fn stat_free_resources(suite: Suite, max_uops: u64) -> Result<Table, BuildEr
 ///
 /// # Errors
 ///
-/// Propagates [`BuildError`] from the simulator.
+/// Propagates [`SimError`] from the simulator.
 pub fn stat_free_resources_with(
     suite: Suite,
     config: &SimConfig,
     max_uops: u64,
-) -> Result<Table, BuildError> {
+) -> Result<Table, SimError> {
     let mut table = Table::new(
         "Stat C — free resources at runahead entry (PRE)",
         &[
@@ -718,7 +732,7 @@ fn capacity_sweep(
     dim: SweepDim,
     sizes: &[usize],
     max_uops: u64,
-) -> Result<(Vec<crate::sweep::SweepPoint>, f64), BuildError> {
+) -> Result<(Vec<crate::sweep::SweepPoint>, f64), SimError> {
     let baseline = run_one(&RunSpec::new(workload, Technique::OutOfOrder).with_budget(max_uops))?;
     let mut sweep = Sweep::new(workload, technique).with_dim(GridDim {
         dim,
@@ -732,7 +746,7 @@ fn capacity_sweep(
 /// Stat F / ablation (§3.6): SST-capacity sensitivity. Returns
 /// `(entries, speedup over OoO, SST hit rate)` rows for one representative
 /// multi-slice workload.
-pub fn sst_sensitivity(max_uops: u64, sizes: &[usize]) -> Result<Table, BuildError> {
+pub fn sst_sensitivity(max_uops: u64, sizes: &[usize]) -> Result<Table, SimError> {
     let (points, base_ipc) = capacity_sweep(
         Workload::LbmLike,
         Technique::Pre,
@@ -756,7 +770,7 @@ pub fn sst_sensitivity(max_uops: u64, sizes: &[usize]) -> Result<Table, BuildErr
 }
 
 /// EMQ-capacity ablation: how the EMQ size bounds PRE+EMQ's benefit.
-pub fn emq_sensitivity(max_uops: u64, sizes: &[usize]) -> Result<Table, BuildError> {
+pub fn emq_sensitivity(max_uops: u64, sizes: &[usize]) -> Result<Table, SimError> {
     let (points, base_ipc) = capacity_sweep(
         Workload::LbmLike,
         Technique::PreEmq,

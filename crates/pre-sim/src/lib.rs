@@ -26,12 +26,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod fault;
 pub mod matrix;
 pub mod report;
 pub mod runner;
 pub mod stores;
 pub mod sweep;
 
-pub use matrix::EvaluationMatrix;
+pub use matrix::{CellFailure, EvaluationMatrix, MatrixRun};
 pub use runner::{cell_name, run_one, run_one_traced, RunResult, RunSpec};
-pub use sweep::{Sweep, SweepPoint};
+pub use sweep::{Sweep, SweepFailure, SweepPoint, SweepRun};

@@ -1,12 +1,71 @@
 //! The workload × technique evaluation matrix behind Figures 2 and 3.
 
-use crate::runner::{run_one, RunResult, RunSpec};
-use pre_core::pipeline::BuildError;
+use crate::runner::{cell_name, run_one, RunResult, RunSpec};
 use pre_model::config::SimConfig;
+use pre_model::error::SimError;
 use pre_runahead::Technique;
 use pre_workloads::{Workload, WorkloadParams};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::fmt;
+use std::sync::{Mutex, PoisonError};
+
+/// One failed matrix cell: which cell, and the [`SimError`] (a panic caught
+/// by the supervised pool surfaces as [`SimError::Panic`]).
+#[derive(Debug)]
+pub struct CellFailure {
+    /// Index of the cell in spec (matrix) order.
+    pub index: usize,
+    /// The workload of the failed cell.
+    pub workload: Workload,
+    /// The technique of the failed cell.
+    pub technique: Technique,
+    /// What went wrong.
+    pub error: SimError,
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell {} ({}): {}",
+            self.index,
+            cell_name(self.workload, self.technique),
+            self.error
+        )
+    }
+}
+
+/// The outcome of a failure-isolated matrix run: every cell that succeeded
+/// (in matrix order) plus a record of every cell that did not. A panicking
+/// or erroring cell never takes down its siblings.
+#[derive(Debug)]
+pub struct MatrixRun {
+    /// The successful cells, in matrix order.
+    pub matrix: EvaluationMatrix,
+    /// The failed cells, in matrix order.
+    pub failures: Vec<CellFailure>,
+    /// Total cells attempted (`matrix.results().len() + failures.len()`).
+    pub cells: usize,
+}
+
+impl MatrixRun {
+    /// `true` when every cell produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The complete matrix, or the first failure in matrix order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CellFailure`]'s error when any cell failed.
+    pub fn into_result(self) -> Result<EvaluationMatrix, SimError> {
+        match self.failures.into_iter().next() {
+            None => Ok(self.matrix),
+            Some(failure) => Err(failure.error),
+        }
+    }
+}
 
 /// Results of running a set of workloads under a set of techniques.
 #[derive(Debug, Clone, Default)]
@@ -39,8 +98,9 @@ impl EvaluationMatrix {
     ///
     /// # Errors
     ///
-    /// Returns the first [`BuildError`] in matrix order. Unlike the serial
-    /// path, later cells may already have run by then.
+    /// Returns the first [`SimError`] in matrix order. Unlike the serial
+    /// path, later cells may already have run by then; use
+    /// [`EvaluationMatrix::run_specs_isolated`] to keep their results.
     pub fn run(
         workloads: &[Workload],
         techniques: &[Technique],
@@ -48,32 +108,75 @@ impl EvaluationMatrix {
         params: &WorkloadParams,
         max_uops: u64,
         progress: impl FnMut(&RunResult) + Send,
-    ) -> Result<Self, BuildError> {
+    ) -> Result<Self, SimError> {
         let specs = Self::specs(workloads, techniques, config, params, max_uops);
         Self::run_specs(&specs, progress)
     }
 
     /// Runs an explicit list of cells (in the given order) over the worker
-    /// pool. This is the core of [`EvaluationMatrix::run`]; use it directly
-    /// when the specs need per-cell overrides (e.g. trace outputs).
+    /// pool. This is the all-or-nothing wrapper around
+    /// [`EvaluationMatrix::run_specs_isolated`]; use it when a partial
+    /// matrix is useless to the caller.
     ///
     /// # Errors
     ///
-    /// Returns the first [`BuildError`] in spec order.
+    /// Returns the first [`SimError`] in spec order (a caught cell panic
+    /// included, as [`SimError::Panic`]).
     pub fn run_specs(
         specs: &[RunSpec],
         progress: impl FnMut(&RunResult) + Send,
-    ) -> Result<Self, BuildError> {
+    ) -> Result<Self, SimError> {
+        Self::run_specs_isolated(specs, progress).into_result()
+    }
+
+    /// Runs an explicit list of cells over the supervised worker pool,
+    /// isolating failures: a cell that returns an error *or panics* is
+    /// recorded in [`MatrixRun::failures`] while every other cell still
+    /// produces its (bit-identical) result. Surviving-cell determinism is
+    /// asserted by the fault-injection suite.
+    pub fn run_specs_isolated(
+        specs: &[RunSpec],
+        progress: impl FnMut(&RunResult) + Send,
+    ) -> MatrixRun {
         let progress = Mutex::new(progress);
-        let outcomes = pre_par::par_map(specs, |spec| {
-            let outcome = run_one(spec);
+        let indices: Vec<usize> = (0..specs.len()).collect();
+        let outcomes = pre_par::try_par_map(&indices, |&i| {
+            crate::fault::panic_if_cell_faulted(i);
+            let outcome = run_one(&specs[i]);
             if let Ok(result) = &outcome {
-                let mut report = progress.lock().expect("progress callback poisoned");
+                // Recovering a poisoned progress lock is safe: the callback
+                // only renders console output.
+                let mut report = progress.lock().unwrap_or_else(PoisonError::into_inner);
                 (*report)(result);
             }
             outcome
         });
-        Self::from_outcomes(outcomes)
+        let mut matrix = EvaluationMatrix::new();
+        let mut failures = Vec::new();
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let spec = &specs[i];
+            let error = match outcome {
+                Ok(Ok(result)) => {
+                    matrix.push(result);
+                    continue;
+                }
+                Ok(Err(error)) => error,
+                Err(job) => SimError::Panic {
+                    detail: job.payload,
+                },
+            };
+            failures.push(CellFailure {
+                index: i,
+                workload: spec.workload,
+                technique: spec.technique,
+                error,
+            });
+        }
+        MatrixRun {
+            matrix,
+            failures,
+            cells: specs.len(),
+        }
     }
 
     /// Runs the matrix one cell at a time on the calling thread, in matrix
@@ -82,7 +185,7 @@ impl EvaluationMatrix {
     ///
     /// # Errors
     ///
-    /// Returns the first [`BuildError`] encountered; later cells do not run.
+    /// Returns the first [`SimError`] encountered; later cells do not run.
     pub fn run_serial(
         workloads: &[Workload],
         techniques: &[Technique],
@@ -90,7 +193,7 @@ impl EvaluationMatrix {
         params: &WorkloadParams,
         max_uops: u64,
         mut progress: impl FnMut(&RunResult),
-    ) -> Result<Self, BuildError> {
+    ) -> Result<Self, SimError> {
         let mut matrix = EvaluationMatrix::new();
         for spec in Self::specs(workloads, techniques, config, params, max_uops) {
             let result = run_one(&spec)?;
@@ -123,16 +226,6 @@ impl EvaluationMatrix {
                     .with_params(*params)
             })
             .collect()
-    }
-
-    /// Folds per-cell outcomes (in matrix order) into a matrix, propagating
-    /// the first error.
-    fn from_outcomes(outcomes: Vec<Result<RunResult, BuildError>>) -> Result<Self, BuildError> {
-        let mut matrix = EvaluationMatrix::new();
-        for outcome in outcomes {
-            matrix.push(outcome?);
-        }
-        Ok(matrix)
     }
 
     /// Adds a result (used by custom sweeps). The first result for a
@@ -242,6 +335,13 @@ impl EvaluationMatrix {
     pub fn any_deadlocked(&self) -> bool {
         self.results.iter().any(|r| r.deadlocked)
     }
+
+    /// `true` if any run terminated abnormally (cycle budget or watchdog).
+    pub fn any_abnormal_termination(&self) -> bool {
+        self.results
+            .iter()
+            .any(|r| r.terminated() != pre_model::stats::TerminationKind::Completed)
+    }
 }
 
 /// Geometric mean of a slice (1.0 for an empty slice).
@@ -272,6 +372,7 @@ mod tests {
             energy,
             deadlocked: false,
             cache_hit: false,
+            watchdog: None,
         }
     }
 
@@ -327,6 +428,7 @@ mod tests {
         assert!((m.invocation_ratio_vs_runahead(Technique::Pre) - 1.75).abs() < 1e-9);
         assert_eq!(m.workloads().len(), 2);
         assert!(!m.any_deadlocked());
+        assert!(!m.any_abnormal_termination());
     }
 
     #[test]
@@ -340,5 +442,36 @@ mod tests {
         m.push(slow);
         m.push(fast);
         assert!(m.energy_savings(Workload::LbmLike, Technique::Pre).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn matrix_run_into_result_surfaces_first_failure() {
+        let complete = MatrixRun {
+            matrix: EvaluationMatrix::new(),
+            failures: Vec::new(),
+            cells: 0,
+        };
+        assert!(complete.is_complete());
+        assert!(complete.into_result().is_ok());
+
+        let failed = MatrixRun {
+            matrix: EvaluationMatrix::new(),
+            failures: vec![CellFailure {
+                index: 2,
+                workload: Workload::LbmLike,
+                technique: Technique::Pre,
+                error: SimError::Panic {
+                    detail: "boom".to_string(),
+                },
+            }],
+            cells: 3,
+        };
+        assert!(!failed.is_complete());
+        let failure = &failed.failures[0];
+        assert!(failure.to_string().contains("lbm-like_pre"));
+        assert!(matches!(
+            failed.into_result(),
+            Err(SimError::Panic { detail }) if detail == "boom"
+        ));
     }
 }

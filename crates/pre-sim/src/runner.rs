@@ -1,10 +1,10 @@
 //! Running a single (workload, technique) simulation.
 
-use pre_core::pipeline::BuildError;
 use pre_core::OooCore;
 use pre_energy::{EnergyBreakdown, EnergyModel};
 use pre_model::config::SimConfig;
-use pre_model::stats::SimStats;
+use pre_model::error::{SimError, WatchdogDiag};
+use pre_model::stats::{SimStats, TerminationKind};
 use pre_runahead::Technique;
 use pre_trace::{TraceSession, TraceSpec, Tracer};
 use pre_workloads::{Workload, WorkloadParams};
@@ -129,6 +129,10 @@ pub struct RunResult {
     /// simulation (never serialized; a cached copy of a run is bit-identical
     /// to the run in every other field).
     pub cache_hit: bool,
+    /// Watchdog diagnostics when the run deadlocked (never serialized; a
+    /// cached copy of a watchdog run reconstructs a minimal diagnostic from
+    /// its stats via [`RunResult::watchdog_error`]).
+    pub watchdog: Option<Box<WatchdogDiag>>,
 }
 
 impl RunResult {
@@ -141,27 +145,50 @@ impl RunResult {
     pub fn energy_mj(&self) -> f64 {
         self.energy.total_mj()
     }
+
+    /// How the run terminated (completed / cycle budget / watchdog).
+    pub fn terminated(&self) -> TerminationKind {
+        self.stats.terminated
+    }
+
+    /// For a deadlocked run, the [`SimError::Watchdog`] describing it (built
+    /// from the captured diagnostics, or minimally from the stats for a
+    /// cache hit). `None` when the run did not deadlock. Watchdog runs still
+    /// carry their full stats, so callers choose between treating them as
+    /// data (warning markers) or as failures (this error).
+    pub fn watchdog_error(&self) -> Option<SimError> {
+        if !self.deadlocked {
+            return None;
+        }
+        let diag = self.watchdog.clone().unwrap_or_else(|| {
+            Box::new(WatchdogDiag {
+                cycle: self.stats.cycles,
+                committed_uops: self.stats.committed_uops,
+                ..WatchdogDiag::default()
+            })
+        });
+        Some(SimError::Watchdog(diag))
+    }
 }
 
 /// Runs one simulation.
 ///
 /// # Errors
 ///
-/// Returns [`BuildError`] if the configuration or the generated program is
-/// invalid.
-pub fn run_one(spec: &RunSpec) -> Result<RunResult, BuildError> {
+/// Returns [`SimError`] if the configuration or the generated program is
+/// invalid, or if trace output cannot be written.
+pub fn run_one(spec: &RunSpec) -> Result<RunResult, SimError> {
     let Some(ts) = &spec.trace else {
         return run_one_plain(spec);
     };
-    let session = TraceSession::create(ts, &spec.cell_name())
-        .map_err(|e| BuildError::Trace(e.to_string()))?;
+    let session =
+        TraceSession::create(ts, &spec.cell_name()).map_err(|e| SimError::Trace(e.to_string()))?;
     let (result, tracer) = run_one_traced(spec, Box::new(session))?;
-    let session = tracer
-        .into_any()
-        .downcast::<TraceSession>()
-        .expect("tracer is the session attached above");
+    let session = tracer.into_any().downcast::<TraceSession>().map_err(|_| {
+        SimError::Trace("tracer returned by the core is not the attached session".to_string())
+    })?;
     if let Some(e) = session.io_error() {
-        return Err(BuildError::Trace(e.to_string()));
+        return Err(SimError::Trace(e.to_string()));
     }
     Ok(result)
 }
@@ -172,19 +199,22 @@ pub fn run_one(spec: &RunSpec) -> Result<RunResult, BuildError> {
 ///
 /// # Errors
 ///
-/// Returns [`BuildError`] if the configuration or the generated program is
+/// Returns [`SimError`] if the configuration or the generated program is
 /// invalid.
 pub fn run_one_traced(
     spec: &RunSpec,
     tracer: Box<dyn Tracer>,
-) -> Result<(RunResult, Box<dyn Tracer>), BuildError> {
+) -> Result<(RunResult, Box<dyn Tracer>), SimError> {
     let program = spec.workload.build(&spec.params);
     let mut core = build_core(spec, &program)?;
     core.set_tracer(tracer);
     core.run(spec.max_uops, spec.max_cycles);
-    let tracer = core.take_tracer().expect("tracer survives the run");
+    let tracer = core
+        .take_tracer()
+        .ok_or_else(|| SimError::Trace("core lost the attached tracer".to_string()))?;
     let stats = core.stats().clone();
     let energy = EnergyModel::default().evaluate(&stats, &spec.config);
+    let watchdog = core.watchdog_diag().map(Box::new);
     Ok((
         RunResult {
             workload: spec.workload,
@@ -193,6 +223,7 @@ pub fn run_one_traced(
             energy,
             deadlocked: core.deadlocked(),
             cache_hit: false,
+            watchdog,
         },
         tracer,
     ))
@@ -202,20 +233,22 @@ pub fn run_one_traced(
 /// the shared warm-up snapshot and warmed state. Cold-with-warmup and
 /// snapshot-forked runs go through this one path, so they are bit-identical
 /// by construction.
-fn build_core(spec: &RunSpec, program: &pre_model::Program) -> Result<OooCore, BuildError> {
+fn build_core(spec: &RunSpec, program: &pre_model::Program) -> Result<OooCore, SimError> {
     if spec.warmup_uops == 0 {
-        return OooCore::new(&spec.config, program, spec.technique);
+        return OooCore::new(&spec.config, program, spec.technique).map_err(SimError::from);
     }
     let snap = crate::stores::snapshot_for(program, spec.warmup_uops);
     let warmed = crate::stores::warmed_for(&spec.config, program, spec.warmup_uops, &snap);
     OooCore::from_snapshot(&spec.config, program, spec.technique, &snap, &warmed)
+        .map_err(SimError::from)
 }
 
-fn simulate(spec: &RunSpec, program: &pre_model::Program) -> Result<RunResult, BuildError> {
+fn simulate(spec: &RunSpec, program: &pre_model::Program) -> Result<RunResult, SimError> {
     let mut core = build_core(spec, program)?;
     core.run(spec.max_uops, spec.max_cycles);
     let stats = core.stats().clone();
     let energy = EnergyModel::default().evaluate(&stats, &spec.config);
+    let watchdog = core.watchdog_diag().map(Box::new);
     Ok(RunResult {
         workload: spec.workload,
         technique: spec.technique,
@@ -223,10 +256,11 @@ fn simulate(spec: &RunSpec, program: &pre_model::Program) -> Result<RunResult, B
         energy,
         deadlocked: core.deadlocked(),
         cache_hit: false,
+        watchdog,
     })
 }
 
-fn run_one_plain(spec: &RunSpec) -> Result<RunResult, BuildError> {
+fn run_one_plain(spec: &RunSpec) -> Result<RunResult, SimError> {
     let program = spec.workload.build(&spec.params);
     if !spec.use_result_cache {
         return simulate(spec, &program);
@@ -263,5 +297,8 @@ mod tests {
         assert!(result.stats.committed_uops >= 5_000);
         assert!(result.ipc() > 0.5);
         assert!(result.energy_mj() > 0.0);
+        assert_eq!(result.terminated(), TerminationKind::Completed);
+        assert!(result.watchdog.is_none());
+        assert!(result.watchdog_error().is_none());
     }
 }

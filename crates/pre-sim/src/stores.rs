@@ -5,7 +5,8 @@
 //!
 //! 1. **Snapshot store** — configuration-*independent* warm-up snapshots
 //!    ([`SimSnapshot`]), keyed by (program content hash, warm-up budget).
-//!    Captured once per workload and shared by every sweep point.
+//!    Captured once per workload and shared by every sweep point; persisted
+//!    under the cache directory so repeated invocations skip warm-up too.
 //! 2. **Warmed-state store** — configuration-*dependent* warmed caches and
 //!    predictor ([`WarmedState`]), keyed additionally by the memory-hierarchy
 //!    and frontend configuration. A ROB/IQ/EMQ/SST sweep shares one entry.
@@ -19,11 +20,30 @@
 //! cache miss, never to a wrong answer. Cached results are byte-identical to
 //! the run that produced them (the stats serialization round-trips exactly),
 //! which the golden tests assert.
+//!
+//! # Disk integrity
+//!
+//! Every on-disk entry is framed by a magic/version header carrying the body
+//! length and an FNV-1a checksum, and is written atomically (unique temp
+//! file in the same directory + `rename`), so concurrent sweeps sharing one
+//! `PRE_CACHE_DIR` never observe a half-written entry. A file that fails the
+//! header, checksum, length or parse check is **quarantined** — renamed to
+//! `<name>.corrupt` with a warning — and treated as a cache miss, so a
+//! corrupt or truncated entry (including pre-header `v1` files) degrades to
+//! recomputation, never to a wrong answer or an abort. Quarantined snapshot
+//! entries fall back to a cold re-capture, which is bit-identical by
+//! construction.
+
+// The degradation contract above is why unwrap/expect are banned here: every
+// failure on this path must surface as a typed error or a quarantine+miss,
+// never an unwind.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::runner::{RunResult, RunSpec};
 use pre_core::WarmedState;
 use pre_energy::EnergyBreakdown;
 use pre_model::config::SimConfig;
+use pre_model::error::SimError;
 use pre_model::hash::{stable_hash_of_debug, StableHasher};
 use pre_model::program::Program;
 use pre_model::snapshot::SimSnapshot;
@@ -34,7 +54,8 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// A stored value plus the full key description it was stored under.
 #[derive(Debug, Clone)]
@@ -53,8 +74,17 @@ fn store<T>(cell: &Store<T>) -> &Mutex<HashMap<u64, Keyed<T>>> {
     cell.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Locks a store mutex, recovering from poisoning. The supervised pool
+/// catches cell panics, so a worker that died while holding a store lock
+/// must not cascade its failure into every surviving cell; store values are
+/// only ever inserted whole (no partial mutation mid-lock), so the map is
+/// consistent even after a poisoned unlock.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 fn lookup<T: Clone>(cell: &Store<T>, key: u64, desc: &str) -> Option<T> {
-    let map = store(cell).lock().expect("store poisoned");
+    let map = lock_recover(store(cell));
     let entry = map.get(&key)?;
     // Collision safety: the description must match, not just the hash.
     (entry.desc == desc).then(|| entry.value.clone())
@@ -62,7 +92,7 @@ fn lookup<T: Clone>(cell: &Store<T>, key: u64, desc: &str) -> Option<T> {
 
 fn insert_or_get<T: Clone>(cell: &Store<T>, key: u64, desc: &str, value: T) -> T {
     use std::collections::hash_map::Entry;
-    let mut map = store(cell).lock().expect("store poisoned");
+    let mut map = lock_recover(store(cell));
     match map.entry(key) {
         Entry::Occupied(entry) => {
             if entry.get().desc == desc {
@@ -90,13 +120,156 @@ fn insert_or_get<T: Clone>(cell: &Store<T>, key: u64, desc: &str, value: T) -> T
 /// force cold paths; the on-disk result cache is untouched.
 pub fn clear_stores() {
     if let Some(m) = SNAPSHOTS.get() {
-        m.lock().expect("store poisoned").clear();
+        lock_recover(m).clear();
     }
     if let Some(m) = WARMED.get() {
-        m.lock().expect("store poisoned").clear();
+        lock_recover(m).clear();
     }
     if let Some(m) = RESULTS.get() {
-        m.lock().expect("store poisoned").clear();
+        lock_recover(m).clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disk-cache integrity: framing, atomic writes, quarantine
+// ---------------------------------------------------------------------------
+
+/// Magic + version of the framed on-disk cache format. Bumping the version
+/// quarantines (and recomputes) every older entry.
+const CACHE_MAGIC: &str = "pre-cache v2";
+
+fn body_checksum(body: &str) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(body);
+    h.finish()
+}
+
+/// Frames `body` with the integrity header:
+/// `pre-cache v2 <kind> <body-bytes> <fnv1a-checksum>`.
+pub fn encode_cache_file(kind: &str, body: &str) -> String {
+    format!(
+        "{CACHE_MAGIC} {kind} {} {:016x}\n{body}",
+        body.len(),
+        body_checksum(body)
+    )
+}
+
+/// Verifies the framing written by [`encode_cache_file`] and returns the
+/// body.
+///
+/// # Errors
+///
+/// Returns a description of the first integrity violation (bad magic, wrong
+/// kind, truncated body, checksum mismatch).
+pub fn decode_cache_file<'a>(kind: &str, text: &'a str) -> Result<&'a str, String> {
+    let (header, body) = text
+        .split_once('\n')
+        .ok_or_else(|| "missing cache header line".to_string())?;
+    let rest = header
+        .strip_prefix(CACHE_MAGIC)
+        .ok_or_else(|| format!("not a `{CACHE_MAGIC}` file"))?;
+    let mut parts = rest.split_whitespace();
+    let file_kind = parts.next().ok_or("missing cache entry kind")?;
+    if file_kind != kind {
+        return Err(format!(
+            "cache entry kind is `{file_kind}`, expected `{kind}`"
+        ));
+    }
+    let len: usize = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or("bad body length in cache header")?;
+    let checksum = parts
+        .next()
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or("bad checksum in cache header")?;
+    if parts.next().is_some() {
+        return Err("trailing fields in cache header".to_string());
+    }
+    if body.len() != len {
+        return Err(format!(
+            "truncated cache entry: header says {len} bytes, file has {}",
+            body.len()
+        ));
+    }
+    let actual = body_checksum(body);
+    if actual != checksum {
+        return Err(format!(
+            "cache checksum mismatch: header {checksum:016x}, body {actual:016x}"
+        ));
+    }
+    Ok(body)
+}
+
+/// Writes `contents` to `path` atomically: a uniquely-named temp file in the
+/// same directory, then `rename`. Readers (and concurrent writers racing on
+/// the same key) observe either the old file or the whole new one, never a
+/// torn write; whichever rename lands last wins, and both payloads are
+/// deterministic for one key so either winner is correct.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = path.parent().ok_or("cache path has no parent directory")?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("create_dir_all: {e}"))?;
+    let name = path
+        .file_name()
+        .ok_or("cache path has no file name")?
+        .to_string_lossy();
+    let tmp = dir.join(format!(
+        ".{name}.tmp-{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("rename {} -> {}: {e}", tmp.display(), path.display())
+    })
+}
+
+/// Quarantines a corrupt cache entry: renames it to `<name>.corrupt` (so it
+/// stops matching lookups and is preserved for inspection) and logs a
+/// warning. Every caller then proceeds as a cache miss.
+fn quarantine(path: &Path, detail: &str) {
+    let mut target = path.as_os_str().to_owned();
+    target.push(".corrupt");
+    let target = PathBuf::from(target);
+    let renamed = std::fs::rename(path, &target);
+    match renamed {
+        Ok(()) => eprintln!(
+            "warning: quarantined corrupt cache entry {} -> {}: {detail}",
+            path.display(),
+            target.display()
+        ),
+        Err(e) => eprintln!(
+            "warning: corrupt cache entry {} ({detail}); quarantine rename failed: {e}",
+            path.display()
+        ),
+    }
+}
+
+/// Reads and integrity-checks one framed cache file. Missing file → `None`;
+/// any other failure (I/O, framing, checksum) → quarantine + `None`, so
+/// callers uniformly see a miss.
+fn read_framed(path: &Path, kind: &str) -> Option<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            // Not UTF-8: bit rot, not a transient I/O failure.
+            quarantine(path, "cache entry is not valid UTF-8");
+            return None;
+        }
+        Err(e) => {
+            eprintln!("warning: cannot read cache entry {}: {e}", path.display());
+            return None;
+        }
+    };
+    match decode_cache_file(kind, &text) {
+        Ok(body) => Some(body.to_string()),
+        Err(detail) => {
+            quarantine(path, &detail);
+            None
+        }
     }
 }
 
@@ -115,17 +288,91 @@ fn snapshot_key(program: &Program, warmup_uops: u64) -> (u64, String) {
     (h.finish(), desc)
 }
 
+fn snapshot_disk_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("snapshot_{key:016x}.txt"))
+}
+
 /// The warm-up snapshot for (`program`, `warmup_uops`), captured on first
-/// request and shared (via `Arc`) afterwards. Capture happens outside the
-/// store lock, so concurrent first requests may both capture; the result is
-/// deterministic, so whichever insertion wins is correct for both.
+/// request and shared (via `Arc`) afterwards. Consults the on-disk cache
+/// (`PRE_CACHE_DIR`) before capturing; see [`snapshot_for_with_dir`].
 pub fn snapshot_for(program: &Program, warmup_uops: u64) -> Arc<SimSnapshot> {
+    snapshot_for_with_dir(program, warmup_uops, env_cache_dir().as_deref())
+}
+
+/// [`snapshot_for`] with an explicit disk directory (`None` = memory only).
+///
+/// Lookup order: in-memory store, then `disk_dir`, then a fresh capture.
+/// A disk entry that fails the integrity or parse checks is quarantined and
+/// the snapshot is re-captured cold — bit-identical to the persisted one by
+/// determinism, so a truncated snapshot file costs time, never correctness.
+/// Capture happens outside the store lock, so concurrent first requests may
+/// both capture; the result is deterministic, so whichever insertion wins is
+/// correct for both.
+pub fn snapshot_for_with_dir(
+    program: &Program,
+    warmup_uops: u64,
+    disk_dir: Option<&Path>,
+) -> Arc<SimSnapshot> {
     let (key, desc) = snapshot_key(program, warmup_uops);
     if let Some(snap) = lookup(&SNAPSHOTS, key, &desc) {
         return snap;
     }
+    if let Some(dir) = disk_dir {
+        if let Some(snap) = snapshot_from_disk(dir, key, &desc) {
+            return insert_or_get(&SNAPSHOTS, key, &desc, Arc::new(snap));
+        }
+    }
     let snap = Arc::new(SimSnapshot::capture(program, warmup_uops));
+    if let Some(dir) = disk_dir {
+        if let Err(e) = snapshot_to_disk(dir, key, &desc, &snap) {
+            eprintln!("warning: cannot persist snapshot: {e}");
+        }
+    }
     insert_or_get(&SNAPSHOTS, key, &desc, snap)
+}
+
+fn snapshot_from_disk(dir: &Path, key: u64, desc: &str) -> Option<SimSnapshot> {
+    let path = snapshot_disk_path(dir, key);
+    let body = read_framed(&path, "snapshot")?;
+    let (stored_desc, snap_text) = match body.split_once('\n') {
+        Some((first, rest)) => match first.strip_prefix("keydesc ") {
+            Some(d) => (d, rest),
+            None => {
+                quarantine(&path, "missing keydesc line");
+                return None;
+            }
+        },
+        None => {
+            quarantine(&path, "empty snapshot body");
+            return None;
+        }
+    };
+    if stored_desc != desc {
+        // A hash collision with another live key: miss, not corruption.
+        return None;
+    }
+    match SimSnapshot::from_text(snap_text) {
+        Ok(snap) => Some(snap),
+        Err(detail) => {
+            quarantine(&path, &detail);
+            None
+        }
+    }
+}
+
+fn snapshot_to_disk(dir: &Path, key: u64, desc: &str, snap: &SimSnapshot) -> Result<(), SimError> {
+    let path = snapshot_disk_path(dir, key);
+    let body = format!("keydesc {desc}\n{}", snap.to_text());
+    write_atomic(&path, &encode_cache_file("snapshot", &body)).map_err(|detail| {
+        SimError::Cache {
+            path: path.display().to_string(),
+            detail,
+        }
+    })?;
+    if crate::fault::should_truncate_snapshot() {
+        inject_truncation(&path);
+    }
+    Ok(())
 }
 
 fn warmed_key(cfg: &SimConfig, program: &Program, warmup_uops: u64) -> (u64, String) {
@@ -201,16 +448,24 @@ fn disk_path(dir: &Path, key: u64) -> PathBuf {
 }
 
 /// Looks up a finished result, consulting the in-memory store first and then
-/// `disk_dir` (if given). Disk hits are promoted into the in-memory store.
-/// The returned result has `cache_hit` set.
+/// `disk_dir` (if given). Disk hits are promoted into the in-memory store;
+/// disk entries that fail the integrity checks are quarantined and reported
+/// as a miss. The returned result has `cache_hit` set.
 pub fn result_lookup(key: u64, desc: &str, disk_dir: Option<&Path>) -> Option<RunResult> {
     if let Some(mut hit) = lookup(&RESULTS, key, desc) {
         hit.cache_hit = true;
         return Some(hit);
     }
     let dir = disk_dir?;
-    let text = std::fs::read_to_string(disk_path(dir, key)).ok()?;
-    let (stored_desc, result) = result_from_text(&text).ok()?;
+    let path = disk_path(dir, key);
+    let body = read_framed(&path, "result")?;
+    let (stored_desc, result) = match result_from_text(&body) {
+        Ok(parsed) => parsed,
+        Err(detail) => {
+            quarantine(&path, &detail);
+            return None;
+        }
+    };
     if stored_desc != desc {
         return None;
     }
@@ -220,15 +475,62 @@ pub fn result_lookup(key: u64, desc: &str, disk_dir: Option<&Path>) -> Option<Ru
 }
 
 /// Stores a finished result in the in-memory store and, when `disk_dir` is
-/// given, as a text file under it (best-effort: I/O failures leave only the
-/// in-memory entry).
+/// given, as a framed text file under it. The disk write is best-effort (a
+/// failure leaves only the in-memory entry and logs a warning); use
+/// [`try_result_store_disk`] to surface the error instead.
 pub fn result_store(key: u64, desc: &str, result: &RunResult, disk_dir: Option<&Path>) {
     let mut stored = result.clone();
     stored.cache_hit = false;
     insert_or_get(&RESULTS, key, desc, stored);
     if let Some(dir) = disk_dir {
-        let _ = std::fs::create_dir_all(dir);
-        let _ = std::fs::write(disk_path(dir, key), result_to_text(desc, result));
+        if let Err(e) = try_result_store_disk(dir, key, desc, result) {
+            eprintln!("warning: cannot persist result: {e}");
+        }
+    }
+}
+
+/// Persists one result under `dir` (framed, atomic), surfacing I/O failures
+/// as [`SimError::Cache`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Cache`] when the temp-file write or rename fails.
+pub fn try_result_store_disk(
+    dir: &Path,
+    key: u64,
+    desc: &str,
+    result: &RunResult,
+) -> Result<(), SimError> {
+    let path = disk_path(dir, key);
+    let body = result_to_text(desc, result);
+    write_atomic(&path, &encode_cache_file("result", &body)).map_err(|detail| SimError::Cache {
+        path: path.display().to_string(),
+        detail,
+    })?;
+    if crate::fault::should_corrupt_cache(key) {
+        inject_corruption(&path);
+    }
+    Ok(())
+}
+
+/// `corrupt-cache` fault: overwrites a span in the middle of the file so the
+/// checksum no longer matches (deliberately not atomic — it models a torn or
+/// bit-rotted entry).
+fn inject_corruption(path: &Path) {
+    if let Ok(mut bytes) = std::fs::read(path) {
+        let mid = bytes.len() / 2;
+        for b in bytes.iter_mut().skip(mid).take(16) {
+            *b = b'X';
+        }
+        let _ = std::fs::write(path, bytes);
+    }
+}
+
+/// `truncate-snapshot` fault: cuts the file in half, modelling a writer that
+/// died mid-write without the atomic-rename protection.
+fn inject_truncation(path: &Path) {
+    if let Ok(bytes) = std::fs::read(path) {
+        let _ = std::fs::write(path, &bytes[..bytes.len() / 2]);
     }
 }
 
@@ -255,7 +557,8 @@ fn energy_fields(e: &EnergyBreakdown) -> [f64; 6] {
 }
 
 /// Serializes a result (with its key description) to the line-oriented cache
-/// file format. Exact roundtrip: energies are written as raw IEEE-754 bits.
+/// body format. Exact roundtrip: energies are written as raw IEEE-754 bits.
+/// On disk the body is additionally framed by [`encode_cache_file`].
 pub fn result_to_text(desc: &str, result: &RunResult) -> String {
     let mut out = String::new();
     out.push_str("pre-result v1\n");
@@ -359,11 +662,13 @@ pub fn result_from_text(text: &str) -> Result<(String, RunResult), String> {
             },
             deadlocked,
             cache_hit: false,
+            watchdog: None,
         },
     ))
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::runner::run_one;
@@ -397,6 +702,23 @@ mod tests {
     }
 
     #[test]
+    fn framing_roundtrips_and_detects_damage() {
+        let body = "hello cache\nline two\n";
+        let framed = encode_cache_file("result", body);
+        assert_eq!(decode_cache_file("result", &framed).unwrap(), body);
+        // Wrong kind.
+        assert!(decode_cache_file("snapshot", &framed).is_err());
+        // Flipped byte in the body.
+        let corrupt = framed.replace("hello", "hellO");
+        assert!(decode_cache_file("result", &corrupt).is_err());
+        // Truncation.
+        let truncated = &framed[..framed.len() - 4];
+        assert!(decode_cache_file("result", truncated).is_err());
+        // Unframed v1-era file.
+        assert!(decode_cache_file("result", body).is_err());
+    }
+
+    #[test]
     fn disk_cache_roundtrips_and_verifies_keydesc() {
         let (spec, result) = small_result();
         let program = spec.workload.build(&spec.params);
@@ -419,6 +741,36 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_disk_roundtrip_and_truncation_fallback() {
+        let program = Workload::ComputeBound.build(&WorkloadParams::short(80));
+        let (key, _) = snapshot_key(&program, 300);
+        let dir = std::env::temp_dir().join(format!("pre-snap-test-{key:016x}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        clear_stores();
+        let cold = snapshot_for_with_dir(&program, 300, Some(&dir));
+        let path = snapshot_disk_path(&dir, key);
+        assert!(path.exists(), "snapshot persisted");
+        // A fresh process (cleared stores) answers from disk, identically.
+        clear_stores();
+        let from_disk = snapshot_for_with_dir(&program, 300, Some(&dir));
+        assert!(!Arc::ptr_eq(&cold, &from_disk));
+        assert_eq!(from_disk.to_text(), cold.to_text());
+        // Truncate the file: next lookup quarantines it and re-captures.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        clear_stores();
+        let refetched = snapshot_for_with_dir(&program, 300, Some(&dir));
+        assert_eq!(
+            refetched.to_text(),
+            cold.to_text(),
+            "cold fallback is bit-identical"
+        );
+        let corrupt = PathBuf::from(format!("{}.corrupt", path.display()));
+        assert!(corrupt.exists(), "truncated snapshot was quarantined");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn result_key_is_sensitive_to_spec_changes() {
         let spec = RunSpec::new(Workload::ComputeBound, Technique::Pre).with_budget(2_000);
         let program = spec.workload.build(&spec.params);
@@ -437,10 +789,10 @@ mod tests {
     fn snapshot_store_shares_one_capture() {
         clear_stores();
         let program = Workload::ComputeBound.build(&WorkloadParams::short(200));
-        let a = snapshot_for(&program, 500);
-        let b = snapshot_for(&program, 500);
+        let a = snapshot_for_with_dir(&program, 500, None);
+        let b = snapshot_for_with_dir(&program, 500, None);
         assert!(Arc::ptr_eq(&a, &b), "second request reuses the capture");
-        let c = snapshot_for(&program, 600);
+        let c = snapshot_for_with_dir(&program, 600, None);
         assert!(!Arc::ptr_eq(&a, &c), "different warm-up is a different key");
     }
 
@@ -448,7 +800,7 @@ mod tests {
     fn warmed_store_shares_across_core_sizing() {
         clear_stores();
         let program = Workload::ComputeBound.build(&WorkloadParams::short(200));
-        let snap = snapshot_for(&program, 500);
+        let snap = snapshot_for_with_dir(&program, 500, None);
         let base = SimConfig::haswell_like();
         let mut resized = base.clone();
         resized.core.rob_entries = 128;

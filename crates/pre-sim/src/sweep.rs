@@ -9,18 +9,31 @@
 //! sweep answers from cache and a cold sweep pays warm-up once instead of
 //! once per point.
 //!
+//! Points are failure-isolated: [`Sweep::run_isolated`] completes the whole
+//! grid even when individual points error or panic, reporting the failed
+//! cells (with their [`SimError`]s and attempt counts) alongside the
+//! successful ones. `max_retries` re-runs a failed point; `fail_fast` stops
+//! launching new points after the first failure.
+//!
 //! The EMQ/SST sensitivity experiments (`emq_sensitivity`,
 //! `sst_sensitivity`) are one-dimensional sweeps over this engine.
 
+// Failure isolation is this module's contract: a grid point must never take
+// down the sweep, so every fallible step here surfaces a SimError instead of
+// unwinding.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::runner::{run_one, RunResult, RunSpec};
-use pre_core::pipeline::BuildError;
 use pre_model::config::SimConfig;
+use pre_model::error::SimError;
 use pre_runahead::Technique;
 use pre_workloads::{Workload, WorkloadParams};
 use std::fmt;
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// One sweepable configuration parameter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,6 +175,22 @@ impl FromStr for GridDim {
     }
 }
 
+/// A compact `dim=value dim=value` label (`base` for an empty grid), shared
+/// by points and failures.
+fn settings_label(settings: &[(SweepDim, u64)]) -> String {
+    if settings.is_empty() {
+        return "base".to_string();
+    }
+    let mut out = String::new();
+    for (i, (dim, value)) in settings.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{dim}={value}");
+    }
+    out
+}
+
 /// One point of an expanded sweep: the dimension settings, the spec they
 /// produce, and (after running) the result.
 #[derive(Debug, Clone)]
@@ -177,17 +206,68 @@ pub struct SweepPoint {
 impl SweepPoint {
     /// A compact `dim=value dim=value` label for tables and progress output.
     pub fn label(&self) -> String {
-        if self.settings.is_empty() {
-            return "base".to_string();
+        settings_label(&self.settings)
+    }
+}
+
+/// One failed sweep point: its grid position and settings, the final
+/// [`SimError`] (a caught panic surfaces as [`SimError::Panic`]), and how
+/// many attempts were made. Points skipped by `fail_fast` carry
+/// [`SimError::Skipped`] and zero attempts.
+#[derive(Debug)]
+pub struct SweepFailure {
+    /// Index of the point in grid order.
+    pub index: usize,
+    /// `(dimension, value)` pairs, in grid order.
+    pub settings: Vec<(SweepDim, u64)>,
+    /// The error of the final attempt.
+    pub error: SimError,
+    /// Attempts made (`1 + retries`; 0 when skipped by fail-fast).
+    pub attempts: u32,
+}
+
+impl SweepFailure {
+    /// A compact `dim=value dim=value` label for tables and reports.
+    pub fn label(&self) -> String {
+        settings_label(&self.settings)
+    }
+}
+
+/// The outcome of a failure-isolated sweep: the successful points (grid
+/// order) plus every failure. A failed or panicking point never takes down
+/// the grid.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// The successful points, in grid order.
+    pub points: Vec<SweepPoint>,
+    /// The failed (or fail-fast-skipped) points, in grid order.
+    pub failures: Vec<SweepFailure>,
+    /// Total points in the grid (`points.len() + failures.len()`).
+    pub total: usize,
+}
+
+impl SweepRun {
+    /// `true` when every point produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// All points, or the first real failure in grid order (preferring a
+    /// concrete error over a fail-fast [`SimError::Skipped`] marker).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed point's error when any point failed.
+    pub fn into_result(mut self) -> Result<Vec<SweepPoint>, SimError> {
+        if self.failures.is_empty() {
+            return Ok(self.points);
         }
-        let mut out = String::new();
-        for (i, (dim, value)) in self.settings.iter().enumerate() {
-            if i > 0 {
-                out.push(' ');
-            }
-            let _ = write!(out, "{dim}={value}");
-        }
-        out
+        let pos = self
+            .failures
+            .iter()
+            .position(|f| !matches!(f.error, SimError::Skipped))
+            .unwrap_or(0);
+        Err(self.failures.swap_remove(pos).error)
     }
 }
 
@@ -209,6 +289,15 @@ pub struct Sweep {
     pub warmup_uops: u64,
     /// Whether points consult/populate the result cache.
     pub use_result_cache: bool,
+    /// Stop launching new points after the first failure. Already-running
+    /// points finish; points not yet started are reported as
+    /// [`SimError::Skipped`]. Which points were already running is
+    /// scheduling-dependent (deterministic under `PRE_THREADS=1`).
+    pub fail_fast: bool,
+    /// Re-run a failed point up to this many extra times before recording
+    /// the failure. Retries cover panics too (each attempt runs under
+    /// `catch_unwind`); a deterministic failure simply fails every attempt.
+    pub max_retries: u32,
     /// The grid dimensions.
     pub dims: Vec<GridDim>,
 }
@@ -226,6 +315,8 @@ impl Sweep {
             budget: 300_000,
             warmup_uops: 0,
             use_result_cache: false,
+            fail_fast: false,
+            max_retries: 0,
             dims: Vec::new(),
         }
     }
@@ -277,34 +368,87 @@ impl Sweep {
 
     /// Runs every point over the worker pool, invoking `progress` as points
     /// complete. Points are returned in grid order regardless of completion
-    /// order.
+    /// order. All-or-nothing wrapper around [`Sweep::run_isolated`].
     ///
     /// # Errors
     ///
-    /// Returns the first [`BuildError`] in grid order.
+    /// Returns the first [`SimError`] in grid order (a caught point panic
+    /// included, as [`SimError::Panic`]).
     pub fn run(
         &self,
         progress: impl FnMut(&SweepPoint) + Send,
-    ) -> Result<Vec<SweepPoint>, BuildError> {
+    ) -> Result<Vec<SweepPoint>, SimError> {
+        self.run_isolated(progress).into_result()
+    }
+
+    /// Runs every point over the worker pool with failure isolation: a point
+    /// that errors or panics (after `max_retries` extra attempts) is
+    /// recorded in [`SweepRun::failures`] while the rest of the grid
+    /// completes and stays bit-identical to a clean run. With `fail_fast`,
+    /// points not yet launched when the first failure lands are skipped.
+    pub fn run_isolated(&self, progress: impl FnMut(&SweepPoint) + Send) -> SweepRun {
         let specs = self.specs();
         let progress = Mutex::new(progress);
-        let outcomes = pre_par::par_map(&specs, |(settings, spec)| {
-            let outcome = run_one(spec);
-            match outcome {
-                Ok(result) => {
-                    let point = SweepPoint {
-                        settings: settings.clone(),
-                        spec: spec.clone(),
-                        result,
-                    };
-                    let mut report = progress.lock().expect("progress callback poisoned");
-                    (*report)(&point);
-                    Ok(point)
-                }
-                Err(e) => Err(e),
+        let abort = AtomicBool::new(false);
+        let attempts_allowed = self.max_retries.saturating_add(1);
+        let indices: Vec<usize> = (0..specs.len()).collect();
+        let outcomes = pre_par::par_map(&indices, |&i| {
+            if self.fail_fast && abort.load(Ordering::Relaxed) {
+                return Err((SimError::Skipped, 0));
             }
+            let (settings, spec) = &specs[i];
+            let mut last_error = SimError::Skipped;
+            for _attempt in 0..attempts_allowed {
+                // Per-attempt catch_unwind so retries cover panics, not just
+                // clean errors.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    crate::fault::panic_if_cell_faulted(i);
+                    run_one(spec)
+                }));
+                match outcome {
+                    Ok(Ok(result)) => {
+                        let point = SweepPoint {
+                            settings: settings.clone(),
+                            spec: spec.clone(),
+                            result,
+                        };
+                        // The callback only renders progress output, so a
+                        // poisoned lock is safe to recover.
+                        let mut report = progress.lock().unwrap_or_else(PoisonError::into_inner);
+                        (*report)(&point);
+                        return Ok(point);
+                    }
+                    Ok(Err(error)) => last_error = error,
+                    Err(payload) => {
+                        last_error = SimError::Panic {
+                            detail: pre_par::panic_message(payload.as_ref()),
+                        }
+                    }
+                }
+            }
+            if self.fail_fast {
+                abort.store(true, Ordering::Relaxed);
+            }
+            Err((last_error, attempts_allowed))
         });
-        outcomes.into_iter().collect()
+        let mut points = Vec::new();
+        let mut failures = Vec::new();
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(point) => points.push(point),
+                Err((error, attempts)) => failures.push(SweepFailure {
+                    index: i,
+                    settings: specs[i].0.clone(),
+                    error,
+                    attempts,
+                }),
+            }
+        }
+        SweepRun {
+            points,
+            failures,
+            total: specs.len(),
+        }
     }
 }
 
@@ -317,10 +461,35 @@ pub fn cache_hit_rate(points: &[SweepPoint]) -> f64 {
     hits as f64 / points.len() as f64
 }
 
-/// Renders sweep results as JSON. Top-level keys deliberately avoid the
-/// `cells` key used by the bench aggregate format, so tooling that scans for
-/// it is unaffected.
-pub fn sweep_json(sweep: &Sweep, points: &[SweepPoint], elapsed_secs: f64) -> String {
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders sweep results as JSON, including the failed points (with their
+/// errors and attempt counts) so a partially-failed sweep is still
+/// machine-readable. Top-level keys deliberately avoid the `cells` key used
+/// by the bench aggregate format, so tooling that scans for it is
+/// unaffected.
+pub fn sweep_json(
+    sweep: &Sweep,
+    points: &[SweepPoint],
+    failures: &[SweepFailure],
+    elapsed_secs: f64,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"workload\": \"{}\",", sweep.workload.name());
@@ -329,9 +498,26 @@ pub fn sweep_json(sweep: &Sweep, points: &[SweepPoint], elapsed_secs: f64) -> St
     let _ = writeln!(out, "  \"warmup\": {},", sweep.warmup_uops);
     let _ = writeln!(out, "  \"elapsed_secs\": {elapsed_secs:.6},");
     let _ = writeln!(out, "  \"num_points\": {},", points.len());
+    let _ = writeln!(out, "  \"failed_points\": {},", failures.len());
     let hits = points.iter().filter(|p| p.result.cache_hit).count();
     let _ = writeln!(out, "  \"cache_hits\": {hits},");
     let _ = writeln!(out, "  \"cache_hit_rate\": {:.6},", cache_hit_rate(points));
+    out.push_str("  \"failures\": [\n");
+    for (i, f) in failures.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"index\": {}, \"label\": \"{}\", \"attempts\": {}, \"error\": \"{}\"}}",
+            f.index,
+            json_escape(&f.label()),
+            f.attempts,
+            json_escape(&f.error.to_string())
+        );
+        if i + 1 < failures.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str("    {");
@@ -359,7 +545,8 @@ pub fn sweep_json(sweep: &Sweep, points: &[SweepPoint], elapsed_secs: f64) -> St
 }
 
 /// Renders sweep results as CSV (one row per point, one column per
-/// dimension plus the headline metrics).
+/// dimension plus the headline metrics). Failed points have no metrics and
+/// are deliberately absent — consumers needing them read the JSON report.
 pub fn sweep_csv(sweep: &Sweep, points: &[SweepPoint]) -> String {
     let mut out = String::new();
     for grid_dim in &sweep.dims {
@@ -385,6 +572,7 @@ pub fn sweep_csv(sweep: &Sweep, points: &[SweepPoint]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -460,8 +648,9 @@ mod tests {
         sweep.base_config = SimConfig::small_for_tests();
         let points = sweep.run(|_| {}).expect("runs");
         assert_eq!(points.len(), 2);
-        let json = sweep_json(&sweep, &points, 1.25);
+        let json = sweep_json(&sweep, &points, &[], 1.25);
         assert!(json.contains("\"num_points\": 2"));
+        assert!(json.contains("\"failed_points\": 0"));
         assert!(json.contains("\"rob\": 128"));
         assert!(!json.contains("\"cells\""));
         let csv = sweep_csv(&sweep, &points);
@@ -472,5 +661,53 @@ mod tests {
         );
         assert_eq!(csv.lines().count(), 3);
         assert_eq!(points[0].label(), "rob=128");
+    }
+
+    #[test]
+    fn sweep_json_reports_failures() {
+        let sweep = Sweep::new(Workload::ComputeBound, Technique::OutOfOrder)
+            .with_dim("rob=128,192".parse().unwrap());
+        let failures = vec![SweepFailure {
+            index: 1,
+            settings: vec![(SweepDim::Rob, 192)],
+            error: SimError::Panic {
+                detail: "boom \"quoted\"".to_string(),
+            },
+            attempts: 2,
+        }];
+        let json = sweep_json(&sweep, &[], &failures, 0.5);
+        assert!(json.contains("\"failed_points\": 1"));
+        assert!(json.contains("\"label\": \"rob=192\""));
+        assert!(json.contains("\"attempts\": 2"));
+        assert!(json.contains("boom \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn into_result_prefers_real_failures_over_skips() {
+        let run = SweepRun {
+            points: Vec::new(),
+            failures: vec![
+                SweepFailure {
+                    index: 0,
+                    settings: Vec::new(),
+                    error: SimError::Skipped,
+                    attempts: 0,
+                },
+                SweepFailure {
+                    index: 1,
+                    settings: Vec::new(),
+                    error: SimError::Panic {
+                        detail: "real".to_string(),
+                    },
+                    attempts: 1,
+                },
+            ],
+            total: 2,
+        };
+        assert!(!run.is_complete());
+        assert!(matches!(
+            run.into_result(),
+            Err(SimError::Panic { detail }) if detail == "real"
+        ));
     }
 }

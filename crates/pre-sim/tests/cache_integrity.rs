@@ -1,0 +1,207 @@
+//! Disk-cache integrity: corrupt and truncated entries are quarantined and
+//! degrade to a cache miss whose recomputation is bit-identical, and
+//! concurrent writers never produce a torn read.
+//!
+//! These tests pass explicit cache directories (no `PRE_CACHE_DIR`), so they
+//! don't touch process environment; they still share the global in-memory
+//! stores, so they serialize on one lock and use per-test cache keys.
+
+use pre_model::config::SimConfig;
+use pre_runahead::Technique;
+use pre_sim::runner::{run_one, RunResult, RunSpec};
+use pre_sim::stores::{
+    clear_stores, result_key, result_lookup, result_store, try_result_store_disk,
+};
+use pre_workloads::{Workload, WorkloadParams};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Serializes tests in this file: they all clear the process-wide in-memory
+/// stores to force the disk path.
+static STORE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    STORE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn spec_for(workload: Workload, budget: u64) -> RunSpec {
+    RunSpec::new(workload, Technique::Pre)
+        .with_budget(budget)
+        .with_config(SimConfig::small_for_tests())
+        .with_params(WorkloadParams::short(50))
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pre-integrity-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cache_file(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("result_{key:016x}.txt"))
+}
+
+fn populate(spec: &RunSpec, dir: &Path) -> (u64, String, RunResult) {
+    let program = spec.workload.build(&spec.params);
+    let (key, desc) = result_key(spec, &program);
+    let baseline = run_one(spec).expect("baseline run");
+    result_store(key, &desc, &baseline, Some(dir));
+    assert!(cache_file(dir, key).exists(), "entry persisted");
+    (key, desc, baseline)
+}
+
+/// Damages the entry, then asserts: lookup misses, the file was quarantined
+/// to `*.corrupt`, and a recomputation is bit-identical to the baseline.
+fn assert_quarantine_and_recompute(
+    spec: &RunSpec,
+    dir: &Path,
+    key: u64,
+    desc: &str,
+    baseline: &RunResult,
+    damage: impl FnOnce(&Path),
+) {
+    let path = cache_file(dir, key);
+    damage(&path);
+    clear_stores(); // force the disk path
+    assert!(
+        result_lookup(key, desc, Some(dir)).is_none(),
+        "damaged entry reads as a miss"
+    );
+    assert!(!path.exists(), "damaged entry no longer matches lookups");
+    let corrupt = PathBuf::from(format!("{}.corrupt", path.display()));
+    assert!(corrupt.exists(), "damaged entry was quarantined");
+    let recomputed = run_one(spec).expect("recompute after quarantine");
+    assert_eq!(recomputed.stats, baseline.stats);
+    assert_eq!(
+        recomputed.stats.to_kv(),
+        baseline.stats.to_kv(),
+        "recomputation is bit-identical"
+    );
+    assert_eq!(recomputed.energy, baseline.energy);
+}
+
+#[test]
+fn corrupt_entry_is_quarantined_and_recomputed_bit_identically() {
+    let _guard = lock();
+    let dir = fresh_dir("corrupt");
+    let spec = spec_for(Workload::ComputeBound, 2_000);
+    let (key, desc, baseline) = populate(&spec, &dir);
+    assert_quarantine_and_recompute(&spec, &dir, key, &desc, &baseline, |path| {
+        let mut bytes = std::fs::read(path).expect("entry readable");
+        let mid = bytes.len() / 2;
+        for b in bytes.iter_mut().skip(mid).take(8) {
+            *b ^= 0xff;
+        }
+        std::fs::write(path, bytes).expect("corruption written");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_entry_is_quarantined_and_recomputed_bit_identically() {
+    let _guard = lock();
+    let dir = fresh_dir("truncate");
+    let spec = spec_for(Workload::McfLike, 2_000);
+    let (key, desc, baseline) = populate(&spec, &dir);
+    assert_quarantine_and_recompute(&spec, &dir, key, &desc, &baseline, |path| {
+        let bytes = std::fs::read(path).expect("entry readable");
+        std::fs::write(path, &bytes[..bytes.len() / 3]).expect("truncation written");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unframed_v1_era_entry_is_quarantined_not_trusted() {
+    let _guard = lock();
+    let dir = fresh_dir("v1");
+    let spec = spec_for(Workload::ComputeBound, 1_500);
+    let (key, desc, baseline) = populate(&spec, &dir);
+    assert_quarantine_and_recompute(&spec, &dir, key, &desc, &baseline, |path| {
+        // Strip the integrity header, leaving a pre-header-era bare body.
+        let text = std::fs::read_to_string(path).expect("entry readable");
+        let (_, body) = text.split_once('\n').expect("framed entry");
+        std::fs::write(path, body).expect("v1-style body written");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quarantined_entry_heals_on_next_store() {
+    let _guard = lock();
+    let dir = fresh_dir("heal");
+    let spec = spec_for(Workload::ComputeBound, 1_000);
+    let (key, desc, baseline) = populate(&spec, &dir);
+    let path = cache_file(&dir, key);
+    std::fs::write(&path, "garbage").expect("damage written");
+    clear_stores();
+    assert!(result_lookup(key, &desc, Some(&dir)).is_none());
+    // Re-store (as a recomputing run would) and read it back from disk.
+    result_store(key, &desc, &baseline, Some(&dir));
+    clear_stores();
+    let hit = result_lookup(key, &desc, Some(&dir)).expect("healed entry hits");
+    assert!(hit.cache_hit);
+    assert_eq!(hit.stats.to_kv(), baseline.stats.to_kv());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_writers_never_produce_a_torn_read() {
+    let _guard = lock();
+    let dir = fresh_dir("race");
+    let spec = spec_for(Workload::LbmLike, 1_500);
+    let program = spec.workload.build(&spec.params);
+    let (key, desc) = result_key(&spec, &program);
+    let baseline = run_one(&spec).expect("baseline run");
+    let expected_kv = baseline.stats.to_kv();
+
+    let dir = Arc::new(dir);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writers = Vec::new();
+    for _ in 0..2 {
+        let dir = Arc::clone(&dir);
+        let stop = Arc::clone(&stop);
+        let baseline = baseline.clone();
+        let desc = desc.clone();
+        writers.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                try_result_store_disk(&dir, key, &desc, &baseline).expect("disk store");
+            }
+        }));
+    }
+
+    // Wait for the first store to land so the racing reads below actually
+    // overlap the writers (under load the reader loop can otherwise finish
+    // before the writer threads are even scheduled).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !cache_file(&dir, key).exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "writers never produced an entry"
+        );
+        std::thread::yield_now();
+    }
+
+    // The reader bypasses the in-memory store each iteration: every disk
+    // read racing the two writers must see either no file or one whole,
+    // checksum-valid entry — never a torn write.
+    let mut hits = 0;
+    for _ in 0..300 {
+        clear_stores();
+        if let Some(hit) = result_lookup(key, &desc, Some(&dir)) {
+            assert_eq!(hit.stats.to_kv(), expected_kv, "read result is whole");
+            hits += 1;
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().expect("writer thread");
+    }
+    assert!(hits > 0, "reader observed the entry at least once");
+    let corrupt = PathBuf::from(format!("{}.corrupt", cache_file(&dir, key).display()));
+    assert!(
+        !corrupt.exists(),
+        "no reader ever quarantined a half-written entry"
+    );
+    let _ = std::fs::remove_dir_all(dir.as_path());
+}

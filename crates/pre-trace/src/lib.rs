@@ -31,12 +31,14 @@ pub mod chrome;
 pub mod collect;
 pub mod commitlog;
 pub mod pipeview;
+pub mod ring;
 pub mod spec;
 pub mod timeseries;
 
 mod session;
 
 pub use collect::IntervalCollector;
+pub use ring::CommitRing;
 pub use session::TraceSession;
 pub use spec::{TimeSeriesFormat, TraceSpec};
 

@@ -21,11 +21,16 @@
 //!   directory), next to the per-bench JSON the other benches emit.
 //! * `PRE_SIM_SPEED_SWEEP` — set to `0`/`false` to skip the sweep-mode
 //!   section (cold vs warm-forked vs cache-hit points per second).
+//! * `PRE_SIM_SPEED_SAMPLING` — set to `0`/`false` to skip the sampled-
+//!   simulation section (full detailed run vs SimPoint-style estimate).
+//! * `PRE_SIM_SPEED_SAMPLING_UOPS` — committed-micro-op budget of the
+//!   sampling section's long-horizon cells (default 240 000).
 
 use pre_model::config::SimConfig;
 use pre_runahead::Technique;
 use pre_sim::experiments::Suite;
 use pre_sim::runner::{run_one, RunResult, RunSpec};
+use pre_sim::sample::SampleSpec;
 use pre_sim::stores::clear_stores;
 use pre_sim::sweep::{cache_hit_rate, GridDim, Sweep};
 use pre_workloads::Workload;
@@ -199,6 +204,83 @@ fn bench_sweeps() -> SweepReport {
     }
 }
 
+/// One long-horizon cell of the sampled-simulation section: full detailed
+/// run vs SimPoint-style sampled estimate, both timed cold (the sampled
+/// time includes the profiling, clustering and snapshot-capture passes).
+struct SamplingCellReport {
+    workload: &'static str,
+    technique: &'static str,
+    full_secs: f64,
+    sampled_secs: f64,
+    full_ipc: f64,
+    sampled_ipc: f64,
+    coverage: f64,
+}
+
+impl SamplingCellReport {
+    fn speedup(&self) -> f64 {
+        self.full_secs / self.sampled_secs.max(1e-12)
+    }
+
+    fn ipc_error(&self) -> f64 {
+        (self.sampled_ipc - self.full_ipc).abs() / self.full_ipc.max(1e-12)
+    }
+}
+
+struct SamplingReport {
+    budget_uops: u64,
+    spec_label: String,
+    runs: Vec<SamplingCellReport>,
+}
+
+/// Benchmarks sampled simulation on long-horizon cells: time-to-result and
+/// IPC of the full detailed run vs the SimPoint-style estimate. The error
+/// bound itself is enforced by the `sampling` integration test; this section
+/// records the measured speedup/error pair the README table quotes.
+fn bench_sampling(config: &SimConfig) -> SamplingReport {
+    let budget = env_usize("PRE_SIM_SPEED_SAMPLING_UOPS", 240_000) as u64;
+    let sample = SampleSpec {
+        clusters: 6,
+        interval_uops: 6_000,
+    };
+    let cells: [(Workload, Technique); 2] = [
+        ("asm-chase-large".parse().expect("workload"), Technique::Pre),
+        ("asm-box-blur".parse().expect("workload"), Technique::Pre),
+    ];
+    let mut runs = Vec::new();
+    for (workload, technique) in cells {
+        let full_spec = RunSpec::new(workload, technique)
+            .with_budget(budget)
+            .with_config(config.clone());
+        clear_stores();
+        let start = Instant::now();
+        let full = run_one(&full_spec).expect("full run");
+        let full_secs = start.elapsed().as_secs_f64();
+
+        let mut sampled_spec = full_spec.clone();
+        sampled_spec.sample = Some(sample);
+        clear_stores();
+        let start = Instant::now();
+        let sampled = run_one(&sampled_spec).expect("sampled run");
+        let sampled_secs = start.elapsed().as_secs_f64();
+        let meta = sampled.sample.as_ref().expect("sampling metadata");
+        runs.push(SamplingCellReport {
+            workload: workload.name(),
+            technique: technique.label(),
+            full_secs,
+            sampled_secs,
+            full_ipc: full.ipc(),
+            sampled_ipc: sampled.ipc(),
+            coverage: meta.coverage(),
+        });
+    }
+    SamplingReport {
+        budget_uops: budget,
+        spec_label: sample.label(),
+        runs,
+    }
+}
+
 fn json_escape_free(s: &str) -> &str {
     debug_assert!(s
         .chars()
@@ -211,6 +293,7 @@ fn write_aggregate_json(
     budget: u64,
     reference_scheduler: bool,
     sweep: Option<&SweepReport>,
+    sampling: Option<&SamplingReport>,
 ) {
     let dir = match std::env::var("PRE_BENCH_JSON")
         .ok()
@@ -259,6 +342,40 @@ fn write_aggregate_json(
             s.memo_speedup(),
             s.memo_hit_rate,
         ));
+    }
+    // Like the sweep section, the sampling section precedes the "cells" key
+    // and keeps the substring "cells" out of its key names.
+    if let Some(s) = sampling {
+        body.push_str(&format!(
+            concat!(
+                "  \"sampling\": {{\n",
+                "    \"sampling_budget_uops\": {}, \"sample_spec\": \"{}\",\n",
+                "    \"runs\": [\n"
+            ),
+            s.budget_uops,
+            json_escape_free(&s.spec_label),
+        ));
+        for (i, r) in s.runs.iter().enumerate() {
+            body.push_str(&format!(
+                concat!(
+                    "      {{\"workload\": \"{}\", \"technique\": \"{}\", ",
+                    "\"full_ms\": {:.1}, \"sampled_ms\": {:.1}, \"speedup\": {:.2}, ",
+                    "\"full_ipc\": {:.4}, \"sampled_ipc\": {:.4}, ",
+                    "\"ipc_error_pct\": {:.2}, \"coverage_pct\": {:.1}}}{}\n"
+                ),
+                json_escape_free(r.workload),
+                json_escape_free(r.technique),
+                r.full_secs * 1e3,
+                r.sampled_secs * 1e3,
+                r.speedup(),
+                r.full_ipc,
+                r.sampled_ipc,
+                r.ipc_error() * 100.0,
+                r.coverage * 100.0,
+                if i + 1 == s.runs.len() { "" } else { "," },
+            ));
+        }
+        body.push_str("    ]\n  },\n");
     }
     body.push_str("  \"cells\": [\n");
     for (i, r) in reports.iter().enumerate() {
@@ -390,5 +507,37 @@ fn main() {
     } else {
         None
     };
-    write_aggregate_json(&reports, budget, reference_scheduler, sweep.as_ref());
+    let run_sampling = std::env::var("PRE_SIM_SPEED_SAMPLING")
+        .map(|v| !matches!(v.trim(), "0" | "false"))
+        .unwrap_or(true);
+    let sampling = if run_sampling {
+        let s = bench_sampling(&config);
+        for r in &s.runs {
+            println!(
+                "sampling ({} uops, {}): {:<18} {:<4} full {:>8.1} ms  sampled {:>8.1} ms \
+                 ({:.2}x)  ipc {:.4} vs ~{:.4} (error {:.2}%, coverage {:.1}%)",
+                s.budget_uops,
+                s.spec_label,
+                r.workload,
+                r.technique,
+                r.full_secs * 1e3,
+                r.sampled_secs * 1e3,
+                r.speedup(),
+                r.full_ipc,
+                r.sampled_ipc,
+                r.ipc_error() * 100.0,
+                r.coverage * 100.0,
+            );
+        }
+        Some(s)
+    } else {
+        None
+    };
+    write_aggregate_json(
+        &reports,
+        budget,
+        reference_scheduler,
+        sweep.as_ref(),
+        sampling.as_ref(),
+    );
 }

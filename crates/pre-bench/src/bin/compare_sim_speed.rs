@@ -251,4 +251,31 @@ mod tests {
         let swept = parse_cells(&with_sweep).expect("parses with sweep section");
         assert_eq!(plain, swept);
     }
+
+    #[test]
+    fn tolerates_a_sampling_section_before_the_cells() {
+        // Same contract as the sweep section: the sampled-simulation
+        // metrics land before "cells" with no key containing the substring
+        // "cells", so the regression gate sees the same cells either way.
+        let sampling_section = concat!(
+            "  \"sampling\": {\n",
+            "    \"sampling_budget_uops\": 240000, ",
+            "\"sample_spec\": \"n=6,interval=6000\",\n",
+            "    \"runs\": [\n",
+            "      {\"workload\": \"asm-chase-large\", \"technique\": \"PRE\", ",
+            "\"full_ms\": 805.1, \"sampled_ms\": 141.0, \"speedup\": 5.71, ",
+            "\"full_ipc\": 0.0130, \"sampled_ipc\": 0.0130, ",
+            "\"ipc_error_pct\": 0.17, \"coverage_pct\": 5.0}\n",
+            "    ]\n",
+            "  },\n"
+        );
+        let with_sampling = SAMPLE.replace(
+            "  \"cells\": [\n",
+            &format!("{sampling_section}  \"cells\": [\n"),
+        );
+        assert_ne!(with_sampling, SAMPLE, "sampling section was inserted");
+        let plain = parse_cells(SAMPLE).expect("parses");
+        let sampled = parse_cells(&with_sampling).expect("parses with sampling section");
+        assert_eq!(plain, sampled);
+    }
 }

@@ -260,6 +260,21 @@ impl OooCore {
         program: &Program,
         technique: Technique,
     ) -> Result<Self, BuildError> {
+        Self::build(cfg, program, technique, || program.build_memory())
+    }
+
+    /// Shared constructor body: `func_mem` supplies the initial functional
+    /// memory (built from the program image on a cold start, cloned from a
+    /// snapshot on a forked start) and is only invoked after validation.
+    /// Taking it as a closure lets [`from_snapshot`](Self::from_snapshot)
+    /// skip the program-image build entirely — for multi-megabyte images
+    /// that build dominates the per-fork cost of sampled simulation.
+    fn build(
+        cfg: &SimConfig,
+        program: &Program,
+        technique: Technique,
+        func_mem: impl FnOnce() -> FuncMem,
+    ) -> Result<Self, BuildError> {
         cfg.validate()?;
         program.validate()?;
         let core_cfg = &cfg.core;
@@ -278,7 +293,7 @@ impl OooCore {
         iq.set_reference_mode(core_cfg.reference_scheduler);
         Ok(OooCore {
             mem_hier: MemoryHierarchy::new(cfg),
-            func_mem: program.build_memory(),
+            func_mem: func_mem(),
             arf,
             predictor: BranchPredictorUnit::new(&cfg.frontend),
             delay_pipe: DelayPipe::new(
@@ -354,7 +369,7 @@ impl OooCore {
         snap: &pre_model::snapshot::SimSnapshot,
         warmed: &crate::WarmedState,
     ) -> Result<Self, BuildError> {
-        let mut core = OooCore::new(cfg, program, technique)?;
+        let mut core = OooCore::build(cfg, program, technique, || snap.mem.clone())?;
         core.arf = snap.regs;
         // The rename subsystem seeds its initial mappings from the ARF, so
         // rebuild it over the snapshot's register values.
@@ -364,7 +379,6 @@ impl OooCore {
             cfg.runahead.prdq_entries,
             &core.arf,
         );
-        core.func_mem = snap.mem.clone();
         core.mem_hier = warmed.mem_hier.clone();
         core.predictor = warmed.predictor.clone();
         // Resume fetch at the snapshot PC. `fetch_done` stays false even
@@ -674,23 +688,13 @@ impl OooCore {
             Mode::Normal => {}
         }
 
-        // Batch retire: drain every commit-ready head (up to the commit
-        // width) with one fused probe-and-pop per retired entry.
-        let mut committed = 0;
-        while committed < self.cfg.core.commit_width {
-            let Some(entry) = self.rob.pop_head_if_executed() else {
-                if self.rob.is_empty() {
-                    if self.fetch_done
-                        && self.uop_queue.is_empty()
-                        && self.delay_pipe.is_empty()
-                        && self.emq.is_empty()
-                    {
-                        self.halted = true;
-                    }
-                } else {
-                    self.detect_full_window_stall(now);
-                }
-                return;
+        // Batch retire: one head-run probe sizes the whole batch of
+        // consecutive executed head entries, then the drain pops them without
+        // re-checking the head after every entry.
+        let batch = self.rob.executed_head_run(self.cfg.core.commit_width);
+        for _ in 0..batch {
+            let Some(entry) = self.rob.pop_head() else {
+                break;
             };
             let inst = entry.uop.inst;
             if let (Some(dest), Some(result)) = (inst.dest, entry.result) {
@@ -738,17 +742,32 @@ impl OooCore {
                     now,
                 );
             }
-            committed += 1;
+        }
+        // A partial batch means the head is either gone (empty window: check
+        // for the end of the program) or still in flight (a commit-blocked
+        // full window counts toward the stall statistics).
+        if batch < self.cfg.core.commit_width {
+            if self.rob.is_empty() {
+                if self.fetch_done
+                    && self.uop_queue.is_empty()
+                    && self.delay_pipe.is_empty()
+                    && self.emq.is_empty()
+                {
+                    self.halted = true;
+                }
+            } else {
+                self.detect_full_window_stall(now);
+            }
         }
     }
 
     /// Pseudo-retirement during flush-style runahead: instructions drain from
     /// the ROB head without updating architectural state.
     fn pseudo_retire(&mut self, now: u64) {
-        let mut retired = 0;
-        while retired < self.cfg.core.commit_width {
-            let Some(entry) = self.rob.pop_head_if_executed() else {
-                return;
+        let batch = self.rob.executed_head_run(self.cfg.core.commit_width);
+        for _ in 0..batch {
+            let Some(entry) = self.rob.pop_head() else {
+                break;
             };
             if entry.uop.inst.opcode.is_store() {
                 self.lsq.release_store(entry.id);
@@ -764,7 +783,6 @@ impl OooCore {
             if let Some(t) = self.tracer.as_deref_mut() {
                 t.uop_squashed(entry.id, now);
             }
-            retired += 1;
         }
     }
 

@@ -356,6 +356,20 @@ impl ReorderBuffer {
         self.pop_head()
     }
 
+    /// The length of the run of consecutive executed entries at the head,
+    /// capped at `max`: the batch size commit can drain this cycle with one
+    /// probe instead of re-checking the head after every pop. Nothing marks
+    /// entries executed while commit drains, so sizing the batch up front is
+    /// equivalent to the head-at-a-time re-checks it replaces.
+    pub fn executed_head_run(&self, max: usize) -> usize {
+        let limit = max.min(self.len);
+        let mut run = 0;
+        while run < limit && self.hot[self.phys(run)].executed {
+            run += 1;
+        }
+        run
+    }
+
     /// `true` when `slot` currently holds the micro-op `id`. Handles from
     /// removed entries fail: freed slots clear their id and reused slots
     /// hold a different (younger, unique) id.
@@ -618,6 +632,31 @@ mod tests {
         assert_eq!(rob.pop_head_if_executed().unwrap().id, 1);
         assert!(rob.pop_head_if_executed().is_none(), "next head not ready");
         assert_eq!(rob.len(), 1);
+    }
+
+    #[test]
+    fn executed_head_run_counts_ready_prefix_and_wraps() {
+        let mut rob = ReorderBuffer::new(4);
+        assert_eq!(rob.executed_head_run(4), 0, "empty ROB");
+        let slots: Vec<u32> = (1..=4).map(|id| rob.push(entry(id))).collect();
+        assert_eq!(rob.executed_head_run(4), 0, "nothing executed yet");
+        rob.set_executed(slots[0]);
+        rob.set_executed(slots[1]);
+        // Entry 3 stays in flight, so the run stops there even though 4 is
+        // executed (commit is in-order).
+        rob.set_executed(slots[3]);
+        assert_eq!(rob.executed_head_run(4), 2);
+        assert_eq!(rob.executed_head_run(1), 1, "capped at max");
+        // Drain the ready prefix, refill past the ring boundary, and make the
+        // whole (wrapped) window ready: the run must follow the wrap.
+        assert_eq!(rob.pop_head().unwrap().id, 1);
+        assert_eq!(rob.pop_head().unwrap().id, 2);
+        let s5 = rob.push(entry(5));
+        let s6 = rob.push(entry(6));
+        rob.set_executed(slots[2]);
+        rob.set_executed(s5);
+        rob.set_executed(s6);
+        assert_eq!(rob.executed_head_run(8), 4);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod error;
 pub mod hash;
 pub mod isa;
 pub mod mem;
+pub mod profile;
 pub mod program;
 pub mod reg;
 pub mod rng;
@@ -40,6 +41,10 @@ pub use error::ConfigError;
 pub use hash::{stable_hash_of_debug, StableHasher};
 pub use isa::{AluOp, BranchCond, Opcode, StaticInst};
 pub use mem::FuncMem;
+pub use profile::{
+    cluster_intervals, profile_intervals, Bbv, Clustering, IntervalProfile, ProfiledInterval,
+    Representative,
+};
 pub use program::Program;
 pub use reg::{ArchReg, PhysReg, RegClass};
 pub use snapshot::{SimSnapshot, WarmBranch, WarmEvent, WarmTrace};

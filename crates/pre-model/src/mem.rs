@@ -295,10 +295,66 @@ impl FuncMem {
     }
 
     /// Bulk-initializes memory from `(address, 8-byte value)` pairs.
+    ///
+    /// Runs of consecutive aligned pairs that cover a whole fresh page are
+    /// installed wholesale — fully written, so the hash-init pass and the
+    /// per-store bookkeeping are both skipped. Program data segments are
+    /// exactly such runs, and multi-megabyte images (the pointer-chase
+    /// tables) are rebuilt once per forked core during sampled simulation,
+    /// so this path is hot. The result is bit-identical to the store loop:
+    /// same payload, same written-bitmap, same written-byte count, same
+    /// page-arena order (first touch).
     pub fn init_from<I: IntoIterator<Item = (u64, u64)>>(&mut self, pairs: I) {
-        for (addr, value) in pairs {
-            self.store_u64(addr, value);
+        const WORDS_PER_PAGE: usize = (PAGE_BYTES / 8) as usize;
+        let mut iter = pairs.into_iter().peekable();
+        let mut run: Vec<u64> = Vec::with_capacity(WORDS_PER_PAGE);
+        while let Some(&(addr, _)) = iter.peek() {
+            let fresh_page_start =
+                addr % PAGE_BYTES == 0 && self.lookup_page(addr / PAGE_BYTES).is_none();
+            if !fresh_page_start {
+                let (addr, value) = iter.next().expect("peeked");
+                self.store_u64(addr, value);
+                continue;
+            }
+            run.clear();
+            while run.len() < WORDS_PER_PAGE {
+                match iter.peek() {
+                    Some(&(a, v)) if a == addr + 8 * run.len() as u64 => {
+                        run.push(v);
+                        iter.next();
+                    }
+                    _ => break,
+                }
+            }
+            if run.len() == WORDS_PER_PAGE {
+                self.install_fresh_full_page(addr / PAGE_BYTES, &run);
+            } else {
+                for (i, &value) in run.iter().enumerate() {
+                    self.store_u64(addr + 8 * i as u64, value);
+                }
+            }
         }
+    }
+
+    /// Materializes a page that is not yet resident with every byte written:
+    /// `words` carries the full payload, so the hash-init pass of
+    /// [`Page::new`] would be dead work.
+    fn install_fresh_full_page(&mut self, page_no: u64, words: &[u64]) {
+        debug_assert_eq!(words.len() * 8, PAGE_BYTES as usize);
+        debug_assert!(self.lookup_page(page_no).is_none());
+        let mut data = vec![0u8; PAGE_BYTES as usize].into_boxed_slice();
+        for (chunk, word) in data.chunks_exact_mut(8).zip(words) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        let idx = u32::try_from(self.pages.len()).expect("fewer than 2^32 pages");
+        self.pages.push(Page {
+            page_no,
+            data,
+            written: vec![u64::MAX; BITMAP_WORDS].into_boxed_slice(),
+        });
+        self.page_index.insert(page_no, idx);
+        self.last_page.store(idx, Ordering::Relaxed);
+        self.stored_bytes += PAGE_BYTES;
     }
 
     /// Bulk-initializes memory from `(address, byte)` pairs (assembler
@@ -388,6 +444,42 @@ mod tests {
         // Overwrite one interior byte; its neighbours are untouched.
         mem.store_bytes(0x2003, 1, 0xFF);
         assert_eq!(mem.load_u64(0x2000), 0x1122_3344_FF66_7788);
+    }
+
+    #[test]
+    fn bulk_init_matches_the_store_loop_bit_for_bit() {
+        // Pairs engineered to hit every init_from path: two full aligned
+        // pages (wholesale install), a partial page (store-loop fallback), a
+        // misaligned run, and a revisit of an already-resident page (the
+        // fresh-page check must reject it).
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        for w in 0..2 * (PAGE_BYTES / 8) {
+            pairs.push((w * 8, w.wrapping_mul(0x9E37_79B9)));
+        }
+        for w in 0..17 {
+            pairs.push((0x5000 + w * 8, w ^ 0xABCD));
+        }
+        pairs.push((0x9004, 0x1111_2222_3333_4444)); // misaligned
+        pairs.push((0x0008, 0xFFFF)); // page 0 again, now resident
+
+        let mut fast = FuncMem::new();
+        fast.init_from(pairs.iter().copied());
+        let mut slow = FuncMem::new();
+        for &(addr, value) in &pairs {
+            slow.store_u64(addr, value);
+        }
+
+        assert_eq!(fast.written_bytes(), slow.written_bytes());
+        assert_eq!(fast.resident_pages(), slow.resident_pages());
+        let fast_pages: Vec<_> = fast
+            .page_images()
+            .map(|(n, d, w)| (n, d.to_vec(), w.to_vec()))
+            .collect();
+        let slow_pages: Vec<_> = slow
+            .page_images()
+            .map(|(n, d, w)| (n, d.to_vec(), w.to_vec()))
+            .collect();
+        assert_eq!(fast_pages, slow_pages);
     }
 
     #[test]

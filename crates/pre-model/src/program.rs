@@ -16,7 +16,7 @@ use crate::reg::{ArchReg, NUM_ARCH_REGS};
 use crate::snapshot::WarmTrace;
 
 /// A static program for the synthetic ISA.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Default)]
 pub struct Program {
     /// Human-readable workload name (e.g. `"mcf-like"`).
     pub name: String,
@@ -31,7 +31,42 @@ pub struct Program {
     pub initial_mem_bytes: Vec<(u64, u8)>,
     /// Initial architectural register values.
     pub initial_regs: Vec<(ArchReg, u64)>,
+    /// Memoized [`Program::content_hash`]. Multi-megabyte images make the
+    /// hash a per-call millisecond cost, and the cache/snapshot stores ask
+    /// for it on every lookup — so it is computed once per instance. A
+    /// program must not be mutated after its first `content_hash` call;
+    /// cloning resets the memo, so the build-by-mutating-a-clone producers
+    /// (assembler, workload builders) stay correct.
+    hash_memo: std::sync::OnceLock<u64>,
 }
+
+impl Clone for Program {
+    fn clone(&self) -> Self {
+        Program {
+            name: self.name.clone(),
+            insts: self.insts.clone(),
+            entry: self.entry,
+            initial_mem: self.initial_mem.clone(),
+            initial_mem_bytes: self.initial_mem_bytes.clone(),
+            initial_regs: self.initial_regs.clone(),
+            // Clones are what producers mutate; never inherit the memo.
+            hash_memo: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.insts == other.insts
+            && self.entry == other.entry
+            && self.initial_mem == other.initial_mem
+            && self.initial_mem_bytes == other.initial_mem_bytes
+            && self.initial_regs == other.initial_regs
+    }
+}
+
+impl Eq for Program {}
 
 impl Program {
     /// Creates an empty program with the given name.
@@ -141,7 +176,14 @@ impl Program {
     /// initial memory image and initial registers all enter the hash, so two
     /// programs hash equal exactly when they simulate identically. Backs the
     /// result-cache and snapshot keys (`pre-sim`).
+    ///
+    /// Memoized per instance (first call computes, later calls are free);
+    /// see the `hash_memo` field for the mutate-after-hash caveat.
     pub fn content_hash(&self) -> u64 {
+        *self.hash_memo.get_or_init(|| self.compute_content_hash())
+    }
+
+    fn compute_content_hash(&self) -> u64 {
         let mut h = crate::hash::StableHasher::new();
         h.write_str(&self.name);
         h.write_u64(u64::from(self.entry));

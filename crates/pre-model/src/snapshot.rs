@@ -155,9 +155,24 @@ impl SimSnapshot {
     /// interpreter, collecting the warm trace, and captures the resulting
     /// state.
     pub fn capture(program: &Program, warmup_uops: u64) -> SimSnapshot {
+        SimSnapshot::capture_windowed(program, warmup_uops, warmup_uops)
+    }
+
+    /// Like [`SimSnapshot::capture`], but only the final `trace_window`
+    /// micro-ops of the warm-up contribute to the warm trace; the earlier
+    /// `warmup_uops − trace_window` micro-ops execute untraced.
+    ///
+    /// Interval sampling uses this to take snapshots deep into a program
+    /// without carrying (and replaying) the entire execution history: the
+    /// architectural state is exact regardless of the window, while cache
+    /// and predictor warming come from the most recent window only.
+    /// `trace_window ≥ warmup_uops` is equivalent to a full-trace capture.
+    pub fn capture_windowed(program: &Program, warmup_uops: u64, trace_window: u64) -> SimSnapshot {
         let mut interp = Interpreter::new(program);
         let mut trace = WarmTrace::new();
-        let executed = interp.run_warm(warmup_uops, &mut trace);
+        let untraced = warmup_uops.saturating_sub(trace_window);
+        let mut executed = interp.run(untraced);
+        executed += interp.run_warm(warmup_uops - executed, &mut trace);
         let halted = interp.halted();
         let pc = interp.pc();
         let regs = *interp.regs();
@@ -370,6 +385,28 @@ mod tests {
         // and an unwritten location).
         assert_eq!(back.mem.load_u64(0x1000), snap.mem.load_u64(0x1000));
         assert_eq!(back.mem.load_u64(0x9999), snap.mem.load_u64(0x9999));
+    }
+
+    #[test]
+    fn windowed_capture_matches_state_with_bounded_trace() {
+        let program = looping_program();
+        let full = SimSnapshot::capture(&program, 120);
+        let windowed = SimSnapshot::capture_windowed(&program, 120, 30);
+        // Architectural state is exact regardless of the trace window.
+        assert_eq!(windowed.regs, full.regs);
+        assert_eq!(windowed.pc, full.pc);
+        assert_eq!(windowed.executed, full.executed);
+        assert_eq!(
+            windowed.mem.written_bytes(),
+            full.mem.written_bytes(),
+            "memory image must not depend on the trace window"
+        );
+        // The trace only covers the final window.
+        assert!(windowed.trace.branches.len() < full.trace.branches.len());
+        assert!(windowed.trace.len() < full.trace.len());
+        // A window at least as large as the warm-up is a full capture.
+        let wide = SimSnapshot::capture_windowed(&program, 120, 500);
+        assert_eq!(wide, full);
     }
 
     #[test]

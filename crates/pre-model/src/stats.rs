@@ -107,6 +107,27 @@ impl Histogram {
             .chain(std::iter::once(u64::MAX))
             .zip(self.counts.iter().copied())
     }
+
+    /// Folds `weight` copies of `other` into this histogram (bucket counts,
+    /// totals and sums scale; the max is the max of maxes). When the bucket
+    /// bounds differ — e.g. an empty default merged with a custom histogram —
+    /// the non-empty side's bounds are adopted; merging two non-empty
+    /// histograms with different bounds keeps `self`'s bounds and folds
+    /// `other`'s samples through its aggregate counters only.
+    pub fn merge_scaled(&mut self, other: &Histogram, weight: u64) {
+        if self.total == 0 && self.bounds != other.bounds {
+            self.bounds = other.bounds.clone();
+            self.counts = vec![0; other.counts.len()];
+        }
+        if self.bounds == other.bounds {
+            for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+                *c = c.wrapping_add(o.wrapping_mul(weight));
+            }
+        }
+        self.total = self.total.wrapping_add(other.total.wrapping_mul(weight));
+        self.sum = self.sum.wrapping_add(other.sum.wrapping_mul(weight));
+        self.max = self.max.max(other.max);
+    }
 }
 
 impl Default for Histogram {
@@ -158,6 +179,12 @@ impl PercentHistogram {
     /// Iterates over `(upper_bound, count)` pairs.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.0.buckets()
+    }
+
+    /// Folds `weight` copies of `other` into this histogram (see
+    /// [`Histogram::merge_scaled`]).
+    pub fn merge_scaled(&mut self, other: &PercentHistogram, weight: u64) {
+        self.0.merge_scaled(&other.0, weight);
     }
 }
 
@@ -229,6 +256,23 @@ impl TerminationKind {
             "max-cycles" => Ok(TerminationKind::MaxCycles),
             "watchdog" => Ok(TerminationKind::Watchdog),
             other => Err(format!("unknown termination kind `{other}`")),
+        }
+    }
+
+    /// The more severe of two termination kinds (`Completed` < `MaxCycles` <
+    /// `Watchdog`); used when combining sampled slices into one result.
+    pub fn worst(self, other: TerminationKind) -> TerminationKind {
+        fn rank(k: TerminationKind) -> u8 {
+            match k {
+                TerminationKind::Completed => 0,
+                TerminationKind::MaxCycles => 1,
+                TerminationKind::Watchdog => 2,
+            }
+        }
+        if rank(other) > rank(self) {
+            other
+        } else {
+            self
         }
     }
 }
@@ -303,6 +347,15 @@ impl RunningAverage {
     /// Number of samples recorded.
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// Folds `weight` copies of `other` into this average (the mean of the
+    /// merged average is the weighted mean of the two inputs).
+    pub fn merge_scaled(&mut self, other: &RunningAverage, weight: u64) {
+        self.sum += other.sum * weight as f64;
+        self.samples = self
+            .samples
+            .wrapping_add(other.samples.wrapping_mul(weight));
     }
 }
 
@@ -863,6 +916,47 @@ impl SimStats {
         }
         Ok(stats)
     }
+
+    /// Folds `weight` copies of `other` into this block: every `u64` counter
+    /// adds `weight × other` (wrapping, so checksum-style fields stay
+    /// well-defined), histograms and running averages merge with the same
+    /// weight, and the termination kind keeps the most severe value seen.
+    ///
+    /// This is the weighted extrapolation primitive for sampled simulation:
+    /// summing each representative interval's stats scaled by its cluster
+    /// weight yields an estimated full-run stats block whose integer
+    /// counters are exact functions of the per-interval runs.
+    pub fn merge_scaled(&mut self, other: &SimStats, weight: u64) {
+        macro_rules! fold {
+            ($($field:ident),* $(,)?) => {
+                $( self.$field = self
+                    .$field
+                    .wrapping_add(other.$field.wrapping_mul(weight)); )*
+            };
+        }
+        with_u64_stats_fields!(fold);
+        self.ff_cycles.normal = self
+            .ff_cycles
+            .normal
+            .wrapping_add(other.ff_cycles.normal.wrapping_mul(weight));
+        self.ff_cycles.runahead = self
+            .ff_cycles
+            .runahead
+            .wrapping_add(other.ff_cycles.runahead.wrapping_mul(weight));
+        self.runahead_interval_hist
+            .merge_scaled(&other.runahead_interval_hist, weight);
+        self.iq_free_at_entry
+            .merge_scaled(&other.iq_free_at_entry, weight);
+        self.int_regs_free_at_entry
+            .merge_scaled(&other.int_regs_free_at_entry, weight);
+        self.fp_regs_free_at_entry
+            .merge_scaled(&other.fp_regs_free_at_entry, weight);
+        self.int_free_at_stall_hist
+            .merge_scaled(&other.int_free_at_stall_hist, weight);
+        self.fp_free_at_stall_hist
+            .merge_scaled(&other.fp_free_at_stall_hist, weight);
+        self.terminated = self.terminated.worst(other.terminated);
+    }
 }
 
 impl fmt::Display for SimStats {
@@ -1067,6 +1161,54 @@ mod tests {
         assert!(SimStats::from_kv("cycles").is_err());
         // Empty input is a valid (default) stats block.
         assert_eq!(SimStats::from_kv("").unwrap(), SimStats::new());
+    }
+
+    #[test]
+    fn merge_scaled_scales_every_counter_exactly() {
+        let mut sample = SimStats::new();
+        // Distinct value per counter so a field skipped by the fold macro
+        // shows up as a mismatch.
+        let mut next = 1u64;
+        macro_rules! fill {
+            ($($field:ident),* $(,)?) => {
+                $( sample.$field = next; next += 3; )*
+            };
+        }
+        with_u64_stats_fields!(fill);
+        sample.runahead_interval_hist.record(30);
+        sample.iq_free_at_entry.record(0.5);
+        sample.int_free_at_stall_hist.record(40);
+        sample.terminated = TerminationKind::MaxCycles;
+
+        let mut total = SimStats::new();
+        total.merge_scaled(&sample, 3);
+        total.merge_scaled(&sample, 2);
+
+        let mut expect = 1u64;
+        macro_rules! check {
+            ($($field:ident),* $(,)?) => {
+                $( assert_eq!(total.$field, expect * 5, stringify!($field));
+                   expect += 3; )*
+            };
+        }
+        with_u64_stats_fields!(check);
+        assert_eq!(total.runahead_interval_hist.count(), 5);
+        assert_eq!(total.iq_free_at_entry.samples(), 5);
+        assert!((total.iq_free_at_entry.mean() - 0.5).abs() < 1e-12);
+        assert_eq!(total.int_free_at_stall_hist.count(), 5);
+        assert_eq!(total.terminated, TerminationKind::MaxCycles);
+        // IPC of the merged block is the weighted ratio, not a mean of
+        // per-slice IPCs.
+        assert!((total.ipc() - sample.ipc()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn termination_worst_orders_severity() {
+        use TerminationKind::*;
+        assert_eq!(Completed.worst(MaxCycles), MaxCycles);
+        assert_eq!(Watchdog.worst(MaxCycles), Watchdog);
+        assert_eq!(MaxCycles.worst(Completed), MaxCycles);
+        assert_eq!(Completed.worst(Completed), Completed);
     }
 
     #[test]

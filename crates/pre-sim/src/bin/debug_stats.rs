@@ -2,20 +2,21 @@
 //! technique.
 //!
 //! Usage: `debug_stats [--suite synthetic|asm|mixed] [--trace <spec>]
-//! [workload] [technique] [max_uops]`. Workload names include the asm
-//! kernels (`asm-matmul`, `quicksort`, ...); when only `--suite` is given,
-//! the suite's first workload is dumped. Run with `--help` for the
-//! environment variables the tools honour.
+//! [--sample [n=K,interval=N]] [workload] [technique] [max_uops]`. Workload
+//! names include the asm kernels (`asm-matmul`, `quicksort`, ...); when only
+//! `--suite` is given, the suite's first workload is dumped. Run with
+//! `--help` for the environment variables the tools honour.
 
 use pre_runahead::Technique;
 use pre_sim::experiments::split_suite_flag;
-use pre_sim::runner::{run_one_traced, RunSpec};
+use pre_sim::runner::{run_one, run_one_traced, RunSpec};
+use pre_sim::sample::SampleSpec;
 use pre_trace::collect::IntervalLog;
 use pre_trace::{IntervalCollector, TraceSession, TraceSpec, Tracer};
 use pre_workloads::Workload;
 
 const HELP: &str = "\
-usage: debug_stats [--suite synthetic|asm|mixed] [--trace <spec>] [workload] [technique] [max_uops]
+usage: debug_stats [--suite synthetic|asm|mixed] [--trace <spec>] [--sample [n=K,interval=N]] [workload] [technique] [max_uops]
 
 Dumps every statistic of one (workload, technique) run, including the
 runahead interval entry/exit event log collected through the tracer.
@@ -24,6 +25,11 @@ runahead interval entry/exit event log collected through the tracer.
   --trace <spec>   also write trace files; <spec> is a comma-separated list
                    of dir=PATH, pipeview, chrome, timeseries[=csv|json],
                    commit, all, window=K, ring=N (see the README)
+  --sample [spec]  estimate the run by SimPoint-style interval sampling
+                   instead of simulating the whole budget; statistics are
+                   then extrapolated (marked ~) and the sampling metadata
+                   (clusters, coverage, weights) is dumped. Incompatible
+                   with --trace.
   --help           this message
 
 environment variables:
@@ -45,8 +51,9 @@ fn main() {
         }
     };
     let mut trace: Option<TraceSpec> = None;
+    let mut sample: Option<SampleSpec> = None;
     let mut rest = Vec::new();
-    let mut args = positional.into_iter();
+    let mut args = positional.into_iter().peekable();
     while let Some(arg) = args.next() {
         if arg == "--help" || arg == "-h" {
             print!("{HELP}");
@@ -64,7 +71,28 @@ fn main() {
             trace = Some(value.parse().expect("valid --trace spec"));
             continue;
         }
+        if arg == "--sample" {
+            // The value is optional; consume the next argument only when it
+            // looks like a sample spec (contains `=`).
+            sample = Some(match args.peek() {
+                Some(next) if next.contains('=') => args
+                    .next()
+                    .unwrap_or_default()
+                    .parse()
+                    .expect("valid --sample spec"),
+                _ => SampleSpec::default(),
+            });
+            continue;
+        }
+        if let Some(value) = arg.strip_prefix("--sample=") {
+            sample = Some(value.parse().expect("valid --sample spec"));
+            continue;
+        }
         rest.push(arg);
+    }
+    if sample.is_some() && trace.is_some() {
+        eprintln!("--sample and --trace are incompatible (sampled runs cannot be traced)");
+        std::process::exit(2);
     }
     let workload: Workload = rest
         .first()
@@ -76,22 +104,40 @@ fn main() {
         .unwrap_or(Technique::OutOfOrder);
     let budget: u64 = rest.get(2).and_then(|s| s.parse().ok()).unwrap_or(60_000);
 
-    let spec = RunSpec::new(workload, technique).with_budget(budget);
-    // The interval event log rides on the tracer: a full TraceSession when
-    // `--trace` asks for files, the lightweight IntervalCollector otherwise.
-    let tracer: Box<dyn Tracer> = match &trace {
-        Some(ts) => Box::new(
-            TraceSession::create(ts, &spec.cell_name()).expect("trace files can be created"),
-        ),
-        None => Box::new(IntervalCollector::new()),
+    let mut spec = RunSpec::new(workload, technique).with_budget(budget);
+    spec.sample = sample;
+    let (result, events, trace_files) = if sample.is_some() {
+        // Sampled runs cannot carry a tracer; the interval event log stays
+        // empty and the extrapolated statistics are dumped with a ~ marker.
+        let result = run_one(&spec).expect("run");
+        (result, IntervalLog::default(), None)
+    } else {
+        // The interval event log rides on the tracer: a full TraceSession
+        // when `--trace` asks for files, the lightweight IntervalCollector
+        // otherwise.
+        let tracer: Box<dyn Tracer> = match &trace {
+            Some(ts) => Box::new(
+                TraceSession::create(ts, &spec.cell_name()).expect("trace files can be created"),
+            ),
+            None => Box::new(IntervalCollector::new()),
+        };
+        let (result, tracer) = run_one_traced(&spec, tracer).expect("run");
+        let (events, trace_files) = recover_log(tracer, trace.is_some());
+        (result, events, trace_files)
     };
-    let (result, tracer) = run_one_traced(&spec, tracer).expect("run");
-    let (events, trace_files) = recover_log(tracer, trace.is_some());
     let s = &result.stats;
     println!(
-        "workload {workload}  technique {technique}  deadlocked {}",
-        result.deadlocked
+        "workload {workload}  technique {technique}  deadlocked {}{}",
+        result.deadlocked,
+        if result.sample.is_some() {
+            "  (sampled: statistics below are ~extrapolated)"
+        } else {
+            ""
+        }
     );
+    if let Some(meta) = &result.sample {
+        println!("sampling: {}", meta.summary());
+    }
     println!("{s}");
     println!("--- pipeline ---");
     println!(

@@ -4,8 +4,12 @@
 //! paper's headline numbers because the matrix is simulated only once.
 //!
 //! Usage: `full_eval [--suite synthetic|asm|mixed] [--reference-scheduler]
-//! [--warmup <uops>] [--trace <spec>] [max_uops_per_run]` (defaults: the
-//! synthetic memory-intensive suite, 300 000 uops, event-driven scheduler).
+//! [--warmup <uops>] [--trace <spec>] [--sample [n=K,interval=N]]
+//! [max_uops_per_run]` (defaults: the synthetic memory-intensive suite,
+//! 300 000 uops, event-driven scheduler). `--sample` estimates every cell by
+//! SimPoint-style interval sampling (profile → cluster → simulate one
+//! representative per cluster → extrapolate); sampled numbers are marked `~`
+//! in the tables and the sampling metadata is printed after them.
 //! `--reference-scheduler` selects the scan-based escape-hatch scheduler —
 //! bit-identical statistics, much slower wall clock; useful for timing
 //! comparisons and debugging. `--warmup` shares one functional warm-up
@@ -42,10 +46,11 @@ fn main() {
     // (and the exit code) instead of aborting the other cells.
     let run = run_suite_matrix_cli_isolated(&cli, |r| {
         eprintln!(
-            "  [{:>6.1}s] {:<18} {:<10} ipc {:.3}{}{}",
+            "  [{:>6.1}s] {:<18} {:<10} ipc {}{:.3}{}{}",
             start.elapsed().as_secs_f64(),
             r.workload.name(),
             r.technique.label(),
+            if r.sample.is_some() { "~" } else { "" },
             r.ipc(),
             if r.cache_hit { "  (cached)" } else { "" },
             match r.terminated() {
@@ -66,6 +71,23 @@ fn main() {
         println!("paper-vs-measured (Figure 3):\n{}", fig3_summary(&matrix));
     }
     println!("{}", stat_invocations(&matrix).render());
+
+    if cli.sample.is_some() {
+        println!("sampling metadata (~ numbers above are extrapolated):");
+        // The profile is functional (technique-independent), so one line per
+        // workload describes every cell of its row.
+        let mut seen = Vec::new();
+        for r in matrix.results() {
+            if seen.contains(&r.workload) {
+                continue;
+            }
+            if let Some(meta) = &r.sample {
+                seen.push(r.workload);
+                println!("  {:<18} {}", r.workload.name(), meta.summary());
+            }
+        }
+        println!();
+    }
 
     let _ = fig2.write_csv("fig2_performance.csv");
     let _ = fig3.write_csv("fig3_energy.csv");

@@ -5,10 +5,13 @@
 //! `fig2_performance` / `fig3_energy` binaries.
 //!
 //! Usage: `quick_check [--suite synthetic|asm|mixed] [--warmup <uops>]
-//! [--trace <spec>] [max_uops]` (`--suite asm` smoke-tests every assembled
-//! RISC-V kernel). Cells consult the result cache (persisted when
-//! `PRE_CACHE_DIR` is set); the `cache` column shows `hit` for cells
-//! answered from it and `sim` for cells actually simulated.
+//! [--trace <spec>] [--sample [n=K,interval=N]] [max_uops]` (`--suite asm`
+//! smoke-tests every assembled RISC-V kernel). Cells consult the result
+//! cache (persisted when `PRE_CACHE_DIR` is set); the `cache` column shows
+//! `hit` for cells answered from it and `sim` for cells actually simulated.
+//! With `--sample`, cells are *estimated* by SimPoint-style interval
+//! sampling: their IPC is printed with a `~` prefix and the sampling
+//! metadata (clusters, coverage, weights) follows the table.
 //!
 //! Cells are failure-isolated: a cell that errors or panics prints its
 //! failure and the remaining cells still run; the exit code is then 1. A
@@ -42,6 +45,7 @@ fn main() {
     );
     let mut failed = false;
     let mut base_ipc = 0.0;
+    let mut sample_lines: Vec<String> = Vec::new();
     // The synthetic suite is large, so the quick check runs the reduced
     // representative matrix; the cell order is the canonical
     // `Suite::quick_cells` order shared with the other binaries.
@@ -52,6 +56,7 @@ fn main() {
             .with_warmup(cli.warmup)
             .with_result_cache(true);
         spec.trace.clone_from(&cli.trace);
+        spec.sample = cli.sample;
         // Contain cell panics (including PRE_FAULT-injected ones) so one
         // broken cell doesn't hide the others' results.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -74,12 +79,23 @@ fn main() {
                     TerminationKind::Watchdog => "  ! WATCHDOG",
                 };
                 failed |= result.terminated() == TerminationKind::Watchdog;
+                // `~` marks extrapolated (sampled) numbers so they are never
+                // mistaken for measured ones.
+                let est = if result.sample.is_some() { "~" } else { "" };
+                if let Some(meta) = &result.sample {
+                    sample_lines.push(format!(
+                        "  {} {}: {}",
+                        workload.name(),
+                        technique.label(),
+                        meta.summary()
+                    ));
+                }
                 println!(
-                    "{:<18} {:<10} {:>7.3} {:>9.3} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>6.3} {:>8.2} {:>6}{}",
+                    "{:<18} {:<10} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>6.3} {:>8.2} {:>6}{}",
                     workload.name(),
                     technique.label(),
-                    result.ipc(),
-                    speedup,
+                    format!("{est}{:.3}", result.ipc()),
+                    format!("{est}{speedup:.3}"),
                     result.stats.runahead_entries,
                     result.stats.runahead_cycles,
                     result.stats.runahead_prefetches_issued,
@@ -107,6 +123,12 @@ fn main() {
                     pre_par::panic_message(payload.as_ref())
                 );
             }
+        }
+    }
+    if !sample_lines.is_empty() {
+        println!("sampling metadata (~ rows are extrapolated):");
+        for line in sample_lines {
+            println!("{line}");
         }
     }
     if failed {

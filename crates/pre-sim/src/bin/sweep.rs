@@ -14,10 +14,17 @@
 //!       [--warmup <uops>] [--grid dim=v1,v2,...]... [--json <path>]
 //!       [--csv <path>] [--no-cache] [--expect-min-hit-rate <pct>]
 //!       [--reference-scheduler] [--fail-fast] [--max-retries <n>]
+//!       [--sample [n=K,interval=N]]
 //! ```
 //!
 //! Dimensions: `emq`, `sst`, `rob`, `iq`, `prdq`, `min-free-int`,
 //! `min-free-fp`, `l3-kb`, `min-ra-cycles`.
+//!
+//! `--sample` estimates every point by SimPoint-style interval sampling
+//! instead of a full detailed run: point IPCs are printed with a `~` prefix,
+//! and the JSON report records the sampling parameters and marks the points
+//! `"sampled": true`. The profile and clustering are computed once per
+//! (workload, budget) and shared by all points.
 //!
 //! Failures are isolated: a point that errors or panics is reported (and
 //! retried `--max-retries` times) while the rest of the grid completes; the
@@ -25,6 +32,7 @@
 //! `--fail-fast` stops launching new points after the first failure.
 
 use pre_runahead::Technique;
+use pre_sim::sample::SampleSpec;
 use pre_sim::sweep::{cache_hit_rate, sweep_csv, sweep_json, GridDim, Sweep, ALL_DIMS};
 use pre_workloads::Workload;
 use std::str::FromStr;
@@ -43,7 +51,7 @@ fn usage() -> ! {
         "usage: sweep [--workload <name>] [--technique <name>] [--budget <uops>] \
          [--warmup <uops>] [--grid dim=v1,v2,...]... [--json <path>] [--csv <path>] \
          [--no-cache] [--expect-min-hit-rate <pct>] [--reference-scheduler] \
-         [--fail-fast] [--max-retries <n>]"
+         [--fail-fast] [--max-retries <n>] [--sample [n=K,interval=N]]"
     );
     eprintln!("dimensions: {}", dims.join(", "));
     std::process::exit(2);
@@ -57,12 +65,33 @@ fn parse_args() -> Args {
     let mut json = None;
     let mut csv = None;
     let mut expect_min_hit_rate = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     let bail = |msg: String| -> ! {
         eprintln!("{msg}");
         usage();
     };
     while let Some(arg) = args.next() {
+        if arg == "--sample" {
+            // The value is optional; consume the next argument only when it
+            // looks like a sample spec (contains `=`).
+            sweep.sample = Some(match args.peek() {
+                Some(next) if next.contains('=') && !next.starts_with("--") => {
+                    match args.next().unwrap_or_default().parse::<SampleSpec>() {
+                        Ok(s) => s,
+                        Err(e) => bail(format!("bad --sample: {e}")),
+                    }
+                }
+                _ => SampleSpec::default(),
+            });
+            continue;
+        }
+        if let Some(value) = arg.strip_prefix("--sample=") {
+            match value.parse::<SampleSpec>() {
+                Ok(s) => sweep.sample = Some(s),
+                Err(e) => bail(format!("bad --sample: {e}")),
+            }
+            continue;
+        }
         let mut value_of = |flag: &str| -> String {
             match args.next() {
                 Some(v) => v,
@@ -135,9 +164,10 @@ fn main() {
     let start = Instant::now();
     let run = sweep.run_isolated(|p| {
         eprintln!(
-            "  [{:>7.2}s] {:<28} ipc {:.3}{}",
+            "  [{:>7.2}s] {:<28} ipc {}{:.3}{}",
             start.elapsed().as_secs_f64(),
             p.label(),
+            if p.result.sample.is_some() { "~" } else { "" },
             p.result.ipc(),
             if p.result.cache_hit { "  (cached)" } else { "" },
         );
@@ -151,9 +181,13 @@ fn main() {
     );
     for p in points {
         println!(
-            "{:<28} {:>8.3} {:>12} {:>10.2} {:>7} {:>9}",
+            "{:<28} {:>8} {:>12} {:>10.2} {:>7} {:>9}",
             p.label(),
-            p.result.ipc(),
+            format!(
+                "{}{:.3}",
+                if p.result.sample.is_some() { "~" } else { "" },
+                p.result.ipc()
+            ),
             p.result.stats.cycles,
             p.result.energy_mj(),
             if p.result.cache_hit { "hit" } else { "sim" },

@@ -4,6 +4,7 @@
 use crate::matrix::{EvaluationMatrix, MatrixRun};
 use crate::report::{pct, pct_improvement, Table};
 use crate::runner::{run_one, RunResult, RunSpec};
+use crate::sample::SampleSpec;
 use crate::sweep::{GridDim, Sweep, SweepDim};
 use pre_model::config::SimConfig;
 use pre_model::error::SimError;
@@ -160,6 +161,11 @@ pub struct CliArgs {
     /// Trace outputs requested with `--trace <spec>` (see
     /// [`TraceSpec`] for the spec grammar). `None` when tracing is off.
     pub trace: Option<TraceSpec>,
+    /// Sampled-mode parameters requested with `--sample [n=K,interval=N]`
+    /// (see [`SampleSpec`] for the grammar). When set, every cell is
+    /// estimated by SimPoint-style interval sampling instead of a full
+    /// detailed run, and reported numbers are marked `~`.
+    pub sample: Option<SampleSpec>,
 }
 
 impl CliArgs {
@@ -201,7 +207,9 @@ pub fn split_suite_flag<I: IntoIterator<Item = String>>(
 }
 
 /// Parses `[--suite <name>] [--reference-scheduler] [--warmup <uops>]
-/// [--trace <spec>] [max_uops]` from an argument iterator.
+/// [--trace <spec>] [--sample [n=K,interval=N]] [max_uops]` from an argument
+/// iterator. `--sample` with no value uses the default sampling parameters
+/// ([`SampleSpec::default`]).
 ///
 /// # Errors
 ///
@@ -217,8 +225,9 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(
         reference_scheduler: false,
         warmup: 0,
         trace: None,
+        sample: None,
     };
-    let mut positional = positional.into_iter();
+    let mut positional = positional.into_iter().peekable();
     while let Some(arg) = positional.next() {
         if arg == "--reference-scheduler" {
             cli.reference_scheduler = true;
@@ -246,6 +255,24 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(
             cli.trace = Some(value.parse().map_err(|e| format!("{e}"))?);
             continue;
         }
+        if arg == "--sample" {
+            // The value is optional: consume the next argument only when it
+            // looks like a sample spec (contains `=`), so `--sample 60000`
+            // still reads the budget.
+            let spec = match positional.peek() {
+                Some(next) if next.contains('=') => {
+                    let value = positional.next().unwrap_or_default();
+                    value.parse().map_err(|e| format!("bad --sample: {e}"))?
+                }
+                _ => SampleSpec::default(),
+            };
+            cli.sample = Some(spec);
+            continue;
+        }
+        if let Some(value) = arg.strip_prefix("--sample=") {
+            cli.sample = Some(value.parse().map_err(|e| format!("bad --sample: {e}"))?);
+            continue;
+        }
         match arg.parse() {
             Ok(budget) => cli.budget = budget,
             Err(_) => return Err(format!("unrecognized argument `{arg}`")),
@@ -256,8 +283,8 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(
 
 /// Parses the process command line
 /// (`[--suite <name>] [--reference-scheduler] [--warmup <uops>]
-/// [--trace <spec>] [max_uops]`), exiting with a usage message on malformed
-/// input.
+/// [--trace <spec>] [--sample [n=K,interval=N]] [max_uops]`), exiting with a
+/// usage message on malformed input.
 pub fn cli_from_args(default_budget: u64) -> CliArgs {
     match parse_cli(std::env::args().skip(1), default_budget) {
         Ok(cli) => cli,
@@ -265,7 +292,7 @@ pub fn cli_from_args(default_budget: u64) -> CliArgs {
             eprintln!("{msg}");
             eprintln!(
                 "usage: <binary> [--suite synthetic|asm|mixed] [--reference-scheduler] \
-                 [--warmup <uops>] [--trace <spec>] [max_uops]"
+                 [--warmup <uops>] [--trace <spec>] [--sample [n=K,interval=N]] [max_uops]"
             );
             std::process::exit(2);
         }
@@ -383,9 +410,33 @@ fn suite_matrix_specs(cli: &CliArgs) -> Vec<RunSpec> {
                 .with_warmup(cli.warmup)
                 .with_result_cache(true);
             spec.trace.clone_from(&cli.trace);
+            spec.sample = cli.sample;
             spec
         })
         .collect()
+}
+
+/// `~` when the cell's result was extrapolated by sampling, so estimated
+/// numbers are never mistaken for measured ones in the rendered tables.
+fn est_marker(result: Option<&RunResult>) -> &'static str {
+    match result.and_then(|r| r.sample.as_ref()) {
+        Some(_) => "~",
+        None => "",
+    }
+}
+
+/// `~` when any of `technique`'s cells in the matrix is extrapolated (the
+/// aggregate rows inherit the marker from their inputs).
+fn est_marker_any(matrix: &EvaluationMatrix, technique: Technique) -> &'static str {
+    if matrix
+        .results()
+        .iter()
+        .any(|r| r.technique == technique && r.sample.is_some())
+    {
+        "~"
+    } else {
+        ""
+    }
 }
 
 /// Builds the Figure 2 table (performance normalized to the out-of-order
@@ -397,9 +448,11 @@ pub fn fig2_table(matrix: &EvaluationMatrix) -> Table {
     );
     for workload in matrix.workloads() {
         let cell = |t: Technique| {
+            // `~` marks extrapolated (sampled) cells.
+            let est = est_marker(matrix.get(workload, t));
             matrix
                 .speedup(workload, t)
-                .map(|s| format!("{s:.3}"))
+                .map(|s| format!("{est}{s:.3}"))
                 .unwrap_or_else(|| "-".into())
         };
         table.add_row(vec![
@@ -410,7 +463,13 @@ pub fn fig2_table(matrix: &EvaluationMatrix) -> Table {
             cell(Technique::PreEmq),
         ]);
     }
-    let gmean = |t: Technique| format!("{:.3}", matrix.gmean_speedup(t));
+    let gmean = |t: Technique| {
+        format!(
+            "{}{:.3}",
+            est_marker_any(matrix, t),
+            matrix.gmean_speedup(t)
+        )
+    };
     table.add_row(vec![
         "gmean".into(),
         gmean(Technique::Runahead),
@@ -451,9 +510,10 @@ pub fn fig3_table(matrix: &EvaluationMatrix) -> Table {
     );
     for workload in matrix.workloads() {
         let cell = |t: Technique| {
+            let est = est_marker(matrix.get(workload, t));
             matrix
                 .energy_savings(workload, t)
-                .map(pct)
+                .map(|s| format!("{est}{}", pct(s)))
                 .unwrap_or_else(|| "-".into())
         };
         table.add_row(vec![
@@ -464,7 +524,13 @@ pub fn fig3_table(matrix: &EvaluationMatrix) -> Table {
             cell(Technique::PreEmq),
         ]);
     }
-    let mean = |t: Technique| pct(matrix.mean_energy_savings(t));
+    let mean = |t: Technique| {
+        format!(
+            "{}{}",
+            est_marker_any(matrix, t),
+            pct(matrix.mean_energy_savings(t))
+        )
+    };
     table.add_row(vec![
         "mean".into(),
         mean(Technique::Runahead),
@@ -852,6 +918,33 @@ mod tests {
         assert!(parse_cli(args(&["--suite", "bogus"]), 777).is_err());
         assert!(parse_cli(args(&["--suite"]), 777).is_err());
         assert!(parse_cli(args(&["wat"]), 777).is_err());
+    }
+
+    #[test]
+    fn cli_parses_sample_flag_forms() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let cli = parse_cli(args(&[]), 777).unwrap();
+        assert_eq!(cli.sample, None);
+
+        let cli = parse_cli(args(&["--sample"]), 777).unwrap();
+        assert_eq!(cli.sample, Some(SampleSpec::default()));
+
+        let cli = parse_cli(args(&["--sample", "n=4,interval=5000"]), 777).unwrap();
+        assert_eq!(cli.sample, Some(SampleSpec::new(4, 5_000)));
+
+        let cli = parse_cli(args(&["--sample=n=3", "9000"]), 777).unwrap();
+        assert_eq!(
+            cli.sample,
+            Some(SampleSpec::new(3, SampleSpec::DEFAULT_INTERVAL_UOPS))
+        );
+        assert_eq!(cli.budget, 9000);
+
+        // A bare `--sample` followed by the budget leaves the budget intact.
+        let cli = parse_cli(args(&["--sample", "60000"]), 777).unwrap();
+        assert_eq!(cli.sample, Some(SampleSpec::default()));
+        assert_eq!(cli.budget, 60_000);
+
+        assert!(parse_cli(args(&["--sample=n=0"]), 777).is_err());
     }
 
     #[test]

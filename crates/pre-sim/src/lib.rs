@@ -18,6 +18,9 @@
 //!   laptop.
 //! * [`stores`] — warm-up snapshot sharing and the content-addressed result
 //!   cache (in-memory always, on disk under `PRE_CACHE_DIR`).
+//! * [`sample`] — SimPoint-style interval sampling: profile → cluster →
+//!   simulate representatives → extrapolate, with sampling metadata on the
+//!   result (`--sample` on the binaries).
 //! * [`sweep`] — declarative parameter-grid sweeps expanded over the worker
 //!   pool, cache-aware, with JSON/CSV emission (the `sweep` binary).
 //! * [`report`] — plain-text table and CSV rendering.
@@ -30,9 +33,11 @@ pub mod fault;
 pub mod matrix;
 pub mod report;
 pub mod runner;
+pub mod sample;
 pub mod stores;
 pub mod sweep;
 
 pub use matrix::{CellFailure, EvaluationMatrix, MatrixRun};
 pub use runner::{cell_name, run_one, run_one_traced, RunResult, RunSpec};
+pub use sample::{run_sampled, RepWeight, SampleMeta, SampleSpec};
 pub use sweep::{Sweep, SweepFailure, SweepPoint, SweepRun};

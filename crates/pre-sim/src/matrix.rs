@@ -373,6 +373,7 @@ mod tests {
             deadlocked: false,
             cache_hit: false,
             watchdog: None,
+            sample: None,
         }
     }
 

@@ -1,5 +1,6 @@
 //! Running a single (workload, technique) simulation.
 
+use crate::sample::{SampleMeta, SampleSpec};
 use pre_core::OooCore;
 use pre_energy::{EnergyBreakdown, EnergyModel};
 use pre_model::config::SimConfig;
@@ -33,6 +34,17 @@ pub struct RunSpec {
     /// same (workload, params, warm-up) amortizes one warm-up execution.
     /// The committed-uop budget counts post-warm-up commits only.
     pub warmup_uops: u64,
+    /// Warm-trace window for the warm-up snapshot: when set, the snapshot's
+    /// cache/predictor warm trace covers only the final `warm_window` uops of
+    /// the warm-up instead of all of it. Architectural state is unaffected.
+    /// Sampled runs use this to fork mid-execution representatives cheaply.
+    /// `None` (the default) traces the whole warm-up.
+    pub warm_window: Option<u64>,
+    /// Sampled-mode parameters: when set, [`run_one`] estimates the result
+    /// via SimPoint-style interval sampling ([`crate::sample::run_sampled`])
+    /// instead of simulating the whole budget in detail. The result then
+    /// carries [`RunResult::sample`] metadata.
+    pub sample: Option<SampleSpec>,
     /// Consult the result cache ([`crate::stores`]) before simulating and
     /// store the outcome after. Off by default so timing harnesses measure
     /// real simulations unless they opt in.
@@ -52,6 +64,8 @@ impl RunSpec {
             max_cycles: 60_000_000,
             trace: None,
             warmup_uops: 0,
+            warm_window: None,
+            sample: None,
             use_result_cache: false,
         }
     }
@@ -86,6 +100,20 @@ impl RunSpec {
     /// detailed simulation.
     pub fn with_warmup(mut self, uops: u64) -> Self {
         self.warmup_uops = uops;
+        self
+    }
+
+    /// Limits the warm-up snapshot's warm trace to the final `uops` of the
+    /// warm-up (see [`RunSpec::warm_window`]).
+    pub fn with_warm_window(mut self, uops: u64) -> Self {
+        self.warm_window = Some(uops);
+        self
+    }
+
+    /// Requests SimPoint-style interval sampling with the given parameters
+    /// (see [`crate::sample::run_sampled`]).
+    pub fn sampled(mut self, sample: SampleSpec) -> Self {
+        self.sample = Some(sample);
         self
     }
 
@@ -133,6 +161,11 @@ pub struct RunResult {
     /// cached copy of a watchdog run reconstructs a minimal diagnostic from
     /// its stats via [`RunResult::watchdog_error`]).
     pub watchdog: Option<Box<WatchdogDiag>>,
+    /// Sampling metadata when this result was *extrapolated* from
+    /// representative intervals rather than measured in full
+    /// ([`crate::sample::run_sampled`]); `None` for measured runs. Reporting
+    /// marks such results with `~`.
+    pub sample: Option<SampleMeta>,
 }
 
 impl RunResult {
@@ -178,6 +211,9 @@ impl RunResult {
 /// Returns [`SimError`] if the configuration or the generated program is
 /// invalid, or if trace output cannot be written.
 pub fn run_one(spec: &RunSpec) -> Result<RunResult, SimError> {
+    if spec.sample.is_some() {
+        return crate::sample::run_sampled(spec);
+    }
     let Some(ts) = &spec.trace else {
         return run_one_plain(spec);
     };
@@ -205,7 +241,7 @@ pub fn run_one_traced(
     spec: &RunSpec,
     tracer: Box<dyn Tracer>,
 ) -> Result<(RunResult, Box<dyn Tracer>), SimError> {
-    let program = spec.workload.build(&spec.params);
+    let program = crate::stores::program_for(spec.workload, &spec.params);
     let mut core = build_core(spec, &program)?;
     core.set_tracer(tracer);
     core.run(spec.max_uops, spec.max_cycles);
@@ -224,6 +260,7 @@ pub fn run_one_traced(
             deadlocked: core.deadlocked(),
             cache_hit: false,
             watchdog,
+            sample: None,
         },
         tracer,
     ))
@@ -237,8 +274,11 @@ fn build_core(spec: &RunSpec, program: &pre_model::Program) -> Result<OooCore, S
     if spec.warmup_uops == 0 {
         return OooCore::new(&spec.config, program, spec.technique).map_err(SimError::from);
     }
-    let snap = crate::stores::snapshot_for(program, spec.warmup_uops);
-    let warmed = crate::stores::warmed_for(&spec.config, program, spec.warmup_uops, &snap);
+    let window = spec
+        .warm_window
+        .map_or(spec.warmup_uops, |w| w.min(spec.warmup_uops));
+    let snap = crate::stores::snapshot_for_windowed(program, spec.warmup_uops, window);
+    let warmed = crate::stores::warmed_for(&spec.config, program, spec.warmup_uops, window, &snap);
     OooCore::from_snapshot(&spec.config, program, spec.technique, &snap, &warmed)
         .map_err(SimError::from)
 }
@@ -257,11 +297,12 @@ fn simulate(spec: &RunSpec, program: &pre_model::Program) -> Result<RunResult, S
         deadlocked: core.deadlocked(),
         cache_hit: false,
         watchdog,
+        sample: None,
     })
 }
 
 fn run_one_plain(spec: &RunSpec) -> Result<RunResult, SimError> {
-    let program = spec.workload.build(&spec.params);
+    let program = crate::stores::program_for(spec.workload, &spec.params);
     if !spec.use_result_cache {
         return simulate(spec, &program);
     }

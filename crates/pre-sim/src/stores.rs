@@ -49,7 +49,7 @@ use pre_model::program::Program;
 use pre_model::snapshot::SimSnapshot;
 use pre_model::stats::SimStats;
 use pre_runahead::Technique;
-use pre_workloads::Workload;
+use pre_workloads::{Workload, WorkloadParams};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -69,6 +69,7 @@ type Store<T> = OnceLock<Mutex<HashMap<u64, Keyed<T>>>>;
 static SNAPSHOTS: Store<Arc<SimSnapshot>> = OnceLock::new();
 static WARMED: Store<Arc<WarmedState>> = OnceLock::new();
 static RESULTS: Store<RunResult> = OnceLock::new();
+static PROGRAMS: Store<Arc<Program>> = OnceLock::new();
 
 fn store<T>(cell: &Store<T>) -> &Mutex<HashMap<u64, Keyed<T>>> {
     cell.get_or_init(|| Mutex::new(HashMap::new()))
@@ -116,9 +117,13 @@ fn insert_or_get<T: Clone>(cell: &Store<T>, key: u64, desc: &str, value: T) -> T
     }
 }
 
-/// Empties every in-process store. Benches and golden tests call this to
+/// Empties every in-process store, including the sampling-plan memo
+/// ([`crate::sample::clear_plans`]). Benches and golden tests call this to
 /// force cold paths; the on-disk result cache is untouched.
 pub fn clear_stores() {
+    if let Some(m) = PROGRAMS.get() {
+        lock_recover(m).clear();
+    }
     if let Some(m) = SNAPSHOTS.get() {
         lock_recover(m).clear();
     }
@@ -128,6 +133,28 @@ pub fn clear_stores() {
     if let Some(m) = RESULTS.get() {
         lock_recover(m).clear();
     }
+    crate::sample::clear_plans();
+}
+
+/// The built program for `(workload, params)`, shared process-wide.
+///
+/// Building a workload is pure, so every run of the same cell constructs
+/// the same program — but multi-megabyte images (the large pointer-chase
+/// table) cost milliseconds to build and milliseconds more to content-hash,
+/// and a sampled run launches one detailed run per representative slice.
+/// Serving one `Arc<Program>` per cell makes those slices share a single
+/// build *and* a single memoized [`Program::content_hash`], which every
+/// downstream store key (snapshots, warmed state, results) asks for.
+pub fn program_for(workload: Workload, params: &WorkloadParams) -> Arc<Program> {
+    let desc = format!("program v1 workload={workload} params={params:?}");
+    let mut h = StableHasher::new();
+    h.write_str(&desc);
+    let key = h.finish();
+    if let Some(hit) = lookup(&PROGRAMS, key, &desc) {
+        return hit;
+    }
+    let program = Arc::new(workload.build(params));
+    insert_or_get(&PROGRAMS, key, &desc, program)
 }
 
 // ---------------------------------------------------------------------------
@@ -277,11 +304,16 @@ fn read_framed(path: &Path, kind: &str) -> Option<String> {
 // Snapshot + warmed-state stores
 // ---------------------------------------------------------------------------
 
-fn snapshot_key(program: &Program, warmup_uops: u64) -> (u64, String) {
+fn snapshot_key(program: &Program, warmup_uops: u64, window: u64) -> (u64, String) {
+    // The warm-trace window is part of the key: a per-interval snapshot at
+    // offset W with a one-interval window must never collide with the plain
+    // warm-up-budget snapshot at the same W (full window), or forked runs
+    // would warm from the wrong trace span.
     let desc = format!(
-        "snapshot v1 program={:016x} warmup={}",
+        "snapshot v2 program={:016x} warmup={} window={}",
         program.content_hash(),
-        warmup_uops
+        warmup_uops,
+        window
     );
     let mut h = StableHasher::new();
     h.write_str(&desc);
@@ -292,14 +324,29 @@ fn snapshot_disk_path(dir: &Path, key: u64) -> PathBuf {
     dir.join(format!("snapshot_{key:016x}.txt"))
 }
 
-/// The warm-up snapshot for (`program`, `warmup_uops`), captured on first
-/// request and shared (via `Arc`) afterwards. Consults the on-disk cache
-/// (`PRE_CACHE_DIR`) before capturing; see [`snapshot_for_with_dir`].
+/// The warm-up snapshot for (`program`, `warmup_uops`) with a full warm
+/// trace, captured on first request and shared (via `Arc`) afterwards.
+/// Consults the on-disk cache (`PRE_CACHE_DIR`) before capturing; see
+/// [`snapshot_for_with_dir`].
 pub fn snapshot_for(program: &Program, warmup_uops: u64) -> Arc<SimSnapshot> {
-    snapshot_for_with_dir(program, warmup_uops, env_cache_dir().as_deref())
+    snapshot_for_with_dir(
+        program,
+        warmup_uops,
+        warmup_uops,
+        env_cache_dir().as_deref(),
+    )
 }
 
-/// [`snapshot_for`] with an explicit disk directory (`None` = memory only).
+/// [`snapshot_for`] with a bounded warm-trace window: the snapshot's warm
+/// trace covers only the final `window` uops of the warm-up. Sampled runs
+/// fork mid-execution representatives this way (one interval of warm
+/// history); `window == warmup_uops` is exactly [`snapshot_for`].
+pub fn snapshot_for_windowed(program: &Program, warmup_uops: u64, window: u64) -> Arc<SimSnapshot> {
+    snapshot_for_with_dir(program, warmup_uops, window, env_cache_dir().as_deref())
+}
+
+/// [`snapshot_for_windowed`] with an explicit disk directory (`None` =
+/// memory only).
 ///
 /// Lookup order: in-memory store, then `disk_dir`, then a fresh capture.
 /// A disk entry that fails the integrity or parse checks is quarantined and
@@ -311,18 +358,48 @@ pub fn snapshot_for(program: &Program, warmup_uops: u64) -> Arc<SimSnapshot> {
 pub fn snapshot_for_with_dir(
     program: &Program,
     warmup_uops: u64,
+    window: u64,
     disk_dir: Option<&Path>,
 ) -> Arc<SimSnapshot> {
-    let (key, desc) = snapshot_key(program, warmup_uops);
-    if let Some(snap) = lookup(&SNAPSHOTS, key, &desc) {
+    if let Some(snap) = snapshot_lookup(program, warmup_uops, window, disk_dir) {
         return snap;
     }
-    if let Some(dir) = disk_dir {
-        if let Some(snap) = snapshot_from_disk(dir, key, &desc) {
-            return insert_or_get(&SNAPSHOTS, key, &desc, Arc::new(snap));
-        }
+    let snap = SimSnapshot::capture_windowed(program, warmup_uops, window);
+    snapshot_publish(program, warmup_uops, window, snap, disk_dir)
+}
+
+/// Probes the snapshot store (memory, then `disk_dir`) without capturing on
+/// a miss. Disk hits are promoted into the in-memory store. The sampling
+/// batch-capture pass uses this to skip offsets that are already cached.
+pub fn snapshot_lookup(
+    program: &Program,
+    warmup_uops: u64,
+    window: u64,
+    disk_dir: Option<&Path>,
+) -> Option<Arc<SimSnapshot>> {
+    let (key, desc) = snapshot_key(program, warmup_uops, window);
+    if let Some(snap) = lookup(&SNAPSHOTS, key, &desc) {
+        return Some(snap);
     }
-    let snap = Arc::new(SimSnapshot::capture(program, warmup_uops));
+    let dir = disk_dir?;
+    let snap = snapshot_from_disk(dir, key, &desc)?;
+    Some(insert_or_get(&SNAPSHOTS, key, &desc, Arc::new(snap)))
+}
+
+/// Inserts an externally-captured snapshot into the store (and, best-effort,
+/// onto disk), returning the shared entry. The sampling batch-capture pass
+/// publishes per-interval snapshots through this; the snapshot must be
+/// bit-identical to what [`SimSnapshot::capture_windowed`] would produce for
+/// the same key, which the batch pass guarantees by construction.
+pub fn snapshot_publish(
+    program: &Program,
+    warmup_uops: u64,
+    window: u64,
+    snap: SimSnapshot,
+    disk_dir: Option<&Path>,
+) -> Arc<SimSnapshot> {
+    let (key, desc) = snapshot_key(program, warmup_uops, window);
+    let snap = Arc::new(snap);
     if let Some(dir) = disk_dir {
         if let Err(e) = snapshot_to_disk(dir, key, &desc, &snap) {
             eprintln!("warning: cannot persist snapshot: {e}");
@@ -375,17 +452,19 @@ fn snapshot_to_disk(dir: &Path, key: u64, desc: &str, snap: &SimSnapshot) -> Res
     Ok(())
 }
 
-fn warmed_key(cfg: &SimConfig, program: &Program, warmup_uops: u64) -> (u64, String) {
+fn warmed_key(cfg: &SimConfig, program: &Program, warmup_uops: u64, window: u64) -> (u64, String) {
     // Everything MemoryHierarchy::new and BranchPredictorUnit::new read:
     // the four cache geometries, DRAM timing, the core frequency (DRAM
     // latency conversion), the prefetch-fill-L1 policy bit carried by the
     // hierarchy, and the frontend (predictor) configuration. Core and
     // runahead sizing parameters are deliberately absent so a ROB/IQ/EMQ/SST
-    // sweep shares one warmed state.
+    // sweep shares one warmed state. The warm-trace window is present: a
+    // windowed trace warms different state than a full one.
     let desc = format!(
-        "warmed v1 program={:016x} warmup={} mem={:016x} freq={:016x} fill_l1={} frontend={:016x}",
+        "warmed v2 program={:016x} warmup={} window={} mem={:016x} freq={:016x} fill_l1={} frontend={:016x}",
         program.content_hash(),
         warmup_uops,
+        window,
         stable_hash_of_debug(&(&cfg.l1i, &cfg.l1d, &cfg.l2, &cfg.l3, &cfg.dram)),
         cfg.core.freq_ghz.to_bits(),
         cfg.runahead.prefetch_fill_l1,
@@ -398,13 +477,16 @@ fn warmed_key(cfg: &SimConfig, program: &Program, warmup_uops: u64) -> (u64, Str
 
 /// The warmed caches + predictor for `cfg`'s memory hierarchy and frontend,
 /// derived from `snap`'s trace on first request and shared afterwards.
+/// `window` is the snapshot's warm-trace window (the warm-up budget itself
+/// for full snapshots).
 pub fn warmed_for(
     cfg: &SimConfig,
     program: &Program,
     warmup_uops: u64,
+    window: u64,
     snap: &SimSnapshot,
 ) -> Arc<WarmedState> {
-    let (key, desc) = warmed_key(cfg, program, warmup_uops);
+    let (key, desc) = warmed_key(cfg, program, warmup_uops, window);
     if let Some(warmed) = lookup(&WARMED, key, &desc) {
         return warmed;
     }
@@ -420,9 +502,12 @@ pub fn warmed_for(
 /// Everything that can change the outcome enters the description: the
 /// complete configuration, the technique, the *content* of the program the
 /// workload builds (so editing a generator invalidates its entries), the
-/// budget and the warm-up.
+/// budget, the warm-up, and — only when set, so pre-existing descriptions
+/// are unchanged — the warm-trace window and the sampling parameters.
+/// Sampled (extrapolated) results therefore cache independently of full
+/// runs of the same cell.
 pub fn result_key(spec: &RunSpec, program: &Program) -> (u64, String) {
-    let desc = format!(
+    let mut desc = format!(
         "result v1 workload={} program={:016x} technique={} budget={} cycles={} warmup={} config={:?}",
         spec.workload.name(),
         program.content_hash(),
@@ -432,6 +517,12 @@ pub fn result_key(spec: &RunSpec, program: &Program) -> (u64, String) {
         spec.warmup_uops,
         spec.config,
     );
+    if let Some(window) = spec.warm_window {
+        let _ = write!(desc, " window={window}");
+    }
+    if let Some(sample) = &spec.sample {
+        let _ = write!(desc, " sample={}", sample.label());
+    }
     let mut h = StableHasher::new();
     h.write_str(&desc);
     (h.finish(), desc)
@@ -566,6 +657,28 @@ pub fn result_to_text(desc: &str, result: &RunResult) -> String {
     let _ = writeln!(out, "workload {}", result.workload.name());
     let _ = writeln!(out, "technique {}", result.technique.label());
     let _ = writeln!(out, "deadlocked {}", u8::from(result.deadlocked));
+    if let Some(meta) = &result.sample {
+        // Written only for extrapolated results, so measured entries stay
+        // byte-identical to the pre-sampling format.
+        let _ = writeln!(out, "sample.spec {}", meta.spec.label());
+        let _ = writeln!(out, "sample.intervals_total {}", meta.intervals_total);
+        let _ = writeln!(out, "sample.total_uops {}", meta.total_uops);
+        let _ = writeln!(out, "sample.simulated_uops {}", meta.simulated_uops);
+        let reps: Vec<String> = meta
+            .weights
+            .iter()
+            .map(|w| format!("{}:{}:{}", w.interval, w.weight, w.uops))
+            .collect();
+        let _ = writeln!(
+            out,
+            "sample.reps {}",
+            if reps.is_empty() {
+                "-".to_string()
+            } else {
+                reps.join(",")
+            }
+        );
+    }
     for (name, value) in energy_field_names()
         .iter()
         .zip(energy_fields(&result.energy))
@@ -594,6 +707,7 @@ pub fn result_from_text(text: &str) -> Result<(String, RunResult), String> {
     let mut technique = None;
     let mut deadlocked = false;
     let mut energy = [0f64; 6];
+    let mut sample: Option<crate::sample::SampleMeta> = None;
     let mut stats_text = String::new();
     let mut in_stats = false;
     let mut saw_end = false;
@@ -628,7 +742,34 @@ pub fn result_from_text(text: &str) -> Result<(String, RunResult), String> {
             }
             "deadlocked" => deadlocked = value == "1",
             _ => {
-                if let Some(field) = tag.strip_prefix("energy.") {
+                if let Some(field) = tag.strip_prefix("sample.") {
+                    let meta = sample.get_or_insert_with(Default::default);
+                    match field {
+                        "spec" => {
+                            meta.spec =
+                                value.parse().map_err(|e| format!("bad sample spec: {e}"))?;
+                        }
+                        "intervals_total" => {
+                            meta.intervals_total = value
+                                .parse()
+                                .map_err(|_| format!("bad sample.intervals_total: {value}"))?;
+                        }
+                        "total_uops" => {
+                            meta.total_uops = value
+                                .parse()
+                                .map_err(|_| format!("bad sample.total_uops: {value}"))?;
+                        }
+                        "simulated_uops" => {
+                            meta.simulated_uops = value
+                                .parse()
+                                .map_err(|_| format!("bad sample.simulated_uops: {value}"))?;
+                        }
+                        "reps" => {
+                            meta.weights = parse_rep_weights(value)?;
+                        }
+                        other => return Err(format!("unknown sample field `{other}`")),
+                    }
+                } else if let Some(field) = tag.strip_prefix("energy.") {
                     let idx = energy_field_names()
                         .iter()
                         .position(|n| *n == field)
@@ -663,8 +804,38 @@ pub fn result_from_text(text: &str) -> Result<(String, RunResult), String> {
             deadlocked,
             cache_hit: false,
             watchdog: None,
+            sample,
         },
     ))
+}
+
+/// Parses the `sample.reps` value: comma-separated `interval:weight:uops`
+/// triples, or `-` for an empty list.
+fn parse_rep_weights(value: &str) -> Result<Vec<crate::sample::RepWeight>, String> {
+    if value == "-" {
+        return Ok(Vec::new());
+    }
+    value
+        .split(',')
+        .map(|entry| {
+            let mut parts = entry.split(':');
+            let mut next = || {
+                parts
+                    .next()
+                    .and_then(|p| p.parse::<u64>().ok())
+                    .ok_or_else(|| format!("bad sample.reps entry `{entry}`"))
+            };
+            let (interval, weight, uops) = (next()?, next()?, next()?);
+            if parts.next().is_some() {
+                return Err(format!("bad sample.reps entry `{entry}`"));
+            }
+            Ok(crate::sample::RepWeight {
+                interval,
+                weight,
+                uops,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -743,23 +914,23 @@ mod tests {
     #[test]
     fn snapshot_disk_roundtrip_and_truncation_fallback() {
         let program = Workload::ComputeBound.build(&WorkloadParams::short(80));
-        let (key, _) = snapshot_key(&program, 300);
+        let (key, _) = snapshot_key(&program, 300, 300);
         let dir = std::env::temp_dir().join(format!("pre-snap-test-{key:016x}"));
         let _ = std::fs::remove_dir_all(&dir);
         clear_stores();
-        let cold = snapshot_for_with_dir(&program, 300, Some(&dir));
+        let cold = snapshot_for_with_dir(&program, 300, 300, Some(&dir));
         let path = snapshot_disk_path(&dir, key);
         assert!(path.exists(), "snapshot persisted");
         // A fresh process (cleared stores) answers from disk, identically.
         clear_stores();
-        let from_disk = snapshot_for_with_dir(&program, 300, Some(&dir));
+        let from_disk = snapshot_for_with_dir(&program, 300, 300, Some(&dir));
         assert!(!Arc::ptr_eq(&cold, &from_disk));
         assert_eq!(from_disk.to_text(), cold.to_text());
         // Truncate the file: next lookup quarantines it and re-captures.
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         clear_stores();
-        let refetched = snapshot_for_with_dir(&program, 300, Some(&dir));
+        let refetched = snapshot_for_with_dir(&program, 300, 300, Some(&dir));
         assert_eq!(
             refetched.to_text(),
             cold.to_text(),
@@ -786,13 +957,91 @@ mod tests {
     }
 
     #[test]
+    fn interval_snapshot_keys_never_collide_with_warmup_snapshots() {
+        let program = Workload::ComputeBound.build(&WorkloadParams::short(200));
+        // A per-interval snapshot at offset 10k with a 2k warm window vs the
+        // plain warm-up snapshot for a 10k warm-up budget (full window):
+        // same program, same offset, different trace coverage.
+        let (k_interval, d_interval) = snapshot_key(&program, 10_000, 2_000);
+        let (k_warmup, d_warmup) = snapshot_key(&program, 10_000, 10_000);
+        assert_ne!(k_interval, k_warmup, "keys must differ");
+        assert_ne!(d_interval, d_warmup);
+        assert!(d_interval.contains("window=2000"), "{d_interval}");
+
+        // And the stores never cross-serve them.
+        clear_stores();
+        let windowed = snapshot_for_with_dir(&program, 600, 200, None);
+        assert!(
+            snapshot_lookup(&program, 600, 600, None).is_none(),
+            "full-window lookup must not hit the windowed entry"
+        );
+        let full = snapshot_for_with_dir(&program, 600, 600, None);
+        assert!(!Arc::ptr_eq(&windowed, &full));
+        // Same architectural state, different trace coverage.
+        assert_eq!(windowed.regs, full.regs);
+        assert_eq!(windowed.pc, full.pc);
+        assert!(windowed.trace.len() <= full.trace.len());
+    }
+
+    #[test]
+    fn sampled_result_text_roundtrips_with_metadata() {
+        use crate::sample::{RepWeight, SampleMeta, SampleSpec};
+        let (spec, mut result) = small_result();
+        result.sample = Some(SampleMeta {
+            spec: SampleSpec::new(3, 500),
+            intervals_total: 4,
+            total_uops: 2_000,
+            simulated_uops: 1_500,
+            weights: vec![
+                RepWeight {
+                    interval: 0,
+                    weight: 2,
+                    uops: 500,
+                },
+                RepWeight {
+                    interval: 2,
+                    weight: 1,
+                    uops: 500,
+                },
+                RepWeight {
+                    interval: 3,
+                    weight: 1,
+                    uops: 500,
+                },
+            ],
+        });
+        let program = spec.workload.build(&spec.params);
+        let sampled_spec = spec.clone().sampled(SampleSpec::new(3, 500));
+        let (_, desc) = result_key(&sampled_spec, &program);
+        assert!(desc.ends_with("sample=n=3,interval=500"), "{desc}");
+        let (_, plain_desc) = result_key(&spec, &program);
+        assert_ne!(desc, plain_desc, "sampled results cache independently");
+        let text = result_to_text(&desc, &result);
+        let (back_desc, back) = result_from_text(&text).expect("parses");
+        assert_eq!(back_desc, desc);
+        assert_eq!(back.sample, result.sample);
+        assert_eq!(result_to_text(&desc, &back), text);
+        // A measured result still serializes without any sample.* lines.
+        let plain_text = result_to_text(
+            &plain_desc,
+            &RunResult {
+                sample: None,
+                ..result.clone()
+            },
+        );
+        assert!(!plain_text.contains("sample."));
+        let (_, plain_back) = result_from_text(&plain_text).expect("parses");
+        assert!(plain_back.sample.is_none());
+    }
+
+    #[test]
     fn snapshot_store_shares_one_capture() {
         clear_stores();
         let program = Workload::ComputeBound.build(&WorkloadParams::short(200));
-        let a = snapshot_for_with_dir(&program, 500, None);
-        let b = snapshot_for_with_dir(&program, 500, None);
+        let a = snapshot_for_with_dir(&program, 500, 500, None);
+        let b = snapshot_for_with_dir(&program, 500, 500, None);
         assert!(Arc::ptr_eq(&a, &b), "second request reuses the capture");
-        let c = snapshot_for_with_dir(&program, 600, None);
+        let c = snapshot_for_with_dir(&program, 600, 600, None);
         assert!(!Arc::ptr_eq(&a, &c), "different warm-up is a different key");
     }
 
@@ -800,20 +1049,20 @@ mod tests {
     fn warmed_store_shares_across_core_sizing() {
         clear_stores();
         let program = Workload::ComputeBound.build(&WorkloadParams::short(200));
-        let snap = snapshot_for_with_dir(&program, 500, None);
+        let snap = snapshot_for_with_dir(&program, 500, 500, None);
         let base = SimConfig::haswell_like();
         let mut resized = base.clone();
         resized.core.rob_entries = 128;
         resized.runahead.sst_entries = 16;
-        let a = warmed_for(&base, &program, 500, &snap);
-        let b = warmed_for(&resized, &program, 500, &snap);
+        let a = warmed_for(&base, &program, 500, 500, &snap);
+        let b = warmed_for(&resized, &program, 500, 500, &snap);
         assert!(
             Arc::ptr_eq(&a, &b),
             "ROB/SST sizing shares the warmed state"
         );
         let mut l3_grown = base.clone();
         l3_grown.l3.size_bytes *= 2;
-        let c = warmed_for(&l3_grown, &program, 500, &snap);
+        let c = warmed_for(&l3_grown, &program, 500, 500, &snap);
         assert!(
             !Arc::ptr_eq(&a, &c),
             "cache geometry forks the warmed state"

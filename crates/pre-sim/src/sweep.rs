@@ -24,6 +24,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::runner::{run_one, RunResult, RunSpec};
+use crate::sample::SampleSpec;
 use pre_model::config::SimConfig;
 use pre_model::error::SimError;
 use pre_runahead::Technique;
@@ -289,6 +290,11 @@ pub struct Sweep {
     pub warmup_uops: u64,
     /// Whether points consult/populate the result cache.
     pub use_result_cache: bool,
+    /// When set, every point is *estimated* by SimPoint-style interval
+    /// sampling ([`crate::sample::run_sampled`]) instead of simulated in
+    /// full; the JSON report records the sampling parameters and marks the
+    /// points.
+    pub sample: Option<SampleSpec>,
     /// Stop launching new points after the first failure. Already-running
     /// points finish; points not yet started are reported as
     /// [`SimError::Skipped`]. Which points were already running is
@@ -315,6 +321,7 @@ impl Sweep {
             budget: 300_000,
             warmup_uops: 0,
             use_result_cache: false,
+            sample: None,
             fail_fast: false,
             max_retries: 0,
             dims: Vec::new(),
@@ -355,12 +362,13 @@ impl Sweep {
                 for &(dim, value) in &settings {
                     dim.apply(&mut config, value);
                 }
-                let spec = RunSpec::new(self.workload, self.technique)
+                let mut spec = RunSpec::new(self.workload, self.technique)
                     .with_budget(self.budget)
                     .with_config(config)
                     .with_params(self.params)
                     .with_warmup(self.warmup_uops)
                     .with_result_cache(self.use_result_cache);
+                spec.sample = self.sample;
                 (settings, spec)
             })
             .collect()
@@ -496,6 +504,12 @@ pub fn sweep_json(
     let _ = writeln!(out, "  \"technique\": \"{}\",", sweep.technique.label());
     let _ = writeln!(out, "  \"budget\": {},", sweep.budget);
     let _ = writeln!(out, "  \"warmup\": {},", sweep.warmup_uops);
+    match &sweep.sample {
+        Some(s) => {
+            let _ = writeln!(out, "  \"sample\": \"{}\",", json_escape(&s.label()));
+        }
+        None => out.push_str("  \"sample\": null,\n"),
+    }
     let _ = writeln!(out, "  \"elapsed_secs\": {elapsed_secs:.6},");
     let _ = writeln!(out, "  \"num_points\": {},", points.len());
     let _ = writeln!(out, "  \"failed_points\": {},", failures.len());
@@ -526,13 +540,14 @@ pub fn sweep_json(
         }
         let _ = write!(
             out,
-            "\"ipc\": {:.6}, \"sim_cycles\": {}, \"committed_uops\": {}, \"energy_mj\": {:.6}, \"cache_hit\": {}, \"deadlocked\": {}",
+            "\"ipc\": {:.6}, \"sim_cycles\": {}, \"committed_uops\": {}, \"energy_mj\": {:.6}, \"cache_hit\": {}, \"deadlocked\": {}, \"sampled\": {}",
             p.result.ipc(),
             p.result.stats.cycles,
             p.result.stats.committed_uops,
             p.result.energy_mj(),
             p.result.cache_hit,
-            p.result.deadlocked
+            p.result.deadlocked,
+            p.result.sample.is_some()
         );
         out.push('}');
         if i + 1 < points.len() {

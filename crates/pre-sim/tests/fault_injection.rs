@@ -215,11 +215,11 @@ fn truncate_snapshot_fault_falls_back_to_a_cold_capture() {
         ("PRE_CACHE_DIR", None),
     ]);
     clear_stores();
-    let reference = snapshot_for_with_dir(&program, 300, Some(&dir));
+    let reference = snapshot_for_with_dir(&program, 300, 300, Some(&dir));
 
     let _disarm = EnvGuard::set(&[("PRE_FAULT", None)]);
     clear_stores();
-    let refetched = snapshot_for_with_dir(&program, 300, Some(&dir));
+    let refetched = snapshot_for_with_dir(&program, 300, 300, Some(&dir));
     assert_eq!(
         refetched.to_text(),
         reference.to_text(),
